@@ -1,0 +1,47 @@
+// Ablation: chunk size (paper §3.1 exposes it; never swept in the paper).
+//
+// Small chunks mean finer memory granularity and timelier delivery but more
+// event-dispatch overhead per byte; large chunks amortize events but hold
+// memory longer and delay processing. The paper uses 16KB everywhere; this
+// sweep shows why that is a sweet spot for the matching workload.
+#include <cstdio>
+
+#include "bench/common/driver.hpp"
+#include "bench/common/workloads.hpp"
+
+using namespace scap;
+using namespace scap::bench;
+
+int main() {
+  const flowgen::Trace& trace = campus_trace();
+  const int loops = 3;
+  const double rate = 2.0;  // past one worker's matching capacity
+
+  Table t("Ablation: chunk size @2Gbit/s, 1 worker, pattern matching",
+          {"chunk_bytes", "drop_pct", "cpu_pct", "events_per_mb",
+           "matched_pct"});
+  const double planted = static_cast<double>(trace.planted_matches) * loops;
+
+  for (std::uint32_t chunk : {1024u, 4096u, 16384u, 65536u, 262144u}) {
+    ScapRunOptions opt;
+    opt.kernel.memory_size = 64ull << 20;
+    opt.kernel.creation_events = false;
+    opt.kernel.defaults.chunk_size = chunk;
+    opt.kernel.ppl.base_threshold = 0.5;
+    opt.kernel.ppl.overload_cutoff = 16 * 1024;
+    opt.automaton = &vrt_automaton();
+    ScapPipeline pipe(opt);
+    flowgen::Replayer replayer(trace, rate, loops);
+    replayer.for_each([&](const Packet& pkt) { pipe.offer(pkt); });
+    const std::uint64_t events = pipe.kernel().stats().events_emitted;
+    RunResult r = pipe.finish();
+    t.row({static_cast<double>(chunk), r.drop_pct(), r.cpu_user_pct,
+           static_cast<double>(events) /
+               (static_cast<double>(r.bytes_offered) / 1e6),
+           planted > 0
+               ? 100.0 * static_cast<double>(r.matches) / planted
+               : 0.0});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: SCAP_TCP_STRICT vs SCAP_TCP_FAST (paper §2.3).
+//
+// Strict mode buffers out-of-order segments for exact in-order delivery;
+// fast mode writes through holes and flags them. On an impaired trace
+// (reordering + retransmissions) both reconstruct everything when nothing
+// is lost; under capture loss, fast keeps delivering (flagging kErrHole)
+// while strict stalls data behind holes until flush.
+#include <cstdio>
+
+#include "bench/common/driver.hpp"
+#include "bench/common/workloads.hpp"
+
+using namespace scap;
+using namespace scap::bench;
+
+namespace {
+
+flowgen::Trace impaired_trace() {
+  flowgen::WorkloadConfig cfg;
+  cfg.flows = 1500;
+  cfg.seed = 77;
+  cfg.reorder_probability = 0.05;
+  cfg.duplicate_probability = 0.03;
+  cfg.patterns = vrt_patterns();
+  cfg.plant_probability = 0.15;
+  return flowgen::build_trace(cfg);
+}
+
+}  // namespace
+
+int main() {
+  const flowgen::Trace trace = impaired_trace();
+  const int loops = 2;
+  const double planted = static_cast<double>(trace.planted_matches) * loops;
+
+  Table t("Ablation: reassembly mode on an impaired trace (5% reorder, 3% dup)",
+          {"rate", "fast_matched_pct", "strict_matched_pct", "fast_drop_pct",
+           "strict_drop_pct"});
+
+  for (double rate : {0.5, 1.0, 2.0, 4.0}) {
+    ScapRunOptions fast;
+    fast.kernel.memory_size = 64ull << 20;
+    fast.kernel.creation_events = false;
+    fast.kernel.defaults.mode = kernel::ReassemblyMode::kTcpFast;
+    fast.kernel.ppl.base_threshold = 0.5;
+    fast.kernel.ppl.overload_cutoff = 16 * 1024;
+    fast.automaton = &vrt_automaton();
+    RunResult r_fast = run_scap(trace, rate, loops, fast);
+
+    ScapRunOptions strict = fast;
+    strict.kernel.defaults.mode = kernel::ReassemblyMode::kTcpStrict;
+    RunResult r_strict = run_scap(trace, rate, loops, strict);
+
+    auto pct = [&](const RunResult& r) {
+      return planted > 0 ? 100.0 * static_cast<double>(r.matches) / planted
+                         : 0.0;
+    };
+    t.row({rate, pct(r_fast), pct(r_strict), r_fast.drop_pct(),
+           r_strict.drop_pct()});
+  }
+  t.print();
+  std::printf("\nBoth modes reconstruct impaired-but-lossless streams; under "
+              "capture loss fast mode degrades gracefully (kErrHole) while "
+              "strict waits for holes that never fill.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Tabular output helpers for the figure-reproduction benches. Each bench
+// prints one CSV-style block per figure panel so results can be compared
+// against the paper (and re-plotted) directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace scap::bench {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void row(const std::vector<double>& values) { rows_.push_back(values); }
+
+  void print() const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%s", i ? "," : "", columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        std::printf("%s%.4g", i ? "," : "", r[i]);
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Environment-tunable experiment scale: SCAP_BENCH_SCALE=small|full.
+inline bool full_scale() {
+  const char* v = std::getenv("SCAP_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "full";
+}
+
+}  // namespace scap::bench

@@ -1,0 +1,59 @@
+// Shared experiment workloads — the stand-in for the paper's single campus
+// trace that every figure replays at different rates.
+//
+// Scale: by default traces are sized to finish the full bench suite in
+// minutes on a laptop; set SCAP_BENCH_SCALE=full for larger traces (closer
+// to the paper's 58M-packet replay, at proportionally longer runtimes).
+#pragma once
+
+#include "bench/common/report.hpp"
+#include "flowgen/workload.hpp"
+#include "match/aho_corasick.hpp"
+#include "match/corpus.hpp"
+
+namespace scap::bench {
+
+inline const std::vector<std::string>& vrt_patterns() {
+  static const std::vector<std::string> patterns =
+      match::make_corpus({.pattern_count = 2120});
+  return patterns;
+}
+
+inline const match::AhoCorasick& vrt_automaton() {
+  static const match::AhoCorasick ac(vrt_patterns());
+  return ac;
+}
+
+/// The campus-like trace with planted web-attack patterns.
+inline const flowgen::Trace& campus_trace() {
+  static const flowgen::Trace trace = [] {
+    flowgen::WorkloadConfig cfg;
+    cfg.flows = full_scale() ? 12000 : 2500;
+    cfg.seed = 2013;
+    cfg.patterns = vrt_patterns();
+    cfg.plant_probability = 0.15;
+    return flowgen::build_trace(cfg);
+  }();
+  return trace;
+}
+
+/// Rate sweep of the paper's evaluation (0.25 - 6 Gbit/s).
+inline std::vector<double> rate_sweep() {
+  return {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0,
+          3.5,  4.0, 4.5,  5.0, 5.5, 6.0};
+}
+
+/// Ground-truth count of *directional* streams carrying payload — the
+/// denominator for lost-stream percentages (the Scap kernel and the
+/// baseline engines both deliver per direction).
+inline std::uint64_t directional_streams_with_data(
+    const flowgen::Trace& trace) {
+  std::uint64_t n = 0;
+  for (const auto& f : trace.flows) {
+    if (f.client_bytes > 0) ++n;
+    if (f.tcp && f.server_bytes > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace scap::bench

@@ -1,0 +1,83 @@
+// Figure 3: flow-based statistics export (paper §6.2).
+//
+// Four systems export per-flow statistics while the campus trace replays at
+// 0.25-6 Gbit/s: YAF (96-byte snaplen, no reassembly), a Libnids-based
+// exporter, Scap with a zero stream cutoff, and Scap with the cutoff
+// offloaded to NIC FDIR filters (subzero copy). Panels: (a) packet loss,
+// (b) application CPU utilization, (c) software-interrupt load.
+//
+// Paper's headline: YAF saturates ~4 Gbit/s, Libnids ~2-2.5 Gbit/s; Scap
+// processes everything at 6 Gbit/s with <10% application CPU, and with
+// FDIR only ~3% of packets ever reach main memory.
+#include <cstdio>
+
+#include "bench/common/driver.hpp"
+#include "bench/common/workloads.hpp"
+
+using namespace scap;
+using namespace scap::bench;
+
+namespace {
+
+ScapRunOptions scap_options(bool fdir) {
+  ScapRunOptions opt;
+  opt.kernel.memory_size = 1ull << 30;
+  opt.kernel.defaults.cutoff_bytes = 0;  // flow stats only: discard all data
+  opt.kernel.creation_events = false;
+  opt.use_fdir = fdir;
+  opt.worker_threads = 1;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  const flowgen::Trace& trace = campus_trace();
+  std::printf("fig03_flow_stats: trace %zu pkts, %.2f MB wire, %zu flows\n",
+              trace.packets.size(),
+              static_cast<double>(trace.total_wire_bytes) / 1e6,
+              trace.flows.size());
+
+  Table drops("Fig 3(a) packet loss (%) vs rate (Gbit/s)",
+              {"rate", "yaf", "libnids", "scap", "scap_fdir"});
+  Table cpu("Fig 3(b) application CPU utilization (%)",
+            {"rate", "yaf", "libnids", "scap", "scap_fdir"});
+  Table softirq("Fig 3(c) software interrupt load (%)",
+                {"rate", "yaf", "libnids", "scap", "scap_fdir"});
+
+  const int loops = 8;
+  double fdir_mem_pct_at_6g = 100.0;
+  for (double rate : rate_sweep()) {
+    BaselineRunOptions yaf;
+    yaf.kind = BaselineKind::kYaf;
+    RunResult r_yaf = run_baseline(trace, rate, loops, yaf);
+
+    BaselineRunOptions nids;
+    nids.kind = BaselineKind::kLibnids;
+    RunResult r_nids = run_baseline(trace, rate, loops, nids);
+
+    RunResult r_scap = run_scap(trace, rate, loops, scap_options(false));
+    RunResult r_fdir = run_scap(trace, rate, loops, scap_options(true));
+
+    drops.row({rate, r_yaf.drop_pct(), r_nids.drop_pct(), r_scap.drop_pct(),
+               r_fdir.drop_pct()});
+    cpu.row({rate, r_yaf.cpu_user_pct, r_nids.cpu_user_pct,
+             r_scap.cpu_user_pct, r_fdir.cpu_user_pct});
+    softirq.row({rate, r_yaf.softirq_pct, r_nids.softirq_pct,
+                 r_scap.softirq_pct, r_fdir.softirq_pct});
+    if (rate == 6.0) {
+      fdir_mem_pct_at_6g =
+          100.0 *
+          static_cast<double>(r_fdir.pkts_offered - r_fdir.pkts_nic_filtered) /
+          static_cast<double>(r_fdir.pkts_offered);
+    }
+  }
+  drops.print();
+  cpu.print();
+  softirq.print();
+  std::printf(
+      "\n[§6.2] Scap+FDIR brings %.1f%% of packets into main memory at 6 "
+      "Gbit/s (paper: ~3%%)\n",
+      fdir_mem_pct_at_6g);
+  return 0;
+}

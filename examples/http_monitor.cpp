@@ -1,0 +1,173 @@
+// HTTP transaction monitoring on top of reassembled streams — the paper's
+// §1 motivation made concrete: "applications increasingly need to reason
+// about higher-level entities such as HTTP headers".
+//
+// Each TCP stream direction feeds a streaming HTTP parser; the monitor
+// logs request/response pairs (method, target, status, body sizes) and
+// flags suspicious requests. Chunk boundaries are arbitrary — the parsers
+// are incremental — and the per-stream state is dropped on termination.
+//
+//   ./examples/http_monitor
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/craft.hpp"
+#include "proto/http.hpp"
+#include "scap/capture.hpp"
+
+namespace {
+
+using namespace scap;
+
+/// Synthesizes a full HTTP session (handshake + request + response + FIN).
+std::vector<Packet> http_session(std::uint16_t client_port,
+                                 const std::string& request,
+                                 const std::string& response,
+                                 std::int64_t base_us) {
+  std::vector<Packet> pkts;
+  FiveTuple tuple{0x0a000001, 0xc0a80150, client_port, 80, kProtoTcp};
+  std::uint32_t cseq = 1000, sseq = 9000;
+  std::int64_t t = base_us;
+  auto push = [&](TcpSegmentSpec spec) {
+    pkts.push_back(make_tcp_packet(spec, Timestamp::from_usec(t)));
+    t += 20;
+  };
+  TcpSegmentSpec syn;
+  syn.tuple = tuple;
+  syn.seq = cseq++;
+  syn.flags = kTcpSyn;
+  push(syn);
+  TcpSegmentSpec synack;
+  synack.tuple = tuple.reversed();
+  synack.seq = sseq++;
+  synack.ack = cseq;
+  synack.flags = kTcpSyn | kTcpAck;
+  push(synack);
+
+  // Request, segmented into smallish pieces to exercise reassembly.
+  for (std::size_t off = 0; off < request.size(); off += 333) {
+    const std::string piece = request.substr(off, 333);
+    TcpSegmentSpec d;
+    d.tuple = tuple;
+    d.seq = cseq;
+    d.ack = sseq;
+    d.flags = kTcpAck | kTcpPsh;
+    d.payload = {reinterpret_cast<const std::uint8_t*>(piece.data()),
+                 piece.size()};
+    push(d);
+    cseq += static_cast<std::uint32_t>(piece.size());
+  }
+  for (std::size_t off = 0; off < response.size(); off += 777) {
+    const std::string piece = response.substr(off, 777);
+    TcpSegmentSpec d;
+    d.tuple = tuple.reversed();
+    d.seq = sseq;
+    d.ack = cseq;
+    d.flags = kTcpAck | kTcpPsh;
+    d.payload = {reinterpret_cast<const std::uint8_t*>(piece.data()),
+                 piece.size()};
+    push(d);
+    sseq += static_cast<std::uint32_t>(piece.size());
+  }
+  TcpSegmentSpec fin;
+  fin.tuple = tuple;
+  fin.seq = cseq;
+  fin.ack = sseq;
+  fin.flags = kTcpFin | kTcpAck;
+  push(fin);
+  TcpSegmentSpec sfin;
+  sfin.tuple = tuple.reversed();
+  sfin.seq = sseq;
+  sfin.ack = cseq + 1;
+  sfin.flags = kTcpFin | kTcpAck;
+  push(sfin);
+  return pkts;
+}
+
+std::string request_of(const std::string& method, const std::string& target,
+                       const std::string& body = "") {
+  std::string r = method + " " + target + " HTTP/1.1\r\nHost: shop.example\r\n";
+  if (!body.empty()) {
+    r += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  r += "\r\n" + body;
+  return r;
+}
+
+std::string response_of(int code, const std::string& body) {
+  return "HTTP/1.1 " + std::to_string(code) + " X\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+}  // namespace
+
+int main() {
+  Capture cap("sim0", 64 << 20, kernel::ReassemblyMode::kTcpFast, false);
+  cap.set_filter("tcp and port 80");
+  cap.set_parameter(Parameter::kChunkSize, 512);  // force multi-chunk paths
+
+  // One HttpConnection per TCP connection, keyed by the canonical tuple's
+  // string form (both directions share it).
+  std::unordered_map<std::string, proto::HttpConnection> connections;
+  int transactions = 0, alerts = 0;
+
+  auto parser_for = [&](StreamView& sd) -> proto::HttpParser& {
+    auto& conn = connections[to_string(sd.tuple().canonical())];
+    // The stream whose destination port is 80 carries requests.
+    return sd.tuple().dst_port == 80 ? conn.client() : conn.server();
+  };
+
+  cap.dispatch_creation([&](StreamView& sd) {
+    auto& parser = parser_for(sd);
+    if (sd.tuple().dst_port == 80) {
+      parser.on_request([&](const proto::HttpRequest& req) {
+        std::printf("request : %s %s (%llu body bytes)\n", req.method.c_str(),
+                    req.target.c_str(),
+                    static_cast<unsigned long long>(req.body_bytes));
+        if (req.target.find("../") != std::string::npos) {
+          std::printf("  ALERT: path traversal attempt\n");
+          ++alerts;
+        }
+      });
+    } else {
+      parser.on_response([&](const proto::HttpResponse& resp) {
+        std::printf("response: %d (%llu body bytes)\n", resp.status_code,
+                    static_cast<unsigned long long>(resp.body_bytes));
+        ++transactions;
+      });
+    }
+  });
+  cap.dispatch_data([&](StreamView& sd) {
+    // Feed the new bytes (skip the repeated overlap prefix, none here).
+    parser_for(sd).feed(sd.data().subspan(sd.overlap_len()));
+  });
+  cap.dispatch_termination([&](StreamView& sd) {
+    parser_for(sd).finish();
+  });
+
+  cap.start();
+  std::int64_t t = 0;
+  std::vector<std::vector<Packet>> sessions;
+  sessions.push_back(http_session(
+      40001, request_of("GET", "/catalog"), response_of(200, std::string(3000, 'c')), t));
+  sessions.push_back(http_session(
+      40002, request_of("POST", "/api/orders", R"({"item":42})"),
+      response_of(201, "{\"ok\":true}"), t + 10));
+  sessions.push_back(http_session(
+      40003, request_of("GET", "/static/../../etc/passwd"),
+      response_of(403, "forbidden"), t + 20));
+  // Interleave the sessions' packets to stress per-stream state isolation.
+  std::size_t max_len = 0;
+  for (const auto& s : sessions) max_len = std::max(max_len, s.size());
+  for (std::size_t i = 0; i < max_len; ++i) {
+    for (const auto& s : sessions) {
+      if (i < s.size()) cap.inject(s[i]);
+    }
+  }
+  cap.stop();
+
+  std::printf("\n%d transactions observed, %d alerts\n", transactions, alerts);
+  return transactions == 3 && alerts == 1 ? 0 : 1;
+}

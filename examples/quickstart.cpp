@@ -1,0 +1,80 @@
+// Quickstart: the paper's flow-statistics exporter (§3.3.1), almost
+// verbatim against the Table-1 C API.
+//
+// The program captures a small synthetic campus workload through a virtual
+// interface, discards all stream data in the kernel (cutoff 0), and prints
+// one line per terminated flow — src/dst endpoints, bytes, packets,
+// duration — exactly what the paper's listing exports.
+//
+//   ./examples/quickstart [trace.pcap]
+//
+// With a pcap argument, the file is replayed instead of the synthetic
+// workload (any tcpdump-format capture works).
+#include <cstdio>
+
+#include "flowgen/workload.hpp"
+#include "packet/headers.hpp"
+#include "scap/scap.h"
+#include "scap/capture.hpp"
+
+namespace {
+
+// The paper's stream_close() callback: export per-flow statistics.
+void stream_close(stream_t* sd) {
+  const scap::FiveTuple& hdr = sd->tuple();
+  const auto& stats = sd->stats();
+  std::printf("%-21s -> %-21s  %10llu bytes  %6llu pkts  %8.3f s\n",
+              (scap::ip_to_string(hdr.src_ip) + ":" +
+               std::to_string(hdr.src_port))
+                  .c_str(),
+              (scap::ip_to_string(hdr.dst_ip) + ":" +
+               std::to_string(hdr.dst_port))
+                  .c_str(),
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(stats.pkts),
+              (stats.last_packet - stats.first_packet).sec());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // scap_create / scap_set_cutoff / scap_dispatch_termination /
+  // scap_start_capture — the paper's §3.3.1 listing.
+  const std::string device =
+      argc > 1 ? std::string("file:") + argv[1] : std::string("sim0");
+  scap_t* sc = scap_create(device.c_str(), SCAP_DEFAULT, SCAP_TCP_FAST, 0);
+  if (sc == nullptr) {
+    std::fprintf(stderr, "scap_create failed\n");
+    return 1;
+  }
+  scap_set_cutoff(sc, 0);  // flow statistics only: discard all stream data
+  scap_dispatch_termination(sc, stream_close);
+
+  std::printf("%-21s    %-21s  %16s  %11s  %10s\n", "src", "dst", "bytes",
+              "packets", "duration");
+  if (scap_start_capture(sc) != 0) {
+    std::fprintf(stderr, "scap_start_capture failed (missing file?)\n");
+    scap_close(sc);
+    return 1;
+  }
+
+  if (argc <= 1) {
+    // Virtual device: synthesize a small campus-like workload and feed it.
+    scap::flowgen::WorkloadConfig cfg;
+    cfg.flows = 40;
+    cfg.seed = 7;
+    const scap::flowgen::Trace trace = scap::flowgen::build_trace(cfg);
+    for (const auto& pkt : trace.packets) scap_inject(sc, pkt);
+    scap_flush(sc);
+  }
+
+  scap_stats_t stats{};
+  scap_get_stats(sc, &stats);
+  std::printf(
+      "\ncapture summary: %llu packets seen, %llu streams, %llu dropped\n",
+      static_cast<unsigned long long>(stats.pkts_seen),
+      static_cast<unsigned long long>(stats.streams_created),
+      static_cast<unsigned long long>(stats.pkts_dropped));
+  scap_close(sc);
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/queueing.hpp"
+
+#include <cmath>
+
+namespace scap::analysis {
+
+double mm1n_loss(double rho, int n) {
+  if (n <= 0) return 1.0;
+  if (std::abs(rho - 1.0) < 1e-12) {
+    // Degenerate ρ=1: uniform stationary distribution over N+1 states.
+    return 1.0 / static_cast<double>(n + 1);
+  }
+  const double num = (1.0 - rho) * std::pow(rho, n);
+  const double den = 1.0 - std::pow(rho, n + 1);
+  return num / den;
+}
+
+TwoLevelLoss two_level_loss(double rho1, double rho2, int n) {
+  TwoLevelLoss loss{1.0, 1.0};
+  if (n <= 0) return loss;
+  // p0 normalizes the 2N-state chain (paper's expression):
+  //   p0 = 1 / ( (1-ρ1^{N+1})/(1-ρ1) + ρ1^N ρ2 (1-ρ2^N)/(1-ρ2) )
+  // The first term covers states 0..N (geometric in ρ1), the second states
+  // N+1..2N (geometric in ρ2 on top of state N's probability).
+  const double geo1 = (1.0 - std::pow(rho1, n + 1)) / (1.0 - rho1);
+  const double geo2 =
+      std::pow(rho1, n) * rho2 * (1.0 - std::pow(rho2, n)) / (1.0 - rho2);
+  const double p0 = 1.0 / (geo1 + geo2);
+
+  // High-priority packets are lost only in the last state 2N:
+  //   P_loss,high = ρ1^N ρ2^N p0   (paper Eq. 2).
+  loss.high = std::pow(rho1, n) * std::pow(rho2, n) * p0;
+
+  // Medium-priority packets are lost in states >= N:
+  //   P_loss,medium = sum_{k=N}^{2N} p_k
+  // The paper reports the M/M/1/N form (Eq. 3); we return the exact chain
+  // tail, which matches Eq. 3 closely for the plotted regime.
+  double tail = std::pow(rho1, n) * p0;  // state N
+  for (int k = 1; k <= n; ++k) {
+    tail += std::pow(rho1, n) * std::pow(rho2, k) * p0;
+  }
+  loss.medium = tail;
+  return loss;
+}
+
+std::vector<double> birth_death_stationary(const std::vector<double>& lambda,
+                                           double mu) {
+  const std::size_t k = lambda.size();
+  std::vector<double> pi(k + 1, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    pi[i + 1] = pi[i] * lambda[i] / mu;
+  }
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  for (double& p : pi) p /= sum;
+  return pi;
+}
+
+}  // namespace scap::analysis

@@ -1,0 +1,40 @@
+// Analytic models of Prioritized Packet Loss (paper §7, Figs. 11-12).
+//
+// Fig. 11: the memory above base_threshold as an M/M/1/N queue; the loss
+// probability for high-priority packets is the full-buffer probability
+// (PASTA):  P_full = (1-ρ) ρ^N / (1 - ρ^{N+1}).
+//
+// Fig. 12: three priorities (low/medium/high) as a 2N-state birth-death
+// chain: in states 1..N both medium (λ1) and high (λ2) arrivals enter;
+// in states N+1..2N only high-priority arrivals do. Equations (2)-(3) of
+// the paper give the stationary loss probabilities.
+//
+// A generic birth-death solver is included so the closed forms can be
+// verified numerically (and used for ablations with other rate profiles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scap::analysis {
+
+/// M/M/1/N loss probability (paper Eq. 1). rho = lambda/mu.
+double mm1n_loss(double rho, int n);
+
+/// Two-level PPL chain (paper Eqs. 2-3).
+/// rho1 = (lambda1+lambda2)/mu — combined medium+high load;
+/// rho2 = lambda2/mu           — high-priority load alone;
+/// n    = region size in packet slots (the chain has 2n states).
+struct TwoLevelLoss {
+  double high;    // loss probability for high-priority packets (Eq. 2)
+  double medium;  // loss probability for medium-priority packets (Eq. 3)
+};
+TwoLevelLoss two_level_loss(double rho1, double rho2, int n);
+
+/// Stationary distribution of a birth-death chain with per-state birth
+/// rates lambda[i] (i -> i+1, size K) and uniform death rate mu (i -> i-1).
+/// Returns K+1 probabilities for states 0..K.
+std::vector<double> birth_death_stationary(const std::vector<double>& lambda,
+                                           double mu);
+
+}  // namespace scap::analysis

@@ -1,0 +1,3 @@
+#include "base/clock.hpp"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,30 @@
+// Minimal leveled logging. Benches and examples print results to stdout
+// directly; the logger is for diagnostics and defaults to warnings only.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace scap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  log_message(level, buf);
+}
+
+#define SCAP_LOG_DEBUG(...) ::scap::logf(::scap::LogLevel::kDebug, __VA_ARGS__)
+#define SCAP_LOG_INFO(...) ::scap::logf(::scap::LogLevel::kInfo, __VA_ARGS__)
+#define SCAP_LOG_WARN(...) ::scap::logf(::scap::LogLevel::kWarn, __VA_ARGS__)
+#define SCAP_LOG_ERROR(...) ::scap::logf(::scap::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace scap

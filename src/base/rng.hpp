@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We use splitmix64 for seeding and xoshiro256** for the stream: fast,
+// reproducible across platforms, and good enough statistically for traffic
+// generation (we are not doing cryptography).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace scap {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ca9'5ca9'5ca9'5ca9ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(bounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal(double mu = 0.0, double sigma = 1.0) {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * std::numbers::pi * u2);
+    return mu + sigma * z;
+  }
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Pareto with scale xm and shape alpha (heavy tail for alpha <= 2).
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    if (u >= 1.0) u = 0.9999999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace scap

@@ -1,0 +1,24 @@
+#include "base/stats.hpp"
+
+namespace scap {
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  const double bucket_width = upper_ / static_cast<double>(counts_.size() - 1);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (seen + counts_[i] >= target) {
+      // Interpolate inside the bucket.
+      double frac = counts_[i] ? static_cast<double>(target - seen) /
+                                     static_cast<double>(counts_[i])
+                               : 0.0;
+      return (static_cast<double>(i) + frac) * bucket_width;
+    }
+    seen += counts_[i];
+  }
+  return upper_;
+}
+
+}  // namespace scap

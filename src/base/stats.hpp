@@ -1,0 +1,72 @@
+// Small statistics helpers shared by the simulator, benches, and reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace scap {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [0, upper); the last bucket catches overflow.
+class Histogram {
+ public:
+  Histogram(double upper, std::size_t buckets)
+      : upper_(upper), counts_(buckets + 1, 0) {}
+
+  void add(double x) {
+    if (x < 0) x = 0;
+    auto idx = static_cast<std::size_t>(x / upper_ * static_cast<double>(counts_.size() - 1));
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+  /// Linear-interpolated quantile (q in [0,1]).
+  double quantile(double q) const;
+
+ private:
+  double upper_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Percentage helper that is safe for zero denominators.
+constexpr double pct(double num, double den) {
+  return den > 0 ? 100.0 * num / den : 0.0;
+}
+
+}  // namespace scap

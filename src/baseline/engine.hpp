@@ -1,0 +1,55 @@
+// Common interface for the user-level baseline engines the paper compares
+// against (Libnids, Snort Stream5, YAF).
+//
+// A baseline engine is the *user-space* half of a libpcap-style stack: it
+// receives whole packets (post-ring, post-snaplen) and does its own flow
+// tracking / reassembly / export. The simulation driver charges its costs
+// to the user-context CPU account; the engine itself implements the
+// functional behaviour — which streams get tracked, what data gets
+// delivered — so match counts and lost-stream counts are real.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "base/clock.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::baseline {
+
+struct EngineStats {
+  std::uint64_t pkts_processed = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t bytes_delivered = 0;      // reassembled bytes handed out
+  std::uint64_t copy_bytes = 0;           // bytes memcpy'd ring -> stream buf
+  std::uint64_t streams_tracked = 0;      // flow entries created
+  std::uint64_t streams_with_data = 0;    // streams that delivered >=1 byte
+  std::uint64_t streams_rejected = 0;     // flow-table limit hit
+  std::uint64_t pkts_untracked = 0;       // data with no tracked flow
+  std::uint64_t pkts_discarded_cutoff = 0;
+};
+
+/// Chunk delivery: (tuple, reassembled bytes). Baselines deliver per-stream
+/// chunks exactly like Scap, just from user space.
+using ChunkFn =
+    std::function<void(const FiveTuple&, std::span<const std::uint8_t>)>;
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Process one captured packet (already decoded, possibly snapped).
+  virtual void on_packet(const Packet& pkt, Timestamp now) = 0;
+
+  /// End of capture: flush everything that is still buffered.
+  virtual void finish(Timestamp now) = 0;
+
+  virtual const EngineStats& stats() const = 0;
+
+  /// Snaplen this engine captures with (0 = full packets). The driver
+  /// applies it before the ring copy, like a BPF snaplen would.
+  virtual std::uint32_t snaplen() const { return 0; }
+};
+
+}  // namespace scap::baseline

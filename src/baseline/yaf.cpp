@@ -1,0 +1,57 @@
+#include "baseline/yaf.hpp"
+
+namespace scap::baseline {
+
+void YafEngine::export_record(const YafFlowRecord& rec) {
+  ++flows_exported_;
+  if (on_export_) on_export_(rec);
+}
+
+void YafEngine::expire_idle(Timestamp now) {
+  if (now - last_expiry_scan_ < Duration::from_sec(1)) return;
+  last_expiry_scan_ = now;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_seen >= config_.idle_timeout) {
+      export_record(it->second);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void YafEngine::on_packet(const Packet& pkt, Timestamp now) {
+  ++stats_.pkts_processed;
+  expire_idle(now);
+  if (!pkt.valid()) return;
+
+  const FiveTuple canon = pkt.tuple().canonical();
+  auto it = flows_.find(canon);
+  if (it == flows_.end()) {
+    YafFlowRecord rec;
+    rec.tuple = canon;
+    rec.first_seen = now;
+    it = flows_.emplace(canon, rec).first;
+    ++stats_.streams_tracked;
+  }
+  YafFlowRecord& rec = it->second;
+  rec.packets++;
+  rec.bytes += pkt.wire_len();
+  rec.last_seen = now;
+  stats_.payload_bytes += pkt.wire_payload_len();
+  stats_.copy_bytes += std::min<std::uint32_t>(pkt.capture_len(),
+                                               config_.snaplen);
+
+  if (pkt.is_tcp() && (pkt.has_flag(kTcpFin) || pkt.has_flag(kTcpRst))) {
+    export_record(rec);
+    flows_.erase(it);
+  }
+}
+
+void YafEngine::finish(Timestamp now) {
+  (void)now;
+  for (const auto& [key, rec] : flows_) export_record(rec);
+  flows_.clear();
+}
+
+}  // namespace scap::baseline

@@ -1,0 +1,62 @@
+// Flow-level distributions for the synthetic campus-trace workload.
+//
+// The paper's trace (46 GB, 1.49 M flows, 95.4 % TCP) has the heavy-tailed
+// size mix typical of campus access links: most flows are small (web
+// requests, DNS), a small fraction of elephants carries most of the bytes.
+// That skew is the precondition for the cutoff experiments — "cutting the
+// long tails of large flows" only saves work if tails dominate. We model
+// flow sizes as a log-normal body with a Pareto tail.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+
+namespace scap::flowgen {
+
+struct FlowSizeModel {
+  // Log-normal body: median ~ exp(mu) bytes.
+  double body_mu = 8.2;      // median ~3.6 KB
+  double body_sigma = 1.6;
+  // Pareto tail: P(tail) of flows are elephants >= tail_xm bytes.
+  double tail_probability = 0.04;
+  double tail_xm = 200.0 * 1024;
+  double tail_alpha = 1.2;   // infinite variance: genuinely heavy
+  std::uint64_t min_bytes = 64;
+  std::uint64_t max_bytes = 64ull * 1024 * 1024;  // cap ridiculous samples
+
+  std::uint64_t sample(Rng& rng) const {
+    double bytes = rng.chance(tail_probability)
+                       ? rng.pareto(tail_xm, tail_alpha)
+                       : rng.lognormal(body_mu, body_sigma);
+    if (bytes < static_cast<double>(min_bytes)) {
+      bytes = static_cast<double>(min_bytes);
+    }
+    if (bytes > static_cast<double>(max_bytes)) {
+      bytes = static_cast<double>(max_bytes);
+    }
+    return static_cast<std::uint64_t>(bytes);
+  }
+};
+
+/// Server-port mix for generated flows (campus-ish: web dominates).
+struct PortMix {
+  /// Returns a well-known destination port (TCP) for a new flow.
+  std::uint16_t sample_tcp(Rng& rng) const {
+    const double u = rng.uniform();
+    if (u < 0.55) return 80;
+    if (u < 0.75) return 443;
+    if (u < 0.80) return 25;
+    if (u < 0.85) return 22;
+    if (u < 0.90) return 8080;
+    return static_cast<std::uint16_t>(1024 + rng.bounded(50000));
+  }
+  std::uint16_t sample_udp(Rng& rng) const {
+    const double u = rng.uniform();
+    if (u < 0.6) return 53;
+    if (u < 0.8) return 123;
+    return static_cast<std::uint16_t>(1024 + rng.bounded(50000));
+  }
+};
+
+}  // namespace scap::flowgen

@@ -1,0 +1,27 @@
+#include "flowgen/replay.hpp"
+
+namespace scap::flowgen {
+
+void Replayer::for_each(const std::function<void(const Packet&)>& fn) const {
+  const double loop_span_sec =
+      trace_.natural_duration_sec * scale_ +
+      1e-6;  // tiny gap between loops so timestamps stay strictly ordered
+  for (int loop = 0; loop < loops_; ++loop) {
+    const double base_sec = loop_span_sec * loop;
+    // Distinct /16 per loop keeps flows from colliding across loops.
+    const std::uint32_t ip_offset = static_cast<std::uint32_t>(loop) << 16;
+    for (const Packet& pkt : trace_.packets) {
+      const Timestamp ts = Timestamp::from_sec(
+          base_sec + pkt.timestamp().sec() * scale_);
+      if (loop == 0) {
+        Packet p = pkt;
+        p.set_timestamp(ts);
+        fn(p);
+      } else {
+        fn(pkt.remapped(ip_offset, ts));
+      }
+    }
+  }
+}
+
+}  // namespace scap::flowgen

@@ -1,0 +1,333 @@
+#include "flowgen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/hash.hpp"
+#include "flowgen/multiplex.hpp"
+#include "packet/craft.hpp"
+
+namespace scap::flowgen {
+namespace {
+
+// Filler alphabet deliberately excludes match::kPatternMarker ('#') so that
+// ground-truth match counts are exact.
+constexpr char kFillerAlphabet[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:/-_"
+    "\r\n<>=\"'()&?!%+*";
+constexpr std::size_t kFillerPoolSize = 1 << 20;
+
+/// Shared deterministic filler pool; payload bytes are slices of it.
+const std::vector<std::uint8_t>& filler_pool() {
+  static const std::vector<std::uint8_t> pool = [] {
+    std::vector<std::uint8_t> p(kFillerPoolSize);
+    Rng rng(0xf111e7);
+    for (auto& b : p) {
+      b = static_cast<std::uint8_t>(
+          kFillerAlphabet[rng.bounded(sizeof(kFillerAlphabet) - 1)]);
+    }
+    return p;
+  }();
+  return pool;
+}
+
+/// One planted pattern instance in a directional stream.
+struct Plant {
+  std::uint64_t offset;
+  const std::string* pattern;
+};
+
+/// Fill `out` with the bytes of a directional stream at [off, off+len),
+/// applying any plants that overlap the range.
+void stream_bytes(std::uint64_t flow_salt, std::uint64_t off,
+                  std::span<std::uint8_t> out,
+                  const std::vector<Plant>& plants) {
+  const auto& pool = filler_pool();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = pool[(flow_salt + off + i) % kFillerPoolSize];
+  }
+  for (const Plant& plant : plants) {
+    const std::uint64_t p_lo = plant.offset;
+    const std::uint64_t p_hi = plant.offset + plant.pattern->size();
+    const std::uint64_t s_lo = off;
+    const std::uint64_t s_hi = off + out.size();
+    const std::uint64_t lo = std::max(p_lo, s_lo);
+    const std::uint64_t hi = std::min(p_hi, s_hi);
+    for (std::uint64_t pos = lo; pos < hi; ++pos) {
+      out[pos - s_lo] =
+          static_cast<std::uint8_t>((*plant.pattern)[pos - p_lo]);
+    }
+  }
+}
+
+struct PendingPacket {
+  Timestamp ts;
+  Packet pkt;
+};
+
+}  // namespace
+
+Trace build_trace(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.flows.reserve(config.flows);
+  std::vector<PendingPacket> pending;
+
+  for (std::size_t f = 0; f < config.flows; ++f) {
+    FlowTruth truth;
+    const bool tcp = rng.chance(config.tcp_fraction);
+    truth.tcp = tcp;
+
+    FiveTuple tuple;
+    tuple.src_ip = 0x0a000000 + static_cast<std::uint32_t>(rng.bounded(1 << 16));
+    tuple.dst_ip = 0xc0a80000 + static_cast<std::uint32_t>(rng.bounded(1 << 12));
+    tuple.src_port = static_cast<std::uint16_t>(20000 + rng.bounded(40000));
+    tuple.dst_port = tcp ? config.ports.sample_tcp(rng)
+                         : config.ports.sample_udp(rng);
+    tuple.protocol = tcp ? kProtoTcp : kProtoUdp;
+    truth.tuple = tuple;
+
+    const std::uint64_t size = config.sizes.sample(rng);
+    // Per-flow throughput: log-uniform 2..50 Mbit/s, raised where needed so
+    // no flow lasts longer than half the trace window — otherwise a few
+    // elephants would trail far past the window and the trace's
+    // instantaneous rate would be far from stationary (replay calibrates
+    // against the MEAN rate).
+    double mbps = 2.0 * std::pow(25.0, rng.uniform());
+    const double max_flow_sec = config.duration_sec * 0.5;
+    const double min_mbps =
+        static_cast<double>(size) * 8.0 / (max_flow_sec * 1e6);
+    if (mbps < min_mbps) mbps = min_mbps;
+    const double sec_per_byte = 8.0 / (mbps * 1e6);
+    // Arrival chosen so the flow finishes inside the window.
+    const double flow_sec = static_cast<double>(size) * sec_per_byte;
+    const double latest_start =
+        std::max(0.1, config.duration_sec - flow_sec);
+    Timestamp t = Timestamp::from_sec(rng.uniform() * latest_start);
+    const std::uint64_t flow_salt = mix64(config.seed ^ (f * 0x9e37ULL));
+
+    // Request/response split (TCP): small request, bulk response.
+    const std::uint64_t request_bytes = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(static_cast<double>(size) *
+                                       config.request_fraction));
+    const std::uint64_t response_bytes =
+        size > request_bytes ? size - request_bytes : 64;
+
+    // Pattern plants go into the server->client stream's head (TCP only:
+    // the attack-signature workload is web traffic).
+    std::vector<Plant> plants;
+    if (tcp && !config.patterns.empty() &&
+        rng.chance(config.plant_probability)) {
+      const std::string& pat =
+          config.patterns[rng.bounded(config.patterns.size())];
+      if (response_bytes > pat.size()) {
+        const std::uint64_t window =
+            std::min<std::uint64_t>(config.plant_window,
+                                    response_bytes - pat.size());
+        plants.push_back({rng.bounded(window + 1), &pat});
+        truth.planted_matches = 1;
+        trace.planted_matches += 1;
+      }
+    }
+
+    auto emit = [&](Packet pkt) {
+      truth.packets++;
+      trace.total_wire_bytes += pkt.wire_len();
+      pending.push_back({pkt.timestamp(), std::move(pkt)});
+    };
+
+    if (tcp) {
+      std::uint32_t cseq = static_cast<std::uint32_t>(rng.next_u32());
+      std::uint32_t sseq = static_cast<std::uint32_t>(rng.next_u32());
+      const Duration rtt_step = Duration::from_usec(50);
+
+      TcpSegmentSpec spec;
+      spec.tuple = tuple;
+      spec.seq = cseq;
+      spec.flags = kTcpSyn;
+      emit(make_tcp_packet(spec, t));
+      t = t + rtt_step;
+      cseq += 1;
+
+      spec = TcpSegmentSpec{};
+      spec.tuple = tuple.reversed();
+      spec.seq = sseq;
+      spec.ack = cseq;
+      spec.flags = kTcpSyn | kTcpAck;
+      emit(make_tcp_packet(spec, t));
+      t = t + rtt_step;
+      sseq += 1;
+
+      spec = TcpSegmentSpec{};
+      spec.tuple = tuple;
+      spec.seq = cseq;
+      spec.ack = sseq;
+      spec.flags = kTcpAck;
+      emit(make_tcp_packet(spec, t));
+      t = t + rtt_step;
+
+      truth.client_bytes = request_bytes;
+      truth.server_bytes = response_bytes;
+      trace.total_payload_bytes += request_bytes + response_bytes;
+
+      // Collect this flow's data packets so impairments can reorder them.
+      std::vector<Packet> data_pkts;
+      std::vector<std::uint8_t> buf;
+      auto send_stream = [&](bool client, std::uint64_t total,
+                             const std::vector<Plant>& stream_plants) {
+        std::uint64_t off = 0;
+        int segs_since_ack = 0;
+        const std::uint64_t salt =
+            client ? flow_salt : mix64(flow_salt ^ 0x5e55);
+        while (off < total) {
+          const auto len = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(config.mss, total - off));
+          buf.resize(len);
+          stream_bytes(salt, off, buf, stream_plants);
+          TcpSegmentSpec d;
+          d.tuple = client ? tuple : tuple.reversed();
+          d.seq = client ? cseq : sseq;
+          d.ack = client ? sseq : cseq;
+          d.flags = kTcpAck | kTcpPsh;
+          d.payload = buf;
+          data_pkts.push_back(make_tcp_packet(d, t));
+          if (client) {
+            cseq += len;
+          } else {
+            sseq += len;
+          }
+          off += len;
+          t = t + Duration(static_cast<std::int64_t>(
+                  (static_cast<double>(len) + 58.0) * sec_per_byte * 1e9));
+          // Delayed ACK from the receiver every other segment — real
+          // traffic is ~1/3 pure ACKs, and they are precisely what Scap's
+          // FDIR filters drop before main memory.
+          if (++segs_since_ack >= 2) {
+            segs_since_ack = 0;
+            TcpSegmentSpec a;
+            a.tuple = client ? tuple.reversed() : tuple;
+            a.seq = client ? sseq : cseq;
+            a.ack = client ? cseq : sseq;
+            a.flags = kTcpAck;
+            data_pkts.push_back(make_tcp_packet(a, t));
+            t = t + Duration(static_cast<std::int64_t>(
+                    64.0 * sec_per_byte * 1e9));
+          }
+        }
+      };
+      send_stream(true, request_bytes, {});
+      send_stream(false, response_bytes, plants);
+
+      // Impairments: duplication and adjacent reordering.
+      if (config.duplicate_probability > 0 || config.reorder_probability > 0) {
+        std::vector<Packet> mutated;
+        mutated.reserve(data_pkts.size() + 4);
+        for (std::size_t i = 0; i < data_pkts.size(); ++i) {
+          if (config.reorder_probability > 0 && i + 1 < data_pkts.size() &&
+              rng.chance(config.reorder_probability)) {
+            // Swap packet i and i+1 (timestamps swap with them so the
+            // trace stays time-ordered).
+            Packet a = data_pkts[i];
+            Packet b = data_pkts[i + 1];
+            const Timestamp ta = a.timestamp();
+            a.set_timestamp(b.timestamp());
+            b.set_timestamp(ta);
+            mutated.push_back(std::move(b));
+            mutated.push_back(std::move(a));
+            ++i;
+            continue;
+          }
+          mutated.push_back(data_pkts[i]);
+          if (config.duplicate_probability > 0 &&
+              rng.chance(config.duplicate_probability)) {
+            mutated.push_back(data_pkts[i]);  // exact retransmission
+          }
+        }
+        data_pkts = std::move(mutated);
+      }
+      for (auto& pkt : data_pkts) emit(std::move(pkt));
+
+      // Closure: FIN (90%), RST (5%), or silent timeout (5%).
+      const double close = rng.uniform();
+      if (close < 0.90) {
+        TcpSegmentSpec fin;
+        fin.tuple = tuple;
+        fin.seq = cseq;
+        fin.ack = sseq;
+        fin.flags = kTcpFin | kTcpAck;
+        emit(make_tcp_packet(fin, t));
+        TcpSegmentSpec sfin;
+        sfin.tuple = tuple.reversed();
+        sfin.seq = sseq;
+        sfin.ack = cseq + 1;
+        sfin.flags = kTcpFin | kTcpAck;
+        emit(make_tcp_packet(sfin, t + Duration::from_usec(30)));
+      } else if (close < 0.95) {
+        TcpSegmentSpec rst;
+        rst.tuple = tuple;
+        rst.seq = cseq;
+        rst.flags = kTcpRst;
+        emit(make_tcp_packet(rst, t));
+      }
+    } else {
+      // UDP: client->server datagrams only.
+      truth.client_bytes = size;
+      trace.total_payload_bytes += size;
+      std::uint64_t off = 0;
+      std::vector<std::uint8_t> buf;
+      while (off < size) {
+        const auto len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(1400, size - off));
+        buf.resize(len);
+        stream_bytes(flow_salt, off, buf, {});
+        emit(make_udp_packet(tuple, buf, t));
+        off += len;
+        t = t + Duration(static_cast<std::int64_t>(
+                (static_cast<double>(len) + 46.0) * sec_per_byte * 1e9));
+      }
+    }
+    trace.flows.push_back(truth);
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingPacket& a, const PendingPacket& b) {
+                     return a.ts < b.ts;
+                   });
+  trace.packets.reserve(pending.size());
+  for (auto& pp : pending) trace.packets.push_back(std::move(pp.pkt));
+  if (!trace.packets.empty()) {
+    trace.natural_duration_sec = trace.packets.back().timestamp().sec();
+  }
+  return trace;
+}
+
+Trace build_concurrent_trace(std::size_t concurrent,
+                             std::uint32_t pkts_per_stream,
+                             std::uint32_t payload_bytes,
+                             std::uint64_t seed) {
+  (void)seed;  // the multiplexed layout is fully deterministic
+  Trace trace;
+  ConcurrentPacketSource source(concurrent, pkts_per_stream, payload_bytes);
+  trace.flows.reserve(concurrent);
+  for (std::size_t i = 0; i < concurrent; ++i) {
+    FlowTruth truth;
+    truth.tuple = source.tuple_of(i);
+    truth.client_bytes =
+        static_cast<std::uint64_t>(pkts_per_stream) * payload_bytes;
+    truth.packets = pkts_per_stream + 2;
+    trace.flows.push_back(truth);
+  }
+  trace.total_payload_bytes =
+      static_cast<std::uint64_t>(concurrent) * pkts_per_stream * payload_bytes;
+  trace.packets.reserve(source.total_packets());
+  while (auto pkt = source.next()) {
+    trace.total_wire_bytes += pkt->wire_len();
+    trace.packets.push_back(std::move(*pkt));
+  }
+  if (!trace.packets.empty()) {
+    trace.natural_duration_sec = trace.packets.back().timestamp().sec();
+  }
+  return trace;
+}
+
+}  // namespace scap::flowgen

@@ -1,0 +1,79 @@
+// Synthetic workload builder: generates a timestamped packet trace with
+// full TCP sessions, heavy-tailed sizes, plantable attack patterns, and
+// per-flow ground truth — the stand-in for the paper's campus trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "flowgen/distributions.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::flowgen {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  std::size_t flows = 2000;
+  double tcp_fraction = 0.954;  // the paper's trace is 95.4% TCP
+  FlowSizeModel sizes;
+  PortMix ports;
+  /// Natural duration over which flow arrivals spread (replay rescales).
+  double duration_sec = 10.0;
+  std::uint32_t mss = 1460;
+  /// Fraction of request bytes (client->server) of each TCP flow's size.
+  double request_fraction = 0.08;
+
+  // Pattern planting (pattern-matching experiments). Every planted pattern
+  // lands in the first `plant_window` bytes of the server->client stream —
+  // web-attack signatures match near the start of HTTP requests/responses
+  // (paper §6.5).
+  std::vector<std::string> patterns;
+  double plant_probability = 0.15;  // per flow
+  std::uint32_t plant_window = 4 * 1024;
+
+  // Generator-side impairment injection (for strict-mode tests).
+  double reorder_probability = 0.0;   // per data packet: swap with next
+  double duplicate_probability = 0.0; // per data packet: send twice
+};
+
+struct FlowTruth {
+  FiveTuple tuple;              // client -> server
+  std::uint64_t client_bytes = 0;
+  std::uint64_t server_bytes = 0;
+  std::uint32_t packets = 0;
+  std::uint32_t planted_matches = 0;
+  bool tcp = true;
+};
+
+struct Trace {
+  std::vector<Packet> packets;  // timestamp-ordered
+  std::vector<FlowTruth> flows;
+  std::uint64_t total_wire_bytes = 0;
+  std::uint64_t total_payload_bytes = 0;
+  std::uint64_t planted_matches = 0;
+  double natural_duration_sec = 0.0;
+
+  /// Average rate of the trace when played at natural speed, Gbit/s.
+  double natural_rate_gbps() const {
+    return natural_duration_sec > 0
+               ? static_cast<double>(total_wire_bytes) * 8 /
+                     natural_duration_sec / 1e9
+               : 0.0;
+  }
+};
+
+/// Build a complete trace. Deterministic for a given config.
+Trace build_trace(const WorkloadConfig& config);
+
+/// Fig. 5 workload: `concurrent` interleaved TCP streams, each
+/// `pkts_per_stream` data packets of `payload_bytes`, multiplexed so that
+/// all of them are simultaneously open.
+Trace build_concurrent_trace(std::size_t concurrent,
+                             std::uint32_t pkts_per_stream = 100,
+                             std::uint32_t payload_bytes = 1460,
+                             std::uint64_t seed = 7);
+
+}  // namespace scap::flowgen

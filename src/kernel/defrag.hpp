@@ -1,0 +1,91 @@
+// IPv4 defragmentation (paper §2.3: strict-mode reassembly protects
+// against "evasion attempts based on IP/TCP fragmentation" — which requires
+// reassembling IP fragments before TCP segments).
+//
+// Fragments are keyed by (src, dst, protocol, IP id) and their payloads
+// merged through the same SegmentStore used for TCP out-of-order data
+// (fragment-overlap evasion resolves by the same target-based policy).
+// A datagram completes when the final fragment (MF=0) has arrived and the
+// byte range [0, total) is contiguous; incomplete datagrams expire after a
+// timeout, and a memory cap bounds adversarial fragment floods.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "base/hash.hpp"
+#include "kernel/segment_store.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::kernel {
+
+struct DefragStats {
+  std::uint64_t fragments_seen = 0;
+  std::uint64_t datagrams_completed = 0;
+  std::uint64_t datagrams_expired = 0;
+  std::uint64_t fragments_dropped_overload = 0;
+  std::uint64_t overlap_conflicts = 0;
+};
+
+class IpDefragmenter {
+ public:
+  struct Config {
+    Duration timeout = Duration::from_sec(30);
+    std::uint64_t max_buffered_bytes = 4 * 1024 * 1024;
+    std::uint32_t max_datagram_bytes = 65535;
+    OverlapPolicy policy = OverlapPolicy::kBsd;
+  };
+
+  IpDefragmenter();  // default Config
+  explicit IpDefragmenter(Config config) : config_(config) {}
+
+  /// Feed one captured frame. For a non-fragment it is returned unchanged.
+  /// For a fragment: nullopt until the datagram completes, then a packet
+  /// carrying the fully reassembled IP payload (rebuilt as an unfragmented
+  /// frame with the original headers).
+  std::optional<Packet> feed(const Packet& pkt, Timestamp now);
+
+  /// Expire incomplete datagrams older than the timeout.
+  void expire(Timestamp now);
+
+  const DefragStats& stats() const { return stats_; }
+  std::size_t pending() const { return pending_.size(); }
+  std::uint64_t buffered_bytes() const { return buffered_bytes_; }
+
+ private:
+  struct Key {
+    std::uint32_t src_ip;
+    std::uint32_t dst_ip;
+    std::uint16_t ip_id;
+    std::uint8_t protocol;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = mix64(0xdef4a9ULL ^ k.src_ip);
+      h = mix64(h ^ k.dst_ip);
+      return mix64(h ^ (static_cast<std::uint64_t>(k.ip_id) << 8) ^
+                   k.protocol);
+    }
+  };
+  struct PendingDatagram {
+    SegmentStore store;
+    std::optional<std::uint32_t> total_len;  // set once MF=0 seen
+    Timestamp first_seen;
+    std::vector<std::uint8_t> ip_header;  // from the offset-0 fragment
+  };
+
+  std::optional<Packet> try_complete(const Key& key, PendingDatagram& dg,
+                                     Timestamp ts);
+
+  Config config_;
+  DefragStats stats_;
+  std::uint64_t buffered_bytes_ = 0;
+  std::unordered_map<Key, PendingDatagram, KeyHash> pending_;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,97 @@
+#include "kernel/flow_table.hpp"
+
+namespace scap::kernel {
+
+FlowTable::FlowTable(std::size_t max_records, std::uint64_t seed)
+    : max_records_(max_records), by_tuple_(16, TupleHash{seed}) {}
+
+FlowTable::~FlowTable() = default;
+
+StreamRecord* FlowTable::find(const FiveTuple& tuple) {
+  auto it = by_tuple_.find(tuple);
+  return it == by_tuple_.end() ? nullptr : it->second.get();
+}
+
+void FlowTable::lru_unlink(StreamRecord& rec) {
+  if (rec.lru_prev) {
+    rec.lru_prev->lru_next = rec.lru_next;
+  } else if (lru_head_ == &rec) {
+    lru_head_ = rec.lru_next;
+  }
+  if (rec.lru_next) {
+    rec.lru_next->lru_prev = rec.lru_prev;
+  } else if (lru_tail_ == &rec) {
+    lru_tail_ = rec.lru_prev;
+  }
+  rec.lru_prev = rec.lru_next = nullptr;
+}
+
+void FlowTable::lru_push_front(StreamRecord& rec) {
+  rec.lru_prev = nullptr;
+  rec.lru_next = lru_head_;
+  if (lru_head_) lru_head_->lru_prev = &rec;
+  lru_head_ = &rec;
+  if (!lru_tail_) lru_tail_ = &rec;
+}
+
+StreamRecord* FlowTable::create(
+    const FiveTuple& tuple, Timestamp now,
+    const std::function<void(StreamRecord&)>& on_evict) {
+  if (max_records_ > 0 && by_tuple_.size() >= max_records_) {
+    // Budget exhausted: evict the oldest stream so the new one can always
+    // be tracked (paper §6.4).
+    StreamRecord* victim = lru_tail_;
+    if (victim == nullptr) return nullptr;
+    if (on_evict) on_evict(*victim);
+    remove(*victim);
+    ++evicted_total_;
+  }
+  auto rec = std::make_unique<StreamRecord>();
+  StreamRecord* raw = rec.get();
+  raw->id = next_id_++;
+  raw->tuple = tuple;
+  raw->created_at = now;
+  raw->last_access = now;
+  raw->last_flush = now;
+  by_tuple_.emplace(tuple, std::move(rec));
+  by_id_.emplace(raw->id, raw);
+  lru_push_front(*raw);
+  ++created_total_;
+  return raw;
+}
+
+StreamRecord* FlowTable::by_id(StreamId id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+void FlowTable::touch(StreamRecord& rec, Timestamp now) {
+  rec.last_access = now;
+  if (lru_head_ == &rec) return;
+  lru_unlink(rec);
+  lru_push_front(rec);
+}
+
+void FlowTable::remove(StreamRecord& rec) {
+  lru_unlink(rec);
+  by_id_.erase(rec.id);
+  // Unlink the opposite direction's back-pointer.
+  if (rec.opposite != kInvalidStreamId) {
+    if (StreamRecord* opp = by_id(rec.opposite)) {
+      opp->opposite = kInvalidStreamId;
+    }
+  }
+  by_tuple_.erase(rec.tuple);  // destroys rec
+}
+
+void FlowTable::expire_idle(
+    Timestamp now, const std::function<void(StreamRecord&)>& on_expire) {
+  while (lru_tail_ != nullptr) {
+    StreamRecord* rec = lru_tail_;
+    if (now - rec->last_access < rec->params.inactivity_timeout) break;
+    if (on_expire) on_expire(*rec);
+    remove(*rec);
+  }
+}
+
+}  // namespace scap::kernel

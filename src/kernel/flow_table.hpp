@@ -1,0 +1,130 @@
+// Flow table: directional stream records with LRU-ordered inactivity expiry
+// (paper §5.2).
+//
+// Lookups use a seeded hash (a random seed per table instance, so attackers
+// cannot precompute bucket collisions). The access list the paper describes
+// — active streams sorted by last access, newest first — is the intrusive
+// LRU here: packet arrival moves the record to the front; expiry walks from
+// the tail. When the record budget is exhausted, the policy from §6.4
+// applies: the oldest stream is evicted so that newer streams can always be
+// tracked (no static limit like Libnids/Stream5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "base/hash.hpp"
+#include "kernel/reassembly.hpp"
+#include "kernel/stream.hpp"
+
+namespace scap::kernel {
+
+/// Kernel-side record for one stream direction (the paper's stream_t).
+struct StreamRecord {
+  StreamId id = kInvalidStreamId;
+  FiveTuple tuple;
+  Direction dir = Direction::kOrig;
+  StreamId opposite = kInvalidStreamId;
+  StreamStatus status = StreamStatus::kActive;
+  HandshakeState handshake = HandshakeState::kNone;
+  std::uint32_t error_bits = 0;
+  StreamStats stats;
+  StreamParams params;
+  std::unique_ptr<TcpReassembler> reasm;
+
+  bool cutoff_exceeded = false;
+  bool discard_requested = false;  // scap_discard_stream()
+  bool fdir_installed = false;
+  Duration fdir_timeout = Duration::from_sec(0);
+
+  // Memory accounting: the open chunk's allocated block.
+  std::uint64_t chunk_addr = 0;
+  std::uint32_t chunk_alloc = 0;
+  // Accounting carried by a kept chunk (scap_keep_stream_chunk).
+  std::uint32_t kept_alloc = 0;
+
+  // Worker-side bookkeeping mirrored into snapshots.
+  std::uint64_t chunks_delivered = 0;
+  Duration processing_time = Duration(0);
+
+  int core = 0;
+  Timestamp created_at;
+  Timestamp last_access;
+  Timestamp last_flush;  // last data-event emission (flush timeout basis)
+
+  // Intrusive LRU links (front = most recently touched).
+  StreamRecord* lru_prev = nullptr;
+  StreamRecord* lru_next = nullptr;
+};
+
+class FlowTable {
+ public:
+  /// `max_records`: record budget; 0 means unlimited. `seed` randomizes the
+  /// hash (defaults to a fixed value for reproducible experiments).
+  explicit FlowTable(std::size_t max_records = 0,
+                     std::uint64_t seed = 0x5ca9'f10a'7ab1'e000ULL);
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+  ~FlowTable();
+
+  /// Find the record for a directional tuple, or nullptr.
+  StreamRecord* find(const FiveTuple& tuple);
+
+  /// Create a record for a tuple. If the budget is exhausted, the least
+  /// recently used record is evicted first and handed to `on_evict`.
+  /// Returns nullptr only when max_records == capacity 0 edge cases.
+  StreamRecord* create(const FiveTuple& tuple, Timestamp now,
+                       const std::function<void(StreamRecord&)>& on_evict);
+
+  StreamRecord* by_id(StreamId id);
+
+  /// Move to the front of the access list and update last_access.
+  void touch(StreamRecord& rec, Timestamp now);
+
+  /// Remove a record (termination). Invalidates the pointer.
+  void remove(StreamRecord& rec);
+
+  /// Invoke `on_expire` for every record idle since before its own
+  /// inactivity timeout, oldest first, and remove it afterwards.
+  void expire_idle(Timestamp now,
+                   const std::function<void(StreamRecord&)>& on_expire);
+
+  std::size_t size() const { return by_tuple_.size(); }
+  std::uint64_t created_total() const { return created_total_; }
+  std::uint64_t evicted_total() const { return evicted_total_; }
+
+  /// Oldest record (tail of the access list), or nullptr.
+  StreamRecord* oldest() { return lru_tail_; }
+
+ private:
+  struct TupleHash {
+    std::uint64_t seed;
+    std::size_t operator()(const FiveTuple& t) const {
+      // Field-wise hashing: hashing the struct's raw bytes would include
+      // indeterminate padding.
+      std::uint64_t h = mix64(seed ^ t.src_ip);
+      h = mix64(h ^ t.dst_ip);
+      h = mix64(h ^ (static_cast<std::uint64_t>(t.src_port) << 32) ^
+                (static_cast<std::uint64_t>(t.dst_port) << 16) ^ t.protocol);
+      return h;
+    }
+  };
+
+  void lru_unlink(StreamRecord& rec);
+  void lru_push_front(StreamRecord& rec);
+
+  std::size_t max_records_;
+  StreamId next_id_ = 1;
+  std::uint64_t created_total_ = 0;
+  std::uint64_t evicted_total_ = 0;
+  std::unordered_map<FiveTuple, std::unique_ptr<StreamRecord>, TupleHash>
+      by_tuple_;
+  std::unordered_map<StreamId, StreamRecord*> by_id_;
+  StreamRecord* lru_head_ = nullptr;
+  StreamRecord* lru_tail_ = nullptr;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,45 @@
+#include "kernel/memory.hpp"
+
+namespace scap::kernel {
+
+std::optional<std::uint64_t> ChunkAllocator::allocate(std::uint32_t size) {
+  if (used_ + size > capacity_) {
+    ++failures_;
+    return std::nullopt;
+  }
+  used_ += size;
+  if (used_ > high_water_) high_water_ = used_;
+  ++allocations_;
+  auto& fl = free_lists_[size];
+  if (!fl.empty()) {
+    const std::uint64_t addr = fl.back();
+    fl.pop_back();
+    return addr;
+  }
+  const std::uint64_t addr = bump_;
+  bump_ += size;
+  return addr;
+}
+
+std::uint64_t ChunkAllocator::allocate_forced(std::uint32_t size) {
+  used_ += size;
+  if (used_ > high_water_) high_water_ = used_;
+  ++allocations_;
+  auto& fl = free_lists_[size];
+  if (!fl.empty()) {
+    const std::uint64_t addr = fl.back();
+    fl.pop_back();
+    return addr;
+  }
+  const std::uint64_t addr = bump_;
+  bump_ += size;
+  return addr;
+}
+
+void ChunkAllocator::release(std::uint64_t addr, std::uint32_t size) {
+  if (size == 0) return;
+  used_ = used_ >= size ? used_ - size : 0;
+  free_lists_[size].push_back(addr);
+}
+
+}  // namespace scap::kernel

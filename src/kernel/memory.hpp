@@ -1,0 +1,58 @@
+// Stream-buffer memory accounting (paper §5.3).
+//
+// The real Scap maps one large kernel buffer into user space and carves
+// per-stream chunk blocks out of it with a custom allocator. Here the chunk
+// *bytes* live in ordinary vectors owned by the streams/events, while this
+// class provides (a) capacity accounting over the configured buffer size —
+// the quantity PPL watches — and (b) stable virtual addresses for each
+// block, which the cache-locality experiment replays through the cache
+// model. Addresses are recycled through segregated per-size free lists, the
+// behaviour of a real slab-style allocator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace scap::kernel {
+
+class ChunkAllocator {
+ public:
+  explicit ChunkAllocator(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Reserve `size` bytes; returns the block's virtual address, or nullopt
+  /// when the buffer is exhausted.
+  std::optional<std::uint64_t> allocate(std::uint32_t size);
+
+  /// Reserve `size` bytes even when it overshoots capacity. Used for bytes
+  /// that are already physically written (e.g. the tail of a packet that
+  /// crossed a chunk boundary); PPL keeps the overshoot bounded to one
+  /// chunk per stream.
+  std::uint64_t allocate_forced(std::uint32_t size);
+
+  /// Return a block. Address must come from allocate() with the same size.
+  void release(std::uint64_t addr, std::uint32_t size);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  double used_fraction() const {
+    return capacity_ ? static_cast<double>(used_) / static_cast<double>(capacity_) : 1.0;
+  }
+
+  std::uint64_t allocations() const { return allocations_; }
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t high_water() const { return high_water_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t bump_ = 0;  // next fresh address
+  std::uint64_t allocations_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> free_lists_;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,650 @@
+#include "kernel/module.hpp"
+
+#include <algorithm>
+
+namespace scap::kernel {
+
+ScapKernel::ScapKernel(KernelConfig config, nic::Nic* nic)
+    : config_(std::move(config)),
+      nic_(nic),
+      allocator_(config_.memory_size),
+      table_(config_.max_streams),
+      ppl_(config_.ppl),
+      queues_(static_cast<std::size_t>(std::max(config_.num_cores, 1))),
+      core_streams_(queues_.size(), 0),
+      defrag_(IpDefragmenter::Config{.policy = config_.defaults.policy}) {}
+
+void ScapKernel::maybe_rebalance(StreamRecord& rec, Timestamp now) {
+  if (!config_.dynamic_load_balance || nic_ == nullptr) return;
+  if (core_streams_.size() < 2) return;
+  std::int64_t total = 0;
+  for (std::int64_t n : core_streams_) total += n;
+  if (total < static_cast<std::int64_t>(config_.imbalance_min_streams)) return;
+  const auto core = static_cast<std::size_t>(rec.core);
+  if (static_cast<double>(core_streams_[core]) <=
+      config_.imbalance_threshold * static_cast<double>(total)) {
+    return;
+  }
+  // Steer to the least-loaded core with a pair of FDIR filters (both
+  // directions of the connection).
+  std::size_t target = 0;
+  for (std::size_t i = 1; i < core_streams_.size(); ++i) {
+    if (core_streams_[i] < core_streams_[target]) target = i;
+  }
+  if (target == core) return;
+  for (const FiveTuple& tuple : {rec.tuple, rec.tuple.reversed()}) {
+    nic::FdirFilter f;
+    f.tuple = tuple;
+    f.action = nic::FdirAction::kToQueue;
+    f.queue = static_cast<int>(target);
+    f.expires = now + rec.params.inactivity_timeout;
+    nic_->fdir().add(f);
+    ++stats_.fdir_installs;
+  }
+  rec.core = static_cast<int>(target);
+  rec.fdir_installed = true;  // termination removes the steering filters
+  if (StreamRecord* opp = table_.by_id(rec.opposite)) {
+    opp->core = static_cast<int>(target);
+    opp->fdir_installed = true;
+  }
+  ++stats_.streams_rebalanced;
+}
+
+std::uint64_t ScapKernel::app_mask_for(const FiveTuple& tuple) const {
+  if (config_.app_filters.empty()) return ~0ULL;
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < config_.app_filters.size() && i < 64; ++i) {
+    if (config_.app_filters[i].matches(tuple)) mask |= 1ULL << i;
+  }
+  return mask;
+}
+
+StreamSnapshot ScapKernel::snapshot(const StreamRecord& rec) const {
+  StreamSnapshot s;
+  s.id = rec.id;
+  s.tuple = rec.tuple;
+  s.dir = rec.dir;
+  s.opposite = rec.opposite;
+  s.status = rec.status;
+  s.cutoff_exceeded = rec.cutoff_exceeded;
+  s.error_bits = rec.error_bits;
+  s.stats = rec.stats;
+  s.params = rec.params;
+  s.chunks_delivered = rec.chunks_delivered;
+  s.processing_time = rec.processing_time;
+  return s;
+}
+
+void ScapKernel::resolve_params(StreamRecord& rec) {
+  rec.params = config_.defaults;
+  // Cutoff resolution: class > direction > default (per-stream API calls
+  // override later).
+  bool class_matched = false;
+  for (const auto& cls : config_.cutoff_classes) {
+    if (cls.filter.matches(rec.tuple)) {
+      rec.params.cutoff_bytes = cls.cutoff_bytes;
+      class_matched = true;
+      break;
+    }
+  }
+  if (!class_matched) {
+    const auto d = static_cast<std::size_t>(rec.dir);
+    if (config_.cutoff_per_dir[d] >= 0) {
+      rec.params.cutoff_bytes = config_.cutoff_per_dir[d];
+    }
+  }
+  for (const auto& cls : config_.priority_classes) {
+    if (cls.filter.matches(rec.tuple)) {
+      rec.params.priority = cls.priority;
+      break;
+    }
+  }
+}
+
+void ScapKernel::emit_created(StreamRecord& rec) {
+  if (!config_.creation_events) return;
+  Event ev;
+  ev.type = EventType::kCreated;
+  ev.stream = snapshot(rec);
+  ev.app_mask = app_mask_for(rec.tuple);
+  queues_[static_cast<std::size_t>(rec.core)].push(std::move(ev));
+  ++stats_.events_emitted;
+}
+
+void ScapKernel::emit_data(StreamRecord& rec, Chunk&& chunk,
+                           bool transfer_block) {
+  Event ev;
+  ev.type = EventType::kData;
+  ev.stream = snapshot(rec);
+  ev.app_mask = app_mask_for(rec.tuple);
+  if (transfer_block && rec.chunk_alloc != 0) {
+    ev.chunk_addr = rec.chunk_addr;
+    ev.chunk_alloc = rec.chunk_alloc;
+    rec.chunk_addr = 0;
+    rec.chunk_alloc = 0;
+  } else {
+    // The chunk's bytes exist but no open block maps to them (e.g. the
+    // second chunk completed by one large packet): force-account it.
+    const auto size = static_cast<std::uint32_t>(chunk.data.size());
+    if (size > 0) {
+      ev.chunk_addr = allocator_.allocate_forced(size);
+      ev.chunk_alloc = size;
+    }
+  }
+  // A kept chunk's accounting rides along with the merged delivery.
+  if (rec.kept_alloc) {
+    ev.chunk_alloc += rec.kept_alloc;
+    rec.kept_alloc = 0;
+  }
+  ev.chunk = std::move(chunk);
+  rec.chunks_delivered++;
+  rec.last_flush = rec.last_access;
+  queues_[static_cast<std::size_t>(rec.core)].push(std::move(ev));
+  ++stats_.events_emitted;
+}
+
+void ScapKernel::emit_terminated(StreamRecord& rec) {
+  Event ev;
+  ev.type = EventType::kTerminated;
+  ev.stream = snapshot(rec);
+  ev.app_mask = app_mask_for(rec.tuple);
+  queues_[static_cast<std::size_t>(rec.core)].push(std::move(ev));
+  ++stats_.events_emitted;
+  ++stats_.streams_terminated;
+}
+
+void ScapKernel::ensure_block(StreamRecord& rec) {
+  if (rec.chunk_alloc != 0) return;
+  const std::uint32_t size = rec.params.chunk_size;
+  if (auto addr = allocator_.allocate(size)) {
+    rec.chunk_addr = *addr;
+    rec.chunk_alloc = size;
+  }
+}
+
+void ScapKernel::flush_chunks(StreamRecord& rec, std::uint32_t error_bits) {
+  if (!rec.reasm) return;
+  auto chunks = rec.reasm->flush(error_bits);
+  bool first = true;
+  for (auto& c : chunks) {
+    emit_data(rec, std::move(c), first);
+    first = false;
+  }
+}
+
+void ScapKernel::install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
+                              PacketOutcome& outcome) {
+  if (!config_.use_fdir || nic_ == nullptr) return;
+  if (rec.tuple.protocol != kProtoTcp) return;
+  if (reinstall) {
+    // Doubled timeout: long-lived flows are evicted only O(log) times.
+    rec.fdir_timeout = rec.fdir_timeout + rec.fdir_timeout;
+    ++stats_.fdir_reinstalls;
+  } else {
+    rec.fdir_timeout = config_.fdir_base_timeout;
+    ++stats_.fdir_installs;
+  }
+  for (const auto& f :
+       nic::make_cutoff_filters(rec.tuple, now + rec.fdir_timeout)) {
+    nic_->fdir().add(f);
+    ++outcome.fdir_updates;
+  }
+  rec.fdir_installed = true;
+}
+
+void ScapKernel::trigger_cutoff(StreamRecord& rec, Timestamp now,
+                                PacketOutcome& outcome) {
+  if (rec.cutoff_exceeded) return;
+  rec.cutoff_exceeded = true;
+  // Final data event for whatever the stream accumulated (paper §5.4: a
+  // final chunk event is created when the cutoff is reached).
+  flush_chunks(rec, 0);
+  // Release the open block — no more data will be written.
+  if (rec.chunk_alloc) {
+    allocator_.release(rec.chunk_addr, rec.chunk_alloc);
+    rec.chunk_addr = 0;
+    rec.chunk_alloc = 0;
+  }
+  install_fdir(rec, now, /*reinstall=*/false, outcome);
+}
+
+void ScapKernel::terminate(StreamRecord& rec, StreamStatus status,
+                           Timestamp now, PacketOutcome* outcome) {
+  (void)now;
+  rec.status = status;
+  flush_chunks(rec, 0);
+  if (rec.chunk_alloc) {
+    allocator_.release(rec.chunk_addr, rec.chunk_alloc);
+    rec.chunk_addr = 0;
+    rec.chunk_alloc = 0;
+  }
+  if (rec.kept_alloc) {
+    allocator_.release(0, rec.kept_alloc);
+    rec.kept_alloc = 0;
+  }
+  if (rec.fdir_installed && nic_ != nullptr) {
+    stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
+    // Steering filters are installed for both directions; if no opposite
+    // record exists to clean up the reverse one, do it here.
+    if (rec.opposite == kInvalidStreamId) {
+      stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple.reversed());
+    }
+    rec.fdir_installed = false;
+  }
+  flush_watch_.erase(rec.id);
+  auto& count = core_streams_[static_cast<std::size_t>(rec.core)];
+  if (count > 0) --count;
+  emit_terminated(rec);
+  if (outcome) outcome->terminated_stream = true;
+  table_.remove(rec);
+}
+
+StreamRecord* ScapKernel::lookup_or_create(const Packet& pkt, Timestamp now,
+                                           int core,
+                                           PacketOutcome& outcome) {
+  StreamRecord* rec = table_.find(pkt.tuple());
+  if (rec != nullptr) return rec;
+
+  // Only create streams for packets that begin or carry a flow: SYN, any
+  // payload, or a UDP/other-protocol packet. FIN/RST/pure-ACKs for unknown
+  // streams are ignored.
+  const bool tcp = pkt.is_tcp();
+  if (tcp && pkt.payload_len() == 0 && !pkt.has_flag(kTcpSyn)) return nullptr;
+
+  rec = table_.create(pkt.tuple(), now, [&](StreamRecord& victim) {
+    // Record budget exhausted: the oldest stream makes way (paper §6.4).
+    terminate(victim, StreamStatus::kClosedTimeout, now, nullptr);
+    ++stats_.streams_evicted;
+  });
+  if (rec == nullptr) return nullptr;
+
+  rec->core = core;
+  rec->stats.first_packet = now;
+
+  // Direction + opposite linkage (must precede parameter resolution: the
+  // per-direction cutoff depends on it).
+  StreamRecord* opp = table_.find(pkt.tuple().reversed());
+  if (opp != nullptr) {
+    rec->dir = opp->dir == Direction::kOrig ? Direction::kReply
+                                            : Direction::kOrig;
+    rec->opposite = opp->id;
+    opp->opposite = rec->id;
+    rec->core = opp->core;  // both directions on one core (symmetric RSS)
+  } else {
+    rec->dir = Direction::kOrig;
+  }
+
+  resolve_params(*rec);
+  rec->reasm = std::make_unique<TcpReassembler>(rec->params, config_.need_pkts);
+  if (rec->params.flush_timeout > Duration(0)) flush_watch_.insert(rec->id);
+
+  maybe_rebalance(*rec, now);
+  ++core_streams_[static_cast<std::size_t>(rec->core)];
+  ++stats_.streams_created;
+  outcome.created_stream = true;
+  emit_created(*rec);
+  return rec;
+}
+
+void ScapKernel::handle_payload(StreamRecord& rec, const Packet& pkt,
+                                Timestamp now, PacketOutcome& outcome) {
+  std::span<const std::uint8_t> payload = pkt.payload();
+  rec.stats.pkts++;
+  rec.stats.bytes += pkt.wire_payload_len();
+
+  // A pending flush deadline fires before the new bytes are appended — the
+  // asynchronous timer would have delivered the partial chunk already.
+  if (rec.params.flush_timeout > Duration(0) && rec.reasm &&
+      now - rec.last_flush >= rec.params.flush_timeout &&
+      rec.reasm->builder().has_data()) {
+    flush_chunks(rec, 0);
+    rec.last_flush = now;
+  }
+
+  if (rec.discard_requested || rec.cutoff_exceeded) {
+    rec.stats.discarded_pkts++;
+    rec.stats.discarded_bytes += pkt.wire_payload_len();
+    stats_.pkts_cutoff++;
+    stats_.bytes_cutoff += pkt.wire_payload_len();
+    outcome.verdict = Verdict::kCutoffDiscard;
+    // NIC filter timed out but the stream still lives: re-install with a
+    // doubled timeout (paper §5.5).
+    if (rec.cutoff_exceeded && config_.use_fdir && nic_ != nullptr &&
+        !rec.fdir_installed && !rec.discard_requested) {
+      install_fdir(rec, now, /*reinstall=*/true, outcome);
+    }
+    return;
+  }
+
+  // Stream offset of this payload (cutoff & PPL decisions).
+  std::uint64_t off = 0;
+  if (pkt.is_tcp()) {
+    off = rec.reasm->offset_of(pkt.seq()).value_or(0);
+  } else {
+    off = rec.reasm->stream_offset();
+  }
+
+  // Cutoff enforcement (paper §2.1).
+  const std::int64_t cutoff = rec.params.cutoff_bytes;
+  if (cutoff >= 0) {
+    if (off >= static_cast<std::uint64_t>(cutoff)) {
+      rec.stats.discarded_pkts++;
+      rec.stats.discarded_bytes += pkt.wire_payload_len();
+      stats_.pkts_cutoff++;
+      stats_.bytes_cutoff += pkt.wire_payload_len();
+      outcome.verdict = Verdict::kCutoffDiscard;
+      trigger_cutoff(rec, now, outcome);
+      return;
+    }
+    if (off + payload.size() > static_cast<std::uint64_t>(cutoff)) {
+      // Deliver only the prefix up to the cutoff.
+      payload = payload.first(static_cast<std::size_t>(
+          static_cast<std::uint64_t>(cutoff) - off));
+    }
+  }
+
+  // Prioritized packet loss (paper §2.2).
+  const PplVerdict ppl =
+      ppl_.admit(allocator_.used_fraction(), rec.params.priority, off);
+  if (ppl != PplVerdict::kAdmit) {
+    rec.stats.dropped_pkts++;
+    rec.stats.dropped_bytes += pkt.wire_payload_len();
+    stats_.pkts_ppl_dropped++;
+    stats_.bytes_ppl_dropped += pkt.wire_payload_len();
+    outcome.verdict = Verdict::kPplDrop;
+    return;
+  }
+
+  ensure_block(rec);
+  if (rec.chunk_alloc == 0) {
+    // Chunk buffer exhausted and PPL admitted anyway (e.g. base threshold
+    // 1.0): the packet is lost here, like a full ring.
+    rec.stats.dropped_pkts++;
+    rec.stats.dropped_bytes += pkt.wire_payload_len();
+    stats_.pkts_nomem_dropped++;
+    stats_.bytes_nomem_dropped += pkt.wire_payload_len();
+    outcome.verdict = Verdict::kNoMemDrop;
+    return;
+  }
+
+  SegmentMeta meta;
+  meta.ts = now;
+  meta.seq_raw = pkt.seq();
+  meta.tcp_flags = pkt.tcp_flags();
+  meta.wire_payload = pkt.wire_payload_len();
+
+  TcpReassembler::Result result =
+      pkt.is_tcp() ? rec.reasm->on_data(pkt.seq(), payload, meta)
+                   : rec.reasm->on_datagram(payload, meta);
+
+  rec.error_bits |= result.errors;
+  rec.stats.captured_bytes += result.accepted_bytes;
+  rec.stats.discarded_bytes += result.dup_bytes;
+  if (result.accepted_bytes > 0) {
+    rec.stats.captured_pkts++;
+    stats_.pkts_stored++;
+    stats_.bytes_stored += result.accepted_bytes;
+    outcome.verdict = Verdict::kStored;
+    outcome.stored_bytes = result.accepted_bytes;
+  } else if (result.dup_bytes > 0) {
+    rec.stats.discarded_pkts++;
+    stats_.pkts_dup++;
+    stats_.bytes_dup += result.dup_bytes;
+    outcome.verdict = Verdict::kDupDiscard;
+  } else {
+    outcome.verdict = Verdict::kControl;
+  }
+
+  bool first = true;
+  for (auto& chunk : result.completed) {
+    emit_data(rec, std::move(chunk), first);
+    first = false;
+  }
+  if (!result.completed.empty() && rec.reasm->builder().has_data()) {
+    ensure_block(rec);
+  }
+
+  // Cutoff reached exactly with this packet's bytes.
+  if (cutoff >= 0 &&
+      rec.reasm->stream_offset() >= static_cast<std::uint64_t>(cutoff)) {
+    trigger_cutoff(rec, now, outcome);
+  }
+
+}
+
+PacketOutcome ScapKernel::handle_packet(const Packet& pkt, Timestamp now,
+                                        int core) {
+  PacketOutcome outcome;
+  ++stats_.pkts_seen;
+  stats_.bytes_seen += pkt.wire_len();
+
+  if (now - last_maintenance_ >= config_.expiry_interval) {
+    run_maintenance(now);
+  }
+
+  if (!pkt.valid()) {
+    ++stats_.pkts_invalid;
+    outcome.verdict = Verdict::kInvalid;
+    return outcome;
+  }
+  // IPv4 defragmentation before stream processing (§2.3).
+  Packet reassembled_frag;
+  const Packet* effective = &pkt;
+  if (config_.defragment_ip && pkt.is_ip_fragment()) {
+    auto done = defrag_.feed(pkt, now);
+    if (!done.has_value()) {
+      outcome.verdict = Verdict::kFragmentHeld;
+      return outcome;
+    }
+    reassembled_frag = std::move(*done);
+    effective = &reassembled_frag;
+    if (!effective->valid()) {
+      ++stats_.pkts_invalid;
+      outcome.verdict = Verdict::kInvalid;
+      return outcome;
+    }
+  }
+  const Packet& pkt2 = *effective;
+  return handle_decoded(pkt2, now, core, outcome);
+}
+
+PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
+                                         int core, PacketOutcome& outcome) {
+  if (!config_.filter.matches(pkt.tuple())) {
+    ++stats_.pkts_filtered;
+    outcome.verdict = Verdict::kFilteredBpf;
+    return outcome;
+  }
+  // Shared capture (§5.6): keep a stream only if at least one attached
+  // application wants it.
+  if (!config_.app_filters.empty() && app_mask_for(pkt.tuple()) == 0) {
+    ++stats_.pkts_filtered;
+    outcome.verdict = Verdict::kFilteredBpf;
+    return outcome;
+  }
+
+  StreamRecord* rec = lookup_or_create(pkt, now, core, outcome);
+  if (rec == nullptr) {
+    outcome.verdict = Verdict::kIgnored;
+    return outcome;
+  }
+  table_.touch(*rec, now);
+  rec->stats.last_packet = now;
+
+  if (pkt.is_tcp()) {
+    // Handshake tracking.
+    if (pkt.has_flag(kTcpSyn)) {
+      rec->reasm->on_syn(pkt.seq());
+      rec->handshake = pkt.has_flag(kTcpAck) ? HandshakeState::kSynAckSeen
+                                             : HandshakeState::kSynSeen;
+      rec->stats.pkts++;
+      ++stats_.pkts_control;
+      outcome.verdict = Verdict::kControl;
+      return outcome;
+    }
+    if (rec->handshake == HandshakeState::kSynSeen &&
+        pkt.has_flag(kTcpAck)) {
+      StreamRecord* opp = table_.by_id(rec->opposite);
+      if (opp && opp->handshake == HandshakeState::kSynAckSeen) {
+        rec->handshake = HandshakeState::kEstablished;
+        opp->handshake = HandshakeState::kEstablished;
+      }
+    }
+    if (pkt.payload_len() > 0 &&
+        rec->handshake == HandshakeState::kNone &&
+        !(rec->error_bits & kErrIncompleteHandshake)) {
+      rec->error_bits |= kErrIncompleteHandshake;
+    }
+
+    if (pkt.payload_len() > 0) {
+      handle_payload(*rec, pkt, now, outcome);
+    } else if (!pkt.has_flag(kTcpFin) && !pkt.has_flag(kTcpRst)) {
+      rec->stats.pkts++;
+      ++stats_.pkts_control;
+      outcome.verdict = Verdict::kControl;
+    }
+
+    if (pkt.has_flag(kTcpRst) || pkt.has_flag(kTcpFin)) {
+      if (pkt.payload_len() == 0) {
+        rec->stats.pkts++;
+        ++stats_.pkts_control;
+      }
+      if (outcome.verdict == Verdict::kIgnored) {
+        outcome.verdict = Verdict::kControl;
+      }
+      // Flow statistics for NIC-offloaded streams: the FIN/RST sequence
+      // number reveals how many bytes the NIC dropped (paper §5.5).
+      if (rec->cutoff_exceeded) {
+        if (auto total = rec->reasm->offset_of(pkt.seq())) {
+          rec->stats.bytes = std::max(rec->stats.bytes, *total);
+        }
+      }
+      const StreamStatus status = pkt.has_flag(kTcpRst)
+                                      ? StreamStatus::kClosedRst
+                                      : StreamStatus::kClosedFin;
+      // RST kills both directions; FIN closes only this one.
+      if (pkt.has_flag(kTcpRst)) {
+        StreamRecord* opp = table_.by_id(rec->opposite);
+        if (opp != nullptr) terminate(*opp, status, now, nullptr);
+      }
+      terminate(*rec, status, now, &outcome);
+      return outcome;
+    }
+    return outcome;
+  }
+
+  // UDP and other IP protocols.
+  if (pkt.payload_len() > 0 || !pkt.is_udp()) {
+    if (rec->params.mode == ReassemblyMode::kNone || !pkt.is_udp()) {
+      // Packet-oriented delivery: every packet becomes its own chunk.
+      handle_payload(*rec, pkt, now, outcome);
+      if (rec->reasm->builder().has_data()) flush_chunks(*rec, 0);
+    } else {
+      handle_payload(*rec, pkt, now, outcome);
+    }
+  } else {
+    rec->stats.pkts++;
+    outcome.verdict = Verdict::kControl;
+  }
+  return outcome;
+}
+
+void ScapKernel::run_maintenance(Timestamp now) {
+  last_maintenance_ = now;
+
+  if (config_.defragment_ip) defrag_.expire(now);
+
+  // Inactivity expiry, oldest first (paper §5.2).
+  table_.expire_idle(now, [&](StreamRecord& rec) {
+    rec.status = StreamStatus::kClosedTimeout;
+    flush_chunks(rec, 0);
+    if (rec.chunk_alloc) {
+      allocator_.release(rec.chunk_addr, rec.chunk_alloc);
+      rec.chunk_addr = 0;
+      rec.chunk_alloc = 0;
+    }
+    if (rec.kept_alloc) {
+      allocator_.release(0, rec.kept_alloc);
+      rec.kept_alloc = 0;
+    }
+    if (rec.fdir_installed && nic_ != nullptr) {
+      stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
+      rec.fdir_installed = false;
+    }
+    flush_watch_.erase(rec.id);
+    auto& count = core_streams_[static_cast<std::size_t>(rec.core)];
+    if (count > 0) --count;
+    emit_terminated(rec);
+  });
+
+  // FDIR filter timeouts (paper §5.5): the stream may still be alive; if a
+  // packet shows up later the filter is re-installed with a doubled timeout.
+  if (nic_ != nullptr && config_.use_fdir) {
+    for (const auto& f : nic_->fdir().expire(now)) {
+      if (StreamRecord* rec = table_.find(f.tuple)) {
+        rec->fdir_installed = false;
+      }
+      ++stats_.fdir_removals;
+    }
+  }
+
+  // Flush timeouts for streams that asked for timely delivery.
+  if (!flush_watch_.empty()) {
+    std::vector<StreamId> ids(flush_watch_.begin(), flush_watch_.end());
+    for (StreamId id : ids) {
+      StreamRecord* rec = table_.by_id(id);
+      if (rec == nullptr) {
+        flush_watch_.erase(id);
+        continue;
+      }
+      if (now - rec->last_flush >= rec->params.flush_timeout &&
+          rec->reasm->builder().has_data()) {
+        flush_chunks(*rec, 0);
+        rec->last_flush = now;
+      }
+    }
+  }
+}
+
+void ScapKernel::terminate_all(Timestamp now) {
+  while (StreamRecord* rec = table_.oldest()) {
+    terminate(*rec, StreamStatus::kClosedTimeout, now, nullptr);
+  }
+}
+
+bool ScapKernel::set_stream_cutoff(StreamId id, std::int64_t cutoff) {
+  StreamRecord* rec = table_.by_id(id);
+  if (rec == nullptr) return false;
+  rec->params.cutoff_bytes = cutoff;
+  return true;
+}
+
+bool ScapKernel::set_stream_priority(StreamId id, int priority) {
+  StreamRecord* rec = table_.by_id(id);
+  if (rec == nullptr) return false;
+  rec->params.priority = priority;
+  return true;
+}
+
+bool ScapKernel::keep_stream_chunk(StreamId id, Chunk&& chunk,
+                                   std::uint32_t alloc) {
+  StreamRecord* rec = table_.by_id(id);
+  if (rec == nullptr || !rec->reasm) return false;
+  rec->reasm->builder().retain(std::move(chunk));
+  rec->kept_alloc += alloc;
+  return true;
+}
+
+bool ScapKernel::discard_stream(StreamId id) {
+  StreamRecord* rec = table_.by_id(id);
+  if (rec == nullptr) return false;
+  rec->discard_requested = true;
+  if (rec->chunk_alloc) {
+    allocator_.release(rec->chunk_addr, rec->chunk_alloc);
+    rec->chunk_addr = 0;
+    rec->chunk_alloc = 0;
+  }
+  return true;
+}
+
+}  // namespace scap::kernel

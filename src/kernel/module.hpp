@@ -1,0 +1,229 @@
+// The Scap kernel module (paper §4, §5): flow tracking, in-kernel TCP
+// stream reassembly, cutoff enforcement with FDIR offload, prioritized
+// packet loss, event generation, and inactivity expiry.
+//
+// This class is the software-interrupt handler of Figure 2: it consumes
+// decoded packets (one instance may serve multiple simulated cores — the
+// `core` argument selects the event queue, mirroring the per-core kernel
+// threads) and produces creation/data/termination events carrying
+// reassembled chunks. It performs no cycle accounting itself; the returned
+// PacketOutcome tells the simulation driver exactly which operations
+// happened so their costs can be charged in the right context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "kernel/defrag.hpp"
+#include "kernel/events.hpp"
+#include "kernel/flow_table.hpp"
+#include "kernel/memory.hpp"
+#include "kernel/ppl.hpp"
+#include "nic/nic.hpp"
+#include "packet/bpf.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::kernel {
+
+struct CutoffClass {
+  BpfProgram filter;
+  std::int64_t cutoff_bytes = -1;
+};
+
+struct PriorityClass {
+  BpfProgram filter;
+  int priority = 0;
+};
+
+struct KernelConfig {
+  /// Shared stream-buffer size (chunk memory), paper's memory_size.
+  std::uint64_t memory_size = 1ull << 30;
+
+  /// Defaults inherited by new streams (mode, chunk size, cutoff, ...).
+  StreamParams defaults;
+
+  /// Keep per-packet records inside chunks (scap_next_stream_packet).
+  bool need_pkts = false;
+
+  PplConfig ppl;
+
+  /// Offload cutoff enforcement to NIC FDIR filters when a NIC is attached.
+  bool use_fdir = false;
+  Duration fdir_base_timeout = Duration::from_sec(10);
+
+  /// Dynamic load balancing (§2.4): when the core a new stream RSS-hashed
+  /// to already holds more than `imbalance_threshold` of all active
+  /// streams, steer the stream to the least-loaded core with FDIR filters.
+  bool dynamic_load_balance = false;
+  double imbalance_threshold = 0.25;
+  std::size_t imbalance_min_streams = 64;  // don't rebalance tiny loads
+
+  /// Flow-record budget; 0 = unlimited (grow until host memory).
+  std::size_t max_streams = 0;
+
+  /// How often the idle-stream / filter-timeout scan runs.
+  Duration expiry_interval = Duration::from_sec(1);
+
+  /// Socket-level BPF filter (scap_set_filter); empty matches everything.
+  BpfProgram filter;
+
+  /// Per-direction cutoff overrides (scap_add_cutoff_direction); -1 unset.
+  std::int64_t cutoff_per_dir[2] = {-1, -1};
+
+  /// Per-traffic-class cutoffs (scap_add_cutoff_class), first match wins.
+  std::vector<CutoffClass> cutoff_classes;
+
+  /// Per-traffic-class priorities (applications normally set priorities
+  /// from the creation callback; classes let configuration-only consumers
+  /// such as the benches do the same declaratively). First match wins.
+  std::vector<PriorityClass> priority_classes;
+
+  /// Per-application BPF filters for shared capture (§5.6); empty = one
+  /// implicit application receiving everything.
+  std::vector<BpfProgram> app_filters;
+
+  /// Emit kCreated events (flow-stats apps often only want termination).
+  bool creation_events = true;
+
+  /// Reassemble IPv4 fragments before stream processing (§2.3: strict-mode
+  /// protection against IP-fragmentation evasion). Fragments are held until
+  /// their datagram completes, then processed as one packet.
+  bool defragment_ip = false;
+
+  int num_cores = 1;
+};
+
+enum class Verdict : std::uint8_t {
+  kInvalid,         // not a decodable IPv4 packet
+  kFragmentHeld,    // IP fragment buffered, datagram not yet complete
+  kFilteredBpf,     // rejected by the socket filter
+  kIgnored,         // e.g. FIN/RST for an unknown stream
+  kControl,         // TCP control packet consumed for stream lifecycle
+  kStored,          // payload delivered to a chunk
+  kCutoffDiscard,   // beyond stream cutoff (kernel-level discard)
+  kDupDiscard,      // entirely duplicate segment
+  kPplDrop,         // prioritized packet loss
+  kNoMemDrop,       // chunk buffer exhausted
+};
+
+struct PacketOutcome {
+  Verdict verdict = Verdict::kIgnored;
+  std::uint64_t stored_bytes = 0;
+  int events = 0;
+  bool created_stream = false;
+  bool terminated_stream = false;
+  int fdir_updates = 0;
+};
+
+struct KernelStats {
+  std::uint64_t pkts_seen = 0;
+  std::uint64_t bytes_seen = 0;
+  std::uint64_t pkts_stored = 0;
+  std::uint64_t bytes_stored = 0;
+  std::uint64_t pkts_control = 0;
+  std::uint64_t pkts_filtered = 0;
+  std::uint64_t pkts_invalid = 0;
+  std::uint64_t pkts_cutoff = 0;
+  std::uint64_t bytes_cutoff = 0;
+  std::uint64_t pkts_dup = 0;
+  std::uint64_t bytes_dup = 0;
+  std::uint64_t pkts_ppl_dropped = 0;
+  std::uint64_t bytes_ppl_dropped = 0;
+  std::uint64_t pkts_nomem_dropped = 0;
+  std::uint64_t bytes_nomem_dropped = 0;
+  std::uint64_t streams_created = 0;
+  std::uint64_t streams_terminated = 0;
+  std::uint64_t streams_evicted = 0;
+  std::uint64_t events_emitted = 0;
+  std::uint64_t fdir_installs = 0;
+  std::uint64_t fdir_reinstalls = 0;
+  std::uint64_t fdir_removals = 0;
+  std::uint64_t streams_rebalanced = 0;
+};
+
+class ScapKernel {
+ public:
+  explicit ScapKernel(KernelConfig config, nic::Nic* nic = nullptr);
+
+  /// Process one packet in softirq context on `core`.
+  PacketOutcome handle_packet(const Packet& pkt, Timestamp now, int core = 0);
+
+  /// Run the periodic maintenance pass (inactivity expiry, FDIR timeout
+  /// service, flush timeouts). Called automatically from handle_packet every
+  /// expiry_interval; exposed for drivers that need explicit control.
+  void run_maintenance(Timestamp now);
+
+  /// Flush + terminate every remaining stream (end of capture).
+  void terminate_all(Timestamp now);
+
+  /// Event access (per core).
+  EventQueue& events(int core) { return queues_[static_cast<std::size_t>(core)]; }
+
+  /// The consumer must release each data event's chunk accounting once the
+  /// application is done with it.
+  void release_chunk(const Event& ev) {
+    if (ev.chunk_alloc) allocator_.release(ev.chunk_addr, ev.chunk_alloc);
+  }
+
+  // --- runtime control (backing for the Scap API) -------------------------
+  StreamRecord* find_stream(StreamId id) { return table_.by_id(id); }
+  bool set_stream_cutoff(StreamId id, std::int64_t cutoff);
+  bool set_stream_priority(StreamId id, int priority);
+  bool discard_stream(StreamId id);
+
+  /// Re-attach a delivered chunk so the next delivery contains it too
+  /// (scap_keep_stream_chunk). Transfers the chunk's memory accounting back
+  /// to the stream; returns false if the stream no longer exists.
+  bool keep_stream_chunk(StreamId id, Chunk&& chunk, std::uint32_t alloc);
+
+  const KernelStats& stats() const { return stats_; }
+  const KernelConfig& config() const { return config_; }
+  ChunkAllocator& allocator() { return allocator_; }
+  FlowTable& table() { return table_; }
+  nic::Nic* nic() { return nic_; }
+  const IpDefragmenter& defragmenter() const { return defrag_; }
+
+ private:
+  StreamRecord* lookup_or_create(const Packet& pkt, Timestamp now, int core,
+                                 PacketOutcome& outcome);
+  void resolve_params(StreamRecord& rec);
+  std::uint64_t app_mask_for(const FiveTuple& tuple) const;
+  void emit_created(StreamRecord& rec);
+  void emit_data(StreamRecord& rec, Chunk&& chunk, bool transfer_block);
+  void emit_terminated(StreamRecord& rec);
+  StreamSnapshot snapshot(const StreamRecord& rec) const;
+  void ensure_block(StreamRecord& rec);
+  void handle_payload(StreamRecord& rec, const Packet& pkt, Timestamp now,
+                      PacketOutcome& outcome);
+  void trigger_cutoff(StreamRecord& rec, Timestamp now,
+                      PacketOutcome& outcome);
+  void terminate(StreamRecord& rec, StreamStatus status, Timestamp now,
+                 PacketOutcome* outcome);
+  void install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
+                    PacketOutcome& outcome);
+  void flush_chunks(StreamRecord& rec, std::uint32_t error_bits);
+
+  /// Steer a freshly created stream away from an overloaded core (§2.4).
+  void maybe_rebalance(StreamRecord& rec, Timestamp now);
+
+  /// Post-defragmentation continuation of handle_packet.
+  PacketOutcome handle_decoded(const Packet& pkt, Timestamp now, int core,
+                               PacketOutcome& outcome);
+
+  KernelConfig config_;
+  nic::Nic* nic_;
+  ChunkAllocator allocator_;
+  FlowTable table_;
+  Ppl ppl_;
+  std::vector<EventQueue> queues_;
+  KernelStats stats_;
+  Timestamp last_maintenance_;
+  std::unordered_set<StreamId> flush_watch_;  // streams with flush timeouts
+  std::vector<std::int64_t> core_streams_;    // active streams per core
+  IpDefragmenter defrag_;
+};
+
+}  // namespace scap::kernel

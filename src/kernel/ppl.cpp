@@ -1,0 +1,33 @@
+#include "kernel/ppl.hpp"
+
+namespace scap::kernel {
+
+double Ppl::watermark(int priority) const {
+  // 0-based priority p corresponds to 1-based level i = p+1; watermark_i =
+  // base + i * (1 - base) / n.
+  const int i = priority + 1;
+  const int n = config_.priority_levels;
+  const int level = i > n ? n : i;
+  return config_.base_threshold +
+         static_cast<double>(level) * (1.0 - config_.base_threshold) /
+             static_cast<double>(n);
+}
+
+PplVerdict Ppl::admit(double used_fraction, int priority,
+                      std::uint64_t stream_offset) const {
+  if (used_fraction <= config_.base_threshold) return PplVerdict::kAdmit;
+  const double upper = watermark(priority);
+  if (used_fraction > upper) return PplVerdict::kDropPriority;
+  // Below the band's lower watermark_{i-1} this priority is unconstrained.
+  const double lower = priority > 0 ? watermark(priority - 1)
+                                    : config_.base_threshold;
+  if (used_fraction <= lower) return PplVerdict::kAdmit;
+  // In this priority's overload band (watermark_{i-1}, watermark_i]:
+  if (config_.overload_cutoff >= 0 &&
+      stream_offset >= static_cast<std::uint64_t>(config_.overload_cutoff)) {
+    return PplVerdict::kDropOverload;
+  }
+  return PplVerdict::kAdmit;
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,63 @@
+// Prioritized Packet Loss (paper §2.2, analyzed in §7).
+//
+// Memory admission control for data packets under overload. While used
+// memory stays below base_threshold nothing is dropped. Above it, the
+// remaining memory is divided into n regions (n = number of priority
+// levels) by n+1 equally spaced watermarks, watermark_0 = base_threshold
+// ... watermark_n = memory_size. A packet of priority level i (1-based,
+// 1 = lowest) is:
+//   - dropped outright when used memory exceeds watermark_i;
+//   - subjected to the optional overload_cutoff when used memory lies in
+//     (watermark_{i-1}, watermark_i]: bytes located beyond overload_cutoff
+//     in their stream are dropped;
+//   - admitted otherwise.
+// TCP control packets (SYN/FIN/RST) are always admitted: they carry no
+// payload, and the kernel needs them for stream lifecycle tracking
+// (paper §6.5.1).
+#pragma once
+
+#include <cstdint>
+
+namespace scap::kernel {
+
+struct PplConfig {
+  double base_threshold = 0.5;      // fraction of memory free of any drops
+  int priority_levels = 1;          // n
+  std::int64_t overload_cutoff = -1;  // bytes; -1 disables
+};
+
+enum class PplVerdict : std::uint8_t {
+  kAdmit,
+  kDropPriority,   // used memory above this priority's watermark
+  kDropOverload,   // in the overload band and beyond overload_cutoff
+};
+
+class Ppl {
+ public:
+  explicit Ppl(PplConfig config) : config_(sanitize(config)) {}
+
+  /// Decide for a data packet.
+  /// `used_fraction`: current memory occupancy in [0,1].
+  /// `priority`: 0-based level, 0 = lowest (mapped to the 1-based levels of
+  ///             the analysis).
+  /// `stream_offset`: byte offset of this packet's payload in its stream.
+  PplVerdict admit(double used_fraction, int priority,
+                   std::uint64_t stream_offset) const;
+
+  /// Watermark for a 0-based priority level, as a memory fraction.
+  double watermark(int priority) const;
+
+  const PplConfig& config() const { return config_; }
+
+ private:
+  static PplConfig sanitize(PplConfig c) {
+    if (c.priority_levels < 1) c.priority_levels = 1;
+    if (c.base_threshold < 0) c.base_threshold = 0;
+    if (c.base_threshold > 1) c.base_threshold = 1;
+    return c;
+  }
+
+  PplConfig config_;
+};
+
+}  // namespace scap::kernel

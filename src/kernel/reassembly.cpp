@@ -1,0 +1,282 @@
+#include "kernel/reassembly.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scap::kernel {
+
+// --- ChunkBuilder -----------------------------------------------------------
+
+ChunkBuilder::ChunkBuilder(std::uint32_t chunk_size, std::uint32_t overlap_size,
+                           bool record_packets)
+    : chunk_size_(chunk_size ? chunk_size : 1),
+      overlap_size_(overlap_size),
+      record_packets_(record_packets) {}
+
+Chunk ChunkBuilder::take_current() {
+  Chunk out = std::move(current_);
+  out.errors |= pending_errors_;
+  pending_errors_ = 0;
+  current_ = Chunk{};
+  current_started_ = false;
+  if (retained_) {
+    // A kept chunk is delivered together with the one that just completed.
+    Chunk merged = std::move(*retained_);
+    retained_.reset();
+    merged.errors |= out.errors;
+    merged.data.insert(merged.data.end(), out.data.begin(), out.data.end());
+    const std::uint32_t shift =
+        static_cast<std::uint32_t>(merged.data.size() - out.data.size());
+    for (auto& rec : out.packets) {
+      rec.chunk_offset += shift;
+      merged.packets.push_back(rec);
+    }
+    return merged;
+  }
+  return out;
+}
+
+void ChunkBuilder::start_next(const Chunk& completed) {
+  // Seed the next chunk with the overlap tail of the completed one.
+  if (overlap_size_ == 0 || completed.data.empty()) return;
+  const std::uint32_t tail =
+      std::min<std::uint32_t>(overlap_size_,
+                              static_cast<std::uint32_t>(completed.data.size()));
+  current_.data.assign(completed.data.end() - tail, completed.data.end());
+  current_.overlap_len = tail;
+  current_.stream_offset =
+      completed.stream_offset + completed.data.size() - tail;
+  current_started_ = true;
+}
+
+std::vector<Chunk> ChunkBuilder::append(std::span<const std::uint8_t> data,
+                                        const SegmentMeta& meta,
+                                        std::uint64_t stream_off) {
+  std::vector<Chunk> completed;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    if (!current_started_) {
+      current_.stream_offset = stream_off + consumed;
+      current_started_ = true;
+    }
+    const std::uint32_t room =
+        chunk_size_ > current_.data.size()
+            ? chunk_size_ - static_cast<std::uint32_t>(current_.data.size())
+            : 0;
+    const std::size_t take = std::min<std::size_t>(room, data.size() - consumed);
+    if (take > 0) {
+      if (record_packets_) {
+        PacketRecord rec;
+        rec.ts = meta.ts;
+        rec.chunk_offset = static_cast<std::uint32_t>(current_.data.size());
+        rec.caplen = static_cast<std::uint32_t>(take);
+        rec.wirelen = meta.wire_payload;
+        rec.seq = meta.seq_raw + static_cast<std::uint32_t>(consumed);
+        rec.tcp_flags = meta.tcp_flags;
+        current_.packets.push_back(rec);
+      }
+      current_.data.insert(current_.data.end(), data.begin() + consumed,
+                           data.begin() + consumed + take);
+      consumed += take;
+    }
+    if (current_.data.size() >= chunk_size_) {
+      Chunk done = take_current();
+      start_next(done);
+      completed.push_back(std::move(done));
+    }
+  }
+  return completed;
+}
+
+std::optional<Chunk> ChunkBuilder::flush() {
+  if (!has_data()) {
+    // Nothing buffered; still surface pending errors if a chunk-less error
+    // needs reporting (caller decides what to do with nullopt).
+    return std::nullopt;
+  }
+  // A pure-overlap chunk (only the repeated tail) carries no new bytes.
+  if (current_.data.size() == current_.overlap_len && !retained_) {
+    current_ = Chunk{};
+    current_started_ = false;
+    return std::nullopt;
+  }
+  Chunk done = take_current();
+  // No overlap seeding after an explicit flush: the next data starts clean.
+  return done;
+}
+
+void ChunkBuilder::retain(Chunk&& kept) { retained_ = std::move(kept); }
+
+// --- TcpReassembler ---------------------------------------------------------
+
+TcpReassembler::TcpReassembler(const StreamParams& params, bool record_packets,
+                               std::uint64_t max_ooo_bytes)
+    : mode_(params.mode),
+      policy_(params.policy),
+      max_ooo_bytes_(max_ooo_bytes),
+      builder_(params.chunk_size, params.overlap_size, record_packets) {}
+
+void TcpReassembler::on_syn(std::uint32_t isn) {
+  if (have_base_) return;  // retransmitted SYN
+  base_raw_ = isn + 1;     // data begins one past the ISN
+  have_base_ = true;
+}
+
+std::optional<std::uint64_t> TcpReassembler::offset_of(std::uint32_t seq) const {
+  if (!have_base_) return std::nullopt;
+  const std::uint32_t expected_raw =
+      base_raw_ + static_cast<std::uint32_t>(next_off_);
+  const auto delta = static_cast<std::int32_t>(seq - expected_raw);
+  const std::int64_t off = static_cast<std::int64_t>(next_off_) + delta;
+  return off < 0 ? 0 : static_cast<std::uint64_t>(off);
+}
+
+void TcpReassembler::deliver(std::span<const std::uint8_t> data,
+                             const SegmentMeta& meta, Result& result) {
+  auto done = builder_.append(data, meta, next_off_);
+  result.accepted_bytes += data.size();
+  next_off_ += data.size();
+  for (auto& c : done) result.completed.push_back(std::move(c));
+}
+
+void TcpReassembler::drain_ooo(const SegmentMeta& meta, Result& result) {
+  while (auto run = ooo_.pop_contiguous(next_off_)) {
+    auto done = builder_.append(*run, meta, next_off_);
+    next_off_ += run->size();
+    for (auto& c : done) result.completed.push_back(std::move(c));
+  }
+}
+
+void TcpReassembler::force_deliver_ooo(const SegmentMeta& meta,
+                                       Result& result) {
+  // Adversarial hole-flood: fall back to best-effort, flagging the gap.
+  while (ooo_.buffered_bytes() > max_ooo_bytes_ / 2) {
+    auto seg = ooo_.pop_front();
+    if (!seg) break;
+    if (seg->first > next_off_) {
+      builder_.flag_error(kErrHole);
+      result.errors |= kErrHole;
+      next_off_ = seg->first;
+    }
+    std::span<const std::uint8_t> bytes(seg->second);
+    if (seg->first < next_off_) {
+      const std::uint64_t skip = next_off_ - seg->first;
+      if (skip >= bytes.size()) continue;
+      bytes = bytes.subspan(skip);
+    }
+    auto done = builder_.append(bytes, meta, next_off_);
+    next_off_ += bytes.size();
+    for (auto& c : done) result.completed.push_back(std::move(c));
+  }
+}
+
+TcpReassembler::Result TcpReassembler::on_data(
+    std::uint32_t seq, std::span<const std::uint8_t> payload,
+    const SegmentMeta& meta) {
+  Result result;
+  if (payload.empty()) return result;
+
+  if (!have_base_) {
+    // Mid-flow pickup: anchor stream offset 0 at this segment.
+    base_raw_ = seq;
+    have_base_ = true;
+  }
+
+  const std::uint32_t expected_raw =
+      base_raw_ + static_cast<std::uint32_t>(next_off_);
+  const auto delta = static_cast<std::int32_t>(seq - expected_raw);
+  std::int64_t off = static_cast<std::int64_t>(next_off_) + delta;
+  std::span<const std::uint8_t> data = payload;
+
+  // Reject segments absurdly far from the window (likely corruption or an
+  // injection attempt).
+  constexpr std::int64_t kMaxJump = 1LL << 30;
+  if (off < -kMaxJump || off > static_cast<std::int64_t>(next_off_) + kMaxJump) {
+    result.errors |= kErrInvalidSeq;
+    builder_.flag_error(kErrInvalidSeq);
+    return result;
+  }
+
+  // Trim bytes that precede already-delivered data (retransmission or
+  // overlap with delivered bytes: first copy wins — it is already out).
+  if (off < static_cast<std::int64_t>(next_off_)) {
+    const std::uint64_t skip = next_off_ - static_cast<std::uint64_t>(off);
+    if (skip >= data.size()) {
+      result.dup_bytes += data.size();
+      return result;  // fully duplicate
+    }
+    result.dup_bytes += skip;
+    data = data.subspan(skip);
+    off = static_cast<std::int64_t>(next_off_);
+  }
+
+  const auto uoff = static_cast<std::uint64_t>(off);
+  if (mode_ == ReassemblyMode::kTcpFast) {
+    if (uoff > next_off_) {
+      // Hole: write through without waiting (best-effort mode). The skipped
+      // bytes are simply absent; flag the chunk.
+      builder_.flag_error(kErrHole);
+      result.errors |= kErrHole;
+      next_off_ = uoff;
+    }
+    deliver(data, meta, result);
+    return result;
+  }
+
+  // Strict mode.
+  if (uoff == next_off_) {
+    deliver(data, meta, result);
+    drain_ooo(meta, result);
+    return result;
+  }
+  auto ins = ooo_.insert(uoff, data, policy_);
+  result.accepted_bytes += ins.new_bytes;
+  result.dup_bytes += ins.dup_bytes;
+  if (ins.conflict) {
+    result.errors |= kErrOverlapConflict;
+    builder_.flag_error(kErrOverlapConflict);
+  }
+  if (ooo_.buffered_bytes() > max_ooo_bytes_) {
+    result.errors |= kErrBufferOverflow;
+    builder_.flag_error(kErrBufferOverflow);
+    force_deliver_ooo(meta, result);
+  }
+  return result;
+}
+
+TcpReassembler::Result TcpReassembler::on_datagram(
+    std::span<const std::uint8_t> payload, const SegmentMeta& meta) {
+  Result result;
+  if (payload.empty()) return result;
+  if (!have_base_) have_base_ = true;
+  deliver(payload, meta, result);
+  return result;
+}
+
+std::vector<Chunk> TcpReassembler::flush(std::uint32_t error_bits) {
+  std::vector<Chunk> out;
+  if (mode_ == ReassemblyMode::kTcpStrict && !ooo_.empty()) {
+    // Deliver whatever is buffered, flagging holes.
+    SegmentMeta meta{};
+    while (auto seg = ooo_.pop_front()) {
+      if (seg->first > next_off_) {
+        builder_.flag_error(kErrHole);
+        next_off_ = seg->first;
+      }
+      std::span<const std::uint8_t> bytes(seg->second);
+      if (seg->first < next_off_) {
+        const std::uint64_t skip = next_off_ - seg->first;
+        if (skip >= bytes.size()) continue;
+        bytes = bytes.subspan(skip);
+      }
+      auto done = builder_.append(bytes, meta, next_off_);
+      next_off_ += bytes.size();
+      for (auto& c : done) out.push_back(std::move(c));
+    }
+  }
+  if (error_bits) builder_.flag_error(error_bits);
+  if (auto last = builder_.flush()) out.push_back(std::move(*last));
+  return out;
+}
+
+}  // namespace scap::kernel

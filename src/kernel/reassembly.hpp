@@ -1,0 +1,149 @@
+// Chunk building and TCP stream reassembly (paper §2.3, §5.2).
+//
+// The reassembler turns a directional sequence of TCP segments into
+// contiguous stream chunks:
+//   - SCAP_TCP_FAST: best-effort. Data is written as it arrives; holes from
+//     lost segments are skipped and flagged (kErrHole) instead of stalling
+//     the stream — the overload-resilient mode the paper evaluates with.
+//   - SCAP_TCP_STRICT: in-order delivery following the robust-reassembly
+//     guidelines. Out-of-order segments are buffered in a SegmentStore and
+//     released when the hole before them fills; overlap resolution follows
+//     the stream's target-based OverlapPolicy. A bounded buffer protects
+//     against adversarial hole-floods: on overflow the engine degrades to
+//     best-effort delivery and flags kErrBufferOverflow.
+//
+// Chunks carry optional per-packet records so the original packets can be
+// re-delivered in capture order (paper §5.7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kernel/segment_store.hpp"
+#include "kernel/stream.hpp"
+
+namespace scap::kernel {
+
+/// A contiguous piece of reassembled stream data, ready for delivery.
+struct Chunk {
+  std::vector<std::uint8_t> data;
+  /// Stream offset of data[0] — including any overlap prefix repeated from
+  /// the previous chunk.
+  std::uint64_t stream_offset = 0;
+  /// Leading bytes repeated from the previous chunk (pattern continuity).
+  std::uint32_t overlap_len = 0;
+  /// StreamError bits raised while assembling this chunk.
+  std::uint32_t errors = 0;
+  std::vector<PacketRecord> packets;
+};
+
+/// Per-packet metadata threaded through to PacketRecords.
+struct SegmentMeta {
+  Timestamp ts;
+  std::uint32_t seq_raw = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint32_t wire_payload = 0;
+};
+
+/// Accumulates delivered bytes into fixed-size chunks with overlap carry.
+class ChunkBuilder {
+ public:
+  ChunkBuilder(std::uint32_t chunk_size, std::uint32_t overlap_size,
+               bool record_packets);
+
+  /// Append delivered bytes; returns any chunks that filled up.
+  std::vector<Chunk> append(std::span<const std::uint8_t> data,
+                            const SegmentMeta& meta, std::uint64_t stream_off);
+
+  /// Raise error bits on the chunk currently being built.
+  void flag_error(std::uint32_t bits) { pending_errors_ |= bits; }
+
+  /// Emit the current partial chunk (flush timeout, cutoff, termination).
+  /// Returns nullopt when nothing is buffered.
+  std::optional<Chunk> flush();
+
+  /// Re-install a delivered chunk in front of future data
+  /// (scap_keep_stream_chunk): the next completed chunk will contain it.
+  void retain(Chunk&& kept);
+
+  std::uint32_t buffered_len() const {
+    return static_cast<std::uint32_t>(current_.data.size());
+  }
+  bool has_data() const { return !current_.data.empty() || retained_.has_value(); }
+  std::uint32_t chunk_size() const { return chunk_size_; }
+  void set_chunk_size(std::uint32_t s) { chunk_size_ = s ? s : 1; }
+  void set_overlap_size(std::uint32_t s) { overlap_size_ = s; }
+
+ private:
+  Chunk take_current();
+  void start_next(const Chunk& completed);
+
+  std::uint32_t chunk_size_;
+  std::uint32_t overlap_size_;
+  bool record_packets_;
+  Chunk current_;
+  bool current_started_ = false;
+  std::uint32_t pending_errors_ = 0;
+  std::optional<Chunk> retained_;
+};
+
+/// One direction of a TCP (or UDP) stream.
+class TcpReassembler {
+ public:
+  TcpReassembler(const StreamParams& params, bool record_packets,
+                 std::uint64_t max_ooo_bytes = 256 * 1024);
+
+  struct Result {
+    std::vector<Chunk> completed;
+    std::uint64_t accepted_bytes = 0;  // written to a chunk or buffered
+    std::uint64_t dup_bytes = 0;       // duplicate / overlap-losing bytes
+    std::uint32_t errors = 0;          // error bits raised by this segment
+  };
+
+  /// Record the SYN's ISN: stream data starts at ISN+1.
+  void on_syn(std::uint32_t isn);
+
+  /// Process one data segment (TCP path).
+  Result on_data(std::uint32_t seq, std::span<const std::uint8_t> payload,
+                 const SegmentMeta& meta);
+
+  /// Process sequenced-less data (UDP path): straight append.
+  Result on_datagram(std::span<const std::uint8_t> payload,
+                     const SegmentMeta& meta);
+
+  /// Flush buffered out-of-order data (strict mode) and the partial chunk.
+  /// `error_bits` is OR-ed into the final chunk (e.g. at termination).
+  /// May return multiple chunks when the out-of-order buffer held more than
+  /// one chunk's worth of data.
+  std::vector<Chunk> flush(std::uint32_t error_bits = 0);
+
+  /// Highest stream offset delivered or skipped so far — the stream "size"
+  /// used for cutoff decisions.
+  std::uint64_t stream_offset() const { return next_off_; }
+
+  /// Stream offset a raw TCP sequence number maps to (for PPL / cutoff
+  /// decisions before reassembly). Returns nullopt before any base is known.
+  std::optional<std::uint64_t> offset_of(std::uint32_t seq) const;
+
+  ChunkBuilder& builder() { return builder_; }
+  std::uint64_t ooo_buffered() const { return ooo_.buffered_bytes(); }
+
+ private:
+  void deliver(std::span<const std::uint8_t> data, const SegmentMeta& meta,
+               Result& result);
+  void drain_ooo(const SegmentMeta& meta, Result& result);
+  void force_deliver_ooo(const SegmentMeta& meta, Result& result);
+
+  ReassemblyMode mode_;
+  OverlapPolicy policy_;
+  std::uint64_t max_ooo_bytes_;
+  ChunkBuilder builder_;
+  SegmentStore ooo_;
+  bool have_base_ = false;
+  std::uint32_t base_raw_ = 0;  // raw seq of stream offset 0
+  std::uint64_t next_off_ = 0;  // next expected stream offset
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,59 @@
+// Out-of-order segment buffer with target-based overlap resolution.
+//
+// Strict-mode reassembly parks segments that arrive ahead of the expected
+// sequence here until the hole before them fills. When segments overlap,
+// which copy of a byte wins depends on the receiver OS the stream is
+// destined to — the root of the NIDS evasion attacks of Ptacek & Newsham
+// and Shankar & Paxson that target-based reassembly (paper §2.3) defends
+// against. The store normalizes everything to disjoint intervals and
+// reports when overlapping copies actually disagreed, so the stream can be
+// flagged with kErrOverlapConflict.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kernel/stream.hpp"
+
+namespace scap::kernel {
+
+class SegmentStore {
+ public:
+  struct InsertResult {
+    std::uint64_t new_bytes = 0;   // bytes added to the store
+    std::uint64_t dup_bytes = 0;   // bytes discarded as duplicates/losers
+    bool conflict = false;         // an overlapped byte disagreed
+  };
+
+  /// Insert `data` at stream offset `off`, resolving overlaps per `policy`.
+  InsertResult insert(std::uint64_t off, std::span<const std::uint8_t> data,
+                      OverlapPolicy policy);
+
+  /// If a segment begins exactly at `off`, remove and return the maximal
+  /// contiguous run starting there.
+  std::optional<std::vector<std::uint8_t>> pop_contiguous(std::uint64_t off);
+
+  /// Lowest buffered offset (for forced flushes), if any.
+  std::optional<std::uint64_t> min_offset() const;
+
+  /// Remove and return the first (lowest-offset) segment.
+  std::optional<std::pair<std::uint64_t, std::vector<std::uint8_t>>> pop_front();
+
+  std::uint64_t buffered_bytes() const { return bytes_; }
+  bool empty() const { return segments_.empty(); }
+  std::size_t segment_count() const { return segments_.size(); }
+  void clear() {
+    segments_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  // Disjoint, non-adjacent-merged intervals: offset -> bytes.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> segments_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,105 @@
+// Stream-level types: the kernel-side equivalent of the paper's stream_t.
+//
+// Each direction of a transport-layer connection is a Stream with its own
+// record, reassembly state, statistics, and per-stream parameters; the two
+// directions are linked through `opposite` (paper §3.2). Records live in the
+// flow table (src/kernel/flow_table.hpp) and are referenced by id everywhere
+// else so that user-level views can outlive kernel-side eviction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "packet/headers.hpp"
+
+namespace scap::kernel {
+
+using StreamId = std::uint64_t;
+constexpr StreamId kInvalidStreamId = 0;
+
+/// Reassembly fidelity (paper §2.3).
+enum class ReassemblyMode : std::uint8_t {
+  kTcpStrict,  // in-order delivery, buffers out-of-order segments
+  kTcpFast,    // best-effort: writes through holes, flags errors
+  kNone,       // no reassembly: every packet delivered as its own chunk
+};
+
+/// Target-based overlap policy (paper §2.3; Novak & Sturges' Stream5 model).
+/// Determines which copy of a byte wins when TCP segments overlap.
+enum class OverlapPolicy : std::uint8_t {
+  kFirst,    // first copy received wins (Windows, AIX)
+  kLast,     // most recent copy wins (Solaris-style "last")
+  kBsd,      // old data wins unless the new segment starts strictly before
+             // the existing region (FreeBSD / classic BSD stacks)
+  kLinux,    // old data wins for aligned overlaps; a new segment that starts
+             // before the existing region wins for the whole overlap region
+};
+
+enum class StreamStatus : std::uint8_t {
+  kActive,
+  kClosedFin,      // saw FIN from this direction (and ACK'd)
+  kClosedRst,
+  kClosedTimeout,  // inactivity expiry
+};
+
+/// Reassembly error flags (stream_t.error in the paper).
+enum StreamError : std::uint32_t {
+  kErrNone = 0,
+  kErrIncompleteHandshake = 1u << 0,  // data before a full 3-way handshake
+  kErrInvalidSeq = 1u << 1,           // sequence outside any sane window
+  kErrHole = 1u << 2,                 // fast mode wrote through a gap
+  kErrOverlapConflict = 1u << 3,      // overlapping bytes disagreed
+  kErrBufferOverflow = 1u << 4,       // strict mode OOO buffer exhausted
+};
+
+enum class Direction : std::uint8_t { kOrig = 0, kReply = 1 };
+
+/// Per-stream counters (stream_t.stats).
+struct StreamStats {
+  std::uint64_t pkts = 0;             // all packets observed for the stream
+  std::uint64_t bytes = 0;            // all payload bytes observed
+  std::uint64_t captured_pkts = 0;    // stored into a chunk
+  std::uint64_t captured_bytes = 0;
+  std::uint64_t discarded_pkts = 0;   // dropped on purpose (cutoff, dup)
+  std::uint64_t discarded_bytes = 0;
+  std::uint64_t dropped_pkts = 0;     // lost to overload (PPL / no memory)
+  std::uint64_t dropped_bytes = 0;
+  Timestamp first_packet;
+  Timestamp last_packet;
+};
+
+/// Per-stream tunables (settable through the API; defaults inherited from
+/// the capture configuration).
+struct StreamParams {
+  std::int64_t cutoff_bytes = -1;     // -1: unlimited
+  int priority = 0;                   // higher value = higher priority
+  std::uint32_t chunk_size = 16 * 1024;
+  std::uint32_t overlap_size = 0;
+  Duration flush_timeout = Duration::from_msec(0);  // 0: no timeout flush
+  Duration inactivity_timeout = Duration::from_sec(10);
+  ReassemblyMode mode = ReassemblyMode::kTcpFast;
+  OverlapPolicy policy = OverlapPolicy::kBsd;
+};
+
+/// Records one packet inside a chunk so that the original packets can be
+/// re-delivered in capture order (paper §5.7, scap_next_stream_packet).
+struct PacketRecord {
+  Timestamp ts;
+  std::uint32_t chunk_offset;  // where this packet's payload starts
+  std::uint32_t caplen;        // payload bytes stored
+  std::uint32_t wirelen;       // payload bytes on the wire
+  std::uint32_t seq;           // raw TCP sequence (0 for UDP)
+  std::uint8_t tcp_flags;
+};
+
+/// TCP connection-establishment tracking.
+enum class HandshakeState : std::uint8_t {
+  kNone,        // nothing seen (stream created from mid-flow data)
+  kSynSeen,
+  kSynAckSeen,
+  kEstablished,
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,133 @@
+#include "match/aho_corasick.hpp"
+
+#include <deque>
+#include <map>
+
+namespace scap::match {
+
+void AhoCorasick::build(const std::vector<std::string>& patterns) {
+  // Phase 1: byte trie with sparse children.
+  struct TrieNode {
+    std::map<std::uint8_t, std::uint32_t> children;
+    std::uint32_t fail = 0;
+    std::uint32_t out_head = kNoOutput;
+  };
+  std::vector<TrieNode> trie(1);
+  pattern_lengths_.clear();
+  out_links_.clear();
+
+  for (const std::string& pat : patterns) {
+    if (pat.empty()) continue;
+    std::uint32_t node = 0;
+    for (char ch : pat) {
+      const auto byte = static_cast<std::uint8_t>(ch);
+      auto it = trie[node].children.find(byte);
+      if (it == trie[node].children.end()) {
+        trie.push_back(TrieNode{});
+        const auto next = static_cast<std::uint32_t>(trie.size() - 1);
+        trie[node].children.emplace(byte, next);
+        node = next;
+      } else {
+        node = it->second;
+      }
+    }
+    const auto pattern_idx = static_cast<std::uint32_t>(pattern_lengths_.size());
+    pattern_lengths_.push_back(static_cast<std::uint32_t>(pat.size()));
+    out_links_.push_back({pattern_idx, trie[node].out_head});
+    trie[node].out_head = static_cast<std::uint32_t>(out_links_.size() - 1);
+  }
+
+  // Phase 2: BFS failure links; merge output lists along failures.
+  std::deque<std::uint32_t> queue;
+  for (const auto& [byte, child] : trie[0].children) {
+    trie[child].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t node = queue.front();
+    queue.pop_front();
+    for (const auto& [byte, child] : trie[node].children) {
+      // Follow failures until a node with this byte (dense table not yet
+      // built, so walk the sparse trie).
+      std::uint32_t f = trie[node].fail;
+      while (f != 0 && !trie[f].children.contains(byte)) f = trie[f].fail;
+      auto it = trie[f].children.find(byte);
+      trie[child].fail = (it != trie[f].children.end() && it->second != child)
+                             ? it->second
+                             : 0;
+      // Append the failure node's outputs to this node's chain.
+      if (trie[trie[child].fail].out_head != kNoOutput) {
+        if (trie[child].out_head == kNoOutput) {
+          trie[child].out_head = trie[trie[child].fail].out_head;
+        } else {
+          // Walk to the tail and splice (chains are short in practice).
+          std::uint32_t tail = trie[child].out_head;
+          while (out_links_[tail].next != kNoOutput &&
+                 out_links_[tail].next != trie[trie[child].fail].out_head) {
+            tail = out_links_[tail].next;
+          }
+          if (out_links_[tail].next == kNoOutput) {
+            out_links_[tail].next = trie[trie[child].fail].out_head;
+          }
+        }
+      }
+      queue.push_back(child);
+    }
+  }
+
+  // Phase 3: dense goto table with failure transitions folded in.
+  nodes_ = static_cast<std::uint32_t>(trie.size());
+  goto_.assign(static_cast<std::size_t>(nodes_) * 256, 0);
+  out_heads_.assign(nodes_, kNoOutput);
+  for (std::uint32_t n = 0; n < nodes_; ++n) out_heads_[n] = trie[n].out_head;
+
+  // Root transitions.
+  for (const auto& [byte, child] : trie[0].children) {
+    goto_[byte] = child;
+  }
+  // BFS again to fold failures into the dense table.
+  std::deque<std::uint32_t> bfs;
+  for (const auto& [byte, child] : trie[0].children) bfs.push_back(child);
+  while (!bfs.empty()) {
+    const std::uint32_t node = bfs.front();
+    bfs.pop_front();
+    for (int b = 0; b < 256; ++b) {
+      const auto byte = static_cast<std::uint8_t>(b);
+      auto it = trie[node].children.find(byte);
+      if (it != trie[node].children.end()) {
+        goto_[static_cast<std::size_t>(node) * 256 + b] = it->second;
+      } else {
+        goto_[static_cast<std::size_t>(node) * 256 + b] =
+            goto_[static_cast<std::size_t>(trie[node].fail) * 256 + b];
+      }
+    }
+    for (const auto& [byte, child] : trie[node].children) bfs.push_back(child);
+  }
+}
+
+std::uint64_t AhoCorasick::scan_stream(std::uint32_t& state,
+                                       std::span<const std::uint8_t> data,
+                                       const MatchFn& on_match) const {
+  if (nodes_ == 0) return 0;
+  std::uint64_t matches = 0;
+  std::uint32_t s = state;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    s = goto_[static_cast<std::size_t>(s) * 256 + data[i]];
+    std::uint32_t link = out_heads_[s];
+    while (link != kNoOutput) {
+      ++matches;
+      if (on_match) on_match(out_links_[link].pattern, i + 1);
+      link = out_links_[link].next;
+    }
+  }
+  state = s;
+  return matches;
+}
+
+std::uint64_t AhoCorasick::scan(std::span<const std::uint8_t> data,
+                                const MatchFn& on_match) const {
+  std::uint32_t state = root_state();
+  return scan_stream(state, data, on_match);
+}
+
+}  // namespace scap::match

@@ -1,0 +1,62 @@
+// Aho-Corasick multi-pattern matching (paper §6.5 uses it for the NIDS-style
+// workload with 2,120 Snort web-attack content strings).
+//
+// Dense goto tables per node (256-wide) built over a byte trie with BFS
+// failure links, giving O(1) per scanned byte. Supports both whole-buffer
+// scans and streaming scans that carry state across chunk boundaries (what
+// the paper's `overlap` chunk option otherwise compensates for).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scap::match {
+
+class AhoCorasick {
+ public:
+  /// Called on each match: (pattern index, end offset in the scanned data).
+  using MatchFn = std::function<void(std::size_t, std::size_t)>;
+
+  AhoCorasick() = default;
+  explicit AhoCorasick(const std::vector<std::string>& patterns) {
+    build(patterns);
+  }
+
+  /// (Re)build the automaton. Empty patterns are ignored.
+  void build(const std::vector<std::string>& patterns);
+
+  /// Scan a buffer from the root state; returns total matches.
+  std::uint64_t scan(std::span<const std::uint8_t> data,
+                     const MatchFn& on_match = nullptr) const;
+
+  /// Streaming scan: `state` carries the automaton position across calls
+  /// (initialize to root_state()). Returns matches in this piece.
+  std::uint64_t scan_stream(std::uint32_t& state,
+                            std::span<const std::uint8_t> data,
+                            const MatchFn& on_match = nullptr) const;
+
+  static constexpr std::uint32_t root_state() { return 0; }
+  std::size_t pattern_count() const { return pattern_lengths_.size(); }
+  std::size_t state_count() const { return nodes_; }
+
+ private:
+  std::uint32_t nodes_ = 0;
+  // goto_[state * 256 + byte] = next state (failure links precomputed in).
+  std::vector<std::uint32_t> goto_;
+  // out_heads_[state] = index into out_lists_ (or kNoOutput).
+  std::vector<std::uint32_t> out_heads_;
+  // Flattened output lists: (pattern index, next index) chains.
+  struct OutLink {
+    std::uint32_t pattern;
+    std::uint32_t next;
+  };
+  std::vector<OutLink> out_links_;
+  std::vector<std::uint32_t> pattern_lengths_;
+
+  static constexpr std::uint32_t kNoOutput = 0xffffffffu;
+};
+
+}  // namespace scap::match

@@ -1,0 +1,30 @@
+#include "match/corpus.hpp"
+
+#include <unordered_set>
+
+namespace scap::match {
+
+std::vector<std::string> make_corpus(const CorpusConfig& config) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  Rng rng(config.seed);
+  std::vector<std::string> patterns;
+  std::unordered_set<std::string> seen;
+  patterns.reserve(config.pattern_count);
+  while (patterns.size() < config.pattern_count) {
+    const std::size_t len = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(config.min_len),
+                  static_cast<std::int64_t>(config.max_len)));
+    std::string pat;
+    pat.reserve(len + 5);
+    pat += kPatternMarker;
+    pat += "ATK-";
+    for (std::size_t i = pat.size(); i < len + 5; ++i) {
+      pat += kAlphabet[rng.bounded(sizeof(kAlphabet) - 1)];
+    }
+    if (seen.insert(pat).second) patterns.push_back(std::move(pat));
+  }
+  return patterns;
+}
+
+}  // namespace scap::match

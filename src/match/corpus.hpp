@@ -1,0 +1,30 @@
+// Pattern corpus generation — a stand-in for the 2,120 content strings the
+// paper extracts from the Snort VRT "web attack" rules.
+//
+// Patterns carry the marker byte '#', which the traffic generator's filler
+// alphabet never produces, so every automaton match in a synthetic trace is
+// a planted one and ground-truth match counts are exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace scap::match {
+
+struct CorpusConfig {
+  std::size_t pattern_count = 2120;  // the paper's VRT extraction
+  std::size_t min_len = 6;
+  std::size_t max_len = 24;
+  std::uint64_t seed = 0xc0125;
+};
+
+/// Deterministic pseudo-attack patterns, e.g. "#ATK-x7f2kq9".
+std::vector<std::string> make_corpus(const CorpusConfig& config = {});
+
+/// The byte that appears in every pattern and never in generated filler.
+constexpr char kPatternMarker = '#';
+
+}  // namespace scap::match

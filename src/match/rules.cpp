@@ -1,0 +1,306 @@
+#include "match/rules.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace scap::match {
+namespace {
+
+bool parse_ip_spec(const std::string& spec, std::uint32_t* ip,
+                   std::uint32_t* mask) {
+  if (spec == "any" || (!spec.empty() && spec[0] == '$')) {
+    *ip = 0;
+    *mask = 0;
+    return true;
+  }
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int prefix = 32;
+  int part = 0;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  std::size_t i = 0;
+  for (; i < spec.size(); ++i) {
+    const char ch = spec[i];
+    if (ch == '.') {
+      if (!have_digit || part >= 3) return false;
+      parts[part++] = cur;
+      cur = 0;
+      have_digit = false;
+    } else if (ch == '/') {
+      break;
+    } else if (std::isdigit(static_cast<unsigned char>(ch))) {
+      cur = cur * 10 + static_cast<std::uint32_t>(ch - '0');
+      if (cur > 255) return false;
+      have_digit = true;
+    } else {
+      return false;
+    }
+  }
+  if (!have_digit || part != 3) return false;
+  parts[3] = cur;
+  if (i < spec.size() && spec[i] == '/') {
+    prefix = 0;
+    for (++i; i < spec.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(spec[i]))) return false;
+      prefix = prefix * 10 + (spec[i] - '0');
+    }
+    if (prefix > 32) return false;
+  }
+  *ip = (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+  *mask = prefix == 0 ? 0 : (0xffffffffu << (32 - prefix)) & 0xffffffffu;
+  return true;
+}
+
+bool parse_port_spec(const std::string& spec, std::uint16_t* lo,
+                     std::uint16_t* hi) {
+  if (spec == "any" || (!spec.empty() && spec[0] == '$')) {
+    *lo = 0;
+    *hi = 65535;
+    return true;
+  }
+  const std::size_t colon = spec.find(':');
+  auto parse_num = [](const std::string& s, std::uint16_t dflt,
+                      std::uint16_t* out) {
+    if (s.empty()) {
+      *out = dflt;
+      return true;
+    }
+    std::uint32_t v = 0;
+    for (char ch : s) {
+      if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+      v = v * 10 + static_cast<std::uint32_t>(ch - '0');
+      if (v > 65535) return false;
+    }
+    *out = static_cast<std::uint16_t>(v);
+    return true;
+  };
+  if (colon == std::string::npos) {
+    if (!parse_num(spec, 0, lo)) return false;
+    *hi = *lo;
+    return true;
+  }
+  return parse_num(spec.substr(0, colon), 0, lo) &&
+         parse_num(spec.substr(colon + 1), 65535, hi) && *lo <= *hi;
+}
+
+/// Decode a Snort content string: |41 42| hex blocks inside text.
+std::optional<std::string> decode_content(const std::string& raw) {
+  std::string out;
+  bool in_hex = false;
+  int nibble = -1;
+  for (char ch : raw) {
+    if (ch == '|') {
+      if (in_hex && nibble != -1) return std::nullopt;  // odd hex digits
+      in_hex = !in_hex;
+      continue;
+    }
+    if (!in_hex) {
+      out += ch;
+      continue;
+    }
+    if (ch == ' ') continue;
+    int v;
+    if (ch >= '0' && ch <= '9') {
+      v = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      v = ch - 'a' + 10;
+    } else if (ch >= 'A' && ch <= 'F') {
+      v = ch - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    if (nibble < 0) {
+      nibble = v;
+    } else {
+      out += static_cast<char>((nibble << 4) | v);
+      nibble = -1;
+    }
+  }
+  if (in_hex) return std::nullopt;  // unterminated hex block
+  return out;
+}
+
+/// Split the option block "key:value; key; ..." respecting quotes.
+std::vector<std::string> split_options(const std::string& block) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (char ch : block) {
+    if (ch == '"') quoted = !quoted;
+    if (ch == ';' && !quoted) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<std::string> quoted_value(const std::string& s) {
+  const std::size_t open = s.find('"');
+  const std::size_t close = s.rfind('"');
+  if (open == std::string::npos || close <= open) return std::nullopt;
+  return s.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+bool Rule::matches_tuple(const FiveTuple& tuple) const {
+  if (protocol != 0 && tuple.protocol != protocol) return false;
+  if ((tuple.src_ip & src_mask) != (src_ip & src_mask)) return false;
+  if ((tuple.dst_ip & dst_mask) != (dst_ip & dst_mask)) return false;
+  if (tuple.src_port < sport_lo || tuple.src_port > sport_hi) return false;
+  if (tuple.dst_port < dport_lo || tuple.dst_port > dport_hi) return false;
+  return true;
+}
+
+RuleSet parse_rules(const std::string& text) {
+  RuleSet set;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string body = strip(line);
+    if (body.empty() || body[0] == '#') continue;
+
+    auto fail = [&](const std::string& why) {
+      set.errors.push_back({lineno, why});
+    };
+
+    const std::size_t paren = body.find('(');
+    if (paren == std::string::npos || body.back() != ')') {
+      fail("missing option block");
+      continue;
+    }
+    std::istringstream head(body.substr(0, paren));
+    Rule rule;
+    std::string proto, src, sport, arrow, dst, dport;
+    if (!(head >> rule.action >> proto >> src >> sport >> arrow >> dst >>
+          dport)) {
+      fail("malformed rule header");
+      continue;
+    }
+    if (rule.action != "alert" && rule.action != "log" &&
+        rule.action != "pass") {
+      fail("unknown action: " + rule.action);
+      continue;
+    }
+    if (arrow != "->") {
+      fail("only '->' rules are supported");
+      continue;
+    }
+    if (proto == "tcp") {
+      rule.protocol = kProtoTcp;
+    } else if (proto == "udp") {
+      rule.protocol = kProtoUdp;
+    } else if (proto == "ip") {
+      rule.protocol = 0;
+    } else {
+      fail("unknown protocol: " + proto);
+      continue;
+    }
+    if (!parse_ip_spec(src, &rule.src_ip, &rule.src_mask) ||
+        !parse_ip_spec(dst, &rule.dst_ip, &rule.dst_mask)) {
+      fail("bad address spec");
+      continue;
+    }
+    if (!parse_port_spec(sport, &rule.sport_lo, &rule.sport_hi) ||
+        !parse_port_spec(dport, &rule.dport_lo, &rule.dport_hi)) {
+      fail("bad port spec");
+      continue;
+    }
+
+    const std::string opts =
+        body.substr(paren + 1, body.size() - paren - 2);
+    bool ok = true;
+    for (const std::string& raw_opt : split_options(opts)) {
+      const std::string opt = strip(raw_opt);
+      if (opt.empty()) continue;
+      const std::size_t colon = opt.find(':');
+      const std::string key =
+          strip(colon == std::string::npos ? opt : opt.substr(0, colon));
+      const std::string val =
+          colon == std::string::npos ? "" : strip(opt.substr(colon + 1));
+      if (key == "msg") {
+        if (auto q = quoted_value(val)) rule.msg = *q;
+      } else if (key == "content") {
+        auto q = quoted_value(val);
+        if (!q) {
+          fail("content needs a quoted value");
+          ok = false;
+          break;
+        }
+        auto decoded = decode_content(*q);
+        if (!decoded || decoded->empty()) {
+          fail("bad content encoding");
+          ok = false;
+          break;
+        }
+        rule.contents.push_back({std::move(*decoded), false});
+      } else if (key == "nocase") {
+        if (!rule.contents.empty()) rule.contents.back().nocase = true;
+      } else if (key == "sid") {
+        rule.sid = static_cast<std::uint32_t>(std::strtoul(val.c_str(),
+                                                           nullptr, 10));
+      } else if (key == "rev") {
+        rule.rev = static_cast<std::uint32_t>(std::strtoul(val.c_str(),
+                                                           nullptr, 10));
+      }
+      // Unknown options ignored (Snort rules carry many).
+    }
+    if (ok) set.rules.push_back(std::move(rule));
+  }
+  return set;
+}
+
+std::vector<std::string> RuleSet::patterns() const {
+  std::vector<std::string> out;
+  for (const auto& rule : rules) {
+    for (const auto& content : rule.contents) out.push_back(content.bytes);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RuleSet::pattern_owner() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (std::size_t c = 0; c < rules[r].contents.size(); ++c) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Rule& rule) {
+  std::ostringstream out;
+  out << rule.action << " "
+      << (rule.protocol == kProtoTcp   ? "tcp"
+          : rule.protocol == kProtoUdp ? "udp"
+                                       : "ip")
+      << " "
+      << (rule.src_mask == 0 ? std::string("any") : ip_to_string(rule.src_ip))
+      << " "
+      << (rule.sport_lo == 0 && rule.sport_hi == 65535
+              ? std::string("any")
+              : std::to_string(rule.sport_lo))
+      << " -> "
+      << (rule.dst_mask == 0 ? std::string("any") : ip_to_string(rule.dst_ip))
+      << " "
+      << (rule.dport_lo == 0 && rule.dport_hi == 65535
+              ? std::string("any")
+              : std::to_string(rule.dport_lo))
+      << " (msg:\"" << rule.msg << "\"; sid:" << rule.sid << ";)";
+  return out.str();
+}
+
+}  // namespace scap::match

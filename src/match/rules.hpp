@@ -1,0 +1,75 @@
+// Snort-style rule parsing (the subset needed to extract content patterns
+// the way the paper does with the VRT "web attack" rule set, §6.5).
+//
+// Supported grammar (one rule per line; '#' comments):
+//
+//   <action> <proto> <src> <sport> -> <dst> <dport> (option; option; ...)
+//
+//   action : alert | log | pass
+//   proto  : tcp | udp | ip
+//   src/dst: any | IPv4 | IPv4/prefix | $VARIABLE (treated as any)
+//   ports  : any | N | N:M | $VARIABLE
+//   options: msg:"text"; content:"bytes"; sid:N; rev:N; nocase;
+//            (unknown options are preserved but ignored)
+//
+// content strings support Snort's |AA BB| hex escapes. Each rule may carry
+// several content options; match_patterns() flattens a rule set into the
+// pattern list fed to the Aho-Corasick automaton, with a map back to rule
+// sids so a match can be attributed to its rule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/headers.hpp"
+
+namespace scap::match {
+
+struct RuleContent {
+  std::string bytes;   // decoded (hex escapes resolved)
+  bool nocase = false;
+};
+
+struct Rule {
+  std::string action;
+  std::uint8_t protocol = 0;      // 0 = any IP
+  std::uint32_t src_ip = 0;       // with src_mask; 0/0 = any
+  std::uint32_t src_mask = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint32_t dst_mask = 0;
+  std::uint16_t sport_lo = 0, sport_hi = 65535;
+  std::uint16_t dport_lo = 0, dport_hi = 65535;
+  std::string msg;
+  std::uint32_t sid = 0;
+  std::uint32_t rev = 0;
+  std::vector<RuleContent> contents;
+
+  /// Does this rule's header match a flow tuple?
+  bool matches_tuple(const FiveTuple& tuple) const;
+};
+
+struct RuleParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct RuleSet {
+  std::vector<Rule> rules;
+  std::vector<RuleParseError> errors;
+
+  /// All content patterns, for automaton construction.
+  std::vector<std::string> patterns() const;
+  /// patterns()[i] belongs to rules[pattern_owner()[i]].
+  std::vector<std::size_t> pattern_owner() const;
+};
+
+/// Parse a rule file's contents (not a path). Bad lines are recorded in
+/// `errors` and skipped; good lines still load.
+RuleSet parse_rules(const std::string& text);
+
+/// Render a rule back to (canonical) text.
+std::string to_string(const Rule& rule);
+
+}  // namespace scap::match

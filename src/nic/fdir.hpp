@@ -1,0 +1,106 @@
+// Flow Director (FDIR) filter table — the model of the Intel 82599's
+// perfect-match filters (paper §2.1, §5.5).
+//
+// A filter matches a packet's 5-tuple plus an optional "flexible 2-byte
+// tuple" anywhere in the first 64 bytes of the frame (the paper's modified
+// driver points it at the TCP offset/reserved/flags bytes so that ACK and
+// ACK|PSH data packets can be dropped while RST/FIN still reach the host).
+// Matching packets are either dropped at the NIC — never reaching main
+// memory, the "subzero copy" path — or steered to an explicit RX queue
+// (dynamic load balancing).
+//
+// The table enforces the hardware capacity, keeps filters on a timeout list
+// ordered by expiry (paper: re-installed filters get doubled timeouts so
+// long flows are evicted only a logarithmic number of times), and evicts the
+// soonest-to-expire filter when full.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::nic {
+
+enum class FdirAction : std::uint8_t { kDrop, kToQueue };
+
+struct FdirFilter {
+  FiveTuple tuple;
+  FdirAction action = FdirAction::kDrop;
+  int queue = 0;  // for kToQueue
+
+  // Flexible 2-byte match window (big-endian halfword at `flex_offset` into
+  // the frame, masked). Offset must lie within the first 64 bytes.
+  bool has_flex = false;
+  std::uint8_t flex_offset = 0;
+  std::uint16_t flex_value = 0;
+  std::uint16_t flex_mask = 0xffff;
+
+  Timestamp expires;  // absolute virtual time
+};
+
+class FdirTable {
+ public:
+  /// The 82599 supports 8K perfect-match filters (paper §2.1).
+  explicit FdirTable(std::size_t capacity = 8192) : capacity_(capacity) {}
+
+  /// Install a filter. If the table is full, the filter with the nearest
+  /// expiry is evicted first (paper §5.5: "a filter with a small timeout is
+  /// evicted, as it does not correspond to a long-lived stream").
+  /// Returns the new filter's id, and reports any eviction via `evicted`.
+  std::uint64_t add(const FdirFilter& filter,
+                    std::optional<FdirFilter>* evicted = nullptr);
+
+  /// Remove by id; returns false if unknown.
+  bool remove(std::uint64_t id);
+
+  /// Remove all filters for a tuple (both flex variants); returns count.
+  std::size_t remove_tuple(const FiveTuple& tuple);
+
+  /// First filter matching this packet, or nullptr.
+  const FdirFilter* match(const Packet& pkt) const;
+
+  /// Pop every filter whose timeout has passed. The owner decides whether
+  /// to re-install (with a doubled timeout) when the stream turns out to be
+  /// still alive.
+  std::vector<FdirFilter> expire(Timestamp now);
+
+  std::size_t size() const { return by_id_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    FdirFilter filter;
+    std::multimap<std::int64_t, std::uint64_t>::iterator timeout_it;
+  };
+
+  static std::uint64_t tuple_key(const FiveTuple& t);
+  void erase_entry(std::unordered_map<std::uint64_t, Entry>::iterator it);
+
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::uint64_t, Entry> by_id_;
+  // tuple key -> filter ids (usually 1-2 per tuple: ACK and ACK|PSH).
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_tuple_;
+  // expiry ns -> id, ordered so expiry and eviction scan from the front.
+  std::multimap<std::int64_t, std::uint64_t> by_timeout_;
+};
+
+/// Frame byte offset of the TCP offset/reserved/flags halfword for a frame
+/// with no IP options (Ethernet 14 + IPv4 20 + TCP offset 12).
+constexpr std::uint8_t kTcpFlagsFlexOffset = 14 + 20 + 12;
+
+/// Build the paper's two data-packet-dropping filters for one stream
+/// direction: one matching pure-ACK segments, one matching ACK|PSH
+/// (paper §5.5). RST/FIN packets fall through to the host.
+std::vector<FdirFilter> make_cutoff_filters(const FiveTuple& tuple,
+                                            Timestamp expires);
+
+}  // namespace scap::nic

@@ -1,0 +1,27 @@
+#include "nic/rss.hpp"
+
+namespace scap::nic {
+
+int RssEngine::queue_for(const FiveTuple& tuple) const {
+  std::uint8_t input[12];
+  input[0] = static_cast<std::uint8_t>(tuple.src_ip >> 24);
+  input[1] = static_cast<std::uint8_t>(tuple.src_ip >> 16);
+  input[2] = static_cast<std::uint8_t>(tuple.src_ip >> 8);
+  input[3] = static_cast<std::uint8_t>(tuple.src_ip);
+  input[4] = static_cast<std::uint8_t>(tuple.dst_ip >> 24);
+  input[5] = static_cast<std::uint8_t>(tuple.dst_ip >> 16);
+  input[6] = static_cast<std::uint8_t>(tuple.dst_ip >> 8);
+  input[7] = static_cast<std::uint8_t>(tuple.dst_ip);
+  input[8] = static_cast<std::uint8_t>(tuple.src_port >> 8);
+  input[9] = static_cast<std::uint8_t>(tuple.src_port);
+  input[10] = static_cast<std::uint8_t>(tuple.dst_port >> 8);
+  input[11] = static_cast<std::uint8_t>(tuple.dst_port);
+  const std::uint32_t hash = toeplitz_hash(key_, input);
+  return static_cast<int>(hash % static_cast<std::uint32_t>(num_queues_));
+}
+
+int RssEngine::queue_for(const Packet& pkt) const {
+  return queue_for(pkt.tuple());
+}
+
+}  // namespace scap::nic

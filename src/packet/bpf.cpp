@@ -1,0 +1,295 @@
+#include "packet/bpf.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+namespace scap {
+
+namespace {
+
+enum class Dir { kEither, kSrc, kDst };
+
+}  // namespace
+
+struct BpfProgram::Node {
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kProto,      // value = IP protocol number
+    kHost,       // value = IP, dir
+    kNet,        // value = IP, value2 = mask, dir
+    kPort,       // value = port, dir
+    kPortRange,  // value = lo, value2 = hi, dir
+    kIp,         // any IPv4 (always true here: we only decode IPv4)
+  };
+  Kind kind;
+  std::uint32_t value = 0;
+  std::uint32_t value2 = 0;
+  Dir dir = Dir::kEither;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+
+  bool eval(const FiveTuple& t) const {
+    switch (kind) {
+      case Kind::kAnd:
+        return left->eval(t) && right->eval(t);
+      case Kind::kOr:
+        return left->eval(t) || right->eval(t);
+      case Kind::kNot:
+        return !left->eval(t);
+      case Kind::kProto:
+        return t.protocol == value;
+      case Kind::kHost:
+        switch (dir) {
+          case Dir::kSrc: return t.src_ip == value;
+          case Dir::kDst: return t.dst_ip == value;
+          case Dir::kEither: return t.src_ip == value || t.dst_ip == value;
+        }
+        return false;
+      case Kind::kNet:
+        switch (dir) {
+          case Dir::kSrc: return (t.src_ip & value2) == (value & value2);
+          case Dir::kDst: return (t.dst_ip & value2) == (value & value2);
+          case Dir::kEither:
+            return (t.src_ip & value2) == (value & value2) ||
+                   (t.dst_ip & value2) == (value & value2);
+        }
+        return false;
+      case Kind::kPort:
+        switch (dir) {
+          case Dir::kSrc: return t.src_port == value;
+          case Dir::kDst: return t.dst_port == value;
+          case Dir::kEither: return t.src_port == value || t.dst_port == value;
+        }
+        return false;
+      case Kind::kPortRange: {
+        auto in = [&](std::uint16_t p) { return p >= value && p <= value2; };
+        switch (dir) {
+          case Dir::kSrc: return in(t.src_port);
+          case Dir::kDst: return in(t.dst_port);
+          case Dir::kEither: return in(t.src_port) || in(t.dst_port);
+        }
+        return false;
+      }
+      case Kind::kIp:
+        return true;
+    }
+    return false;
+  }
+};
+
+namespace {
+
+using Node = BpfProgram::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) { tokenize(text); }
+
+  NodePtr parse() {
+    if (tokens_.empty()) return nullptr;
+    NodePtr root = parse_or();
+    if (pos_ != tokens_.size()) {
+      throw std::invalid_argument("bpf: trailing tokens after '" +
+                                  tokens_[pos_ - 1] + "'");
+    }
+    return root;
+  }
+
+ private:
+  void tokenize(const std::string& text) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+        continue;
+      }
+      if (text[i] == '(' || text[i] == ')' || text[i] == '/' ||
+          text[i] == '-') {
+        tokens_.emplace_back(1, text[i]);
+        ++i;
+        continue;
+      }
+      std::size_t start = i;
+      while (i < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[i])) &&
+             text[i] != '(' && text[i] != ')' && text[i] != '/' &&
+             text[i] != '-') {
+        ++i;
+      }
+      tokens_.push_back(text.substr(start, i - start));
+    }
+  }
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const {
+    static const std::string kEmpty;
+    return at_end() ? kEmpty : tokens_[pos_];
+  }
+  std::string take() {
+    if (at_end()) throw std::invalid_argument("bpf: unexpected end of filter");
+    return tokens_[pos_++];
+  }
+  bool accept(const std::string& word) {
+    if (!at_end() && tokens_[pos_] == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  NodePtr parse_or() {
+    NodePtr left = parse_and();
+    while (accept("or") || accept("||")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kOr;
+      node->left = left;
+      node->right = parse_and();
+      left = node;
+    }
+    return left;
+  }
+
+  NodePtr parse_and() {
+    NodePtr left = parse_unary();
+    while (accept("and") || accept("&&")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kAnd;
+      node->left = left;
+      node->right = parse_unary();
+      left = node;
+    }
+    return left;
+  }
+
+  NodePtr parse_unary() {
+    if (accept("not") || accept("!")) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kNot;
+      node->left = parse_unary();
+      return node;
+    }
+    if (accept("(")) {
+      NodePtr inner = parse_or();
+      if (!accept(")")) throw std::invalid_argument("bpf: missing ')'");
+      return inner;
+    }
+    return parse_primitive();
+  }
+
+  static std::uint32_t parse_ip(const std::string& s) {
+    std::uint32_t parts[4];
+    int part = 0;
+    std::uint32_t cur = 0;
+    bool have_digit = false;
+    for (char ch : s) {
+      if (ch == '.') {
+        if (!have_digit || part >= 3) {
+          throw std::invalid_argument("bpf: bad IPv4 address: " + s);
+        }
+        parts[part++] = cur;
+        cur = 0;
+        have_digit = false;
+      } else if (std::isdigit(static_cast<unsigned char>(ch))) {
+        cur = cur * 10 + static_cast<std::uint32_t>(ch - '0');
+        if (cur > 255) throw std::invalid_argument("bpf: bad IPv4 octet: " + s);
+        have_digit = true;
+      } else {
+        throw std::invalid_argument("bpf: bad IPv4 address: " + s);
+      }
+    }
+    if (!have_digit || part != 3) {
+      throw std::invalid_argument("bpf: bad IPv4 address: " + s);
+    }
+    parts[3] = cur;
+    return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+  }
+
+  static std::uint32_t parse_num(const std::string& s, std::uint32_t max) {
+    if (s.empty()) throw std::invalid_argument("bpf: expected a number");
+    std::uint64_t v = 0;
+    for (char ch : s) {
+      if (!std::isdigit(static_cast<unsigned char>(ch))) {
+        throw std::invalid_argument("bpf: bad number: " + s);
+      }
+      v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+      if (v > max) throw std::invalid_argument("bpf: number out of range: " + s);
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  NodePtr parse_primitive() {
+    Dir dir = Dir::kEither;
+    if (accept("src")) {
+      dir = Dir::kSrc;
+    } else if (accept("dst")) {
+      dir = Dir::kDst;
+    }
+
+    const std::string word = take();
+    auto node = std::make_shared<Node>();
+    node->dir = dir;
+    if (word == "tcp") {
+      node->kind = Node::Kind::kProto;
+      node->value = kProtoTcp;
+    } else if (word == "udp") {
+      node->kind = Node::Kind::kProto;
+      node->value = kProtoUdp;
+    } else if (word == "icmp") {
+      node->kind = Node::Kind::kProto;
+      node->value = kProtoIcmp;
+    } else if (word == "ip") {
+      node->kind = Node::Kind::kIp;
+    } else if (word == "proto") {
+      node->kind = Node::Kind::kProto;
+      node->value = parse_num(take(), 255);
+    } else if (word == "host") {
+      node->kind = Node::Kind::kHost;
+      node->value = parse_ip(take());
+    } else if (word == "net") {
+      node->kind = Node::Kind::kNet;
+      node->value = parse_ip(take());
+      if (!accept("/")) throw std::invalid_argument("bpf: net needs /prefix");
+      const std::uint32_t prefix = parse_num(take(), 32);
+      node->value2 =
+          prefix == 0 ? 0 : (0xffffffffu << (32 - prefix)) & 0xffffffffu;
+    } else if (word == "port") {
+      node->kind = Node::Kind::kPort;
+      node->value = parse_num(take(), 65535);
+    } else if (word == "portrange") {
+      node->kind = Node::Kind::kPortRange;
+      node->value = parse_num(take(), 65535);
+      if (!accept("-")) {
+        throw std::invalid_argument("bpf: portrange needs lo-hi");
+      }
+      node->value2 = parse_num(take(), 65535);
+      if (node->value2 < node->value) {
+        throw std::invalid_argument("bpf: portrange hi < lo");
+      }
+    } else {
+      throw std::invalid_argument("bpf: unknown primitive: " + word);
+    }
+    return node;
+  }
+
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+BpfProgram BpfProgram::compile(const std::string& expression) {
+  BpfProgram p;
+  p.root_ = Parser(expression).parse();
+  p.source_ = expression;
+  return p;
+}
+
+bool BpfProgram::matches(const FiveTuple& tuple) const {
+  return root_ == nullptr || root_->eval(tuple);
+}
+
+}  // namespace scap

@@ -1,0 +1,47 @@
+// BPF-style filter expressions (the subset monitoring applications use with
+// scap_set_filter / scap_add_cutoff_class).
+//
+// Grammar (classic tcpdump syntax):
+//   expr      := and_expr ( "or" and_expr )*
+//   and_expr  := unary ( "and" unary )*
+//   unary     := "not" unary | "(" expr ")" | primitive
+//   primitive := "tcp" | "udp" | "icmp" | "ip"
+//             |  [dir] "host" IPV4
+//             |  [dir] "net" IPV4 "/" PREFIX
+//             |  [dir] "port" NUM
+//             |  [dir] "portrange" NUM "-" NUM
+//             |  "proto" NUM
+//   dir       := "src" | "dst"
+//
+// Filters evaluate over decoded 5-tuples, which is what both the kernel
+// datapath and the NIC-level classifier have available.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "packet/headers.hpp"
+
+namespace scap {
+
+class BpfProgram {
+ public:
+  BpfProgram() = default;  // empty program matches everything
+
+  /// Compile an expression. Throws std::invalid_argument on syntax errors.
+  static BpfProgram compile(const std::string& expression);
+
+  bool matches(const FiveTuple& tuple) const;
+  bool empty() const { return root_ == nullptr; }
+  const std::string& source() const { return source_; }
+
+  // Node is public only for the compiler/tests; treat as opaque.
+  struct Node;
+
+ private:
+  std::shared_ptr<const Node> root_;
+  std::string source_;
+};
+
+}  // namespace scap

@@ -1,0 +1,42 @@
+#include "packet/checksum.hpp"
+
+namespace scap {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);  // odd byte, pad with 0
+  }
+  return sum;
+}
+
+namespace {
+std::uint16_t fold(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold(checksum_partial(data));
+}
+
+std::uint16_t transport_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+  std::uint32_t sum = 0;
+  sum += (src_ip >> 16) & 0xffff;
+  sum += src_ip & 0xffff;
+  sum += (dst_ip >> 16) & 0xffff;
+  sum += dst_ip & 0xffff;
+  sum += protocol;
+  sum += static_cast<std::uint32_t>(segment.size());
+  sum = checksum_partial(segment, sum);
+  return fold(sum);
+}
+
+}  // namespace scap

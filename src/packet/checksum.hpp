@@ -1,0 +1,23 @@
+// RFC 1071 internet checksum, plus the TCP/UDP pseudo-header variants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace scap {
+
+/// One's-complement sum over `data`, folded to 16 bits (not inverted).
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t sum = 0);
+
+/// Full internet checksum of a buffer (inverted, ready to store).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP/UDP checksum with the IPv4 pseudo-header.
+/// `segment` covers the transport header + payload with the checksum field
+/// zeroed (or its existing value, if verifying — a valid packet then yields 0).
+std::uint16_t transport_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace scap

@@ -1,0 +1,127 @@
+#include "packet/craft.hpp"
+
+#include <cstring>
+
+#include "packet/checksum.hpp"
+
+namespace scap {
+namespace {
+
+constexpr std::uint8_t kSrcMac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+constexpr std::uint8_t kDstMac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+
+void fill_eth(std::span<std::uint8_t> out) {
+  EthHeader eth{};
+  std::memcpy(eth.dst, kDstMac, 6);
+  std::memcpy(eth.src, kSrcMac, 6);
+  eth.ether_type = kEtherTypeIpv4;
+  write_eth(out, eth);
+}
+
+void fill_ipv4(std::span<std::uint8_t> out, const FiveTuple& tuple,
+               std::uint8_t protocol, std::size_t l4_len, std::uint8_t ttl,
+               std::uint16_t ip_id) {
+  Ipv4Header ip{};
+  ip.version = 4;
+  ip.ihl = 5;
+  ip.total_len = static_cast<std::uint16_t>(20 + l4_len);
+  ip.id = ip_id;
+  ip.ttl = ttl;
+  ip.protocol = protocol;
+  ip.src_ip = tuple.src_ip;
+  ip.dst_ip = tuple.dst_ip;
+  write_ipv4(out, ip);
+  const std::uint16_t csum = internet_checksum(out.first(20));
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_tcp_frame(const TcpSegmentSpec& spec) {
+  const std::size_t l4_len = 20 + spec.payload.size();
+  std::vector<std::uint8_t> frame(kEthHeaderLen + 20 + l4_len);
+  auto out = std::span<std::uint8_t>(frame);
+
+  fill_eth(out);
+  fill_ipv4(out.subspan(kEthHeaderLen), spec.tuple, kProtoTcp, l4_len,
+            spec.ttl, spec.ip_id);
+
+  TcpHeader tcp{};
+  tcp.src_port = spec.tuple.src_port;
+  tcp.dst_port = spec.tuple.dst_port;
+  tcp.seq = spec.seq;
+  tcp.ack = spec.ack;
+  tcp.data_off = 5;
+  tcp.flags = spec.flags;
+  tcp.window = spec.window;
+  auto l4 = out.subspan(kEthHeaderLen + 20);
+  write_tcp(l4, tcp);
+  if (!spec.payload.empty()) {
+    std::memcpy(l4.data() + 20, spec.payload.data(), spec.payload.size());
+  }
+  const std::uint16_t csum = transport_checksum(
+      spec.tuple.src_ip, spec.tuple.dst_ip, kProtoTcp, l4.first(l4_len));
+  l4[16] = static_cast<std::uint8_t>(csum >> 8);
+  l4[17] = static_cast<std::uint8_t>(csum & 0xff);
+  return frame;
+}
+
+std::vector<std::uint8_t> build_udp_frame(const FiveTuple& tuple,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint8_t ttl) {
+  const std::size_t l4_len = 8 + payload.size();
+  std::vector<std::uint8_t> frame(kEthHeaderLen + 20 + l4_len);
+  auto out = std::span<std::uint8_t>(frame);
+
+  fill_eth(out);
+  fill_ipv4(out.subspan(kEthHeaderLen), tuple, kProtoUdp, l4_len, ttl, 0);
+
+  UdpHeader udp{};
+  udp.src_port = tuple.src_port;
+  udp.dst_port = tuple.dst_port;
+  udp.length = static_cast<std::uint16_t>(l4_len);
+  auto l4 = out.subspan(kEthHeaderLen + 20);
+  write_udp(l4, udp);
+  if (!payload.empty()) {
+    std::memcpy(l4.data() + 8, payload.data(), payload.size());
+  }
+  const std::uint16_t csum = transport_checksum(tuple.src_ip, tuple.dst_ip,
+                                                kProtoUdp, l4.first(l4_len));
+  l4[6] = static_cast<std::uint8_t>(csum >> 8);
+  l4[7] = static_cast<std::uint8_t>(csum & 0xff);
+  return frame;
+}
+
+Packet make_tcp_packet(const TcpSegmentSpec& spec, Timestamp ts) {
+  auto frame = build_tcp_frame(spec);
+  return Packet::from_bytes(frame, ts);
+}
+
+Packet make_udp_packet(const FiveTuple& tuple,
+                       std::span<const std::uint8_t> payload, Timestamp ts) {
+  auto frame = build_udp_frame(tuple, payload);
+  return Packet::from_bytes(frame, ts);
+}
+
+bool verify_checksums(std::span<const std::uint8_t> frame) {
+  const auto eth = parse_eth(frame);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return false;
+  const auto ip_bytes = frame.subspan(kEthHeaderLen);
+  const auto ip = parse_ipv4(ip_bytes);
+  if (!ip) return false;
+  if (internet_checksum(ip_bytes.first(ip->header_len())) != 0) return false;
+  if (ip->fragment_offset_bytes() != 0 || ip->more_fragments()) {
+    return true;  // transport checksum spans all fragments; skip
+  }
+  const std::size_t l4_len = ip->total_len - ip->header_len();
+  const auto l4 = ip_bytes.subspan(ip->header_len());
+  if (l4.size() < l4_len) return false;  // snapped; cannot verify
+  if (ip->protocol == kProtoTcp || ip->protocol == kProtoUdp) {
+    return transport_checksum(ip->src_ip, ip->dst_ip, ip->protocol,
+                              l4.first(l4_len)) == 0;
+  }
+  return true;
+}
+
+}  // namespace scap

@@ -1,0 +1,43 @@
+// Packet crafting: builds complete, checksum-correct Ethernet/IPv4/TCP|UDP
+// frames. Used by the traffic generator and by tests that need precise
+// control over sequence numbers, flags, and payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "packet/packet.hpp"
+
+namespace scap {
+
+struct TcpSegmentSpec {
+  FiveTuple tuple;           // protocol field is ignored (forced to TCP)
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = kTcpAck;
+  std::uint16_t window = 65535;
+  std::span<const std::uint8_t> payload = {};
+  std::uint8_t ttl = 64;
+  std::uint16_t ip_id = 0;
+};
+
+/// Build a full Ethernet/IPv4/TCP frame.
+std::vector<std::uint8_t> build_tcp_frame(const TcpSegmentSpec& spec);
+
+/// Build a full Ethernet/IPv4/UDP frame.
+std::vector<std::uint8_t> build_udp_frame(const FiveTuple& tuple,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint8_t ttl = 64);
+
+/// Decode helper used pervasively in tests.
+Packet make_tcp_packet(const TcpSegmentSpec& spec, Timestamp ts);
+Packet make_udp_packet(const FiveTuple& tuple,
+                       std::span<const std::uint8_t> payload, Timestamp ts);
+
+/// Verify the IP header checksum and (for TCP/UDP) the transport checksum of
+/// an unsnapped frame. Returns true when all present checksums are valid.
+bool verify_checksums(std::span<const std::uint8_t> frame);
+
+}  // namespace scap

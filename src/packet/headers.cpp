@@ -1,0 +1,124 @@
+#include "packet/headers.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/bytes.hpp"
+
+namespace scap {
+
+std::string ip_to_string(std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::string to_string(const FiveTuple& t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u -> %s:%u/%u",
+                ip_to_string(t.src_ip).c_str(), t.src_port,
+                ip_to_string(t.dst_ip).c_str(), t.dst_port, t.protocol);
+  return buf;
+}
+
+std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthHeaderLen) return std::nullopt;
+  EthHeader h;
+  std::memcpy(h.dst, frame.data(), 6);
+  std::memcpy(h.src, frame.data() + 6, 6);
+  h.ether_type = load_be16(frame.data() + 12);
+  return h;
+}
+
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 20) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  Ipv4Header h;
+  h.version = p[0] >> 4;
+  h.ihl = p[0] & 0x0f;
+  if (h.version != 4 || h.ihl < 5) return std::nullopt;
+  if (bytes.size() < h.header_len()) return std::nullopt;
+  h.dscp_ecn = p[1];
+  h.total_len = load_be16(p + 2);
+  h.id = load_be16(p + 4);
+  h.frag_off = load_be16(p + 6);
+  h.ttl = p[8];
+  h.protocol = p[9];
+  h.checksum = load_be16(p + 10);
+  h.src_ip = load_be32(p + 12);
+  h.dst_ip = load_be32(p + 16);
+  return h;
+}
+
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 20) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  TcpHeader h;
+  h.src_port = load_be16(p);
+  h.dst_port = load_be16(p + 2);
+  h.seq = load_be32(p + 4);
+  h.ack = load_be32(p + 8);
+  h.data_off = p[12] >> 4;
+  if (h.data_off < 5) return std::nullopt;
+  if (bytes.size() < h.header_len()) return std::nullopt;
+  h.flags = p[13];
+  h.window = load_be16(p + 14);
+  h.checksum = load_be16(p + 16);
+  h.urgent = load_be16(p + 18);
+  return h;
+}
+
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  UdpHeader h;
+  h.src_port = load_be16(p);
+  h.dst_port = load_be16(p + 2);
+  h.length = load_be16(p + 4);
+  h.checksum = load_be16(p + 6);
+  return h;
+}
+
+void write_eth(std::span<std::uint8_t> out, const EthHeader& h) {
+  std::memcpy(out.data(), h.dst, 6);
+  std::memcpy(out.data() + 6, h.src, 6);
+  store_be16(out.data() + 12, h.ether_type);
+}
+
+void write_ipv4(std::span<std::uint8_t> out, const Ipv4Header& h) {
+  std::uint8_t* p = out.data();
+  p[0] = static_cast<std::uint8_t>((h.version << 4) | (h.ihl & 0x0f));
+  p[1] = h.dscp_ecn;
+  store_be16(p + 2, h.total_len);
+  store_be16(p + 4, h.id);
+  store_be16(p + 6, h.frag_off);
+  p[8] = h.ttl;
+  p[9] = h.protocol;
+  store_be16(p + 10, h.checksum);
+  store_be32(p + 12, h.src_ip);
+  store_be32(p + 16, h.dst_ip);
+}
+
+void write_tcp(std::span<std::uint8_t> out, const TcpHeader& h) {
+  std::uint8_t* p = out.data();
+  store_be16(p, h.src_port);
+  store_be16(p + 2, h.dst_port);
+  store_be32(p + 4, h.seq);
+  store_be32(p + 8, h.ack);
+  p[12] = static_cast<std::uint8_t>(h.data_off << 4);
+  p[13] = h.flags;
+  store_be16(p + 14, h.window);
+  store_be16(p + 16, h.checksum);
+  store_be16(p + 18, h.urgent);
+}
+
+void write_udp(std::span<std::uint8_t> out, const UdpHeader& h) {
+  std::uint8_t* p = out.data();
+  store_be16(p, h.src_port);
+  store_be16(p + 2, h.dst_port);
+  store_be16(p + 4, h.length);
+  store_be16(p + 6, h.checksum);
+}
+
+}  // namespace scap

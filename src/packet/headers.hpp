@@ -1,0 +1,128 @@
+// Protocol header definitions and parsing.
+//
+// We parse Ethernet II, IPv4, TCP, and UDP — the protocols the Scap paper's
+// datapath handles. Parsing works on raw byte spans (no casts to packed
+// structs; no alignment or endianness traps) and returns decoded host-order
+// views.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace scap {
+
+constexpr std::size_t kEthHeaderLen = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::uint8_t kProtoUdp = 17;
+constexpr std::uint8_t kProtoIcmp = 1;
+
+/// TCP flag bits, as in the wire format's flags byte.
+enum TcpFlag : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+  kTcpUrg = 0x20,
+};
+
+struct EthHeader {
+  std::uint8_t dst[6];
+  std::uint8_t src[6];
+  std::uint16_t ether_type;
+};
+
+struct Ipv4Header {
+  std::uint8_t version;
+  std::uint8_t ihl;          // header length in 32-bit words
+  std::uint8_t dscp_ecn;
+  std::uint16_t total_len;   // IP header + payload, bytes
+  std::uint16_t id;
+  std::uint16_t frag_off;    // flags (3 bits) + fragment offset (13 bits)
+  std::uint8_t ttl;
+  std::uint8_t protocol;
+  std::uint16_t checksum;
+  std::uint32_t src_ip;
+  std::uint32_t dst_ip;
+
+  std::size_t header_len() const { return static_cast<std::size_t>(ihl) * 4; }
+  bool more_fragments() const { return (frag_off & 0x2000) != 0; }
+  std::uint16_t fragment_offset_bytes() const {
+    return static_cast<std::uint16_t>((frag_off & 0x1fff) * 8);
+  }
+};
+
+struct TcpHeader {
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint32_t seq;
+  std::uint32_t ack;
+  std::uint8_t data_off;     // header length in 32-bit words
+  std::uint8_t flags;
+  std::uint16_t window;
+  std::uint16_t checksum;
+  std::uint16_t urgent;
+
+  std::size_t header_len() const { return static_cast<std::size_t>(data_off) * 4; }
+  bool has(TcpFlag f) const { return (flags & f) != 0; }
+  bool syn() const { return has(kTcpSyn); }
+  bool ack_flag() const { return has(kTcpAck); }
+  bool fin() const { return has(kTcpFin); }
+  bool rst() const { return has(kTcpRst); }
+};
+
+struct UdpHeader {
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint16_t length;      // UDP header + payload
+  std::uint16_t checksum;
+};
+
+/// Canonical 5-tuple identifying a unidirectional flow.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// Direction-independent canonical form (smaller endpoint first), used
+  /// where both directions of a connection must map to the same entity.
+  FiveTuple canonical() const {
+    if (src_ip < dst_ip || (src_ip == dst_ip && src_port <= dst_port)) {
+      return *this;
+    }
+    return reversed();
+  }
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+std::string to_string(const FiveTuple& t);
+
+/// Format 32-bit IP as dotted quad.
+std::string ip_to_string(std::uint32_t ip);
+
+// --- Parsing --------------------------------------------------------------
+
+std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame);
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes);
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes);
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> bytes);
+
+// --- Serialization (used by the traffic generator) -------------------------
+
+void write_eth(std::span<std::uint8_t> out, const EthHeader& h);
+void write_ipv4(std::span<std::uint8_t> out, const Ipv4Header& h);
+void write_tcp(std::span<std::uint8_t> out, const TcpHeader& h);
+void write_udp(std::span<std::uint8_t> out, const UdpHeader& h);
+
+}  // namespace scap

@@ -1,0 +1,117 @@
+#include "packet/pcap.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "base/bytes.hpp"
+
+namespace scap {
+namespace {
+
+std::uint32_t byteswap32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("pcap: cannot open for writing: " + path);
+  std::array<std::uint8_t, 24> hdr{};
+  store_le32(hdr.data(), kPcapMagicUsec);
+  store_le16(hdr.data() + 4, 2);   // version major
+  store_le16(hdr.data() + 6, 4);   // version minor
+  store_le32(hdr.data() + 8, 0);   // thiszone
+  store_le32(hdr.data() + 12, 0);  // sigfigs
+  store_le32(hdr.data() + 16, snaplen);
+  store_le32(hdr.data() + 20, kLinkTypeEthernet);
+  out_.write(reinterpret_cast<const char*>(hdr.data()),
+             static_cast<std::streamsize>(hdr.size()));
+}
+
+void PcapWriter::write(const Packet& pkt) {
+  write_raw(pkt.frame(), pkt.timestamp(), pkt.wire_len());
+}
+
+void PcapWriter::write_raw(std::span<const std::uint8_t> frame, Timestamp ts,
+                           std::uint32_t wire_len) {
+  std::array<std::uint8_t, 16> rec{};
+  const std::int64_t us = ts.usec();
+  store_le32(rec.data(), static_cast<std::uint32_t>(us / 1'000'000));
+  store_le32(rec.data() + 4, static_cast<std::uint32_t>(us % 1'000'000));
+  store_le32(rec.data() + 8, static_cast<std::uint32_t>(frame.size()));
+  store_le32(rec.data() + 12,
+             wire_len ? wire_len : static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(rec.data()),
+             static_cast<std::streamsize>(rec.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_) throw std::runtime_error("pcap: write failed");
+  ++count_;
+}
+
+PcapReader::PcapReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("pcap: cannot open for reading: " + path);
+  std::array<std::uint8_t, 24> hdr{};
+  in_.read(reinterpret_cast<char*>(hdr.data()),
+           static_cast<std::streamsize>(hdr.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(hdr.size())) {
+    throw std::runtime_error("pcap: file too short for global header");
+  }
+  std::uint32_t magic = load_le32(hdr.data());
+  if (magic == kPcapMagicUsec) {
+    swapped_ = false;
+  } else if (magic == kPcapMagicNsec) {
+    swapped_ = false;
+    nanosecond_ = true;
+  } else if (byteswap32(magic) == kPcapMagicUsec) {
+    swapped_ = true;
+  } else if (byteswap32(magic) == kPcapMagicNsec) {
+    swapped_ = true;
+    nanosecond_ = true;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+  auto rd32 = [&](std::size_t off) {
+    std::uint32_t v = load_le32(hdr.data() + off);
+    return swapped_ ? byteswap32(v) : v;
+  };
+  snaplen_ = rd32(16);
+  link_type_ = rd32(20);
+}
+
+std::optional<Packet> PcapReader::next() {
+  std::array<std::uint8_t, 16> rec{};
+  in_.read(reinterpret_cast<char*>(rec.data()),
+           static_cast<std::streamsize>(rec.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(rec.size())) {
+    return std::nullopt;  // EOF (possibly mid-record)
+  }
+  auto rd32 = [&](std::size_t off) {
+    std::uint32_t v = load_le32(rec.data() + off);
+    return swapped_ ? byteswap32(v) : v;
+  };
+  const std::uint32_t ts_sec = rd32(0);
+  const std::uint32_t ts_frac = rd32(4);
+  const std::uint32_t incl_len = rd32(8);
+  const std::uint32_t orig_len = rd32(12);
+  if (incl_len > 256 * 1024) {
+    return std::nullopt;  // corrupt record; stop rather than allocate wildly
+  }
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(incl_len);
+  in_.read(reinterpret_cast<char*>(buf->data()),
+           static_cast<std::streamsize>(incl_len));
+  if (in_.gcount() != static_cast<std::streamsize>(incl_len)) {
+    return std::nullopt;  // truncated final record
+  }
+  const std::int64_t ns =
+      static_cast<std::int64_t>(ts_sec) * 1'000'000'000 +
+      (nanosecond_ ? static_cast<std::int64_t>(ts_frac)
+                   : static_cast<std::int64_t>(ts_frac) * 1000);
+  ++count_;
+  return Packet::decode(std::move(buf), Timestamp(ns), orig_len);
+}
+
+}  // namespace scap

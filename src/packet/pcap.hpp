@@ -1,0 +1,62 @@
+// From-scratch libpcap savefile (.pcap) reader and writer.
+//
+// Implements the classic tcpdump format: 24-byte global header with magic
+// 0xa1b2c3d4 (microsecond timestamps), followed by per-packet record headers.
+// The reader handles both byte orders and the nanosecond-magic variant
+// (0xa1b23c4d); the writer emits native-endian microsecond files.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "packet/packet.hpp"
+
+namespace scap {
+
+constexpr std::uint32_t kPcapMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kPcapMagicNsec = 0xa1b23c4d;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header.
+  /// Throws std::runtime_error on I/O failure.
+  PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
+
+  void write(const Packet& pkt);
+  void write_raw(std::span<const std::uint8_t> frame, Timestamp ts,
+                 std::uint32_t wire_len = 0);
+
+  std::uint64_t packets_written() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened or the magic is
+  /// not a pcap magic.
+  explicit PcapReader(const std::string& path);
+
+  /// Next packet, or nullopt at EOF. Truncated trailing records are treated
+  /// as EOF (real capture files are often cut mid-record).
+  std::optional<Packet> next();
+
+  std::uint32_t snaplen() const { return snaplen_; }
+  std::uint32_t link_type() const { return link_type_; }
+  std::uint64_t packets_read() const { return count_; }
+
+ private:
+  std::ifstream in_;
+  bool swapped_ = false;
+  bool nanosecond_ = false;
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t link_type_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace scap

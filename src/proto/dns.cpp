@@ -1,0 +1,108 @@
+#include "proto/dns.hpp"
+
+#include <cstdio>
+
+#include "base/bytes.hpp"
+
+namespace scap::proto {
+namespace {
+
+/// Decode a (possibly compressed) domain name starting at `off`.
+/// Returns the name and advances `off` past its in-place encoding.
+bool read_name(std::span<const std::uint8_t> msg, std::size_t& off,
+               std::string* out) {
+  std::string name;
+  std::size_t pos = off;
+  bool jumped = false;
+  int hops = 0;
+  while (true) {
+    if (pos >= msg.size()) return false;
+    const std::uint8_t len = msg[pos];
+    if ((len & 0xc0) == 0xc0) {
+      // Compression pointer.
+      if (pos + 1 >= msg.size()) return false;
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | msg[pos + 1];
+      if (!jumped) off = pos + 2;
+      jumped = true;
+      if (++hops > 32) return false;  // pointer loop
+      if (target >= pos) return false;  // only backward pointers are legal
+      pos = target;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) off = pos + 1;
+      break;
+    }
+    if ((len & 0xc0) != 0) return false;  // reserved label types
+    if (pos + 1 + len > msg.size()) return false;
+    if (!name.empty()) name += '.';
+    name.append(reinterpret_cast<const char*>(msg.data() + pos + 1), len);
+    if (name.size() > 255) return false;
+    pos += 1 + len;
+  }
+  *out = std::move(name);
+  return true;
+}
+
+}  // namespace
+
+std::string DnsAnswer::a_address() const {
+  if (rtype != static_cast<std::uint16_t>(DnsType::kA) || rdata.size() != 4) {
+    return {};
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", rdata[0], rdata[1], rdata[2],
+                rdata[3]);
+  return buf;
+}
+
+std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> data) {
+  if (data.size() < 12) return std::nullopt;
+  DnsMessage msg;
+  msg.id = load_be16(data.data());
+  const std::uint16_t flags = load_be16(data.data() + 2);
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0f);
+  msg.authoritative = (flags & 0x0400) != 0;
+  msg.truncated = (flags & 0x0200) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  msg.rcode = static_cast<std::uint8_t>(flags & 0x0f);
+  const std::uint16_t qdcount = load_be16(data.data() + 4);
+  const std::uint16_t ancount = load_be16(data.data() + 6);
+  msg.authority_count = load_be16(data.data() + 8);
+  msg.additional_count = load_be16(data.data() + 10);
+
+  // Sanity cap: a 512-64KB datagram cannot hold thousands of records.
+  if (qdcount > 64 || ancount > 1024) return std::nullopt;
+
+  std::size_t off = 12;
+  for (std::uint16_t q = 0; q < qdcount; ++q) {
+    DnsQuestion question;
+    if (!read_name(data, off, &question.name)) return std::nullopt;
+    if (off + 4 > data.size()) return std::nullopt;
+    question.qtype = load_be16(data.data() + off);
+    question.qclass = load_be16(data.data() + off + 2);
+    off += 4;
+    msg.questions.push_back(std::move(question));
+  }
+  for (std::uint16_t a = 0; a < ancount; ++a) {
+    DnsAnswer answer;
+    if (!read_name(data, off, &answer.name)) return std::nullopt;
+    if (off + 10 > data.size()) return std::nullopt;
+    answer.rtype = load_be16(data.data() + off);
+    answer.rclass = load_be16(data.data() + off + 2);
+    answer.ttl = load_be32(data.data() + off + 4);
+    const std::uint16_t rdlen = load_be16(data.data() + off + 8);
+    off += 10;
+    if (off + rdlen > data.size()) return std::nullopt;
+    answer.rdata.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                        data.begin() + static_cast<std::ptrdiff_t>(off + rdlen));
+    off += rdlen;
+    msg.answers.push_back(std::move(answer));
+  }
+  // Authority/additional sections are counted but not decoded.
+  return msg;
+}
+
+}  // namespace scap::proto

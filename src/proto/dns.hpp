@@ -1,0 +1,66 @@
+// DNS message parsing for UDP streams (RFC 1035 subset).
+//
+// The UDP counterpart of the HTTP analyzer: monitoring applications that
+// receive Scap's UDP streams (concatenated datagram payloads are NOT what
+// DNS wants — use per-packet delivery or SCAP_NONE mode) decode each
+// datagram into queries/responses. Handles name compression pointers with
+// loop protection, multiple questions, and answer records with TTL/rdata
+// extents.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scap::proto {
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+  kOther = 0,
+};
+
+struct DnsQuestion {
+  std::string name;  // dotted, lower-case not applied (wire casing kept)
+  std::uint16_t qtype = 0;
+  std::uint16_t qclass = 0;
+};
+
+struct DnsAnswer {
+  std::string name;
+  std::uint16_t rtype = 0;
+  std::uint16_t rclass = 0;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+
+  /// Dotted-quad string for A records, empty otherwise.
+  std::string a_address() const;
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = 0;
+  std::uint8_t rcode = 0;
+  bool recursion_desired = false;
+  bool authoritative = false;
+  bool truncated = false;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsAnswer> answers;
+  std::uint16_t authority_count = 0;   // parsed counts only
+  std::uint16_t additional_count = 0;
+};
+
+/// Parse one DNS datagram. Returns nullopt on malformed input (including
+/// compression-pointer loops and truncated records).
+std::optional<DnsMessage> parse_dns(std::span<const std::uint8_t> data);
+
+}  // namespace scap::proto

@@ -1,0 +1,265 @@
+#include "proto/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace scap::proto {
+namespace {
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+const std::string* find_header(const std::vector<HttpHeader>& headers,
+                               const std::string& name) {
+  for (const auto& h : headers) {
+    if (iequals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+const std::string* HttpResponse::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+HttpParser::HttpParser(Role role) : HttpParser(role, Limits{}) {}
+
+HttpParser::HttpParser(Role role, Limits limits)
+    : role_(role), limits_(limits) {}
+
+void HttpParser::reset_message() {
+  request_ = HttpRequest{};
+  response_ = HttpResponse{};
+  body_remaining_ = 0;
+  header_bytes_ = 0;
+  chunk_remaining_ = 0;
+  line_buf_.clear();
+  state_ = State::kStartLine;
+}
+
+void HttpParser::fail() {
+  ++stats_.parse_errors;
+  state_ = State::kError;
+}
+
+bool HttpParser::parse_start_line(const std::string& raw) {
+  const std::string line = trim(raw);
+  if (line.empty()) return true;  // tolerate leading blank lines
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos) return false;
+  if (role_ == Role::kRequests) {
+    if (sp2 == std::string::npos) return false;
+    request_.method = line.substr(0, sp1);
+    request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    request_.version = line.substr(sp2 + 1);
+    if (request_.version.rfind("HTTP/", 0) != 0) return false;
+  } else {
+    if (line.rfind("HTTP/", 0) != 0) return false;
+    response_.version = line.substr(0, sp1);
+    const std::string code = sp2 == std::string::npos
+                                 ? line.substr(sp1 + 1)
+                                 : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (code.size() != 3 || !std::isdigit(static_cast<unsigned char>(code[0])))
+      return false;
+    response_.status_code = std::stoi(code);
+    if (sp2 != std::string::npos) response_.reason = line.substr(sp2 + 1);
+  }
+  state_ = State::kHeaders;
+  return true;
+}
+
+bool HttpParser::parse_header_line(const std::string& raw) {
+  const std::string line = trim(raw);
+  if (line.empty()) {
+    headers_complete();
+    return true;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  auto& headers =
+      role_ == Role::kRequests ? request_.headers : response_.headers;
+  if (headers.size() >= limits_.max_headers) return false;
+  HttpHeader h;
+  h.name = trim(line.substr(0, colon));
+  h.value = trim(line.substr(colon + 1));
+  headers.push_back(std::move(h));
+  return true;
+}
+
+void HttpParser::headers_complete() {
+  header_bytes_ = 0;  // chunk-size lines get a fresh budget
+  const auto& headers =
+      role_ == Role::kRequests ? request_.headers : response_.headers;
+  const std::string* te = find_header(headers, "Transfer-Encoding");
+  const std::string* cl = find_header(headers, "Content-Length");
+
+  if (te != nullptr && te->find("chunked") != std::string::npos) {
+    state_ = State::kBodyChunkedSize;
+    return;
+  }
+  if (cl != nullptr) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || errno != 0) {
+      fail();
+      return;
+    }
+    body_remaining_ = v;
+    if (body_remaining_ == 0) {
+      emit_message();
+    } else {
+      state_ = State::kBodyFixed;
+    }
+    return;
+  }
+  if (role_ == Role::kRequests) {
+    // Requests without length framing have no body.
+    emit_message();
+  } else {
+    // Responses without framing run to connection close.
+    state_ = State::kBodyToEof;
+  }
+}
+
+void HttpParser::emit_message() {
+  if (role_ == Role::kRequests) {
+    ++stats_.requests;
+    if (on_request_) on_request_(request_);
+  } else {
+    ++stats_.responses;
+    if (on_response_) on_response_(response_);
+  }
+  reset_message();
+}
+
+void HttpParser::feed(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    switch (state_) {
+      case State::kError:
+        return;  // skip until close
+
+      case State::kStartLine:
+      case State::kHeaders:
+      case State::kBodyChunkedSize:
+      case State::kBodyChunkedTrailer: {
+        // Line-oriented states.
+        const char c = static_cast<char>(data[i++]);
+        ++header_bytes_;
+        if (header_bytes_ > limits_.max_header_bytes ||
+            line_buf_.size() > limits_.max_start_line) {
+          fail();
+          return;
+        }
+        if (c != '\n') {
+          line_buf_ += c;
+          break;
+        }
+        const std::string line = line_buf_;
+        line_buf_.clear();
+        if (state_ == State::kStartLine) {
+          if (!parse_start_line(line)) {
+            fail();
+            return;
+          }
+        } else if (state_ == State::kHeaders) {
+          if (!parse_header_line(line)) {
+            fail();
+            return;
+          }
+        } else if (state_ == State::kBodyChunkedSize) {
+          const std::string t = trim(line);
+          if (t.empty()) break;  // tolerate CRLF between chunks
+          errno = 0;
+          char* end = nullptr;
+          const unsigned long long v = std::strtoull(t.c_str(), &end, 16);
+          if (end == t.c_str() || errno != 0) {
+            fail();
+            return;
+          }
+          chunk_remaining_ = v;
+          state_ = chunk_remaining_ == 0 ? State::kBodyChunkedTrailer
+                                         : State::kBodyChunkedData;
+        } else {  // kBodyChunkedTrailer
+          if (trim(line).empty()) emit_message();
+          // non-empty trailer lines are consumed silently
+        }
+        break;
+      }
+
+      case State::kBodyFixed: {
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(body_remaining_, data.size() - i));
+        i += take;
+        body_remaining_ -= take;
+        stats_.body_bytes += take;
+        if (role_ == Role::kRequests) {
+          request_.body_bytes += take;
+        } else {
+          response_.body_bytes += take;
+        }
+        if (body_remaining_ == 0) emit_message();
+        break;
+      }
+
+      case State::kBodyChunkedData: {
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk_remaining_, data.size() - i));
+        i += take;
+        chunk_remaining_ -= take;
+        stats_.body_bytes += take;
+        if (role_ == Role::kRequests) {
+          request_.body_bytes += take;
+        } else {
+          response_.body_bytes += take;
+        }
+        if (chunk_remaining_ == 0) state_ = State::kBodyChunkedSize;
+        break;
+      }
+
+      case State::kBodyToEof: {
+        const std::size_t take = data.size() - i;
+        i += take;
+        stats_.body_bytes += take;
+        response_.body_bytes += take;
+        break;
+      }
+    }
+  }
+}
+
+void HttpParser::finish() {
+  if (state_ == State::kBodyToEof) {
+    emit_message();
+  }
+}
+
+}  // namespace scap::proto

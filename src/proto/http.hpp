@@ -1,0 +1,137 @@
+// Streaming HTTP/1.x analyzer over reassembled stream chunks.
+//
+// The paper's motivation (§1): "applications increasingly need to reason
+// about higher-level entities and constructs such as TCP flows, HTTP
+// headers, SQL arguments, email messages" — Scap delivers the transport
+// stream; this module turns the client and server directions of a stream
+// into parsed HTTP transactions.
+//
+// Design: a push parser. Feed it chunk bytes as they arrive (in either
+// direction); it emits request/response events through callbacks. It is
+// incremental (handles messages split across arbitrary chunk boundaries),
+// bounded (header size limits against adversarial streams), and tolerant
+// (a malformed message puts the direction into a skip-until-close state
+// rather than corrupting later ones).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scap::proto {
+
+struct HttpHeader {
+  std::string name;   // original casing preserved
+  std::string value;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  // "HTTP/1.1"
+  std::vector<HttpHeader> headers;
+  std::uint64_t body_bytes = 0;
+
+  /// Case-insensitive header lookup (first match).
+  const std::string* header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string reason;
+  std::string version;
+  std::vector<HttpHeader> headers;
+  std::uint64_t body_bytes = 0;
+
+  const std::string* header(const std::string& name) const;
+};
+
+struct HttpParserStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t body_bytes = 0;
+};
+
+/// One direction of an HTTP connection (client->server parses requests,
+/// server->client parses responses).
+class HttpParser {
+ public:
+  enum class Role { kRequests, kResponses };
+
+  struct Limits {
+    std::size_t max_start_line = 8 * 1024;
+    std::size_t max_header_bytes = 64 * 1024;
+    std::size_t max_headers = 128;
+  };
+
+  using RequestFn = std::function<void(const HttpRequest&)>;
+  using ResponseFn = std::function<void(const HttpResponse&)>;
+
+  explicit HttpParser(Role role);  // default limits
+  HttpParser(Role role, Limits limits);
+
+  void on_request(RequestFn fn) { on_request_ = std::move(fn); }
+  void on_response(ResponseFn fn) { on_response_ = std::move(fn); }
+
+  /// Feed the next bytes of this direction's stream, in order.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Stream ended (FIN/RST/timeout): finalize any read-to-EOF body.
+  void finish();
+
+  const HttpParserStats& stats() const { return stats_; }
+  bool in_error() const { return state_ == State::kError; }
+
+ private:
+  enum class State {
+    kStartLine,
+    kHeaders,
+    kBodyFixed,     // Content-Length
+    kBodyChunkedSize,
+    kBodyChunkedData,
+    kBodyChunkedTrailer,
+    kBodyToEof,     // response without length framing
+    kError,         // skip everything until close
+  };
+
+  void reset_message();
+  bool parse_start_line(const std::string& line);
+  bool parse_header_line(const std::string& line);
+  void headers_complete();
+  void emit_message();
+  void fail();
+
+  Role role_;
+  Limits limits_;
+  RequestFn on_request_;
+  ResponseFn on_response_;
+  HttpParserStats stats_;
+
+  State state_ = State::kStartLine;
+  std::string line_buf_;
+  HttpRequest request_;
+  HttpResponse response_;
+  std::uint64_t body_remaining_ = 0;
+  std::uint64_t header_bytes_ = 0;
+  std::uint64_t chunk_remaining_ = 0;
+};
+
+/// Convenience: both directions of one HTTP connection.
+class HttpConnection {
+ public:
+  HttpConnection() : client_(HttpParser::Role::kRequests),
+                     server_(HttpParser::Role::kResponses) {}
+  HttpParser& client() { return client_; }
+  HttpParser& server() { return server_; }
+
+ private:
+  HttpParser client_;
+  HttpParser server_;
+};
+
+}  // namespace scap::proto

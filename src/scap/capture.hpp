@@ -1,0 +1,209 @@
+// scap::Capture — the user-level core of the Scap API (paper §3, Table 1).
+//
+// A Capture owns a ScapKernel instance (the simulated kernel module) and a
+// simulated-or-real NIC, and dispatches creation/data/termination events to
+// user callbacks, mirroring the Scap stub of Figure 1.
+//
+// Two dispatch modes:
+//   * inline (worker_threads == 0, the default): inject() processes the
+//     packet and synchronously runs every pending callback on the calling
+//     thread. Fully deterministic — the mode benches and tests use.
+//   * threaded (worker_threads >= 1): start() spawns one worker per core;
+//     the kernel enqueues events to the worker owning the stream's core and
+//     wakes it, as the paper's per-core kernel/worker pairs do.
+//
+// Packet sources: inject() for programmatic feeds, replay_pcap() for traces.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernel/module.hpp"
+#include "nic/nic.hpp"
+#include "packet/packet.hpp"
+
+namespace scap {
+
+/// Tunables addressable through scap_set_parameter (paper Table 1).
+enum class Parameter {
+  kInactivityTimeoutMs,
+  kChunkSize,
+  kOverlapSize,
+  kFlushTimeoutMs,
+  kBaseThresholdPercent,  // PPL base threshold, 0-100
+  kOverloadCutoff,
+  kPriorityLevels,
+};
+
+class Capture;
+
+/// The application's view of a stream inside a callback — the paper's
+/// stream_t as handed to handlers. Wraps the event's immutable snapshot and
+/// forwards per-stream control calls to the kernel.
+class StreamView {
+ public:
+  StreamView(Capture& cap, kernel::Event& ev) : cap_(cap), ev_(ev) {}
+
+  // --- identity (sd->hdr) --------------------------------------------------
+  kernel::StreamId id() const { return ev_.stream.id; }
+  const FiveTuple& tuple() const { return ev_.stream.tuple; }
+  kernel::Direction direction() const { return ev_.stream.dir; }
+  kernel::StreamId opposite_id() const { return ev_.stream.opposite; }
+
+  // --- status (sd->status / sd->error) ------------------------------------
+  kernel::StreamStatus status() const { return ev_.stream.status; }
+  bool cutoff_exceeded() const { return ev_.stream.cutoff_exceeded; }
+  std::uint32_t error() const { return ev_.stream.error_bits; }
+
+  // --- statistics (sd->stats) ----------------------------------------------
+  const kernel::StreamStats& stats() const { return ev_.stream.stats; }
+  std::uint64_t chunks() const { return ev_.stream.chunks_delivered; }
+  Duration processing_time() const { return ev_.stream.processing_time; }
+
+  // --- chunk data (sd->data / sd->data_len) --------------------------------
+  std::span<const std::uint8_t> data() const {
+    return std::span<const std::uint8_t>(ev_.chunk.data);
+  }
+  std::size_t data_len() const { return ev_.chunk.data.size(); }
+  std::uint32_t chunk_errors() const { return ev_.chunk.errors; }
+  std::uint32_t overlap_len() const { return ev_.chunk.overlap_len; }
+  std::uint64_t stream_offset() const { return ev_.chunk.stream_offset; }
+
+  // --- per-stream control ---------------------------------------------------
+  void discard();                       // scap_discard_stream
+  void set_cutoff(std::int64_t bytes);  // scap_set_stream_cutoff
+  void set_priority(int priority);      // scap_set_stream_priority
+  bool set_parameter(Parameter p, std::int64_t value);
+  void keep_chunk();                    // scap_keep_stream_chunk
+
+  // --- packet delivery (scap_next_stream_packet) ---------------------------
+  /// Next packet record of this chunk in capture order, or nullptr.
+  const kernel::PacketRecord* next_packet();
+  /// Payload bytes of a packet record within this chunk.
+  std::span<const std::uint8_t> packet_payload(
+      const kernel::PacketRecord& rec) const;
+  void rewind_packets() { pkt_cursor_ = 0; }
+
+ private:
+  friend class Capture;
+  Capture& cap_;
+  kernel::Event& ev_;
+  std::size_t pkt_cursor_ = 0;
+  bool keep_requested_ = false;
+};
+
+using StreamHandler = std::function<void(StreamView&)>;
+
+struct CaptureStats {
+  kernel::KernelStats kernel;
+  std::uint64_t nic_dropped_by_filter = 0;
+  std::uint64_t events_dispatched = 0;
+};
+
+class Capture {
+ public:
+  /// scap_create(device, memory_size, reassembly_mode, need_pkts).
+  /// `device` is informational (the simulated NIC stands in for hardware).
+  Capture(std::string device, std::uint64_t memory_size,
+          kernel::ReassemblyMode mode, bool need_pkts);
+  ~Capture();
+
+  Capture(const Capture&) = delete;
+  Capture& operator=(const Capture&) = delete;
+
+  // --- configuration (before start) ----------------------------------------
+  void set_filter(const std::string& bpf);                 // scap_set_filter
+  void set_cutoff(std::int64_t bytes);                     // scap_set_cutoff
+  void add_cutoff_direction(std::int64_t bytes, kernel::Direction dir);
+  void add_cutoff_class(std::int64_t bytes, const std::string& bpf);
+  void set_worker_threads(int n);
+  bool set_parameter(Parameter p, std::int64_t value);
+  void set_use_fdir(bool on) { config_.use_fdir = on; }
+  void set_max_streams(std::size_t n) { config_.max_streams = n; }
+  void set_overlap_policy(kernel::OverlapPolicy p) {
+    config_.defaults.policy = p;
+  }
+
+  // --- handlers --------------------------------------------------------------
+  void dispatch_creation(StreamHandler handler);
+  void dispatch_data(StreamHandler handler);
+  void dispatch_termination(StreamHandler handler);
+
+  // --- multiple applications (§5.6) -----------------------------------------
+  /// Attach an additional application sharing this capture. Stream
+  /// reassembly runs once in the kernel; each application receives only the
+  /// streams matching its BPF filter, through its own handlers. Requirement
+  /// merging is best-effort as in the paper: the kernel keeps a stream if
+  /// at least one application wants it. Returns the application index.
+  /// When no application is attached, the dispatch_* handlers above act as
+  /// the single implicit application receiving everything.
+  struct AppHandlers {
+    StreamHandler on_created;
+    StreamHandler on_data;
+    StreamHandler on_terminated;
+  };
+  int add_application(const std::string& bpf_filter, AppHandlers handlers);
+
+  // --- capture lifecycle ------------------------------------------------------
+  /// Instantiate NIC + kernel and (in threaded mode) start workers.
+  void start();
+
+  /// Feed one packet (timestamp taken from the packet). Returns the NIC/
+  /// kernel outcome for instrumentation.
+  kernel::PacketOutcome inject(const Packet& pkt);
+
+  /// Replay a pcap file through the capture. Returns packets injected.
+  std::uint64_t replay_pcap(const std::string& path);
+
+  /// Dispatch pending events on the calling thread (inline mode only; in
+  /// threaded mode the workers do this). Returns events dispatched.
+  std::size_t poll();
+
+  /// Flush all remaining streams, dispatch final events, join workers.
+  void stop();
+
+  CaptureStats stats() const;
+
+  kernel::ScapKernel& kernel() { return *kernel_; }
+  nic::Nic& nic() { return *nic_; }
+  const std::string& device() const { return device_; }
+  int worker_threads() const { return worker_threads_; }
+  bool started() const { return started_; }
+
+ private:
+  friend class StreamView;
+
+  void dispatch_event(kernel::Event& ev);
+  void drain_core_inline(int core);
+  void worker_main(int core, std::stop_token st);
+  void wake_worker(int core);
+
+  std::string device_;
+  kernel::KernelConfig config_;
+  int worker_threads_ = 0;
+  bool started_ = false;
+  Timestamp last_ts_;
+
+  StreamHandler on_created_;
+  StreamHandler on_data_;
+  StreamHandler on_terminated_;
+  std::vector<AppHandlers> apps_;
+
+  std::unique_ptr<nic::Nic> nic_;
+  std::unique_ptr<kernel::ScapKernel> kernel_;
+
+  // Threaded mode machinery.
+  std::mutex kernel_mutex_;
+  std::vector<std::jthread> workers_;
+  std::vector<std::unique_ptr<std::condition_variable_any>> wakeups_;
+  std::uint64_t events_dispatched_ = 0;
+};
+
+}  // namespace scap

@@ -1,0 +1,143 @@
+// The Scap C API — the exact surface of Table 1 in the paper.
+//
+// This is a thin C-style veneer over scap::Capture so that the paper's code
+// listings (§3.3) compile nearly verbatim. An application:
+//
+//   scap_t *sc = scap_create("file:trace.pcap", SCAP_DEFAULT,
+//                            SCAP_TCP_FAST, 0);
+//   scap_set_cutoff(sc, 0);
+//   scap_dispatch_termination(sc, stream_close);
+//   scap_start_capture(sc);   // replays the device/source to completion
+//   scap_close(sc);
+//
+// Device strings:
+//   "file:<path>"  — replay a pcap savefile through the capture
+//   anything else  — a named virtual interface; feed it packets with
+//                    scap_inject() (used by tests, examples and benches)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scap {
+class Capture;
+class StreamView;
+class Packet;
+}  // namespace scap
+
+// Opaque handles (C-style API; C++ linkage).
+using scap_t = scap::Capture;
+using stream_t = scap::StreamView;
+
+// --- constants ---------------------------------------------------------------
+
+constexpr std::int64_t SCAP_DEFAULT = 512ll * 1024 * 1024;  // memory_size
+
+// Reassembly modes (scap_create).
+constexpr int SCAP_TCP_FAST = 0;
+constexpr int SCAP_TCP_STRICT = 1;
+constexpr int SCAP_NONE = 2;
+
+// Directions (scap_add_cutoff_direction).
+constexpr int SCAP_DIR_ORIG = 0;
+constexpr int SCAP_DIR_REPLY = 1;
+
+// Parameters (scap_set_parameter / scap_set_stream_parameter).
+constexpr int SCAP_PARAM_INACTIVITY_TIMEOUT_MS = 0;
+constexpr int SCAP_PARAM_CHUNK_SIZE = 1;
+constexpr int SCAP_PARAM_OVERLAP_SIZE = 2;
+constexpr int SCAP_PARAM_FLUSH_TIMEOUT_MS = 3;
+constexpr int SCAP_PARAM_BASE_THRESHOLD_PCT = 4;
+constexpr int SCAP_PARAM_OVERLOAD_CUTOFF = 5;
+constexpr int SCAP_PARAM_PRIORITY_LEVELS = 6;
+
+// Stream status values (scap_stream_status).
+constexpr int SCAP_STREAM_ACTIVE = 0;
+constexpr int SCAP_STREAM_CLOSED_FIN = 1;
+constexpr int SCAP_STREAM_CLOSED_RST = 2;
+constexpr int SCAP_STREAM_CLOSED_TIMEOUT = 3;
+
+// --- structs -----------------------------------------------------------------
+
+/// Packet header handed back by scap_next_stream_packet.
+struct scap_pkthdr {
+  std::int64_t ts_us;      // capture timestamp (microseconds)
+  std::uint32_t caplen;    // payload bytes available
+  std::uint32_t wirelen;   // payload bytes on the wire
+  std::uint32_t seq;       // raw TCP sequence (0 for UDP)
+  std::uint8_t tcp_flags;
+};
+
+/// Aggregate statistics (scap_get_stats).
+struct scap_stats_t {
+  std::uint64_t pkts_seen;
+  std::uint64_t bytes_seen;
+  std::uint64_t pkts_stored;
+  std::uint64_t bytes_stored;
+  std::uint64_t pkts_dropped;      // PPL + memory exhaustion
+  std::uint64_t bytes_dropped;
+  std::uint64_t pkts_discarded;    // cutoff + duplicates + filter
+  std::uint64_t pkts_filtered_nic; // dropped at the NIC by FDIR (subzero)
+  std::uint64_t streams_created;
+  std::uint64_t streams_terminated;
+  std::uint64_t streams_evicted;
+};
+
+// --- socket lifecycle ----------------------------------------------------------
+
+scap_t* scap_create(const char* device, std::int64_t memory_size,
+                    int reassembly_mode, int need_pkts);
+void scap_close(scap_t* sc);
+
+// --- configuration --------------------------------------------------------------
+
+int scap_set_filter(scap_t* sc, const char* bpf_filter);
+int scap_set_cutoff(scap_t* sc, std::int64_t cutoff);
+int scap_add_cutoff_direction(scap_t* sc, std::int64_t cutoff, int direction);
+int scap_add_cutoff_class(scap_t* sc, std::int64_t cutoff,
+                          const char* bpf_filter);
+int scap_set_worker_threads(scap_t* sc, int thread_num);
+int scap_set_parameter(scap_t* sc, int parameter, std::int64_t value);
+
+// --- handlers ---------------------------------------------------------------------
+
+int scap_dispatch_creation(scap_t* sc, void (*handler)(stream_t* sd));
+int scap_dispatch_data(scap_t* sc, void (*handler)(stream_t* sd));
+int scap_dispatch_termination(scap_t* sc, void (*handler)(stream_t* sd));
+
+// --- capture ----------------------------------------------------------------------
+
+/// For "file:<path>" devices: replays the file to completion, dispatching
+/// callbacks, then flushes. For virtual devices: prepares the capture;
+/// feed it with scap_inject and finish with scap_flush.
+int scap_start_capture(scap_t* sc);
+
+/// Feed one packet into a virtual-device capture (extension; the kernel
+/// module receives packets from the driver in the real system).
+int scap_inject(scap_t* sc, const scap::Packet& pkt);
+
+/// Flush remaining streams and dispatch their final events.
+int scap_flush(scap_t* sc);
+
+// --- per-stream operations (valid inside handlers) -----------------------------------
+
+void scap_discard_stream(scap_t* sc, stream_t* sd);
+int scap_set_stream_cutoff(scap_t* sc, stream_t* sd, std::int64_t cutoff);
+int scap_set_stream_priority(scap_t* sc, stream_t* sd, int priority);
+int scap_set_stream_parameter(scap_t* sc, stream_t* sd, int parameter,
+                              std::int64_t value);
+int scap_keep_stream_chunk(scap_t* sc, stream_t* sd);
+
+/// Stream data access (sd->data / sd->data_len in the paper).
+const std::uint8_t* scap_stream_data(const stream_t* sd);
+std::size_t scap_stream_data_len(const stream_t* sd);
+int scap_stream_status(const stream_t* sd);
+std::uint32_t scap_stream_error(const stream_t* sd);
+
+/// Per-packet delivery: returns payload pointer and fills `h`, or nullptr
+/// when the chunk has no more packets.
+const std::uint8_t* scap_next_stream_packet(stream_t* sd, scap_pkthdr* h);
+
+// --- statistics -------------------------------------------------------------------
+
+int scap_get_stats(scap_t* sc, scap_stats_t* stats);

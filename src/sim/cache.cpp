@@ -1,0 +1,67 @@
+#include "sim/cache.hpp"
+
+namespace scap::sim {
+
+namespace {
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                       std::uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  const std::uint64_t lines = size_bytes / line_bytes;
+  num_sets_ = round_up_pow2(static_cast<std::uint32_t>(lines / ways));
+  if (num_sets_ == 0) num_sets_ = 1;
+  tags_.assign(static_cast<std::size_t>(num_sets_) * ways_, 0);
+  lru_.assign(static_cast<std::size_t>(num_sets_) * ways_, 0);
+  valid_.assign(static_cast<std::size_t>(num_sets_) * ways_, 0);
+}
+
+bool CacheModel::touch_line(std::uint64_t line_addr) {
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> 1;  // keep full upper bits
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  ++tick_;
+  std::size_t victim = base;
+  std::uint32_t oldest = lru_[base];
+  for (std::size_t i = base; i < base + ways_; ++i) {
+    if (valid_[i] && tags_[i] == tag) {
+      lru_[i] = tick_;
+      return true;  // hit
+    }
+    if (!valid_[i]) {
+      victim = i;
+      oldest = 0;
+    } else if (lru_[i] < oldest) {
+      victim = i;
+      oldest = lru_[i];
+    }
+  }
+  tags_[victim] = tag;
+  valid_[victim] = 1;
+  lru_[victim] = tick_;
+  return false;  // miss
+}
+
+std::uint64_t CacheModel::access(std::uint64_t addr, std::uint64_t len) {
+  if (len == 0) return 0;
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + len - 1) / line_bytes_;
+  std::uint64_t miss_count = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (touch_line(line)) {
+      ++hits_;
+    } else {
+      ++misses_;
+      ++miss_count;
+    }
+  }
+  return miss_count;
+}
+
+}  // namespace scap::sim

@@ -1,0 +1,58 @@
+#include "sim/queue_server.hpp"
+
+namespace scap::sim {
+
+void QueueServer::drain(scap::Timestamp now) {
+  while (!queue_.empty() && queue_.front().completes <= now) {
+    queued_bytes_ -= queue_.front().bytes;
+    queue_.pop_front();
+  }
+}
+
+bool QueueServer::offer(scap::Timestamp now, std::uint64_t bytes,
+                        double cycles) {
+  drain(now);
+  if (queued_bytes_ + bytes > capacity_) {
+    ++dropped_;
+    dropped_bytes_ += bytes;
+    return false;
+  }
+  const scap::Timestamp start = busy_until_ > now ? busy_until_ : now;
+  const auto service = scap::Duration(
+      static_cast<std::int64_t>(cycles / hz_ * 1e9));
+  busy_until_ = start + service;
+  busy_cycles_ += cycles;
+  last_completion_ = busy_until_;
+  queue_.push_back({busy_until_, bytes});
+  queued_bytes_ += bytes;
+  ++admitted_;
+  admitted_bytes_ += bytes;
+  return true;
+}
+
+void QueueServer::charge(scap::Timestamp now, double cycles) {
+  const scap::Timestamp start = busy_until_ > now ? busy_until_ : now;
+  const auto service = scap::Duration(
+      static_cast<std::int64_t>(cycles / hz_ * 1e9));
+  busy_until_ = start + service;
+  busy_cycles_ += cycles;
+  charged_cycles_ += cycles;
+}
+
+std::uint64_t QueueServer::backlog_bytes(scap::Timestamp now) {
+  drain(now);
+  return queued_bytes_;
+}
+
+void QueueServer::reset() {
+  queue_.clear();
+  queued_bytes_ = 0;
+  busy_until_ = scap::Timestamp();
+  last_completion_ = scap::Timestamp();
+  admitted_ = dropped_ = 0;
+  admitted_bytes_ = dropped_bytes_ = 0;
+  busy_cycles_ = 0.0;
+  charged_cycles_ = 0.0;
+}
+
+}  // namespace scap::sim

@@ -1,0 +1,86 @@
+// Single-server FIFO queue with byte-bounded occupancy — the building block
+// for every capacity-constrained stage in the pipeline (a core's softirq
+// context, a user thread draining a capture ring, a worker draining an event
+// queue).
+//
+// Work items arrive at virtual timestamps carrying (bytes, cycles). The
+// server completes them in FIFO order at `hz` cycles per second. An item is
+// REJECTED (dropped) when admitting it would push queued-but-unprocessed
+// bytes past `capacity_bytes` — this is exactly the "ring buffer full, kernel
+// drops the packet" condition of a real capture stack.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "base/clock.hpp"
+
+namespace scap::sim {
+
+class QueueServer {
+ public:
+  /// `capacity_bytes`: maximum queued (admitted but unfinished) bytes.
+  /// `hz`: service rate in cycles per second of virtual time.
+  QueueServer(std::uint64_t capacity_bytes, double hz)
+      : capacity_(capacity_bytes), hz_(hz) {}
+
+  /// Try to admit work arriving at time `now`. Returns true if admitted;
+  /// false if the queue was full (the item is dropped and counted).
+  /// `bytes` counts against queue occupancy; `cycles` is the service demand.
+  bool offer(scap::Timestamp now, std::uint64_t bytes, double cycles);
+
+  /// Charge service cycles without occupying queue space — used for work
+  /// that shares the core but is never dropped here (e.g. colocated softirq
+  /// load stealing cycles from a user thread).
+  void charge(scap::Timestamp now, double cycles);
+
+  /// Completion time of the most recently admitted item (server's horizon).
+  scap::Timestamp busy_until() const { return busy_until_; }
+
+  /// Virtual time at which the item admitted by the last successful offer()
+  /// finishes service — when its output becomes available downstream.
+  scap::Timestamp last_completion() const { return last_completion_; }
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t admitted_bytes() const { return admitted_bytes_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+  double busy_cycles() const { return busy_cycles_; }
+  /// Cycles stolen via charge() — e.g. colocated softirq load. Subtract
+  /// from busy_cycles() to get this server's own work.
+  double charged_cycles() const { return charged_cycles_; }
+
+  /// Bytes currently queued (after draining completions up to `now`).
+  std::uint64_t backlog_bytes(scap::Timestamp now);
+
+  /// Utilization over [0, horizon]: busy cycles / available cycles.
+  double utilization(scap::Timestamp horizon) const {
+    const double avail = horizon.sec() * hz_;
+    return avail > 0 ? busy_cycles_ / avail : 0.0;
+  }
+
+  void reset();
+
+ private:
+  void drain(scap::Timestamp now);
+
+  struct InFlight {
+    scap::Timestamp completes;
+    std::uint64_t bytes;
+  };
+
+  std::uint64_t capacity_;
+  double hz_;
+  std::deque<InFlight> queue_;
+  std::uint64_t queued_bytes_ = 0;
+  scap::Timestamp busy_until_;
+  scap::Timestamp last_completion_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  double busy_cycles_ = 0.0;
+  double charged_cycles_ = 0.0;
+};
+
+}  // namespace scap::sim

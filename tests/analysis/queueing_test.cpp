@@ -1,0 +1,110 @@
+#include "analysis/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scap::analysis {
+namespace {
+
+TEST(Mm1nLoss, KnownValues) {
+  // N=1: P = (1-ρ)ρ / (1-ρ²) = ρ/(1+ρ).
+  EXPECT_NEAR(mm1n_loss(0.5, 1), 0.5 / 1.5, 1e-12);
+  // Tiny loss for low load and moderate N.
+  EXPECT_LT(mm1n_loss(0.1, 10), 1e-9);
+  // Heavy load: loss approaches 1 - 1/ρ for large N.
+  EXPECT_NEAR(mm1n_loss(2.0, 50), 0.5, 1e-6);
+}
+
+TEST(Mm1nLoss, MonotoneDecreasingInN) {
+  for (double rho : {0.1, 0.5, 0.9}) {
+    double prev = 1.0;
+    for (int n = 1; n <= 200; n += 10) {
+      double loss = mm1n_loss(rho, n);
+      EXPECT_LT(loss, prev) << "rho=" << rho << " n=" << n;
+      prev = loss;
+    }
+  }
+}
+
+TEST(Mm1nLoss, PaperFig11Shape) {
+  // "a memory size of a few tens of packet slots reduces the probability
+  //  that a high-priority packet is lost to 1e-8" (§7):
+  EXPECT_LT(mm1n_loss(0.1, 10), 1e-8);   // ρ=0.1: <10 slots suffice
+  EXPECT_LT(mm1n_loss(0.5, 28), 1e-8);   // ρ=0.5: a little over 20 slots
+  EXPECT_GT(mm1n_loss(0.5, 10), 1e-8);
+  EXPECT_LT(mm1n_loss(0.9, 170), 1e-8);  // ρ=0.9: ~150+ slots
+  EXPECT_GT(mm1n_loss(0.9, 100), 1e-8);
+}
+
+TEST(Mm1nLoss, RhoOneDegenerate) {
+  EXPECT_NEAR(mm1n_loss(1.0, 9), 0.1, 1e-9);
+}
+
+TEST(Mm1nLoss, AgreesWithBirthDeathSolver) {
+  for (double rho : {0.3, 0.7, 1.5}) {
+    for (int n : {5, 20, 60}) {
+      std::vector<double> lambda(static_cast<std::size_t>(n), rho);
+      auto pi = birth_death_stationary(lambda, 1.0);
+      EXPECT_NEAR(mm1n_loss(rho, n), pi.back(), 1e-9)
+          << "rho=" << rho << " n=" << n;
+    }
+  }
+}
+
+TEST(TwoLevelLoss, HighAlwaysBelowMedium) {
+  for (int n : {2, 5, 10, 20, 40}) {
+    auto loss = two_level_loss(0.6, 0.3, n);
+    EXPECT_LT(loss.high, loss.medium) << "n=" << n;
+    EXPECT_GE(loss.high, 0.0);
+    EXPECT_LE(loss.medium, 1.0);
+  }
+}
+
+TEST(TwoLevelLoss, PaperFig12Shape) {
+  // ρ1 = ρ2 = 0.3: "a few tens of packet slots reduce the loss probability
+  // for both priorities to practically zero".
+  auto loss = two_level_loss(0.3, 0.3, 20);
+  EXPECT_LT(loss.high, 1e-10);
+  EXPECT_LT(loss.medium, 1e-8);
+  // Small regions leak noticeably.
+  auto tight = two_level_loss(0.3, 0.3, 3);
+  EXPECT_GT(tight.medium, 1e-5);
+}
+
+TEST(TwoLevelLoss, AgreesWithBirthDeathSolver) {
+  const double rho1 = 0.5, rho2 = 0.25;
+  for (int n : {4, 10, 25}) {
+    // Chain: states 0..2N; births at rho1 for 0..N-1, rho2 for N..2N-1.
+    std::vector<double> lambda;
+    for (int i = 0; i < n; ++i) lambda.push_back(rho1);
+    for (int i = 0; i < n; ++i) lambda.push_back(rho2);
+    auto pi = birth_death_stationary(lambda, 1.0);
+    auto loss = two_level_loss(rho1, rho2, n);
+    // High-priority loss = P(state 2N).
+    EXPECT_NEAR(loss.high, pi.back(), 1e-12) << "n=" << n;
+    // Medium loss = P(state >= N).
+    double tail = 0.0;
+    for (std::size_t k = static_cast<std::size_t>(n); k < pi.size(); ++k) {
+      tail += pi[k];
+    }
+    EXPECT_NEAR(loss.medium, tail, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(BirthDeath, NormalizedAndPositive) {
+  auto pi = birth_death_stationary({0.5, 1.0, 2.0}, 1.0);
+  ASSERT_EQ(pi.size(), 4u);
+  double sum = 0.0;
+  for (double p : pi) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Detailed balance: pi[i+1] = pi[i] * lambda[i] / mu.
+  EXPECT_NEAR(pi[1], pi[0] * 0.5, 1e-12);
+  EXPECT_NEAR(pi[3], pi[2] * 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scap::analysis

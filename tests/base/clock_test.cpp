@@ -1,0 +1,50 @@
+#include "base/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap {
+namespace {
+
+TEST(Timestamp, ConversionsRoundTrip) {
+  Timestamp t = Timestamp::from_sec(1.5);
+  EXPECT_EQ(t.ns(), 1'500'000'000);
+  EXPECT_EQ(t.usec(), 1'500'000);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.5);
+}
+
+TEST(Timestamp, Arithmetic) {
+  Timestamp t(1000);
+  Duration d(500);
+  EXPECT_EQ((t + d).ns(), 1500);
+  EXPECT_EQ((t - d).ns(), 500);
+  EXPECT_EQ((Timestamp(2000) - t).ns(), 1000);
+}
+
+TEST(Timestamp, Ordering) {
+  EXPECT_LT(Timestamp(1), Timestamp(2));
+  EXPECT_EQ(Timestamp(5), Timestamp(5));
+  EXPECT_GE(Duration(7), Duration(7));
+}
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Duration::from_msec(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::from_usec(3).ns(), 3'000);
+  EXPECT_DOUBLE_EQ(Duration::from_sec(0.25).sec(), 0.25);
+  EXPECT_EQ((Duration(10) * 3).ns(), 30);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now().ns(), 0);
+  clock.advance_to(Timestamp(100));
+  EXPECT_EQ(clock.now().ns(), 100);
+  clock.advance_to(Timestamp(50));  // never goes back
+  EXPECT_EQ(clock.now().ns(), 100);
+  clock.advance(Duration(25));
+  EXPECT_EQ(clock.now().ns(), 125);
+  clock.reset();
+  EXPECT_EQ(clock.now().ns(), 0);
+}
+
+}  // namespace
+}  // namespace scap

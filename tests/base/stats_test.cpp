@@ -1,0 +1,52 @@
+#include "base/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, OverflowGoesToLastBucket) {
+  Histogram h(10.0, 10);
+  h.add(1e9);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Pct, SafeOnZeroDenominator) {
+  EXPECT_DOUBLE_EQ(pct(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+}
+
+}  // namespace
+}  // namespace scap

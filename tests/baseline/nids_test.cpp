@@ -1,0 +1,164 @@
+#include "baseline/nids.hpp"
+#include "baseline/stream5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/kernel/test_helpers.hpp"
+
+namespace scap::baseline {
+namespace {
+
+using kernel::testing::SessionBuilder;
+using kernel::testing::client_tuple;
+
+TEST(NidsEngine, ReassemblesHandshakedConnection) {
+  std::string text;
+  NidsEngine nids({}, [&](const FiveTuple&, auto data) {
+    text.append(data.begin(), data.end());
+  });
+  SessionBuilder s;
+  Timestamp t(0);
+  nids.on_packet(s.syn(t), t);
+  nids.on_packet(s.syn_ack(t), t);
+  nids.on_packet(s.ack(t), t);
+  nids.on_packet(s.data("user-level ", t), t);
+  nids.on_packet(s.data("reassembly", t), t);
+  nids.on_packet(s.fin(t), t);
+  EXPECT_EQ(text, "user-level reassembly");
+  EXPECT_EQ(nids.stats().streams_tracked, 1u);
+  EXPECT_EQ(nids.stats().streams_with_data, 1u);
+}
+
+TEST(NidsEngine, IgnoresMidFlowDataWithoutHandshake) {
+  // The key Fig. 6c effect: if the SYN was dropped, the stream is lost.
+  std::string text;
+  NidsEngine nids({}, [&](const FiveTuple&, auto data) {
+    text.append(data.begin(), data.end());
+  });
+  SessionBuilder s;
+  Timestamp t(0);
+  nids.on_packet(s.data("orphan data", t), t);  // no SYN was seen
+  nids.on_packet(s.fin(t), t);
+  nids.finish(t);
+  EXPECT_TRUE(text.empty());
+  EXPECT_EQ(nids.stats().streams_tracked, 0u);
+  EXPECT_EQ(nids.stats().pkts_untracked, 1u);
+}
+
+TEST(NidsEngine, RejectsNewFlowsAtLimit) {
+  // The key Fig. 5 effect: a static table limit rejects NEW streams.
+  NidsConfig cfg;
+  cfg.max_flows = 3;
+  NidsEngine nids(cfg, nullptr);
+  Timestamp t(0);
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    SessionBuilder s(client_tuple(static_cast<std::uint16_t>(1000 + i), 80));
+    nids.on_packet(s.syn(t), t);
+  }
+  EXPECT_EQ(nids.stats().streams_tracked, 3u);
+  EXPECT_EQ(nids.stats().streams_rejected, 2u);
+  EXPECT_EQ(nids.tracked_now(), 3u);
+}
+
+TEST(NidsEngine, BothDirectionsOneConnection) {
+  std::uint64_t chunks = 0;
+  NidsEngine nids({}, [&](const FiveTuple&, auto) { ++chunks; });
+  SessionBuilder s;
+  Timestamp t(0);
+  nids.on_packet(s.syn(t), t);
+  nids.on_packet(s.syn_ack(t), t);
+  nids.on_packet(s.data("request", t), t);
+  nids.on_packet(s.reply_data("response", t), t);
+  EXPECT_EQ(nids.stats().streams_tracked, 1u);  // one connection entry
+  nids.finish(t);
+  EXPECT_EQ(chunks, 2u);  // one chunk per direction
+}
+
+TEST(NidsEngine, IdleConnectionsExpire) {
+  NidsConfig cfg;
+  cfg.inactivity_timeout = Duration::from_sec(5);
+  std::string text;
+  NidsEngine nids(cfg, [&](const FiveTuple&, auto data) {
+    text.append(data.begin(), data.end());
+  });
+  SessionBuilder s;
+  nids.on_packet(s.syn(Timestamp(0)), Timestamp(0));
+  nids.on_packet(s.data("idle data", Timestamp(0)), Timestamp(0));
+  EXPECT_EQ(nids.tracked_now(), 1u);
+  // A later unrelated packet triggers the expiry scan.
+  SessionBuilder other(client_tuple(9999, 80));
+  nids.on_packet(other.syn(Timestamp::from_sec(10)), Timestamp::from_sec(10));
+  EXPECT_EQ(nids.tracked_now(), 1u);  // only the new one
+  EXPECT_EQ(text, "idle data");      // flushed on expiry
+}
+
+TEST(NidsEngine, CopyBytesTracked) {
+  NidsEngine nids({}, nullptr);
+  SessionBuilder s;
+  Timestamp t(0);
+  nids.on_packet(s.syn(t), t);
+  nids.on_packet(s.data("0123456789", t), t);
+  EXPECT_EQ(nids.stats().copy_bytes, 10u);  // the §6.3 extra copy
+}
+
+TEST(Stream5Engine, PicksUpFromSynAck) {
+  Stream5Engine snort({}, nullptr);
+  NidsEngine nids({}, nullptr);
+  SessionBuilder s;
+  Timestamp t(0);
+  // Only the SYN|ACK survives (SYN lost).
+  snort.on_packet(s.syn_ack(t), t);
+  nids.on_packet(s.syn_ack(t), t);
+  EXPECT_EQ(snort.stats().streams_tracked, 1u);
+  EXPECT_EQ(nids.stats().streams_tracked, 0u);
+}
+
+TEST(Stream5Engine, CutoffDiscardsInUserSpace) {
+  Stream5Config cfg;
+  cfg.cutoff_bytes = 8;
+  std::string text;
+  Stream5Engine snort(cfg, [&](const FiveTuple&, auto data) {
+    text.append(data.begin(), data.end());
+  });
+  SessionBuilder s;
+  Timestamp t(0);
+  snort.on_packet(s.syn(t), t);
+  snort.on_packet(s.data("01234567", t), t);
+  snort.on_packet(s.data("discarded!", t), t);
+  snort.on_packet(s.fin(t), t);
+  EXPECT_EQ(text, "01234567");
+  EXPECT_EQ(snort.stats().pkts_discarded_cutoff, 1u);
+  // Crucially the copy of the first 8 bytes still happened BEFORE the
+  // discard decision — and the discarded packet still cost a ring pass.
+  EXPECT_GE(snort.stats().pkts_processed, 4u);
+}
+
+TEST(Stream5Engine, TargetPolicyConfigurable) {
+  for (auto policy :
+       {kernel::OverlapPolicy::kFirst, kernel::OverlapPolicy::kLast}) {
+    Stream5Config cfg;
+    cfg.policy = policy;
+    cfg.mode = kernel::ReassemblyMode::kTcpStrict;
+    std::string text;
+    Stream5Engine snort(cfg, [&](const FiveTuple&, auto data) {
+      text.append(data.begin(), data.end());
+    });
+    SessionBuilder s;
+    Timestamp t(0);
+    snort.on_packet(s.syn(t), t);
+    const std::uint32_t base = s.client_seq();
+    // Overlapping segments, buffered out of order so policy matters.
+    snort.on_packet(s.data_at(base + 6, "ATTACK", t), t);
+    snort.on_packet(s.data_at(base + 6, "BENIGN", t), t);
+    snort.on_packet(s.data_at(base, "head: ", t), t);
+    snort.finish(t);
+    EXPECT_EQ(text, policy == kernel::OverlapPolicy::kFirst
+                        ? "head: ATTACK"
+                        : "head: BENIGN");
+  }
+}
+
+}  // namespace
+}  // namespace scap::baseline

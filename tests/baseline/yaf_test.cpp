@@ -1,0 +1,88 @@
+#include "baseline/yaf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/kernel/test_helpers.hpp"
+
+namespace scap::baseline {
+namespace {
+
+using kernel::testing::SessionBuilder;
+using kernel::testing::client_tuple;
+
+TEST(YafEngine, ExportsFlowOnFin) {
+  std::vector<YafFlowRecord> exported;
+  YafEngine yaf({}, [&](const YafFlowRecord& r) { exported.push_back(r); });
+  SessionBuilder s;
+  Timestamp t(0);
+  yaf.on_packet(s.syn(t), t);
+  yaf.on_packet(s.syn_ack(t), t);
+  yaf.on_packet(s.data("0123456789", Timestamp::from_usec(100)),
+                Timestamp::from_usec(100));
+  yaf.on_packet(s.fin(Timestamp::from_usec(200)), Timestamp::from_usec(200));
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].packets, 4u);
+  EXPECT_GT(exported[0].bytes, 10u);  // wire bytes include headers
+  EXPECT_EQ(exported[0].first_seen.usec(), 0);
+  EXPECT_EQ(exported[0].last_seen.usec(), 200);
+  EXPECT_EQ(yaf.tracked_now(), 0u);
+}
+
+TEST(YafEngine, BothDirectionsOneRecord) {
+  std::vector<YafFlowRecord> exported;
+  YafEngine yaf({}, [&](const YafFlowRecord& r) { exported.push_back(r); });
+  SessionBuilder s;
+  Timestamp t(0);
+  yaf.on_packet(s.syn(t), t);
+  yaf.on_packet(s.syn_ack(t), t);
+  yaf.on_packet(s.data("up", t), t);
+  yaf.on_packet(s.reply_data("down", t), t);
+  yaf.finish(t);
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].packets, 4u);
+}
+
+TEST(YafEngine, IdleFlowsExported) {
+  std::vector<YafFlowRecord> exported;
+  YafConfig cfg;
+  cfg.idle_timeout = Duration::from_sec(3);
+  YafEngine yaf(cfg, [&](const YafFlowRecord& r) { exported.push_back(r); });
+  SessionBuilder udp_like(client_tuple(1234, 9000));
+  yaf.on_packet(udp_like.data("no close", Timestamp(0)), Timestamp(0));
+  SessionBuilder other(client_tuple(5678, 9000));
+  yaf.on_packet(other.syn(Timestamp::from_sec(10)), Timestamp::from_sec(10));
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].packets, 1u);
+}
+
+TEST(YafEngine, SnaplenLimitsCopyBytes) {
+  YafEngine yaf({}, nullptr);
+  EXPECT_EQ(yaf.snaplen(), 96u);
+  SessionBuilder s;
+  Timestamp t(0);
+  std::string big(1400, 'x');
+  // The driver would snap before handing the packet in; simulate that.
+  Packet snapped = s.data(big, t).snapped(96);
+  yaf.on_packet(snapped, t);
+  EXPECT_LE(yaf.stats().copy_bytes, 96u);
+  // The wire payload is still known from the IP header.
+  EXPECT_EQ(yaf.stats().payload_bytes, 1400u);
+}
+
+TEST(YafEngine, FinishExportsEverything) {
+  std::vector<YafFlowRecord> exported;
+  YafEngine yaf({}, [&](const YafFlowRecord& r) { exported.push_back(r); });
+  Timestamp t(0);
+  for (std::uint16_t i = 0; i < 7; ++i) {
+    SessionBuilder s(client_tuple(static_cast<std::uint16_t>(2000 + i), 80));
+    yaf.on_packet(s.syn(t), t);
+  }
+  yaf.finish(t);
+  EXPECT_EQ(exported.size(), 7u);
+  EXPECT_EQ(yaf.flows_exported(), 7u);
+}
+
+}  // namespace
+}  // namespace scap::baseline

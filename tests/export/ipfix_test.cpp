@@ -1,0 +1,123 @@
+#include "export/ipfix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/bytes.hpp"
+
+namespace scap::exporter {
+namespace {
+
+FlowRecord sample(std::uint16_t port) {
+  FlowRecord r;
+  r.tuple = {0x0a000001, 0xc0a80001, port, 80, kProtoTcp};
+  r.bytes = 123456789ull;
+  r.packets = 4242;
+  r.first_seen = Timestamp::from_sec(100.0);
+  r.last_seen = Timestamp::from_sec(101.5);
+  return r;
+}
+
+TEST(Ipfix, RoundTripSingleRecord) {
+  IpfixWriter writer(7);
+  IpfixReader reader;
+  const FlowRecord rec = sample(1000);
+  auto bytes = writer.encode({&rec, 1}, Timestamp::from_sec(1234));
+  auto msg = reader.decode(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->domain, 7u);
+  EXPECT_EQ(msg->export_time_sec, 1234u);
+  ASSERT_EQ(msg->records.size(), 1u);
+  EXPECT_EQ(msg->records[0], rec);
+}
+
+TEST(Ipfix, TemplateOnlyInFirstMessage) {
+  IpfixWriter writer;
+  const FlowRecord rec = sample(1);
+  auto first = writer.encode({&rec, 1}, Timestamp(0));
+  auto second = writer.encode({&rec, 1}, Timestamp(0));
+  EXPECT_GT(first.size(), second.size());  // template set only once
+
+  // A reader that saw the first message can decode the second...
+  IpfixReader reader;
+  ASSERT_TRUE(reader.decode(first).has_value());
+  auto msg2 = reader.decode(second);
+  ASSERT_TRUE(msg2.has_value());
+  EXPECT_EQ(msg2->records.size(), 1u);
+  // ...but a fresh reader cannot (no template yet).
+  IpfixReader fresh;
+  EXPECT_FALSE(fresh.decode(second).has_value());
+}
+
+TEST(Ipfix, SequenceCountsDataRecords) {
+  IpfixWriter writer;
+  std::vector<FlowRecord> recs = {sample(1), sample(2), sample(3)};
+  writer.encode(recs, Timestamp(0));
+  EXPECT_EQ(writer.sequence(), 3u);
+  auto bytes = writer.encode(recs, Timestamp(0));
+  IpfixReader reader;
+  // Sequence field of the second message reflects prior records.
+  auto tmpl = writer.encode({}, Timestamp(0), /*force_template=*/true);
+  ASSERT_TRUE(reader.decode(tmpl).has_value());
+  auto msg = reader.decode(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->sequence, 3u);
+  EXPECT_EQ(msg->records.size(), 3u);
+}
+
+TEST(Ipfix, EmptyMessageIsValid) {
+  IpfixWriter writer;
+  auto bytes = writer.encode({}, Timestamp(0));
+  IpfixReader reader;
+  auto msg = reader.decode(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->records.empty());
+  EXPECT_TRUE(reader.has_template());
+}
+
+TEST(Ipfix, MalformedInputsRejected) {
+  IpfixReader reader;
+  EXPECT_FALSE(reader.decode({}).has_value());
+  std::vector<std::uint8_t> junk(64, 0xab);
+  EXPECT_FALSE(reader.decode(junk).has_value());
+
+  IpfixWriter writer;
+  const FlowRecord rec = sample(1);
+  auto bytes = writer.encode({&rec, 1}, Timestamp(0));
+  // Corrupt the message length.
+  bytes[2] = 0xff;
+  bytes[3] = 0xff;
+  EXPECT_FALSE(reader.decode(bytes).has_value());
+}
+
+TEST(Ipfix, UnknownSetsSkipped) {
+  IpfixWriter writer;
+  const FlowRecord rec = sample(9);
+  auto bytes = writer.encode({&rec, 1}, Timestamp(0));
+  // Append an unknown set (id 999, 8 bytes) and patch the message length.
+  const std::size_t insert_at = bytes.size();
+  bytes.insert(bytes.end(), {0x03, 0xe7, 0x00, 0x08, 0xde, 0xad, 0xbe, 0xef});
+  (void)insert_at;
+  bytes[2] = static_cast<std::uint8_t>(bytes.size() >> 8);
+  bytes[3] = static_cast<std::uint8_t>(bytes.size());
+  IpfixReader reader;
+  auto msg = reader.decode(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->records.size(), 1u);
+}
+
+TEST(Ipfix, ManyRecordsRoundTrip) {
+  IpfixWriter writer;
+  std::vector<FlowRecord> recs;
+  for (std::uint16_t i = 0; i < 500; ++i) recs.push_back(sample(i));
+  auto bytes = writer.encode(recs, Timestamp::from_sec(9));
+  IpfixReader reader;
+  auto msg = reader.decode(bytes);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->records.size(), 500u);
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(msg->records[i].tuple.src_port, i);
+  }
+}
+
+}  // namespace
+}  // namespace scap::exporter

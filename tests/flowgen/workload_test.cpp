@@ -1,0 +1,170 @@
+#include "flowgen/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "match/aho_corasick.hpp"
+#include "match/corpus.hpp"
+
+namespace scap::flowgen {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.flows = 200;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Workload, Deterministic) {
+  Trace a = build_trace(small_config());
+  Trace b = build_trace(small_config());
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_EQ(a.total_wire_bytes, b.total_wire_bytes);
+  for (std::size_t i = 0; i < std::min<std::size_t>(100, a.packets.size());
+       ++i) {
+    EXPECT_EQ(a.packets[i].tuple(), b.packets[i].tuple());
+    EXPECT_EQ(a.packets[i].timestamp(), b.packets[i].timestamp());
+  }
+}
+
+TEST(Workload, TimestampsMonotonic) {
+  Trace t = build_trace(small_config());
+  for (std::size_t i = 1; i < t.packets.size(); ++i) {
+    EXPECT_LE(t.packets[i - 1].timestamp(), t.packets[i].timestamp());
+  }
+}
+
+TEST(Workload, AllPacketsDecode) {
+  Trace t = build_trace(small_config());
+  for (const auto& pkt : t.packets) {
+    ASSERT_TRUE(pkt.valid());
+    ASSERT_TRUE(pkt.is_tcp() || pkt.is_udp());
+  }
+}
+
+TEST(Workload, TcpFractionRoughlyRespected) {
+  WorkloadConfig cfg = small_config();
+  cfg.flows = 2000;
+  Trace t = build_trace(cfg);
+  int tcp = 0;
+  for (const auto& flow : t.flows) tcp += flow.tcp ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(tcp) / t.flows.size(), 0.954, 0.03);
+}
+
+TEST(Workload, FlowByteAccountingMatchesPackets) {
+  WorkloadConfig cfg = small_config();
+  cfg.flows = 50;
+  Trace t = build_trace(cfg);
+  // Sum payload per flow from the packets and compare with ground truth.
+  std::unordered_map<std::uint64_t, std::uint64_t> bytes_by_flow;
+  auto key = [](const FiveTuple& tup) {
+    return (static_cast<std::uint64_t>(tup.src_ip) << 32) ^ tup.dst_ip ^
+           (static_cast<std::uint64_t>(tup.src_port) << 16) ^ tup.dst_port;
+  };
+  for (const auto& pkt : t.packets) {
+    const FiveTuple c = pkt.tuple().canonical();
+    bytes_by_flow[key(c)] += pkt.payload_len();
+  }
+  for (const auto& flow : t.flows) {
+    const std::uint64_t expect = flow.client_bytes + flow.server_bytes;
+    const std::uint64_t got = bytes_by_flow[key(flow.tuple.canonical())];
+    EXPECT_EQ(got, expect) << to_string(flow.tuple);
+  }
+}
+
+TEST(Workload, HeavyTailPresent) {
+  WorkloadConfig cfg = small_config();
+  cfg.flows = 3000;
+  Trace t = build_trace(cfg);
+  // Top 10% of flows should carry the majority of bytes.
+  std::vector<std::uint64_t> sizes;
+  for (const auto& flow : t.flows) {
+    sizes.push_back(flow.client_bytes + flow.server_bytes);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::uint64_t total = 0, top = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    total += sizes[i];
+    if (i < sizes.size() / 10) top += sizes[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.5);
+}
+
+TEST(Workload, PlantedPatternsAreFoundExactly) {
+  WorkloadConfig cfg = small_config();
+  cfg.flows = 300;
+  cfg.patterns = match::make_corpus({.pattern_count = 50});
+  cfg.plant_probability = 0.5;
+  Trace t = build_trace(cfg);
+  ASSERT_GT(t.planted_matches, 10u);
+
+  // Reassemble every byte naively (per-flow, in order) and scan.
+  match::AhoCorasick ac(cfg.patterns);
+  std::uint64_t found = 0;
+  for (const auto& pkt : t.packets) {
+    // Patterns never span segments? They can — so scan per-direction
+    // reassembled stream instead.
+    (void)pkt;
+  }
+  std::unordered_map<std::string, std::string> streams;
+  for (const auto& pkt : t.packets) {
+    if (pkt.payload_len() == 0) continue;
+    streams[to_string(pkt.tuple())].append(
+        reinterpret_cast<const char*>(pkt.payload().data()),
+        pkt.payload_len());
+  }
+  for (const auto& [k, v] : streams) {
+    found += ac.scan(
+        {reinterpret_cast<const std::uint8_t*>(v.data()), v.size()});
+  }
+  EXPECT_EQ(found, t.planted_matches);
+}
+
+TEST(Workload, ImpairmentsPreserveBytes) {
+  WorkloadConfig cfg = small_config();
+  cfg.flows = 100;
+  cfg.duplicate_probability = 0.05;
+  cfg.reorder_probability = 0.05;
+  Trace t = build_trace(cfg);
+  // With duplicates, raw packet payload sum >= ground-truth byte sum.
+  std::uint64_t raw = 0;
+  for (const auto& pkt : t.packets) raw += pkt.payload_len();
+  EXPECT_GE(raw, t.total_payload_bytes);
+}
+
+TEST(ConcurrentTrace, ShapeAndInterleaving) {
+  Trace t = build_concurrent_trace(10, 5, 100);
+  // 10 SYNs + 10*5 data + 10 FINs.
+  ASSERT_EQ(t.packets.size(), 10u + 50u + 10u);
+  // First 10 are SYNs; all 10 streams distinct.
+  std::set<std::uint16_t> ports;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t.packets[i].has_flag(kTcpSyn));
+    ports.insert(t.packets[i].tuple().src_port);
+  }
+  EXPECT_EQ(ports.size(), 10u);
+  // Data is round-robin: packets 10..19 hit the 10 distinct streams.
+  std::set<std::uint16_t> round_ports;
+  for (int i = 10; i < 20; ++i) {
+    EXPECT_EQ(t.packets[i].payload_len(), 100u);
+    round_ports.insert(t.packets[i].tuple().src_port);
+  }
+  EXPECT_EQ(round_ports.size(), 10u);
+  // Last 10 are FINs.
+  for (std::size_t i = t.packets.size() - 10; i < t.packets.size(); ++i) {
+    EXPECT_TRUE(t.packets[i].has_flag(kTcpFin));
+  }
+}
+
+TEST(ConcurrentTrace, SequencesAdvancePerStream) {
+  Trace t = build_concurrent_trace(2, 3, 50);
+  // Stream 0 data packets: indices 2, 4, 6 (after 2 SYNs, round robin of 2).
+  const std::uint32_t s0 = t.packets[2].seq();
+  EXPECT_EQ(t.packets[4].seq(), s0 + 50);
+  EXPECT_EQ(t.packets[6].seq(), s0 + 100);
+}
+
+}  // namespace
+}  // namespace scap::flowgen

@@ -1,0 +1,72 @@
+#include "kernel/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap::kernel {
+namespace {
+
+TEST(ChunkAllocator, AllocateAndRelease) {
+  ChunkAllocator alloc(1000);
+  auto a = alloc.allocate(400);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(alloc.used(), 400u);
+  auto b = alloc.allocate(400);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(alloc.used(), 800u);
+  alloc.release(*a, 400);
+  EXPECT_EQ(alloc.used(), 400u);
+}
+
+TEST(ChunkAllocator, FailsWhenExhausted) {
+  ChunkAllocator alloc(1000);
+  EXPECT_TRUE(alloc.allocate(800).has_value());
+  EXPECT_FALSE(alloc.allocate(300).has_value());
+  EXPECT_EQ(alloc.failures(), 1u);
+  EXPECT_EQ(alloc.used(), 800u);
+}
+
+TEST(ChunkAllocator, RecyclesAddresses) {
+  ChunkAllocator alloc(10000);
+  auto a = alloc.allocate(512);
+  alloc.release(*a, 512);
+  auto b = alloc.allocate(512);
+  EXPECT_EQ(*a, *b);  // LIFO recycling, slab-like
+}
+
+TEST(ChunkAllocator, UsedFraction) {
+  ChunkAllocator alloc(1000);
+  EXPECT_DOUBLE_EQ(alloc.used_fraction(), 0.0);
+  alloc.allocate(250);
+  EXPECT_DOUBLE_EQ(alloc.used_fraction(), 0.25);
+}
+
+TEST(ChunkAllocator, ForcedAllocationOvershoots) {
+  ChunkAllocator alloc(100);
+  alloc.allocate(100);
+  const std::uint64_t addr = alloc.allocate_forced(50);
+  (void)addr;
+  EXPECT_EQ(alloc.used(), 150u);
+  EXPECT_GT(alloc.used_fraction(), 1.0);
+  alloc.release(addr, 50);
+  EXPECT_EQ(alloc.used(), 100u);
+}
+
+TEST(ChunkAllocator, HighWaterTracksPeak) {
+  ChunkAllocator alloc(1000);
+  auto a = alloc.allocate(600);
+  alloc.release(*a, 600);
+  alloc.allocate(100);
+  EXPECT_EQ(alloc.high_water(), 600u);
+}
+
+TEST(ChunkAllocator, DistinctSizeClassesDontMix) {
+  ChunkAllocator alloc(100000);
+  auto a = alloc.allocate(512);
+  alloc.release(*a, 512);
+  auto b = alloc.allocate(1024);
+  EXPECT_NE(*a, *b);  // different size class: fresh address
+}
+
+}  // namespace
+}  // namespace scap::kernel

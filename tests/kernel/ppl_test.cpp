@@ -1,0 +1,96 @@
+#include "kernel/ppl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap::kernel {
+namespace {
+
+TEST(Ppl, NoDropsBelowBaseThreshold) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2, .overload_cutoff = 0});
+  EXPECT_EQ(ppl.admit(0.0, 0, 1 << 20), PplVerdict::kAdmit);
+  EXPECT_EQ(ppl.admit(0.5, 0, 1 << 20), PplVerdict::kAdmit);
+}
+
+TEST(Ppl, WatermarksEquallySpaced) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2});
+  // n = 2: w0 = 0.5, w1 = 0.75, w2 = 1.0.
+  EXPECT_DOUBLE_EQ(ppl.watermark(0), 0.75);
+  EXPECT_DOUBLE_EQ(ppl.watermark(1), 1.0);
+}
+
+TEST(Ppl, LowPriorityDropsFirst) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2, .overload_cutoff = -1});
+  // At 80% memory: above w1 (0.75) -> low priority drops...
+  EXPECT_EQ(ppl.admit(0.80, 0, 0), PplVerdict::kDropPriority);
+  // ...but high priority is still admitted (w2 = 1.0).
+  EXPECT_EQ(ppl.admit(0.80, 1, 0), PplVerdict::kAdmit);
+}
+
+TEST(Ppl, HighPriorityDropsOnlyWhenFull) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2, .overload_cutoff = -1});
+  EXPECT_EQ(ppl.admit(0.999, 1, 0), PplVerdict::kAdmit);
+  EXPECT_EQ(ppl.admit(1.001, 1, 0), PplVerdict::kDropPriority);
+}
+
+TEST(Ppl, OverloadCutoffAppliesOnlyInOwnBand) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2,
+           .overload_cutoff = 10000});
+  // Low priority (level 1) band is (0.5, 0.75].
+  // In-band, beyond the overload cutoff -> dropped.
+  EXPECT_EQ(ppl.admit(0.6, 0, 20000), PplVerdict::kDropOverload);
+  // In-band, before the cutoff -> admitted.
+  EXPECT_EQ(ppl.admit(0.6, 0, 5000), PplVerdict::kAdmit);
+  // High priority (level 2) band is (0.75, 1.0]: at 0.6 it is below its
+  // band, so no cutoff applies even beyond the threshold.
+  EXPECT_EQ(ppl.admit(0.6, 1, 20000), PplVerdict::kAdmit);
+  // High priority inside its own band respects the cutoff.
+  EXPECT_EQ(ppl.admit(0.8, 1, 20000), PplVerdict::kDropOverload);
+}
+
+TEST(Ppl, DisabledOverloadCutoffAdmitsInBand) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 1, .overload_cutoff = -1});
+  EXPECT_EQ(ppl.admit(0.7, 0, 1u << 30), PplVerdict::kAdmit);
+}
+
+TEST(Ppl, SinglePriorityBandCoversWholeRange) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 1, .overload_cutoff = 100});
+  EXPECT_DOUBLE_EQ(ppl.watermark(0), 1.0);
+  EXPECT_EQ(ppl.admit(0.9, 0, 50), PplVerdict::kAdmit);
+  EXPECT_EQ(ppl.admit(0.9, 0, 150), PplVerdict::kDropOverload);
+}
+
+TEST(Ppl, PriorityAboveLevelsClampsToTop) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2});
+  EXPECT_DOUBLE_EQ(ppl.watermark(7), 1.0);
+}
+
+TEST(Ppl, SanitizesDegenerateConfig) {
+  Ppl ppl({.base_threshold = -3.0, .priority_levels = 0});
+  EXPECT_EQ(ppl.config().priority_levels, 1);
+  EXPECT_DOUBLE_EQ(ppl.config().base_threshold, 0.0);
+}
+
+// Property sweep: a higher-priority packet is never dropped at a memory
+// level where a lower-priority packet is admitted.
+class PplMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PplMonotonicity, HigherPriorityNeverWorse) {
+  const int levels = GetParam();
+  Ppl ppl({.base_threshold = 0.4, .priority_levels = levels,
+           .overload_cutoff = -1});
+  for (double used = 0.0; used <= 1.05; used += 0.01) {
+    for (int p = 0; p + 1 < levels; ++p) {
+      const bool low_ok = ppl.admit(used, p, 0) == PplVerdict::kAdmit;
+      const bool high_ok = ppl.admit(used, p + 1, 0) == PplVerdict::kAdmit;
+      EXPECT_TRUE(!low_ok || high_ok)
+          << "used=" << used << " priority " << p + 1 << " dropped while "
+          << p << " admitted";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PplMonotonicity,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace scap::kernel

@@ -1,0 +1,367 @@
+#include "kernel/reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+namespace scap::kernel {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::string str_of(const std::vector<std::uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+StreamParams params(ReassemblyMode mode, std::uint32_t chunk = 64,
+                    std::uint32_t overlap = 0) {
+  StreamParams p;
+  p.mode = mode;
+  p.chunk_size = chunk;
+  p.overlap_size = overlap;
+  return p;
+}
+
+SegmentMeta meta_at(std::int64_t us, std::uint32_t seq = 0) {
+  SegmentMeta m;
+  m.ts = Timestamp::from_usec(us);
+  m.seq_raw = seq;
+  return m;
+}
+
+// --- ChunkBuilder -----------------------------------------------------------
+
+TEST(ChunkBuilder, AccumulatesUntilChunkSize) {
+  ChunkBuilder b(8, 0, false);
+  auto done = b.append(bytes_of("abc"), meta_at(0), 0);
+  EXPECT_TRUE(done.empty());
+  done = b.append(bytes_of("defgh"), meta_at(1), 3);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(str_of(done[0].data), "abcdefgh");
+  EXPECT_EQ(done[0].stream_offset, 0u);
+  EXPECT_FALSE(b.has_data());
+}
+
+TEST(ChunkBuilder, SplitsLargePayloadAcrossChunks) {
+  ChunkBuilder b(4, 0, false);
+  auto done = b.append(bytes_of("0123456789"), meta_at(0), 0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(str_of(done[0].data), "0123");
+  EXPECT_EQ(str_of(done[1].data), "4567");
+  EXPECT_EQ(done[1].stream_offset, 4u);
+  auto rest = b.flush();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(str_of(rest->data), "89");
+  EXPECT_EQ(rest->stream_offset, 8u);
+}
+
+TEST(ChunkBuilder, OverlapCarriesTailIntoNextChunk) {
+  ChunkBuilder b(8, 3, false);
+  auto done = b.append(bytes_of("abcdefgh"), meta_at(0), 0);
+  ASSERT_EQ(done.size(), 1u);
+  // Next chunk starts pre-seeded with "fgh".
+  done = b.append(bytes_of("ijklm"), meta_at(1), 8);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(str_of(done[0].data), "fghijklm");
+  EXPECT_EQ(done[0].overlap_len, 3u);
+  EXPECT_EQ(done[0].stream_offset, 5u);  // 8 - overlap
+}
+
+TEST(ChunkBuilder, FlushEmptyReturnsNullopt) {
+  ChunkBuilder b(8, 0, false);
+  EXPECT_FALSE(b.flush().has_value());
+}
+
+TEST(ChunkBuilder, PureOverlapChunkNotDelivered) {
+  ChunkBuilder b(4, 2, false);
+  b.append(bytes_of("abcd"), meta_at(0), 0);  // completes, seeds "cd"
+  auto flushed = b.flush();
+  EXPECT_FALSE(flushed.has_value());  // only the repeated tail: no new bytes
+}
+
+TEST(ChunkBuilder, ErrorsAttachToCurrentChunk) {
+  ChunkBuilder b(8, 0, false);
+  b.append(bytes_of("abc"), meta_at(0), 0);
+  b.flag_error(kErrHole);
+  auto flushed = b.flush();
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->errors & kErrHole, kErrHole);
+  // Next chunk starts clean.
+  b.append(bytes_of("x"), meta_at(1), 3);
+  auto next = b.flush();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->errors, 0u);
+}
+
+TEST(ChunkBuilder, PacketRecordsTrackOffsets) {
+  ChunkBuilder b(100, 0, true);
+  SegmentMeta m1 = meta_at(10, 1000);
+  m1.wire_payload = 3;
+  b.append(bytes_of("abc"), m1, 0);
+  SegmentMeta m2 = meta_at(20, 1003);
+  m2.wire_payload = 5;
+  b.append(bytes_of("defgh"), m2, 3);
+  auto c = b.flush();
+  ASSERT_TRUE(c.has_value());
+  ASSERT_EQ(c->packets.size(), 2u);
+  EXPECT_EQ(c->packets[0].chunk_offset, 0u);
+  EXPECT_EQ(c->packets[0].caplen, 3u);
+  EXPECT_EQ(c->packets[0].ts.usec(), 10);
+  EXPECT_EQ(c->packets[1].chunk_offset, 3u);
+  EXPECT_EQ(c->packets[1].seq, 1003u);
+}
+
+TEST(ChunkBuilder, RetainMergesKeptChunkWithNext) {
+  ChunkBuilder b(4, 0, false);
+  auto done = b.append(bytes_of("abcd"), meta_at(0), 0);
+  ASSERT_EQ(done.size(), 1u);
+  b.retain(std::move(done[0]));
+  done = b.append(bytes_of("efgh"), meta_at(1), 4);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(str_of(done[0].data), "abcdefgh");
+}
+
+// --- TcpReassembler: fast mode ----------------------------------------------
+
+TEST(TcpReassemblerFast, InOrderDelivery) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_syn(999);  // data starts at 1000
+  auto res = r.on_data(1000, bytes_of("hello "), meta_at(0));
+  EXPECT_EQ(res.accepted_bytes, 6u);
+  res = r.on_data(1006, bytes_of("world"), meta_at(1));
+  EXPECT_EQ(res.accepted_bytes, 5u);
+  auto chunks = r.flush();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(str_of(chunks[0].data), "hello world");
+  EXPECT_EQ(chunks[0].errors, 0u);
+}
+
+TEST(TcpReassemblerFast, RetransmissionDiscarded) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_syn(0);
+  r.on_data(1, bytes_of("abcdef"), meta_at(0));
+  auto res = r.on_data(1, bytes_of("abcdef"), meta_at(1));
+  EXPECT_EQ(res.accepted_bytes, 0u);
+  EXPECT_EQ(res.dup_bytes, 6u);
+  auto chunks = r.flush();
+  EXPECT_EQ(str_of(chunks[0].data), "abcdef");
+}
+
+TEST(TcpReassemblerFast, PartialOverlapTrimmed) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_syn(0);
+  r.on_data(1, bytes_of("abcdef"), meta_at(0));
+  // Segment re-sends "def" and adds "ghi".
+  auto res = r.on_data(4, bytes_of("defghi"), meta_at(1));
+  EXPECT_EQ(res.accepted_bytes, 3u);
+  EXPECT_EQ(res.dup_bytes, 3u);
+  auto chunks = r.flush();
+  EXPECT_EQ(str_of(chunks[0].data), "abcdefghi");
+}
+
+TEST(TcpReassemblerFast, HoleWrittenThroughAndFlagged) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_syn(0);
+  r.on_data(1, bytes_of("abc"), meta_at(0));
+  // Segment at offset 10 — bytes [3,10) lost.
+  auto res = r.on_data(11, bytes_of("xyz"), meta_at(1));
+  EXPECT_EQ(res.errors & kErrHole, kErrHole);
+  EXPECT_EQ(res.accepted_bytes, 3u);
+  auto chunks = r.flush();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(str_of(chunks[0].data), "abcxyz");  // hole skipped, not padded
+  EXPECT_EQ(chunks[0].errors & kErrHole, kErrHole);
+  EXPECT_EQ(r.stream_offset(), 13u);  // offset advanced past the hole
+}
+
+TEST(TcpReassemblerFast, LateSegmentAfterHoleIsDuplicate) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_syn(0);
+  r.on_data(1, bytes_of("abc"), meta_at(0));
+  r.on_data(11, bytes_of("xyz"), meta_at(1));  // hole [3,10)
+  // The missing segment finally arrives — too late in fast mode.
+  auto res = r.on_data(4, bytes_of("1234567"), meta_at(2));
+  EXPECT_EQ(res.accepted_bytes, 0u);
+  EXPECT_EQ(res.dup_bytes, 7u);
+}
+
+TEST(TcpReassemblerFast, MidFlowPickupAnchorsAtFirstSegment) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  // No SYN observed; first data seg anchors offset 0.
+  auto res = r.on_data(777777, bytes_of("data"), meta_at(0));
+  EXPECT_EQ(res.accepted_bytes, 4u);
+  EXPECT_EQ(r.stream_offset(), 4u);
+}
+
+TEST(TcpReassemblerFast, SequenceWraparound) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  const std::uint32_t isn = 0xfffffff0;
+  r.on_syn(isn);  // data starts at 0xfffffff1
+  std::string a(20, 'a');
+  auto res = r.on_data(isn + 1, bytes_of(a), meta_at(0));  // wraps past 0
+  EXPECT_EQ(res.accepted_bytes, 20u);
+  auto res2 = r.on_data(isn + 21, bytes_of("bb"), meta_at(1));
+  EXPECT_EQ(res2.accepted_bytes, 2u);
+  EXPECT_EQ(r.stream_offset(), 22u);
+  auto chunks = r.flush();
+  EXPECT_EQ(chunks[0].data.size(), 22u);
+}
+
+TEST(TcpReassemblerFast, AbsurdJumpRejected) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_syn(0);
+  r.on_data(1, bytes_of("abc"), meta_at(0));
+  auto res = r.on_data(0x7f000000, bytes_of("zzz"), meta_at(1));
+  EXPECT_EQ(res.accepted_bytes, 0u);
+  EXPECT_EQ(res.errors & kErrInvalidSeq, kErrInvalidSeq);
+}
+
+// --- TcpReassembler: strict mode --------------------------------------------
+
+TEST(TcpReassemblerStrict, ReordersOutOfOrderSegments) {
+  TcpReassembler r(params(ReassemblyMode::kTcpStrict, 1024), false);
+  r.on_syn(0);
+  auto res1 = r.on_data(4, bytes_of("def"), meta_at(0));  // future
+  EXPECT_TRUE(res1.completed.empty());
+  EXPECT_EQ(r.ooo_buffered(), 3u);
+  auto res2 = r.on_data(1, bytes_of("abc"), meta_at(1));  // fills the hole
+  EXPECT_EQ(res2.accepted_bytes, 3u);
+  auto chunks = r.flush();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(str_of(chunks[0].data), "abcdef");
+  EXPECT_EQ(chunks[0].errors, 0u);
+  EXPECT_EQ(r.ooo_buffered(), 0u);
+}
+
+TEST(TcpReassemblerStrict, HeavyReorderingReconstructsExactly) {
+  TcpReassembler r(params(ReassemblyMode::kTcpStrict, 4096), false);
+  r.on_syn(0);
+  // Segments delivered in a scrambled order.
+  const std::string text = "the quick brown fox jumps over the lazy dog!!";
+  const std::size_t seg = 5;
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < text.size(); i += seg) order.push_back(i);
+  // Deterministic scramble.
+  for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+    std::swap(order[i], order[i + 1]);
+  }
+  for (std::size_t off : order) {
+    const std::string piece = text.substr(off, seg);
+    r.on_data(static_cast<std::uint32_t>(1 + off), bytes_of(piece),
+              meta_at(static_cast<std::int64_t>(off)));
+  }
+  auto chunks = r.flush();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(str_of(chunks[0].data), text);
+}
+
+TEST(TcpReassemblerStrict, FlushDeliversBufferedWithHoleFlag) {
+  TcpReassembler r(params(ReassemblyMode::kTcpStrict, 1024), false);
+  r.on_syn(0);
+  r.on_data(1, bytes_of("abc"), meta_at(0));
+  r.on_data(10, bytes_of("xyz"), meta_at(1));  // [9..] buffered, hole [3,9)
+  auto chunks = r.flush();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(str_of(chunks[0].data), "abcxyz");
+  EXPECT_EQ(chunks[0].errors & kErrHole, kErrHole);
+}
+
+TEST(TcpReassemblerStrict, OverlapConflictFlagged) {
+  TcpReassembler r(params(ReassemblyMode::kTcpStrict, 1024), false);
+  r.on_syn(0);
+  r.on_data(5, bytes_of("AAAA"), meta_at(0));  // buffered at off 4
+  auto res = r.on_data(5, bytes_of("BBBB"), meta_at(1));
+  EXPECT_EQ(res.errors & kErrOverlapConflict, kErrOverlapConflict);
+}
+
+TEST(TcpReassemblerStrict, OooBufferOverflowDegradesGracefully) {
+  TcpReassembler r(params(ReassemblyMode::kTcpStrict, 1 << 20), false,
+                   /*max_ooo_bytes=*/1024);
+  r.on_syn(0);
+  // Never send offset 0; flood with disjoint future segments.
+  std::string block(128, 'x');
+  std::uint32_t seq = 101;
+  std::uint32_t all_errors = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto res = r.on_data(seq, bytes_of(block), meta_at(i));
+    all_errors |= res.errors;
+    seq += 256;  // leave holes so nothing merges
+  }
+  EXPECT_EQ(all_errors & kErrBufferOverflow, kErrBufferOverflow);
+  EXPECT_LE(r.ooo_buffered(), 1024u);
+  // Data was force-delivered rather than silently dropped.
+  auto chunks = r.flush();
+  std::size_t delivered = 0;
+  for (const auto& c : chunks) delivered += c.data.size();
+  EXPECT_GT(delivered, 1024u);
+}
+
+TEST(TcpReassemblerStrict, PolicyAppliedToBufferedOverlaps) {
+  for (auto policy : {OverlapPolicy::kFirst, OverlapPolicy::kLast}) {
+    StreamParams p = params(ReassemblyMode::kTcpStrict, 1024);
+    p.policy = policy;
+    TcpReassembler r(p, false);
+    r.on_syn(0);
+    r.on_data(5, bytes_of("ATTACK"), meta_at(0));
+    r.on_data(5, bytes_of("BENIGN"), meta_at(1));
+    r.on_data(1, bytes_of("head"), meta_at(2));
+    auto chunks = r.flush();
+    ASSERT_EQ(chunks.size(), 1u);
+    const std::string expected =
+        policy == OverlapPolicy::kFirst ? "headATTACK" : "headBENIGN";
+    EXPECT_EQ(str_of(chunks[0].data), expected);
+  }
+}
+
+// --- UDP / datagram path ----------------------------------------------------
+
+TEST(TcpReassembler, DatagramsConcatenate) {
+  TcpReassembler r(params(ReassemblyMode::kTcpFast, 1024), false);
+  r.on_datagram(bytes_of("q1"), meta_at(0));
+  r.on_datagram(bytes_of("q2"), meta_at(1));
+  auto chunks = r.flush();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(str_of(chunks[0].data), "q1q2");
+  EXPECT_EQ(r.stream_offset(), 4u);
+}
+
+// --- Parameterized sweep: chunk sizes ---------------------------------------
+
+class ChunkSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChunkSizeSweep, AllBytesDeliveredExactlyOnce) {
+  const std::uint32_t chunk_size = GetParam();
+  StreamParams p = params(ReassemblyMode::kTcpFast, chunk_size);
+  TcpReassembler r(p, false);
+  r.on_syn(0);
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "segment-" + std::to_string(i) + "|";
+  }
+  std::vector<Chunk> all;
+  std::size_t pos = 0;
+  std::uint32_t seq = 1;
+  while (pos < text.size()) {
+    const std::size_t n = std::min<std::size_t>(37, text.size() - pos);
+    auto res = r.on_data(seq, bytes_of(text.substr(pos, n)),
+                         meta_at(static_cast<std::int64_t>(pos)));
+    for (auto& c : res.completed) all.push_back(std::move(c));
+    pos += n;
+    seq += static_cast<std::uint32_t>(n);
+  }
+  for (auto& c : r.flush()) all.push_back(std::move(c));
+  std::string got;
+  for (const auto& c : all) {
+    got.append(c.data.begin() + c.overlap_len, c.data.end());
+  }
+  EXPECT_EQ(got, text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkSizeSweep,
+                         ::testing::Values(1, 7, 64, 512, 4096, 16384));
+
+}  // namespace
+}  // namespace scap::kernel

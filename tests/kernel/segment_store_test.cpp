@@ -1,0 +1,187 @@
+#include "kernel/segment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scap::kernel {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::string str_of(const std::vector<std::uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+TEST(SegmentStore, InsertAndPopContiguous) {
+  SegmentStore store;
+  auto r = store.insert(0, bytes_of("hello"), OverlapPolicy::kBsd);
+  EXPECT_EQ(r.new_bytes, 5u);
+  EXPECT_EQ(r.dup_bytes, 0u);
+  auto run = store.pop_contiguous(0);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(str_of(*run), "hello");
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(SegmentStore, PopMergesAdjacentSegments) {
+  SegmentStore store;
+  store.insert(0, bytes_of("abc"), OverlapPolicy::kBsd);
+  store.insert(3, bytes_of("def"), OverlapPolicy::kBsd);
+  store.insert(6, bytes_of("ghi"), OverlapPolicy::kBsd);
+  auto run = store.pop_contiguous(0);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(str_of(*run), "abcdefghi");
+}
+
+TEST(SegmentStore, PopStopsAtGap) {
+  SegmentStore store;
+  store.insert(0, bytes_of("abc"), OverlapPolicy::kBsd);
+  store.insert(5, bytes_of("xyz"), OverlapPolicy::kBsd);
+  auto run = store.pop_contiguous(0);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(str_of(*run), "abc");
+  EXPECT_EQ(store.buffered_bytes(), 3u);
+  EXPECT_EQ(*store.min_offset(), 5u);
+}
+
+TEST(SegmentStore, PopContiguousRequiresExactStart) {
+  SegmentStore store;
+  store.insert(5, bytes_of("abc"), OverlapPolicy::kBsd);
+  EXPECT_FALSE(store.pop_contiguous(0).has_value());
+  EXPECT_TRUE(store.pop_contiguous(5).has_value());
+}
+
+TEST(SegmentStore, ExactDuplicateCountsDup) {
+  SegmentStore store;
+  store.insert(0, bytes_of("abc"), OverlapPolicy::kBsd);
+  auto r = store.insert(0, bytes_of("abc"), OverlapPolicy::kBsd);
+  EXPECT_EQ(r.new_bytes, 0u);
+  EXPECT_EQ(r.dup_bytes, 3u);
+  EXPECT_FALSE(r.conflict);
+  EXPECT_EQ(store.buffered_bytes(), 3u);
+}
+
+TEST(SegmentStore, ConflictDetectedWhenOverlapDisagrees) {
+  SegmentStore store;
+  store.insert(0, bytes_of("abc"), OverlapPolicy::kFirst);
+  auto r = store.insert(0, bytes_of("xyz"), OverlapPolicy::kFirst);
+  EXPECT_TRUE(r.conflict);
+}
+
+TEST(SegmentStore, FirstPolicyKeepsOriginal) {
+  SegmentStore store;
+  store.insert(0, bytes_of("AAAA"), OverlapPolicy::kFirst);
+  store.insert(2, bytes_of("BBBB"), OverlapPolicy::kFirst);
+  auto run = store.pop_contiguous(0);
+  // Overlap [2,4) keeps 'AA'; new bytes [4,6) filled with 'BB'.
+  EXPECT_EQ(str_of(*run), "AAAABB");
+}
+
+TEST(SegmentStore, LastPolicyTakesNewData) {
+  SegmentStore store;
+  store.insert(0, bytes_of("AAAA"), OverlapPolicy::kLast);
+  store.insert(2, bytes_of("BBBB"), OverlapPolicy::kLast);
+  auto run = store.pop_contiguous(0);
+  EXPECT_EQ(str_of(*run), "AABBBB");
+}
+
+TEST(SegmentStore, BsdPolicyNewWinsOnlyWhenStartingEarlier) {
+  {
+    // New segment starts after existing: existing wins the overlap.
+    SegmentStore store;
+    store.insert(0, bytes_of("AAAA"), OverlapPolicy::kBsd);
+    store.insert(2, bytes_of("BBBB"), OverlapPolicy::kBsd);
+    EXPECT_EQ(str_of(*store.pop_contiguous(0)), "AAAABB");
+  }
+  {
+    // New segment starts before existing: new wins the overlap.
+    SegmentStore store;
+    store.insert(2, bytes_of("AAAA"), OverlapPolicy::kBsd);
+    store.insert(0, bytes_of("BBBB"), OverlapPolicy::kBsd);
+    EXPECT_EQ(str_of(*store.pop_contiguous(0)), "BBBBAA");
+  }
+}
+
+TEST(SegmentStore, LinuxPolicyRequiresFullEngulf) {
+  {
+    // New starts before but does NOT cover the old end: old wins overlap.
+    SegmentStore store;
+    store.insert(2, bytes_of("AAAA"), OverlapPolicy::kLinux);  // [2,6)
+    store.insert(0, bytes_of("BBBB"), OverlapPolicy::kLinux);  // [0,4)
+    EXPECT_EQ(str_of(*store.pop_contiguous(0)), "BBAAAA");
+  }
+  {
+    // New fully engulfs the old segment: new wins.
+    SegmentStore store;
+    store.insert(2, bytes_of("AA"), OverlapPolicy::kLinux);      // [2,4)
+    store.insert(0, bytes_of("BBBBBB"), OverlapPolicy::kLinux);  // [0,6)
+    EXPECT_EQ(str_of(*store.pop_contiguous(0)), "BBBBBB");
+  }
+}
+
+TEST(SegmentStore, PoliciesDivergeOnShankarPaxsonPattern) {
+  // The classic evasion: two different payloads for the same range produce
+  // policy-dependent reconstructions — exactly why target-based reassembly
+  // exists.
+  std::string first_wins, last_wins;
+  {
+    SegmentStore s;
+    s.insert(0, bytes_of("ATTACK"), OverlapPolicy::kFirst);
+    s.insert(0, bytes_of("BENIGN"), OverlapPolicy::kFirst);
+    first_wins = str_of(*s.pop_contiguous(0));
+  }
+  {
+    SegmentStore s;
+    s.insert(0, bytes_of("ATTACK"), OverlapPolicy::kLast);
+    s.insert(0, bytes_of("BENIGN"), OverlapPolicy::kLast);
+    last_wins = str_of(*s.pop_contiguous(0));
+  }
+  EXPECT_EQ(first_wins, "ATTACK");
+  EXPECT_EQ(last_wins, "BENIGN");
+}
+
+TEST(SegmentStore, NewSegmentBridgingTwoOldOnes) {
+  SegmentStore store;
+  store.insert(0, bytes_of("AA"), OverlapPolicy::kFirst);   // [0,2)
+  store.insert(4, bytes_of("CC"), OverlapPolicy::kFirst);   // [4,6)
+  auto r = store.insert(1, bytes_of("bbbb"), OverlapPolicy::kFirst);  // [1,5)
+  EXPECT_EQ(r.new_bytes, 2u);   // fills the gap [2,4)
+  EXPECT_EQ(r.dup_bytes, 2u);   // overlaps one byte each side
+  EXPECT_EQ(str_of(*store.pop_contiguous(0)), "AAbbCC");
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(SegmentStore, PopFrontReturnsLowestOffset) {
+  SegmentStore store;
+  store.insert(10, bytes_of("bb"), OverlapPolicy::kBsd);
+  store.insert(2, bytes_of("aa"), OverlapPolicy::kBsd);
+  auto seg = store.pop_front();
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(seg->first, 2u);
+  EXPECT_EQ(str_of(seg->second), "aa");
+  EXPECT_EQ(store.buffered_bytes(), 2u);
+}
+
+TEST(SegmentStore, EmptyInsertIsNoop) {
+  SegmentStore store;
+  auto r = store.insert(0, {}, OverlapPolicy::kBsd);
+  EXPECT_EQ(r.new_bytes, 0u);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(SegmentStore, ByteAccountingConsistent) {
+  SegmentStore store;
+  store.insert(0, bytes_of("aaaa"), OverlapPolicy::kBsd);
+  store.insert(8, bytes_of("bbbb"), OverlapPolicy::kBsd);
+  store.insert(2, bytes_of("cccc"), OverlapPolicy::kBsd);  // merges with first
+  EXPECT_EQ(store.buffered_bytes(), 10u);  // [0,6) + [8,12)
+  store.clear();
+  EXPECT_EQ(store.buffered_bytes(), 0u);
+  EXPECT_TRUE(store.empty());
+}
+
+}  // namespace
+}  // namespace scap::kernel

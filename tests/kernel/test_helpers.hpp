@@ -1,0 +1,121 @@
+// Shared helpers for kernel-level tests: hand-crafted TCP session packet
+// sequences with precise control over sequence numbers, flags and timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/craft.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::kernel::testing {
+
+inline FiveTuple client_tuple(std::uint16_t src_port = 40000,
+                              std::uint16_t dst_port = 80) {
+  return {0x0a000001, 0x0a000002, src_port, dst_port, kProtoTcp};
+}
+
+inline std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Builds a plausible TCP session packet-by-packet.
+class SessionBuilder {
+ public:
+  explicit SessionBuilder(FiveTuple tuple = client_tuple(),
+                          std::uint32_t client_isn = 1000,
+                          std::uint32_t server_isn = 5000)
+      : tuple_(tuple),
+        client_seq_(client_isn),
+        server_seq_(server_isn) {}
+
+  Packet syn(Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_;
+    s.seq = client_seq_++;
+    s.flags = kTcpSyn;
+    return make_tcp_packet(s, ts);
+  }
+
+  Packet syn_ack(Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_.reversed();
+    s.seq = server_seq_++;
+    s.ack = client_seq_;
+    s.flags = kTcpSyn | kTcpAck;
+    return make_tcp_packet(s, ts);
+  }
+
+  Packet ack(Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_;
+    s.seq = client_seq_;
+    s.ack = server_seq_;
+    s.flags = kTcpAck;
+    return make_tcp_packet(s, ts);
+  }
+
+  /// Client -> server data; advances the client sequence.
+  Packet data(const std::string& payload, Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_;
+    s.seq = client_seq_;
+    s.ack = server_seq_;
+    s.flags = kTcpAck | kTcpPsh;
+    s.payload = bytes_of(payload);
+    client_seq_ += static_cast<std::uint32_t>(payload.size());
+    return make_tcp_packet(s, ts);
+  }
+
+  /// Client -> server data at an explicit sequence (no state advance).
+  Packet data_at(std::uint32_t seq, const std::string& payload, Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_;
+    s.seq = seq;
+    s.ack = server_seq_;
+    s.flags = kTcpAck | kTcpPsh;
+    s.payload = bytes_of(payload);
+    return make_tcp_packet(s, ts);
+  }
+
+  /// Server -> client data; advances the server sequence.
+  Packet reply_data(const std::string& payload, Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_.reversed();
+    s.seq = server_seq_;
+    s.ack = client_seq_;
+    s.flags = kTcpAck | kTcpPsh;
+    s.payload = bytes_of(payload);
+    server_seq_ += static_cast<std::uint32_t>(payload.size());
+    return make_tcp_packet(s, ts);
+  }
+
+  Packet fin(Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_;
+    s.seq = client_seq_++;
+    s.ack = server_seq_;
+    s.flags = kTcpFin | kTcpAck;
+    return make_tcp_packet(s, ts);
+  }
+
+  Packet rst(Timestamp ts) {
+    TcpSegmentSpec s;
+    s.tuple = tuple_;
+    s.seq = client_seq_;
+    s.flags = kTcpRst;
+    return make_tcp_packet(s, ts);
+  }
+
+  const FiveTuple& tuple() const { return tuple_; }
+  std::uint32_t client_seq() const { return client_seq_; }
+  std::uint32_t server_seq() const { return server_seq_; }
+
+ private:
+  FiveTuple tuple_;
+  std::uint32_t client_seq_;
+  std::uint32_t server_seq_;
+};
+
+}  // namespace scap::kernel::testing

@@ -1,0 +1,104 @@
+#include "match/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "match/corpus.hpp"
+
+namespace scap::match {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(AhoCorasick, FindsSimplePatterns) {
+  AhoCorasick ac({"he", "she", "his", "hers"});
+  // The classic Aho-Corasick example: "ushers" contains she, he, hers.
+  EXPECT_EQ(ac.scan(bytes_of("ushers")), 3u);
+}
+
+TEST(AhoCorasick, ReportsPatternIndexAndPosition) {
+  AhoCorasick ac({"abc", "bcd"});
+  std::set<std::pair<std::size_t, std::size_t>> hits;
+  ac.scan(bytes_of("xabcdx"),
+          [&](std::size_t pat, std::size_t end) { hits.insert({pat, end}); });
+  EXPECT_TRUE(hits.contains({0, 4}));  // "abc" ends at 4
+  EXPECT_TRUE(hits.contains({1, 5}));  // "bcd" ends at 5
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(AhoCorasick, NoFalsePositives) {
+  AhoCorasick ac({"needle"});
+  EXPECT_EQ(ac.scan(bytes_of("haystack without the n-word")), 0u);
+  EXPECT_EQ(ac.scan(bytes_of("needl")), 0u);
+  EXPECT_EQ(ac.scan(bytes_of("eedle")), 0u);
+}
+
+TEST(AhoCorasick, OverlappingOccurrences) {
+  AhoCorasick ac({"aa"});
+  EXPECT_EQ(ac.scan(bytes_of("aaaa")), 3u);
+}
+
+TEST(AhoCorasick, PatternIsPrefixOfAnother) {
+  AhoCorasick ac({"abc", "abcdef"});
+  EXPECT_EQ(ac.scan(bytes_of("abcdef")), 2u);
+}
+
+TEST(AhoCorasick, EmptyAutomatonAndEmptyInput) {
+  AhoCorasick empty;
+  EXPECT_EQ(empty.scan(bytes_of("anything")), 0u);
+  AhoCorasick ac({"x"});
+  EXPECT_EQ(ac.scan({}), 0u);
+}
+
+TEST(AhoCorasick, BinaryBytes) {
+  std::string pat("\x00\xff\x01", 3);
+  AhoCorasick ac({pat});
+  std::string hay("zz\x00\xff\x01zz", 7);
+  EXPECT_EQ(ac.scan(bytes_of(hay)), 1u);
+}
+
+TEST(AhoCorasick, StreamingAcrossChunkBoundary) {
+  AhoCorasick ac({"boundary"});
+  std::uint32_t state = AhoCorasick::root_state();
+  std::uint64_t total = 0;
+  total += ac.scan_stream(state, bytes_of("xxxxbou"));
+  total += ac.scan_stream(state, bytes_of("ndaryxxx"));
+  EXPECT_EQ(total, 1u);
+  // A fresh whole-buffer scan of each piece separately misses it.
+  EXPECT_EQ(ac.scan(bytes_of("xxxxbou")) + ac.scan(bytes_of("ndaryxxx")), 0u);
+}
+
+TEST(AhoCorasick, DuplicatePatternsCountTwice) {
+  AhoCorasick ac({"dup", "dup"});
+  EXPECT_EQ(ac.scan(bytes_of("a dup here")), 2u);
+}
+
+TEST(AhoCorasick, LargeCorpusScan) {
+  auto patterns = make_corpus({.pattern_count = 2120});
+  AhoCorasick ac(patterns);
+  EXPECT_EQ(ac.pattern_count(), 2120u);
+  // Plant three patterns in filler.
+  std::string hay(50000, 'q');
+  hay.replace(100, patterns[0].size(), patterns[0]);
+  hay.replace(20000, patterns[500].size(), patterns[500]);
+  hay.replace(49000, patterns[2119].size(), patterns[2119]);
+  EXPECT_EQ(ac.scan(bytes_of(hay)), 3u);
+}
+
+TEST(Corpus, DeterministicAndMarked) {
+  auto a = make_corpus({.pattern_count = 100});
+  auto b = make_corpus({.pattern_count = 100});
+  EXPECT_EQ(a, b);
+  for (const auto& pat : a) {
+    EXPECT_EQ(pat.front(), kPatternMarker);
+    EXPECT_GE(pat.size(), 6u);
+  }
+  std::set<std::string> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), a.size());
+}
+
+}  // namespace
+}  // namespace scap::match

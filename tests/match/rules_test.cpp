@@ -1,0 +1,136 @@
+#include "match/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "match/aho_corasick.hpp"
+
+namespace scap::match {
+namespace {
+
+TEST(Rules, ParsesBasicAlertRule) {
+  auto set = parse_rules(
+      R"(alert tcp any any -> any 80 (msg:"web attack"; content:"/etc/passwd"; sid:1001; rev:2;))");
+  ASSERT_TRUE(set.errors.empty());
+  ASSERT_EQ(set.rules.size(), 1u);
+  const Rule& r = set.rules[0];
+  EXPECT_EQ(r.action, "alert");
+  EXPECT_EQ(r.protocol, kProtoTcp);
+  EXPECT_EQ(r.dport_lo, 80);
+  EXPECT_EQ(r.dport_hi, 80);
+  EXPECT_EQ(r.msg, "web attack");
+  EXPECT_EQ(r.sid, 1001u);
+  EXPECT_EQ(r.rev, 2u);
+  ASSERT_EQ(r.contents.size(), 1u);
+  EXPECT_EQ(r.contents[0].bytes, "/etc/passwd");
+}
+
+TEST(Rules, HexContentDecoding) {
+  auto set = parse_rules(
+      R"(alert tcp any any -> any any (content:"HEAD|0D 0A 0d0a|tail"; sid:2;))");
+  ASSERT_EQ(set.rules.size(), 1u);
+  EXPECT_EQ(set.rules[0].contents[0].bytes, "HEAD\r\n\r\ntail");
+}
+
+TEST(Rules, MultipleContentsAndNocase) {
+  auto set = parse_rules(
+      R"(alert tcp any any -> any 80 (content:"GET"; content:"cmd.exe"; nocase; sid:3;))");
+  ASSERT_EQ(set.rules.size(), 1u);
+  ASSERT_EQ(set.rules[0].contents.size(), 2u);
+  EXPECT_FALSE(set.rules[0].contents[0].nocase);
+  EXPECT_TRUE(set.rules[0].contents[1].nocase);
+}
+
+TEST(Rules, HeaderMatching) {
+  auto set = parse_rules(
+      R"(alert tcp 10.0.0.0/8 any -> 192.168.1.5 1:1024 (content:"x"; sid:4;))");
+  ASSERT_EQ(set.rules.size(), 1u);
+  const Rule& r = set.rules[0];
+  EXPECT_TRUE(r.matches_tuple({0x0a010203, 0xc0a80105, 5555, 80, kProtoTcp}));
+  EXPECT_FALSE(r.matches_tuple({0x0b010203, 0xc0a80105, 5555, 80, kProtoTcp}));
+  EXPECT_FALSE(r.matches_tuple({0x0a010203, 0xc0a80106, 5555, 80, kProtoTcp}));
+  EXPECT_FALSE(
+      r.matches_tuple({0x0a010203, 0xc0a80105, 5555, 2000, kProtoTcp}));
+  EXPECT_FALSE(r.matches_tuple({0x0a010203, 0xc0a80105, 5555, 80, kProtoUdp}));
+}
+
+TEST(Rules, VariablesTreatedAsAny) {
+  auto set = parse_rules(
+      R"(alert tcp $EXTERNAL_NET any -> $HTTP_SERVERS $HTTP_PORTS (content:"a"; sid:5;))");
+  ASSERT_EQ(set.rules.size(), 1u);
+  EXPECT_TRUE(set.rules[0].matches_tuple({1, 2, 3, 4, kProtoTcp}));
+}
+
+TEST(Rules, CommentsAndBlanksSkipped) {
+  auto set = parse_rules(
+      "# a comment\n"
+      "\n"
+      "alert udp any any -> any 53 (content:\"dns\"; sid:6;)\n"
+      "   # indented comment\n");
+  EXPECT_EQ(set.rules.size(), 1u);
+  EXPECT_TRUE(set.errors.empty());
+}
+
+TEST(Rules, BadLinesReportedButOthersLoad) {
+  auto set = parse_rules(
+      "alert tcp any any -> any 80 (content:\"good\"; sid:7;)\n"
+      "drop tcp any any -> any 80 (content:\"bad action\"; sid:8;)\n"
+      "alert tcp any any <- any 80 (content:\"bad arrow\"; sid:9;)\n"
+      "alert tcp any any -> any 80 no options\n"
+      "alert tcp any any -> any 80 (content:\"|XY|\"; sid:10;)\n");
+  EXPECT_EQ(set.rules.size(), 1u);
+  EXPECT_EQ(set.errors.size(), 4u);
+  EXPECT_EQ(set.errors[0].line, 2u);
+}
+
+TEST(Rules, PatternsFeedAutomatonWithAttribution) {
+  auto set = parse_rules(
+      "alert tcp any any -> any 80 (msg:\"traversal\"; content:\"../\"; "
+      "sid:100;)\n"
+      "alert tcp any any -> any 80 (msg:\"shell\"; content:\"/bin/sh\"; "
+      "content:\"exec\"; sid:200;)\n");
+  ASSERT_EQ(set.rules.size(), 2u);
+  const auto patterns = set.patterns();
+  const auto owner = set.pattern_owner();
+  ASSERT_EQ(patterns.size(), 3u);
+  ASSERT_EQ(owner.size(), 3u);
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(owner[2], 1u);
+
+  AhoCorasick ac(patterns);
+  std::vector<std::uint32_t> hit_sids;
+  const std::string payload = "GET /cgi/exec?cmd=/bin/sh HTTP/1.0";
+  ac.scan({reinterpret_cast<const std::uint8_t*>(payload.data()),
+           payload.size()},
+          [&](std::size_t pattern, std::size_t) {
+            hit_sids.push_back(set.rules[owner[pattern]].sid);
+          });
+  ASSERT_EQ(hit_sids.size(), 2u);
+  EXPECT_EQ(hit_sids[0], 200u);  // "exec"
+  EXPECT_EQ(hit_sids[1], 200u);  // "/bin/sh"
+}
+
+TEST(Rules, RoundTripRendering) {
+  auto set = parse_rules(
+      R"(alert tcp any any -> any 443 (msg:"tls thing"; content:"abc"; sid:42;))");
+  ASSERT_EQ(set.rules.size(), 1u);
+  const std::string text = to_string(set.rules[0]);
+  EXPECT_NE(text.find("alert tcp"), std::string::npos);
+  EXPECT_NE(text.find("sid:42"), std::string::npos);
+  // The rendered rule re-parses.
+  auto again = parse_rules(text);
+  EXPECT_EQ(again.rules.size(), 1u);
+  EXPECT_EQ(again.rules[0].sid, 42u);
+}
+
+TEST(Rules, PortRanges) {
+  auto set = parse_rules(
+      R"(alert tcp any 1024: -> any :80 (content:"r"; sid:11;))");
+  ASSERT_EQ(set.rules.size(), 1u);
+  EXPECT_EQ(set.rules[0].sport_lo, 1024);
+  EXPECT_EQ(set.rules[0].sport_hi, 65535);
+  EXPECT_EQ(set.rules[0].dport_lo, 0);
+  EXPECT_EQ(set.rules[0].dport_hi, 80);
+}
+
+}  // namespace
+}  // namespace scap::match

@@ -1,0 +1,53 @@
+#include "nic/rss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/craft.hpp"
+
+namespace scap::nic {
+namespace {
+
+TEST(RssEngine, SymmetricKeyMapsBothDirectionsToSameQueue) {
+  RssEngine rss(symmetric_rss_key(), 8);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    FiveTuple fwd{0x0a000001 + i * 3, 0xc0a80001 + i * 11,
+                  static_cast<std::uint16_t>(1024 + i),
+                  static_cast<std::uint16_t>(80 + (i % 3)), kProtoTcp};
+    EXPECT_EQ(rss.queue_for(fwd), rss.queue_for(fwd.reversed()))
+        << "asymmetric mapping at i=" << i;
+  }
+}
+
+TEST(RssEngine, SpreadsFlowsReasonablyEvenly) {
+  RssEngine rss(symmetric_rss_key(), 8);
+  std::vector<int> counts(8, 0);
+  const int flows = 8000;
+  for (int i = 0; i < flows; ++i) {
+    FiveTuple t{0x0a000000 + static_cast<std::uint32_t>(i * 7919),
+                0xc0a80000 + static_cast<std::uint32_t>(i * 104729),
+                static_cast<std::uint16_t>(1024 + i * 13),
+                static_cast<std::uint16_t>(80), kProtoTcp};
+    counts[static_cast<std::size_t>(rss.queue_for(t))]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, flows / 8 / 2);
+    EXPECT_LT(c, flows / 8 * 2);
+  }
+}
+
+TEST(RssEngine, PacketAndTupleAgree) {
+  RssEngine rss(symmetric_rss_key(), 4);
+  TcpSegmentSpec spec;
+  spec.tuple = {0x01020304, 0x05060708, 1111, 80, kProtoTcp};
+  Packet p = make_tcp_packet(spec, Timestamp(0));
+  EXPECT_EQ(rss.queue_for(p), rss.queue_for(spec.tuple));
+}
+
+TEST(RssEngine, SingleQueueAlwaysZero) {
+  RssEngine rss(default_rss_key(), 1);
+  FiveTuple t{1, 2, 3, 4, kProtoTcp};
+  EXPECT_EQ(rss.queue_for(t), 0);
+}
+
+}  // namespace
+}  // namespace scap::nic

@@ -1,0 +1,95 @@
+#include "packet/bpf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap {
+namespace {
+
+FiveTuple http{0x0a000001, 0xc0a80102, 43210, 80, kProtoTcp};
+FiveTuple dns{0x0a000001, 0x08080808, 5353, 53, kProtoUdp};
+
+TEST(Bpf, EmptyMatchesEverything) {
+  BpfProgram p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(p.matches(http));
+  EXPECT_TRUE(p.matches(dns));
+}
+
+TEST(Bpf, ProtocolPrimitives) {
+  EXPECT_TRUE(BpfProgram::compile("tcp").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("tcp").matches(dns));
+  EXPECT_TRUE(BpfProgram::compile("udp").matches(dns));
+  EXPECT_TRUE(BpfProgram::compile("ip").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("proto 6").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("proto 17").matches(http));
+}
+
+TEST(Bpf, PortWithDirections) {
+  EXPECT_TRUE(BpfProgram::compile("port 80").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("dst port 80").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("src port 80").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("port 81").matches(http));
+}
+
+TEST(Bpf, PortRange) {
+  EXPECT_TRUE(BpfProgram::compile("portrange 79-81").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("portrange 81-90").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("src portrange 43000-43999").matches(http));
+}
+
+TEST(Bpf, HostWithDirections) {
+  EXPECT_TRUE(BpfProgram::compile("host 10.0.0.1").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("src host 10.0.0.1").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("dst host 10.0.0.1").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("dst host 192.168.1.2").matches(http));
+}
+
+TEST(Bpf, NetPrefixes) {
+  EXPECT_TRUE(BpfProgram::compile("net 10.0.0.0 / 8").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("net 10.0.0.0/8").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("src net 192.168.0.0/16").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("dst net 192.168.0.0/16").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("net 0.0.0.0/0").matches(dns));
+}
+
+TEST(Bpf, BooleanOperators) {
+  EXPECT_TRUE(BpfProgram::compile("tcp and port 80").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("tcp and port 53").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("port 53 or port 80").matches(http));
+  EXPECT_TRUE(BpfProgram::compile("not udp").matches(http));
+  EXPECT_FALSE(BpfProgram::compile("not tcp").matches(http));
+}
+
+TEST(Bpf, PrecedenceAndParentheses) {
+  // "a or b and c" = "a or (b and c)".
+  auto p = BpfProgram::compile("udp or tcp and port 443");
+  EXPECT_FALSE(p.matches(http));  // tcp but port 80
+  EXPECT_TRUE(p.matches(dns));    // udp
+  auto q = BpfProgram::compile("(udp or tcp) and port 443");
+  EXPECT_FALSE(q.matches(dns));
+  auto r = BpfProgram::compile("not (port 80 or port 53)");
+  EXPECT_FALSE(r.matches(http));
+  EXPECT_FALSE(r.matches(dns));
+}
+
+TEST(Bpf, SyntaxErrorsThrow) {
+  EXPECT_THROW(BpfProgram::compile("frobnicate"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("port"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("port 99999"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("host 1.2.3"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("host 1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("host 300.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("net 10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("net 10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("(tcp"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("tcp tcp"), std::invalid_argument);
+  EXPECT_THROW(BpfProgram::compile("portrange 10-5"), std::invalid_argument);
+}
+
+TEST(Bpf, SourcePreserved) {
+  auto p = BpfProgram::compile("tcp and port 80");
+  EXPECT_EQ(p.source(), "tcp and port 80");
+}
+
+}  // namespace
+}  // namespace scap

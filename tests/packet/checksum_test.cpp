@@ -1,0 +1,69 @@
+#include "packet/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace scap {
+namespace {
+
+// The classic RFC 1071 worked example.
+TEST(Checksum, Rfc1071Example) {
+  const std::array<std::uint8_t, 8> data = {0x00, 0x01, 0xf2, 0x03,
+                                            0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold 0xddf2 -> ~ = 0x220d
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, ZeroBufferChecksumIsAllOnes) {
+  const std::array<std::uint8_t, 4> data = {0, 0, 0, 0};
+  EXPECT_EQ(internet_checksum(data), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::array<std::uint8_t, 3> data = {0x12, 0x34, 0x56};
+  // 0x1234 + 0x5600 = 0x6834 -> ~ = 0x97cb
+  EXPECT_EQ(internet_checksum(data), 0x97cb);
+}
+
+TEST(Checksum, VerificationYieldsZero) {
+  // Compute checksum, embed it, verify the whole thing sums to zero.
+  std::array<std::uint8_t, 20> hdr = {};
+  hdr[0] = 0x45;
+  hdr[2] = 0x00;
+  hdr[3] = 0x3c;
+  hdr[8] = 64;
+  hdr[9] = 6;
+  std::uint16_t c = internet_checksum(hdr);
+  hdr[10] = static_cast<std::uint8_t>(c >> 8);
+  hdr[11] = static_cast<std::uint8_t>(c & 0xff);
+  EXPECT_EQ(internet_checksum(hdr), 0);
+}
+
+TEST(TransportChecksum, PseudoHeaderIncluded) {
+  const std::array<std::uint8_t, 8> seg = {0x00, 0x35, 0x82, 0x35,
+                                           0x00, 0x08, 0x00, 0x00};
+  std::uint16_t a = transport_checksum(0x0a000001, 0x0a000002, 17, seg);
+  std::uint16_t b = transport_checksum(0x0a000001, 0x0a000003, 17, seg);
+  EXPECT_NE(a, b);  // changing an IP must change the checksum
+}
+
+TEST(TransportChecksum, RoundTripVerifies) {
+  std::array<std::uint8_t, 9> seg = {0x00, 0x35, 0x82, 0x35, 0x00,
+                                     0x09, 0x00, 0x00, 0x42};
+  std::uint16_t c = transport_checksum(0xc0a80001, 0xc0a80002, 17, seg);
+  seg[6] = static_cast<std::uint8_t>(c >> 8);
+  seg[7] = static_cast<std::uint8_t>(c & 0xff);
+  EXPECT_EQ(transport_checksum(0xc0a80001, 0xc0a80002, 17, seg), 0);
+}
+
+TEST(ChecksumPartial, Accumulates) {
+  const std::array<std::uint8_t, 2> a = {0x12, 0x34};
+  const std::array<std::uint8_t, 2> b = {0x56, 0x78};
+  const std::array<std::uint8_t, 4> ab = {0x12, 0x34, 0x56, 0x78};
+  std::uint32_t two_step = checksum_partial(b, checksum_partial(a));
+  EXPECT_EQ(two_step, checksum_partial(ab));
+}
+
+}  // namespace
+}  // namespace scap

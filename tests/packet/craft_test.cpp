@@ -1,0 +1,62 @@
+#include "packet/craft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "packet/checksum.hpp"
+
+namespace scap {
+namespace {
+
+std::span<const std::uint8_t> payload_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Craft, TcpFrameChecksumsValid) {
+  TcpSegmentSpec spec;
+  spec.tuple = {0xc0a80001, 0x08080808, 5555, 443, kProtoTcp};
+  spec.seq = 42;
+  const std::string data = "hello world";
+  spec.payload = payload_of(data);
+  auto frame = build_tcp_frame(spec);
+  EXPECT_TRUE(verify_checksums(frame));
+}
+
+TEST(Craft, UdpFrameChecksumsValid) {
+  FiveTuple t{0xc0a80001, 0x08080808, 5555, 53, kProtoUdp};
+  const std::string data = "payload-bytes";
+  auto frame = build_udp_frame(t, payload_of(data));
+  EXPECT_TRUE(verify_checksums(frame));
+}
+
+TEST(Craft, CorruptedPayloadFailsVerification) {
+  TcpSegmentSpec spec;
+  spec.tuple = {0xc0a80001, 0x08080808, 5555, 443, kProtoTcp};
+  const std::string data = "hello world";
+  spec.payload = payload_of(data);
+  auto frame = build_tcp_frame(spec);
+  frame.back() ^= 0xff;
+  EXPECT_FALSE(verify_checksums(frame));
+}
+
+TEST(Craft, FrameSizesExact) {
+  TcpSegmentSpec spec;
+  spec.tuple = {1, 2, 3, 4, kProtoTcp};
+  auto empty_tcp = build_tcp_frame(spec);
+  EXPECT_EQ(empty_tcp.size(), kEthHeaderLen + 20 + 20);
+  auto empty_udp = build_udp_frame({1, 2, 3, 4, kProtoUdp}, {});
+  EXPECT_EQ(empty_udp.size(), kEthHeaderLen + 20 + 8);
+}
+
+TEST(Craft, FlagsPropagate) {
+  TcpSegmentSpec spec;
+  spec.tuple = {1, 2, 3, 4, kProtoTcp};
+  spec.flags = kTcpSyn;
+  Packet p = make_tcp_packet(spec, Timestamp(0));
+  EXPECT_TRUE(p.has_flag(kTcpSyn));
+  EXPECT_FALSE(p.has_flag(kTcpAck));
+}
+
+}  // namespace
+}  // namespace scap

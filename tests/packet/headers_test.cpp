@@ -1,0 +1,140 @@
+#include "packet/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace scap {
+namespace {
+
+TEST(EthHeader, ParseWriteRoundTrip) {
+  EthHeader h{};
+  for (int i = 0; i < 6; ++i) {
+    h.dst[i] = static_cast<std::uint8_t>(i);
+    h.src[i] = static_cast<std::uint8_t>(0x10 + i);
+  }
+  h.ether_type = kEtherTypeIpv4;
+  std::array<std::uint8_t, kEthHeaderLen> buf{};
+  write_eth(buf, h);
+  auto parsed = parse_eth(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ether_type, kEtherTypeIpv4);
+  EXPECT_EQ(parsed->dst[3], 3);
+  EXPECT_EQ(parsed->src[5], 0x15);
+}
+
+TEST(EthHeader, TooShortRejected) {
+  std::array<std::uint8_t, 13> buf{};
+  EXPECT_FALSE(parse_eth(buf).has_value());
+}
+
+TEST(Ipv4Header, ParseWriteRoundTrip) {
+  Ipv4Header h{};
+  h.version = 4;
+  h.ihl = 5;
+  h.total_len = 1500;
+  h.id = 0xbeef;
+  h.frag_off = 0;
+  h.ttl = 64;
+  h.protocol = kProtoTcp;
+  h.src_ip = 0x0a000001;
+  h.dst_ip = 0xc0a80102;
+  std::array<std::uint8_t, 20> buf{};
+  write_ipv4(buf, h);
+  auto parsed = parse_ipv4(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->total_len, 1500);
+  EXPECT_EQ(parsed->id, 0xbeef);
+  EXPECT_EQ(parsed->protocol, kProtoTcp);
+  EXPECT_EQ(parsed->src_ip, 0x0a000001u);
+  EXPECT_EQ(parsed->dst_ip, 0xc0a80102u);
+  EXPECT_EQ(parsed->header_len(), 20u);
+  EXPECT_FALSE(parsed->more_fragments());
+}
+
+TEST(Ipv4Header, FragmentFieldsDecoded) {
+  Ipv4Header h{};
+  h.version = 4;
+  h.ihl = 5;
+  h.frag_off = 0x2000 | (184 / 8);  // MF set, offset 184 bytes
+  std::array<std::uint8_t, 20> buf{};
+  write_ipv4(buf, h);
+  auto parsed = parse_ipv4(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->more_fragments());
+  EXPECT_EQ(parsed->fragment_offset_bytes(), 184);
+}
+
+TEST(Ipv4Header, RejectsBadVersionOrIhl) {
+  std::array<std::uint8_t, 20> buf{};
+  buf[0] = 0x60;  // version 6
+  EXPECT_FALSE(parse_ipv4(buf).has_value());
+  buf[0] = 0x43;  // version 4, ihl 3 (invalid)
+  EXPECT_FALSE(parse_ipv4(buf).has_value());
+}
+
+TEST(TcpHeader, ParseWriteRoundTrip) {
+  TcpHeader h{};
+  h.src_port = 12345;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x12345678;
+  h.data_off = 5;
+  h.flags = kTcpSyn | kTcpAck;
+  h.window = 8192;
+  std::array<std::uint8_t, 20> buf{};
+  write_tcp(buf, h);
+  auto parsed = parse_tcp(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 12345);
+  EXPECT_EQ(parsed->dst_port, 80);
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->ack, 0x12345678u);
+  EXPECT_TRUE(parsed->syn());
+  EXPECT_TRUE(parsed->ack_flag());
+  EXPECT_FALSE(parsed->fin());
+  EXPECT_FALSE(parsed->rst());
+  EXPECT_EQ(parsed->header_len(), 20u);
+}
+
+TEST(TcpHeader, RejectsShortDataOffset) {
+  std::array<std::uint8_t, 20> buf{};
+  buf[12] = 0x40;  // data_off = 4 — invalid
+  EXPECT_FALSE(parse_tcp(buf).has_value());
+}
+
+TEST(UdpHeader, ParseWriteRoundTrip) {
+  UdpHeader h{};
+  h.src_port = 53;
+  h.dst_port = 33333;
+  h.length = 120;
+  std::array<std::uint8_t, 8> buf{};
+  write_udp(buf, h);
+  auto parsed = parse_udp(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 53);
+  EXPECT_EQ(parsed->dst_port, 33333);
+  EXPECT_EQ(parsed->length, 120);
+}
+
+TEST(FiveTuple, ReverseAndCanonical) {
+  FiveTuple t{0x01020304, 0x05060708, 1000, 80, kProtoTcp};
+  FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(t.canonical(), r.canonical());
+  EXPECT_NE(t, r);
+}
+
+TEST(FiveTuple, CanonicalTieBreaksOnPort) {
+  FiveTuple t{0x01020304, 0x01020304, 2000, 80, kProtoTcp};
+  EXPECT_EQ(t.canonical().src_port, 80);
+}
+
+TEST(IpToString, Formats) {
+  EXPECT_EQ(ip_to_string(0x7f000001), "127.0.0.1");
+  EXPECT_EQ(ip_to_string(0xc0a80a01), "192.168.10.1");
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,115 @@
+// Reader robustness: byte-swapped and nanosecond-resolution pcap files,
+// and malformed inputs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "base/bytes.hpp"
+#include "packet/craft.hpp"
+#include "packet/pcap.hpp"
+
+namespace scap {
+namespace {
+
+class PcapEndianTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("scap_pcap_endian_" + std::to_string(::getpid()) + ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  /// Write a minimal pcap with explicit control of endianness and magic.
+  void write_file(bool big_endian, std::uint32_t magic,
+                  std::uint32_t ts_frac) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    auto w16 = [&](std::uint16_t v) {
+      std::uint8_t b[2];
+      if (big_endian) {
+        b[0] = static_cast<std::uint8_t>(v >> 8);
+        b[1] = static_cast<std::uint8_t>(v);
+      } else {
+        store_le16(b, v);
+      }
+      out.write(reinterpret_cast<char*>(b), 2);
+    };
+    auto w32 = [&](std::uint32_t v) {
+      std::uint8_t b[4];
+      if (big_endian) {
+        store_be32(b, v);
+      } else {
+        store_le32(b, v);
+      }
+      out.write(reinterpret_cast<char*>(b), 4);
+    };
+    w32(magic);
+    w16(2);
+    w16(4);
+    w32(0);
+    w32(0);
+    w32(65535);
+    w32(kLinkTypeEthernet);
+
+    TcpSegmentSpec spec;
+    spec.tuple = {0x0a000001, 0x0a000002, 1234, 80, kProtoTcp};
+    spec.seq = 42;
+    auto frame = build_tcp_frame(spec);
+    w32(100);                                       // ts_sec
+    w32(ts_frac);                                   // ts_usec / ts_nsec
+    w32(static_cast<std::uint32_t>(frame.size()));  // incl_len
+    w32(static_cast<std::uint32_t>(frame.size()));  // orig_len
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+
+  std::string path_;
+};
+
+TEST_F(PcapEndianTest, ReadsByteSwappedFile) {
+  write_file(/*big_endian=*/true, kPcapMagicUsec, /*ts_frac=*/500000);
+  PcapReader r(path_);
+  EXPECT_EQ(r.link_type(), kLinkTypeEthernet);
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->valid());
+  EXPECT_EQ(p->seq(), 42u);
+  EXPECT_EQ(p->timestamp().usec(), 100 * 1000000 + 500000);
+}
+
+TEST_F(PcapEndianTest, ReadsNanosecondMagic) {
+  write_file(/*big_endian=*/false, kPcapMagicNsec, /*ts_frac=*/999999999);
+  PcapReader r(path_);
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->timestamp().ns(), 100ll * 1000000000 + 999999999);
+}
+
+TEST_F(PcapEndianTest, ReadsByteSwappedNanosecondMagic) {
+  write_file(/*big_endian=*/true, kPcapMagicNsec, /*ts_frac=*/123456789);
+  PcapReader r(path_);
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->timestamp().ns(), 100ll * 1000000000 + 123456789);
+}
+
+TEST_F(PcapEndianTest, AbsurdRecordLengthStopsCleanly) {
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    std::uint8_t hdr[24] = {};
+    store_le32(hdr, kPcapMagicUsec);
+    store_le32(hdr + 16, 65535);
+    store_le32(hdr + 20, kLinkTypeEthernet);
+    out.write(reinterpret_cast<char*>(hdr), sizeof(hdr));
+    std::uint8_t rec[16] = {};
+    store_le32(rec + 8, 0x40000000);  // 1GB incl_len: corrupt
+    out.write(reinterpret_cast<char*>(rec), sizeof(rec));
+  }
+  PcapReader r(path_);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,108 @@
+#include "packet/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "packet/craft.hpp"
+
+namespace scap {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("scap_pcap_test_" + std::to_string(::getpid()) + ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+std::span<const std::uint8_t> payload_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  TcpSegmentSpec spec;
+  spec.tuple = {0x0a000001, 0x0a000002, 1234, 80, kProtoTcp};
+  const std::string data = "round-trip";
+  spec.payload = payload_of(data);
+
+  {
+    PcapWriter w(path_);
+    for (int i = 0; i < 5; ++i) {
+      spec.seq = static_cast<std::uint32_t>(i * 10);
+      w.write(make_tcp_packet(spec, Timestamp::from_usec(1'000'000 + i)));
+    }
+    EXPECT_EQ(w.packets_written(), 5u);
+  }
+
+  PcapReader r(path_);
+  EXPECT_EQ(r.link_type(), kLinkTypeEthernet);
+  int n = 0;
+  while (auto p = r.next()) {
+    ASSERT_TRUE(p->valid());
+    EXPECT_EQ(p->seq(), static_cast<std::uint32_t>(n * 10));
+    EXPECT_EQ(p->timestamp().usec(), 1'000'000 + n);
+    EXPECT_EQ(std::string(p->payload().begin(), p->payload().end()), data);
+    ++n;
+  }
+  EXPECT_EQ(n, 5);
+}
+
+TEST_F(PcapTest, SnappedWireLenPreserved) {
+  TcpSegmentSpec spec;
+  spec.tuple = {1, 2, 3, 4, kProtoTcp};
+  std::string big(2000, 'a');
+  spec.payload = payload_of(big);
+  {
+    PcapWriter w(path_);
+    w.write(make_tcp_packet(spec, Timestamp(0)).snapped(100));
+  }
+  PcapReader r(path_);
+  auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->capture_len(), 100u);
+  EXPECT_EQ(p->wire_len(), kEthHeaderLen + 40 + 2000);
+}
+
+TEST_F(PcapTest, TruncatedFinalRecordTreatedAsEof) {
+  {
+    PcapWriter w(path_);
+    TcpSegmentSpec spec;
+    spec.tuple = {1, 2, 3, 4, kProtoTcp};
+    w.write(make_tcp_packet(spec, Timestamp(0)));
+  }
+  // Chop off the last 10 bytes.
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 10);
+  PcapReader r(path_);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST_F(PcapTest, BadMagicThrows) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const char junk[64] = "not a pcap file at all, sorry";
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(PcapReader r(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, MissingFileThrows) {
+  EXPECT_THROW(PcapReader r("/nonexistent/definitely/not.pcap"),
+               std::runtime_error);
+}
+
+TEST_F(PcapTest, EmptyFileNoPackets) {
+  { PcapWriter w(path_); }
+  PcapReader r(path_);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,188 @@
+#include "proto/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scap::proto {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(HttpRequestParsing, SimpleGet) {
+  HttpParser p(HttpParser::Role::kRequests);
+  std::vector<HttpRequest> reqs;
+  p.on_request([&](const HttpRequest& r) { reqs.push_back(r); });
+  p.feed(bytes_of("GET /index.html HTTP/1.1\r\n"
+                  "Host: example.com\r\n"
+                  "User-Agent: scap-test\r\n"
+                  "\r\n"));
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].method, "GET");
+  EXPECT_EQ(reqs[0].target, "/index.html");
+  EXPECT_EQ(reqs[0].version, "HTTP/1.1");
+  ASSERT_EQ(reqs[0].headers.size(), 2u);
+  ASSERT_NE(reqs[0].header("host"), nullptr);  // case-insensitive
+  EXPECT_EQ(*reqs[0].header("host"), "example.com");
+  EXPECT_EQ(reqs[0].body_bytes, 0u);
+}
+
+TEST(HttpRequestParsing, PostWithContentLength) {
+  HttpParser p(HttpParser::Role::kRequests);
+  std::vector<HttpRequest> reqs;
+  p.on_request([&](const HttpRequest& r) { reqs.push_back(r); });
+  p.feed(bytes_of("POST /submit HTTP/1.1\r\n"
+                  "Content-Length: 11\r\n"
+                  "\r\n"
+                  "hello world"
+                  "GET /next HTTP/1.1\r\n\r\n"));
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].method, "POST");
+  EXPECT_EQ(reqs[0].body_bytes, 11u);
+  EXPECT_EQ(reqs[1].method, "GET");  // pipelined message boundary respected
+}
+
+TEST(HttpRequestParsing, SplitAcrossArbitraryChunks) {
+  const std::string wire =
+      "GET /split HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nabcde";
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    HttpParser p(HttpParser::Role::kRequests);
+    int got = 0;
+    p.on_request([&](const HttpRequest& r) {
+      ++got;
+      EXPECT_EQ(r.target, "/split");
+      EXPECT_EQ(r.body_bytes, 5u);
+    });
+    p.feed(bytes_of(wire.substr(0, cut)));
+    p.feed(bytes_of(wire.substr(cut)));
+    EXPECT_EQ(got, 1) << "cut at " << cut;
+  }
+}
+
+TEST(HttpResponseParsing, StatusAndFixedBody) {
+  HttpParser p(HttpParser::Role::kResponses);
+  std::vector<HttpResponse> resps;
+  p.on_response([&](const HttpResponse& r) { resps.push_back(r); });
+  p.feed(bytes_of("HTTP/1.1 404 Not Found\r\n"
+                  "Content-Length: 9\r\n"
+                  "Server: scap\r\n"
+                  "\r\n"
+                  "not here!"));
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].status_code, 404);
+  EXPECT_EQ(resps[0].reason, "Not Found");
+  EXPECT_EQ(resps[0].body_bytes, 9u);
+}
+
+TEST(HttpResponseParsing, ChunkedTransferEncoding) {
+  HttpParser p(HttpParser::Role::kResponses);
+  std::vector<HttpResponse> resps;
+  p.on_response([&](const HttpResponse& r) { resps.push_back(r); });
+  p.feed(bytes_of("HTTP/1.1 200 OK\r\n"
+                  "Transfer-Encoding: chunked\r\n"
+                  "\r\n"
+                  "5\r\nhello\r\n"
+                  "6\r\n world\r\n"
+                  "0\r\n"
+                  "\r\n"));
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].status_code, 200);
+  EXPECT_EQ(resps[0].body_bytes, 11u);
+}
+
+TEST(HttpResponseParsing, ChunkedWithTrailersAndSplit) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "a\r\n0123456789\r\n0\r\nX-Trailer: v\r\n\r\n";
+  for (std::size_t cut = 1; cut < wire.size(); cut += 3) {
+    HttpParser p(HttpParser::Role::kResponses);
+    int got = 0;
+    p.on_response([&](const HttpResponse& r) {
+      ++got;
+      EXPECT_EQ(r.body_bytes, 10u);
+    });
+    p.feed(bytes_of(wire.substr(0, cut)));
+    p.feed(bytes_of(wire.substr(cut)));
+    EXPECT_EQ(got, 1) << "cut at " << cut;
+  }
+}
+
+TEST(HttpResponseParsing, BodyToEofEmittedOnFinish) {
+  HttpParser p(HttpParser::Role::kResponses);
+  std::vector<HttpResponse> resps;
+  p.on_response([&](const HttpResponse& r) { resps.push_back(r); });
+  p.feed(bytes_of("HTTP/1.0 200 OK\r\n\r\nstream until close..."));
+  EXPECT_TRUE(resps.empty());
+  p.finish();
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].body_bytes, 21u);
+}
+
+TEST(HttpParsing, KeepAliveSequenceOfTransactions) {
+  HttpParser p(HttpParser::Role::kResponses);
+  int got = 0;
+  p.on_response([&](const HttpResponse&) { ++got; });
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc";
+  }
+  p.feed(bytes_of(wire));
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(p.stats().responses, 5u);
+  EXPECT_EQ(p.stats().body_bytes, 15u);
+}
+
+TEST(HttpParsing, MalformedStartLineEntersErrorState) {
+  HttpParser p(HttpParser::Role::kRequests);
+  int got = 0;
+  p.on_request([&](const HttpRequest&) { ++got; });
+  p.feed(bytes_of("THIS IS NOT HTTP AT ALL\n"
+                  "GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(got, 0);
+  EXPECT_TRUE(p.in_error());
+  EXPECT_EQ(p.stats().parse_errors, 1u);
+}
+
+TEST(HttpParsing, BareLfLineEndingsAccepted) {
+  HttpParser p(HttpParser::Role::kRequests);
+  int got = 0;
+  p.on_request([&](const HttpRequest& r) {
+    ++got;
+    EXPECT_EQ(*r.header("Host"), "lf.example");
+  });
+  p.feed(bytes_of("GET / HTTP/1.1\nHost: lf.example\n\n"));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(HttpParsing, HeaderFloodBounded) {
+  HttpParser p(HttpParser::Role::kRequests);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 100000; ++i) {
+    wire += "X-Flood-" + std::to_string(i) + ": v\r\n";
+  }
+  p.feed(bytes_of(wire));
+  EXPECT_TRUE(p.in_error());  // limits tripped, no unbounded growth
+}
+
+TEST(HttpParsing, BadContentLengthIsError) {
+  HttpParser p(HttpParser::Role::kRequests);
+  p.feed(bytes_of("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"));
+  EXPECT_TRUE(p.in_error());
+}
+
+TEST(HttpParsing, ZeroContentLengthEmitsImmediately) {
+  HttpParser p(HttpParser::Role::kRequests);
+  int got = 0;
+  p.on_request([&](const HttpRequest& r) {
+    ++got;
+    EXPECT_EQ(r.body_bytes, 0u);
+  });
+  p.feed(bytes_of("POST /empty HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace scap::proto

@@ -1,0 +1,174 @@
+// Exercises the C API exactly as the paper's use cases (§3.3) do.
+#include "scap/scap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "packet/pcap.hpp"
+#include "scap/capture.hpp"
+#include "tests/kernel/test_helpers.hpp"
+
+namespace {
+
+using scap::Packet;
+using scap::Timestamp;
+using scap::kernel::testing::SessionBuilder;
+using scap::kernel::testing::client_tuple;
+
+// Globals for the C-style callbacks.
+struct Collected {
+  std::vector<std::string> chunks;
+  std::vector<std::uint64_t> closed_bytes;
+  int creations = 0;
+  int packets = 0;
+};
+Collected* g_collected = nullptr;
+
+void on_data(stream_t* sd) {
+  g_collected->chunks.emplace_back(
+      reinterpret_cast<const char*>(scap_stream_data(sd)),
+      scap_stream_data_len(sd));
+}
+
+void on_close(stream_t* sd) {
+  g_collected->closed_bytes.push_back(sd->stats().bytes);
+}
+
+void on_create(stream_t*) { ++g_collected->creations; }
+
+void on_data_packets(stream_t* sd) {
+  scap_pkthdr hdr;
+  while (scap_next_stream_packet(sd, &hdr) != nullptr) {
+    ++g_collected->packets;
+  }
+}
+
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    collected_ = Collected{};
+    g_collected = &collected_;
+  }
+  void TearDown() override { g_collected = nullptr; }
+  Collected collected_;
+};
+
+TEST_F(CApiTest, PaperUseCaseFlowStatsExport) {
+  // §3.3.1 nearly verbatim.
+  scap_t* sc = scap_create("sim0", SCAP_DEFAULT, SCAP_TCP_FAST, 0);
+  ASSERT_NE(sc, nullptr);
+  ASSERT_EQ(scap_set_cutoff(sc, 0), 0);
+  ASSERT_EQ(scap_dispatch_termination(sc, on_close), 0);
+  ASSERT_EQ(scap_start_capture(sc), 0);
+
+  SessionBuilder s;
+  Timestamp t(0);
+  scap_inject(sc, s.syn(t));
+  scap_inject(sc, s.data("0123456789", t));
+  scap_inject(sc, s.fin(t));
+  scap_flush(sc);
+
+  ASSERT_GE(collected_.closed_bytes.size(), 1u);
+  EXPECT_EQ(collected_.closed_bytes[0], 10u);
+
+  scap_stats_t stats{};
+  ASSERT_EQ(scap_get_stats(sc, &stats), 0);
+  EXPECT_EQ(stats.pkts_seen, 3u);
+  EXPECT_GE(stats.streams_created, 1u);
+  scap_close(sc);
+}
+
+TEST_F(CApiTest, PaperUseCaseStreamProcessing) {
+  // §3.3.2 shape: dispatch data, receive reassembled chunks.
+  scap_t* sc = scap_create("sim0", SCAP_DEFAULT, SCAP_TCP_FAST, 0);
+  ASSERT_NE(sc, nullptr);
+  ASSERT_EQ(scap_dispatch_data(sc, on_data), 0);
+  ASSERT_EQ(scap_dispatch_creation(sc, on_create), 0);
+  ASSERT_EQ(scap_start_capture(sc), 0);
+
+  SessionBuilder s;
+  Timestamp t(0);
+  scap_inject(sc, s.syn(t));
+  scap_inject(sc, s.data("GET /index.html", t));
+  scap_inject(sc, s.fin(t));
+  scap_flush(sc);
+
+  ASSERT_EQ(collected_.chunks.size(), 1u);
+  EXPECT_EQ(collected_.chunks[0], "GET /index.html");
+  EXPECT_EQ(collected_.creations, 1);
+  scap_close(sc);
+}
+
+TEST_F(CApiTest, FileDeviceReplaysToCompletion) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "scap_capi_replay.pcap")
+          .string();
+  {
+    scap::PcapWriter w(path);
+    SessionBuilder s;
+    w.write(s.syn(Timestamp(0)));
+    w.write(s.data("file replay data", Timestamp(1000)));
+    w.write(s.fin(Timestamp(2000)));
+  }
+  scap_t* sc = scap_create(("file:" + path).c_str(), SCAP_DEFAULT,
+                           SCAP_TCP_FAST, 0);
+  ASSERT_NE(sc, nullptr);
+  scap_dispatch_data(sc, on_data);
+  ASSERT_EQ(scap_start_capture(sc), 0);
+  ASSERT_EQ(collected_.chunks.size(), 1u);
+  EXPECT_EQ(collected_.chunks[0], "file replay data");
+  scap_close(sc);
+  std::filesystem::remove(path);
+}
+
+TEST_F(CApiTest, PacketDeliveryApi) {
+  scap_t* sc = scap_create("sim0", SCAP_DEFAULT, SCAP_TCP_FAST, 1);
+  scap_dispatch_data(sc, on_data_packets);
+  scap_start_capture(sc);
+  SessionBuilder s;
+  Timestamp t(0);
+  scap_inject(sc, s.syn(t));
+  scap_inject(sc, s.data("one", t));
+  scap_inject(sc, s.data("two", t));
+  scap_inject(sc, s.data("three", t));
+  scap_inject(sc, s.fin(t));
+  scap_flush(sc);
+  EXPECT_EQ(collected_.packets, 3);
+  scap_close(sc);
+}
+
+TEST_F(CApiTest, ParameterAndFilterValidation) {
+  scap_t* sc = scap_create("sim0", SCAP_DEFAULT, SCAP_TCP_FAST, 0);
+  EXPECT_EQ(scap_set_filter(sc, "tcp and port 80"), 0);
+  EXPECT_EQ(scap_set_filter(sc, "not a filter !!!"), -1);
+  EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_CHUNK_SIZE, 4096), 0);
+  EXPECT_EQ(scap_set_worker_threads(sc, -1), -1);
+  EXPECT_EQ(scap_set_worker_threads(sc, 4), 0);
+  EXPECT_EQ(scap_add_cutoff_direction(sc, 100, SCAP_DIR_ORIG), 0);
+  EXPECT_EQ(scap_add_cutoff_direction(sc, 100, 7), -1);
+  EXPECT_EQ(scap_add_cutoff_class(sc, 100, "port 80"), 0);
+  scap_close(sc);
+}
+
+TEST_F(CApiTest, NullSafety) {
+  EXPECT_EQ(scap_set_filter(nullptr, "tcp"), -1);
+  EXPECT_EQ(scap_set_cutoff(nullptr, 0), -1);
+  EXPECT_EQ(scap_get_stats(nullptr, nullptr), -1);
+  EXPECT_EQ(scap_stream_data(nullptr), nullptr);
+  EXPECT_EQ(scap_stream_data_len(nullptr), 0u);
+  scap_close(nullptr);  // must not crash
+}
+
+TEST_F(CApiTest, MissingFileDeviceFailsStart) {
+  scap_t* sc = scap_create("file:/does/not/exist.pcap", SCAP_DEFAULT,
+                           SCAP_TCP_FAST, 0);
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(scap_start_capture(sc), -1);
+  scap_close(sc);
+}
+
+}  // namespace

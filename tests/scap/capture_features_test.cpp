@@ -1,0 +1,169 @@
+// Coverage for the remaining Capture surface: flush timeouts, UDP streams,
+// per-stream parameter changes from callbacks, overlap delivery, strict
+// policies, and a threaded-mode stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "flowgen/workload.hpp"
+#include "scap/capture.hpp"
+#include "tests/kernel/test_helpers.hpp"
+
+namespace scap {
+namespace {
+
+using kernel::Direction;
+using kernel::ReassemblyMode;
+using kernel::testing::SessionBuilder;
+using kernel::testing::bytes_of;
+using kernel::testing::client_tuple;
+
+TEST(CaptureFeatures, FlushTimeoutDeliversPartialChunks) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_parameter(Parameter::kChunkSize, 1 << 16);  // never fills
+  cap.set_parameter(Parameter::kFlushTimeoutMs, 50);
+  std::vector<std::string> chunks;
+  cap.dispatch_data([&](StreamView& sd) {
+    chunks.emplace_back(sd.data().begin(), sd.data().end());
+  });
+  cap.start();
+  SessionBuilder s;
+  cap.inject(s.syn(Timestamp(0)));
+  cap.inject(s.data("early ", Timestamp::from_usec(1000)));
+  // The next packet arrives 100ms later; its arrival triggers the
+  // stream's flush timeout for the buffered bytes.
+  cap.inject(s.data("late", Timestamp::from_usec(101000)));
+  EXPECT_GE(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], "early ");
+  cap.stop();
+  std::string all;
+  for (const auto& c : chunks) all += c;
+  EXPECT_EQ(all, "early late");
+}
+
+TEST(CaptureFeatures, UdpStreamsThroughApi) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  std::string text;
+  int terminated = 0;
+  cap.dispatch_data([&](StreamView& sd) {
+    text.append(sd.data().begin(), sd.data().end());
+  });
+  cap.dispatch_termination([&](StreamView& sd) {
+    ++terminated;
+    EXPECT_EQ(sd.status(), kernel::StreamStatus::kClosedTimeout);
+    EXPECT_EQ(sd.tuple().protocol, kProtoUdp);
+  });
+  cap.start();
+  FiveTuple t{0x0a000001, 0x0a000002, 5353, 53, kProtoUdp};
+  const std::string q1 = "q1|", q2 = "q2|";
+  cap.inject(make_udp_packet(t, bytes_of(q1), Timestamp(0)));
+  cap.inject(make_udp_packet(t, bytes_of(q2), Timestamp(1)));
+  cap.stop();
+  EXPECT_EQ(text, "q1|q2|");
+  EXPECT_EQ(terminated, 1);
+}
+
+TEST(CaptureFeatures, OverlapDeliveredToCallbacks) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_parameter(Parameter::kChunkSize, 8);
+  cap.set_parameter(Parameter::kOverlapSize, 3);
+  std::vector<std::pair<std::string, std::uint32_t>> chunks;
+  cap.dispatch_data([&](StreamView& sd) {
+    chunks.emplace_back(std::string(sd.data().begin(), sd.data().end()),
+                        sd.overlap_len());
+  });
+  cap.start();
+  SessionBuilder s;
+  cap.inject(s.syn(Timestamp(0)));
+  cap.inject(s.data("abcdefgh", Timestamp(0)));  // chunk 1, no overlap
+  cap.inject(s.data("ijklm", Timestamp(0)));     // chunk 2 = fgh + ijklm
+  cap.stop();
+  ASSERT_GE(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].first, "abcdefgh");
+  EXPECT_EQ(chunks[0].second, 0u);
+  EXPECT_EQ(chunks[1].first, "fghijklm");
+  EXPECT_EQ(chunks[1].second, 3u);
+}
+
+TEST(CaptureFeatures, OverlapPolicySelectableAtCaptureLevel) {
+  for (auto policy :
+       {kernel::OverlapPolicy::kFirst, kernel::OverlapPolicy::kLast}) {
+    Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpStrict, false);
+    cap.set_overlap_policy(policy);
+    std::string text;
+    cap.dispatch_data([&](StreamView& sd) {
+      text.append(sd.data().begin(), sd.data().end());
+    });
+    cap.start();
+    SessionBuilder s;
+    Timestamp t(0);
+    cap.inject(s.syn(t));
+    const std::uint32_t base = s.client_seq();
+    cap.inject(s.data_at(base + 4, "EVIL", t));
+    cap.inject(s.data_at(base + 4, "GOOD", t));
+    cap.inject(s.data_at(base, "head", t));
+    cap.stop();
+    EXPECT_EQ(text, policy == kernel::OverlapPolicy::kFirst ? "headEVIL"
+                                                            : "headGOOD");
+  }
+}
+
+TEST(CaptureFeatures, PerStreamChunkSizeFromCallback) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_parameter(Parameter::kChunkSize, 1 << 16);
+  std::vector<std::size_t> sizes;
+  cap.dispatch_creation([&](StreamView& sd) {
+    sd.set_parameter(Parameter::kChunkSize, 4);  // tiny chunks for this one
+  });
+  cap.dispatch_data([&](StreamView& sd) { sizes.push_back(sd.data_len()); });
+  cap.start();
+  SessionBuilder s;
+  cap.inject(s.syn(Timestamp(0)));
+  cap.inject(s.data("0123456789ab", Timestamp(0)));
+  cap.stop();
+  ASSERT_GE(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 4u);
+}
+
+TEST(CaptureFeatures, ErrorBitsSurfaceInCallbacks) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  std::uint32_t seen_errors = 0;
+  cap.dispatch_data([&](StreamView& sd) { seen_errors |= sd.chunk_errors(); });
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  cap.inject(s.data("abc", t));
+  const std::uint32_t base = s.client_seq();
+  cap.inject(s.data_at(base + 100, "after a hole", t));  // lost segment
+  cap.stop();
+  EXPECT_NE(seen_errors & kernel::kErrHole, 0u);
+}
+
+TEST(CaptureFeatures, ThreadedStressDeliversAllBytes) {
+  Capture cap("sim0", 64 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_worker_threads(4);
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<int> closed{0};
+  cap.dispatch_data(
+      [&](StreamView& sd) { bytes += sd.data_len(); });
+  cap.dispatch_termination([&](StreamView&) { ++closed; });
+  cap.start();
+
+  flowgen::WorkloadConfig cfg;
+  cfg.flows = 150;
+  cfg.seed = 77;
+  const flowgen::Trace trace = flowgen::build_trace(cfg);
+  for (const auto& pkt : trace.packets) cap.inject(pkt);
+  cap.stop();
+
+  EXPECT_EQ(bytes.load(), trace.total_payload_bytes);
+  EXPECT_GT(closed.load(), 0);
+  EXPECT_EQ(cap.kernel().allocator().used(), 0u);
+}
+
+}  // namespace
+}  // namespace scap

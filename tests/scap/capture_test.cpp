@@ -1,0 +1,269 @@
+#include "scap/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "tests/kernel/test_helpers.hpp"
+
+namespace scap {
+namespace {
+
+using kernel::Direction;
+using kernel::ReassemblyMode;
+using kernel::StreamStatus;
+using kernel::testing::SessionBuilder;
+using kernel::testing::client_tuple;
+
+TEST(CaptureTest, InlineModeDispatchesCallbacks) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  int created = 0, data = 0, closed = 0;
+  std::string text;
+  cap.dispatch_creation([&](StreamView&) { ++created; });
+  cap.dispatch_data([&](StreamView& sd) {
+    ++data;
+    text.append(sd.data().begin(), sd.data().end());
+  });
+  cap.dispatch_termination([&](StreamView& sd) {
+    ++closed;
+    // The client direction closes with FIN; the reply direction (no FIN
+    // seen) is flushed at stop() with a timeout status.
+    if (sd.direction() == Direction::kOrig) {
+      EXPECT_EQ(sd.status(), StreamStatus::kClosedFin);
+    }
+  });
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  cap.inject(s.syn_ack(t));
+  cap.inject(s.ack(t));
+  cap.inject(s.data("hello ", t));
+  cap.inject(s.data("scap", t));
+  cap.inject(s.fin(t));
+  cap.stop();
+
+  EXPECT_EQ(created, 2);  // both directions
+  EXPECT_EQ(data, 1);
+  EXPECT_GE(closed, 1);
+  EXPECT_EQ(text, "hello scap");
+}
+
+TEST(CaptureTest, FlowStatsUseCaseFromPaper) {
+  // §3.3.1: zero cutoff, stats collected at termination.
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_cutoff(0);
+  struct Row {
+    std::uint64_t bytes, pkts;
+  };
+  std::map<std::uint16_t, Row> rows;
+  cap.dispatch_termination([&](StreamView& sd) {
+    rows[sd.tuple().src_port] = {sd.stats().bytes, sd.stats().pkts};
+  });
+  cap.start();
+  Timestamp t(0);
+  for (std::uint16_t port : {std::uint16_t{1001}, std::uint16_t{1002}}) {
+    SessionBuilder s(client_tuple(port, 80));
+    cap.inject(s.syn(t));
+    cap.inject(s.data("0123456789", t));
+    cap.inject(s.data("0123456789", t));
+    cap.inject(s.fin(t));
+  }
+  cap.stop();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1001].bytes, 20u);
+  EXPECT_GE(rows[1001].pkts, 4u);
+  // No data events should have allocated lasting memory.
+  EXPECT_EQ(cap.kernel().allocator().used(), 0u);
+}
+
+TEST(CaptureTest, BpfFilterLimitsStreams) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_filter("dst port 80");
+  int created = 0;
+  cap.dispatch_creation([&](StreamView&) { ++created; });
+  cap.start();
+  Timestamp t(0);
+  SessionBuilder web(client_tuple(4000, 80));
+  SessionBuilder ssh(client_tuple(4001, 22));
+  cap.inject(web.syn(t));
+  cap.inject(ssh.syn(t));
+  cap.stop();
+  EXPECT_EQ(created, 1);
+}
+
+TEST(CaptureTest, KeepChunkMergesDeliveries) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_parameter(Parameter::kChunkSize, 8);
+  std::vector<std::string> deliveries;
+  bool first = true;
+  cap.dispatch_data([&](StreamView& sd) {
+    deliveries.emplace_back(sd.data().begin(), sd.data().end());
+    if (first) {
+      sd.keep_chunk();
+      first = false;
+    }
+  });
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  cap.inject(s.data("AAAAAAAA", t));  // chunk 1 (kept)
+  cap.inject(s.data("BBBBBBBB", t));  // chunk 2 → delivered merged
+  cap.inject(s.fin(t));
+  cap.stop();
+  ASSERT_GE(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], "AAAAAAAA");
+  EXPECT_EQ(deliveries[1], "AAAAAAAABBBBBBBB");
+  EXPECT_EQ(cap.kernel().allocator().used(), 0u);
+}
+
+TEST(CaptureTest, PerStreamCutoffFromCallback) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.dispatch_creation([&](StreamView& sd) {
+    if (sd.tuple().dst_port == 80) sd.set_cutoff(4);
+  });
+  std::map<std::uint16_t, std::uint64_t> captured;
+  cap.dispatch_termination([&](StreamView& sd) {
+    captured[sd.tuple().src_port] = sd.stats().captured_bytes;
+  });
+  cap.start();
+  Timestamp t(0);
+  SessionBuilder limited(client_tuple(5001, 80));
+  SessionBuilder full(client_tuple(5002, 443));
+  for (auto* s : {&limited, &full}) {
+    cap.inject(s->syn(t));
+    cap.inject(s->data("0123456789", t));
+    cap.inject(s->fin(t));
+  }
+  cap.stop();
+  EXPECT_EQ(captured[5001], 4u);
+  EXPECT_EQ(captured[5002], 10u);
+}
+
+TEST(CaptureTest, DiscardStreamFromCallback) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  int data_events = 0;
+  cap.dispatch_data([&](StreamView& sd) {
+    ++data_events;
+    sd.discard();
+  });
+  cap.set_parameter(Parameter::kChunkSize, 4);
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  cap.inject(s.data("0123", t));    // delivers chunk -> handler discards
+  cap.inject(s.data("4567", t));    // discarded in kernel
+  cap.inject(s.data("89ab", t));    // discarded
+  cap.inject(s.fin(t));
+  cap.stop();
+  EXPECT_EQ(data_events, 1);
+}
+
+TEST(CaptureTest, PacketDeliveryThroughStreamView) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, true);
+  std::vector<std::uint32_t> caplens;
+  std::string text;
+  cap.dispatch_data([&](StreamView& sd) {
+    while (const kernel::PacketRecord* rec = sd.next_packet()) {
+      caplens.push_back(rec->caplen);
+      auto pay = sd.packet_payload(*rec);
+      text.append(pay.begin(), pay.end());
+    }
+  });
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  cap.inject(s.data("aaa", t));
+  cap.inject(s.data("bbbbb", t));
+  cap.inject(s.fin(t));
+  cap.stop();
+  ASSERT_EQ(caplens.size(), 2u);
+  EXPECT_EQ(caplens[0], 3u);
+  EXPECT_EQ(caplens[1], 5u);
+  EXPECT_EQ(text, "aaabbbbb");
+}
+
+TEST(CaptureTest, ThreadedModeDeliversEverything) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.set_worker_threads(2);
+  std::mutex mu;
+  std::uint64_t total_bytes = 0;
+  int terminations = 0;
+  cap.dispatch_data([&](StreamView& sd) {
+    std::scoped_lock lock(mu);
+    total_bytes += sd.data_len();
+  });
+  cap.dispatch_termination([&](StreamView&) {
+    std::scoped_lock lock(mu);
+    ++terminations;
+  });
+  cap.start();
+  Timestamp t(0);
+  const int kStreams = 50;
+  for (int i = 0; i < kStreams; ++i) {
+    SessionBuilder s(client_tuple(static_cast<std::uint16_t>(10000 + i), 80));
+    cap.inject(s.syn(t));
+    cap.inject(s.data("0123456789ABCDEF", t));
+    cap.inject(s.fin(t));
+  }
+  cap.stop();
+  std::scoped_lock lock(mu);
+  EXPECT_EQ(total_bytes, 16u * kStreams);
+  EXPECT_EQ(terminations, kStreams);
+}
+
+TEST(CaptureTest, StatsAggregate) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  cap.inject(s.data("payload", t));
+  cap.inject(s.fin(t));
+  cap.stop();
+  CaptureStats st = cap.stats();
+  EXPECT_EQ(st.kernel.pkts_seen, 3u);
+  EXPECT_EQ(st.kernel.bytes_stored, 7u);
+  EXPECT_GE(st.events_dispatched, 3u);
+}
+
+TEST(CaptureTest, StrictModeEndToEnd) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpStrict, false);
+  std::string text;
+  cap.dispatch_data(
+      [&](StreamView& sd) { text.append(sd.data().begin(), sd.data().end()); });
+  cap.start();
+  SessionBuilder s;
+  Timestamp t(0);
+  cap.inject(s.syn(t));
+  // Out-of-order segments.
+  std::uint32_t base = s.client_seq();
+  cap.inject(s.data_at(base + 6, "world!", t));
+  cap.inject(s.data_at(base, "hello ", t));
+  TcpSegmentSpec fin;
+  fin.tuple = s.tuple();
+  fin.seq = base + 12;
+  fin.flags = kTcpFin | kTcpAck;
+  cap.inject(make_tcp_packet(fin, t));
+  cap.stop();
+  EXPECT_EQ(text, "hello world!");
+}
+
+TEST(CaptureTest, StartTwiceThrows) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  cap.start();
+  EXPECT_THROW(cap.start(), std::logic_error);
+}
+
+TEST(CaptureTest, InjectBeforeStartThrows) {
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  SessionBuilder s;
+  EXPECT_THROW(cap.inject(s.syn(Timestamp(0))), std::logic_error);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,83 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap::sim {
+namespace {
+
+TEST(CacheModel, ColdMissThenHit) {
+  CacheModel cache(64 * 1024, 64, 8);
+  EXPECT_EQ(cache.access(0x1000, 64), 1u);
+  EXPECT_EQ(cache.access(0x1000, 64), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheModel, MultiLineAccessCountsEachLine) {
+  CacheModel cache(64 * 1024, 64, 8);
+  // 200 bytes starting mid-line touches 4 lines.
+  EXPECT_EQ(cache.access(0x1020, 200), 4u);
+}
+
+TEST(CacheModel, LruEvictionWithinSet) {
+  // Tiny direct-mapped-ish cache: 2 sets, 2 ways, 64B lines.
+  CacheModel cache(4 * 64, 64, 2);
+  ASSERT_EQ(cache.num_sets(), 2u);
+  // Three distinct lines mapping to set 0 (line addresses 0, 2, 4).
+  cache.access(0 * 64, 1);
+  cache.access(2 * 64, 1);
+  cache.access(4 * 64, 1);  // evicts line 0
+  EXPECT_EQ(cache.access(0 * 64, 1), 1u);  // line 0 gone: miss
+  EXPECT_EQ(cache.access(4 * 64, 1), 0u);  // line 4 resident
+}
+
+TEST(CacheModel, SequentialScanOfWorkingSetThatFits) {
+  CacheModel cache(1 << 20, 64, 16);
+  // First pass misses once per line; second pass all hits.
+  const std::uint64_t total = 512 * 1024;
+  std::uint64_t first = cache.access(0, total);
+  EXPECT_EQ(first, total / 64);
+  std::uint64_t second = cache.access(0, total);
+  EXPECT_EQ(second, 0u);
+}
+
+TEST(CacheModel, ScatteredAccessesMissMoreThanContiguous) {
+  // Model of the locality experiment: the same bytes, touched either
+  // grouped per stream (contiguous) or interleaved across streams
+  // (strided), re-read after the working set exceeds the cache.
+  const std::uint64_t kCache = 256 * 1024;
+  CacheModel contiguous(kCache, 64, 8);
+  CacheModel scattered(kCache, 64, 8);
+
+  // Write phase fills way beyond cache size.
+  const int streams = 64;
+  const int bytes_per_stream = 32 * 1024;
+  // Contiguous: each stream's bytes adjacent; read back stream by stream
+  // immediately after writing that stream.
+  for (int s = 0; s < streams; ++s) {
+    std::uint64_t base = static_cast<std::uint64_t>(s) * bytes_per_stream;
+    contiguous.access(base, bytes_per_stream);   // write
+    contiguous.access(base, bytes_per_stream);   // consume right away
+  }
+  // Scattered: segments interleaved round-robin (ring order), consumed only
+  // after all writes (reassembled late).
+  const int seg = 1024;
+  for (int round = 0; round < bytes_per_stream / seg; ++round) {
+    for (int s = 0; s < streams; ++s) {
+      std::uint64_t addr =
+          static_cast<std::uint64_t>(round * streams + s) * seg;
+      scattered.access(addr, seg);
+    }
+  }
+  for (int s = 0; s < streams; ++s) {
+    for (int round = 0; round < bytes_per_stream / seg; ++round) {
+      std::uint64_t addr =
+          static_cast<std::uint64_t>(round * streams + s) * seg;
+      scattered.access(addr, seg);
+    }
+  }
+  EXPECT_LT(contiguous.misses(), scattered.misses());
+}
+
+}  // namespace
+}  // namespace scap::sim

@@ -1,0 +1,100 @@
+#include "sim/queue_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scap::sim {
+namespace {
+
+TEST(QueueServer, AdmitsWithinCapacity) {
+  QueueServer qs(1000, 1e9);
+  EXPECT_TRUE(qs.offer(Timestamp(0), 500, 100));
+  EXPECT_TRUE(qs.offer(Timestamp(0), 500, 100));
+  EXPECT_EQ(qs.admitted(), 2u);
+  EXPECT_EQ(qs.dropped(), 0u);
+}
+
+TEST(QueueServer, DropsWhenQueueFull) {
+  QueueServer qs(1000, 1e9);
+  EXPECT_TRUE(qs.offer(Timestamp(0), 600, 1e6));  // busy for 1ms
+  EXPECT_FALSE(qs.offer(Timestamp(0), 600, 1e6));
+  EXPECT_EQ(qs.dropped(), 1u);
+  EXPECT_EQ(qs.dropped_bytes(), 600u);
+}
+
+TEST(QueueServer, DrainsAfterServiceCompletes) {
+  QueueServer qs(1000, 1e9);  // 1e9 cycles/sec
+  // 1e6 cycles = 1 ms of service.
+  EXPECT_TRUE(qs.offer(Timestamp(0), 800, 1e6));
+  // At t=0.5ms the item is still in service: no room for 800 more bytes.
+  EXPECT_FALSE(qs.offer(Timestamp::from_usec(500), 800, 1e6));
+  // At t=1.1ms it has drained.
+  EXPECT_TRUE(qs.offer(Timestamp::from_usec(1100), 800, 1e6));
+}
+
+TEST(QueueServer, CompletionTimesAreFifoAndSequential) {
+  QueueServer qs(1 << 20, 2e9);
+  qs.offer(Timestamp(0), 100, 2e6);  // 1 ms
+  Timestamp first = qs.last_completion();
+  EXPECT_EQ(first.usec(), 1000);
+  qs.offer(Timestamp(0), 100, 2e6);  // queued behind: completes at 2 ms
+  EXPECT_EQ(qs.last_completion().usec(), 2000);
+  // Arrival after idle: starts at arrival time.
+  qs.offer(Timestamp::from_usec(5000), 100, 2e6);
+  EXPECT_EQ(qs.last_completion().usec(), 6000);
+}
+
+TEST(QueueServer, UtilizationMatchesLoad) {
+  QueueServer qs(1 << 20, 1e9);
+  // 10 items of 1e7 cycles each = 0.1 s of work over a 1 s horizon.
+  for (int i = 0; i < 10; ++i) {
+    qs.offer(Timestamp::from_usec(i * 100000), 100, 1e7);
+  }
+  EXPECT_NEAR(qs.utilization(Timestamp::from_sec(1.0)), 0.1, 1e-6);
+}
+
+TEST(QueueServer, ChargeConsumesCapacityWithoutQueueing) {
+  QueueServer qs(100, 1e9);
+  qs.charge(Timestamp(0), 5e8);  // 0.5 s of stolen cycles
+  // Queue itself is empty...
+  EXPECT_EQ(qs.backlog_bytes(Timestamp(0)), 0u);
+  // ...but subsequent work starts only after the stolen time.
+  qs.offer(Timestamp(0), 50, 1e6);
+  EXPECT_GT(qs.last_completion().sec(), 0.5);
+  EXPECT_NEAR(qs.utilization(Timestamp::from_sec(1.0)), 0.501, 1e-3);
+}
+
+TEST(QueueServer, BacklogReflectsQueuedBytes) {
+  QueueServer qs(10000, 1e9);
+  qs.offer(Timestamp(0), 1000, 1e6);
+  qs.offer(Timestamp(0), 2000, 1e6);
+  EXPECT_EQ(qs.backlog_bytes(Timestamp(0)), 3000u);
+  EXPECT_EQ(qs.backlog_bytes(Timestamp::from_usec(1500)), 2000u);
+  EXPECT_EQ(qs.backlog_bytes(Timestamp::from_usec(2500)), 0u);
+}
+
+TEST(QueueServer, SaturationCausesSustainedDrops) {
+  // Offered load 2x capacity: about half the items must drop.
+  QueueServer qs(8000, 1e9);
+  const double cycles_per_item = 1e4;   // 10 us service
+  const std::int64_t interval_ns = 5000;  // arrivals every 5 us
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (!qs.offer(Timestamp(i * interval_ns), 1000, cycles_per_item)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.5, 0.02);
+}
+
+TEST(QueueServer, ResetClearsEverything) {
+  QueueServer qs(100, 1e9);
+  qs.offer(Timestamp(0), 50, 1e6);
+  qs.offer(Timestamp(0), 60, 1e6);  // drop
+  qs.reset();
+  EXPECT_EQ(qs.admitted(), 0u);
+  EXPECT_EQ(qs.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(qs.busy_cycles(), 0.0);
+  EXPECT_TRUE(qs.offer(Timestamp(0), 100, 1));
+}
+
+}  // namespace
+}  // namespace scap::sim
