@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ppl_validation.dir/ablation_ppl_validation.cpp.o"
+  "CMakeFiles/ablation_ppl_validation.dir/ablation_ppl_validation.cpp.o.d"
+  "ablation_ppl_validation"
+  "ablation_ppl_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ppl_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strict_vs_fast.dir/ablation_strict_vs_fast.cpp.o"
+  "CMakeFiles/ablation_strict_vs_fast.dir/ablation_strict_vs_fast.cpp.o.d"
+  "ablation_strict_vs_fast"
+  "ablation_strict_vs_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strict_vs_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

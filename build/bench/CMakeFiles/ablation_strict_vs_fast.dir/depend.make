@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_strict_vs_fast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subzero.dir/ablation_subzero.cpp.o"
+  "CMakeFiles/ablation_subzero.dir/ablation_subzero.cpp.o.d"
+  "ablation_subzero"
+  "ablation_subzero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subzero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_stream_delivery.dir/fig04_stream_delivery.cpp.o"
+  "CMakeFiles/fig04_stream_delivery.dir/fig04_stream_delivery.cpp.o.d"
+  "fig04_stream_delivery"
+  "fig04_stream_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_stream_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

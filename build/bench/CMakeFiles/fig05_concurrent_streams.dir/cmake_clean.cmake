@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_concurrent_streams.dir/fig05_concurrent_streams.cpp.o"
+  "CMakeFiles/fig05_concurrent_streams.dir/fig05_concurrent_streams.cpp.o.d"
+  "fig05_concurrent_streams"
+  "fig05_concurrent_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_concurrent_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pattern_matching.dir/fig06_pattern_matching.cpp.o"
+  "CMakeFiles/fig06_pattern_matching.dir/fig06_pattern_matching.cpp.o.d"
+  "fig06_pattern_matching"
+  "fig06_pattern_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pattern_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cache_locality.dir/fig07_cache_locality.cpp.o"
+  "CMakeFiles/fig07_cache_locality.dir/fig07_cache_locality.cpp.o.d"
+  "fig07_cache_locality"
+  "fig07_cache_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cache_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

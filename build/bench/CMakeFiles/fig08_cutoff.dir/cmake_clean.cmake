@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cutoff.dir/fig08_cutoff.cpp.o"
+  "CMakeFiles/fig08_cutoff.dir/fig08_cutoff.cpp.o.d"
+  "fig08_cutoff"
+  "fig08_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

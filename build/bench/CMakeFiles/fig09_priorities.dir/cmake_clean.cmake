@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_priorities.dir/fig09_priorities.cpp.o"
+  "CMakeFiles/fig09_priorities.dir/fig09_priorities.cpp.o.d"
+  "fig09_priorities"
+  "fig09_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ppl_model.dir/fig11_ppl_model.cpp.o"
+  "CMakeFiles/fig11_ppl_model.dir/fig11_ppl_model.cpp.o.d"
+  "fig11_ppl_model"
+  "fig11_ppl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ppl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

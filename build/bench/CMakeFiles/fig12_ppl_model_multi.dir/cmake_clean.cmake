@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ppl_model_multi.dir/fig12_ppl_model_multi.cpp.o"
+  "CMakeFiles/fig12_ppl_model_multi.dir/fig12_ppl_model_multi.cpp.o.d"
+  "fig12_ppl_model_multi"
+  "fig12_ppl_model_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ppl_model_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

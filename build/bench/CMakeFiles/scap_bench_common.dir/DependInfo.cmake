@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common/driver.cpp" "bench/CMakeFiles/scap_bench_common.dir/common/driver.cpp.o" "gcc" "bench/CMakeFiles/scap_bench_common.dir/common/driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/scap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/scap_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/scap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/scap_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/scap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/scap_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/scap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/scap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

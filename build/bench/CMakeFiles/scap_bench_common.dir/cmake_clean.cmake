@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_bench_common.dir/common/driver.cpp.o"
+  "CMakeFiles/scap_bench_common.dir/common/driver.cpp.o.d"
+  "libscap_bench_common.a"
+  "libscap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

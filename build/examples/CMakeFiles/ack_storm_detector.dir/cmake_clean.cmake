@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ack_storm_detector.dir/ack_storm_detector.cpp.o"
+  "CMakeFiles/ack_storm_detector.dir/ack_storm_detector.cpp.o.d"
+  "ack_storm_detector"
+  "ack_storm_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ack_storm_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

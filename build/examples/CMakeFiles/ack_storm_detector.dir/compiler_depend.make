@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ack_storm_detector.
+# This may be replaced when dependencies are built.

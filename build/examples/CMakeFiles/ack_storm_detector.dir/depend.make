@@ -1,0 +1,2 @@
+# Empty dependencies file for ack_storm_detector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_monitor.dir/http_monitor.cpp.o"
+  "CMakeFiles/http_monitor.dir/http_monitor.cpp.o.d"
+  "http_monitor"
+  "http_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_nids.dir/mini_nids.cpp.o"
+  "CMakeFiles/mini_nids.dir/mini_nids.cpp.o.d"
+  "mini_nids"
+  "mini_nids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_nids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_triage.dir/overload_triage.cpp.o"
+  "CMakeFiles/overload_triage.dir/overload_triage.cpp.o.d"
+  "overload_triage"
+  "overload_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("packet")
+subdirs("flowgen")
+subdirs("nic")
+subdirs("sim")
+subdirs("match")
+subdirs("kernel")
+subdirs("scap")
+subdirs("baseline")
+subdirs("analysis")
+subdirs("proto")
+subdirs("export")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_analysis.dir/queueing.cpp.o"
+  "CMakeFiles/scap_analysis.dir/queueing.cpp.o.d"
+  "libscap_analysis.a"
+  "libscap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

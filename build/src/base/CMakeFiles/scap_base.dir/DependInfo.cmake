@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/clock.cpp" "src/base/CMakeFiles/scap_base.dir/clock.cpp.o" "gcc" "src/base/CMakeFiles/scap_base.dir/clock.cpp.o.d"
+  "/root/repo/src/base/hash.cpp" "src/base/CMakeFiles/scap_base.dir/hash.cpp.o" "gcc" "src/base/CMakeFiles/scap_base.dir/hash.cpp.o.d"
+  "/root/repo/src/base/log.cpp" "src/base/CMakeFiles/scap_base.dir/log.cpp.o" "gcc" "src/base/CMakeFiles/scap_base.dir/log.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/base/CMakeFiles/scap_base.dir/stats.cpp.o" "gcc" "src/base/CMakeFiles/scap_base.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_base.dir/clock.cpp.o"
+  "CMakeFiles/scap_base.dir/clock.cpp.o.d"
+  "CMakeFiles/scap_base.dir/hash.cpp.o"
+  "CMakeFiles/scap_base.dir/hash.cpp.o.d"
+  "CMakeFiles/scap_base.dir/log.cpp.o"
+  "CMakeFiles/scap_base.dir/log.cpp.o.d"
+  "CMakeFiles/scap_base.dir/stats.cpp.o"
+  "CMakeFiles/scap_base.dir/stats.cpp.o.d"
+  "libscap_base.a"
+  "libscap_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

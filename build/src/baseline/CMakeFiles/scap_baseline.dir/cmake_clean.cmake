@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_baseline.dir/nids.cpp.o"
+  "CMakeFiles/scap_baseline.dir/nids.cpp.o.d"
+  "CMakeFiles/scap_baseline.dir/yaf.cpp.o"
+  "CMakeFiles/scap_baseline.dir/yaf.cpp.o.d"
+  "libscap_baseline.a"
+  "libscap_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_export.dir/ipfix.cpp.o"
+  "CMakeFiles/scap_export.dir/ipfix.cpp.o.d"
+  "libscap_export.a"
+  "libscap_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_flowgen.dir/multiplex.cpp.o"
+  "CMakeFiles/scap_flowgen.dir/multiplex.cpp.o.d"
+  "CMakeFiles/scap_flowgen.dir/replay.cpp.o"
+  "CMakeFiles/scap_flowgen.dir/replay.cpp.o.d"
+  "CMakeFiles/scap_flowgen.dir/workload.cpp.o"
+  "CMakeFiles/scap_flowgen.dir/workload.cpp.o.d"
+  "libscap_flowgen.a"
+  "libscap_flowgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_flowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

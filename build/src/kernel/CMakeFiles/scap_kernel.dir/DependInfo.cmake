@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/defrag.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/defrag.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/defrag.cpp.o.d"
+  "/root/repo/src/kernel/flow_table.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/flow_table.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/flow_table.cpp.o.d"
+  "/root/repo/src/kernel/memory.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/memory.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/memory.cpp.o.d"
+  "/root/repo/src/kernel/module.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/module.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/module.cpp.o.d"
+  "/root/repo/src/kernel/ppl.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/ppl.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/ppl.cpp.o.d"
+  "/root/repo/src/kernel/reassembly.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/reassembly.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/reassembly.cpp.o.d"
+  "/root/repo/src/kernel/segment_store.cpp" "src/kernel/CMakeFiles/scap_kernel.dir/segment_store.cpp.o" "gcc" "src/kernel/CMakeFiles/scap_kernel.dir/segment_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/scap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/scap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/scap_nic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_kernel.dir/defrag.cpp.o"
+  "CMakeFiles/scap_kernel.dir/defrag.cpp.o.d"
+  "CMakeFiles/scap_kernel.dir/flow_table.cpp.o"
+  "CMakeFiles/scap_kernel.dir/flow_table.cpp.o.d"
+  "CMakeFiles/scap_kernel.dir/memory.cpp.o"
+  "CMakeFiles/scap_kernel.dir/memory.cpp.o.d"
+  "CMakeFiles/scap_kernel.dir/module.cpp.o"
+  "CMakeFiles/scap_kernel.dir/module.cpp.o.d"
+  "CMakeFiles/scap_kernel.dir/ppl.cpp.o"
+  "CMakeFiles/scap_kernel.dir/ppl.cpp.o.d"
+  "CMakeFiles/scap_kernel.dir/reassembly.cpp.o"
+  "CMakeFiles/scap_kernel.dir/reassembly.cpp.o.d"
+  "CMakeFiles/scap_kernel.dir/segment_store.cpp.o"
+  "CMakeFiles/scap_kernel.dir/segment_store.cpp.o.d"
+  "libscap_kernel.a"
+  "libscap_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_match.dir/aho_corasick.cpp.o"
+  "CMakeFiles/scap_match.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/scap_match.dir/corpus.cpp.o"
+  "CMakeFiles/scap_match.dir/corpus.cpp.o.d"
+  "CMakeFiles/scap_match.dir/rules.cpp.o"
+  "CMakeFiles/scap_match.dir/rules.cpp.o.d"
+  "libscap_match.a"
+  "libscap_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_nic.dir/fdir.cpp.o"
+  "CMakeFiles/scap_nic.dir/fdir.cpp.o.d"
+  "CMakeFiles/scap_nic.dir/nic.cpp.o"
+  "CMakeFiles/scap_nic.dir/nic.cpp.o.d"
+  "CMakeFiles/scap_nic.dir/rss.cpp.o"
+  "CMakeFiles/scap_nic.dir/rss.cpp.o.d"
+  "libscap_nic.a"
+  "libscap_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/bpf.cpp" "src/packet/CMakeFiles/scap_packet.dir/bpf.cpp.o" "gcc" "src/packet/CMakeFiles/scap_packet.dir/bpf.cpp.o.d"
+  "/root/repo/src/packet/checksum.cpp" "src/packet/CMakeFiles/scap_packet.dir/checksum.cpp.o" "gcc" "src/packet/CMakeFiles/scap_packet.dir/checksum.cpp.o.d"
+  "/root/repo/src/packet/craft.cpp" "src/packet/CMakeFiles/scap_packet.dir/craft.cpp.o" "gcc" "src/packet/CMakeFiles/scap_packet.dir/craft.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/packet/CMakeFiles/scap_packet.dir/headers.cpp.o" "gcc" "src/packet/CMakeFiles/scap_packet.dir/headers.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/packet/CMakeFiles/scap_packet.dir/packet.cpp.o" "gcc" "src/packet/CMakeFiles/scap_packet.dir/packet.cpp.o.d"
+  "/root/repo/src/packet/pcap.cpp" "src/packet/CMakeFiles/scap_packet.dir/pcap.cpp.o" "gcc" "src/packet/CMakeFiles/scap_packet.dir/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/scap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

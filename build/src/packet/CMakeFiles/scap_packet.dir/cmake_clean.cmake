@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_packet.dir/bpf.cpp.o"
+  "CMakeFiles/scap_packet.dir/bpf.cpp.o.d"
+  "CMakeFiles/scap_packet.dir/checksum.cpp.o"
+  "CMakeFiles/scap_packet.dir/checksum.cpp.o.d"
+  "CMakeFiles/scap_packet.dir/craft.cpp.o"
+  "CMakeFiles/scap_packet.dir/craft.cpp.o.d"
+  "CMakeFiles/scap_packet.dir/headers.cpp.o"
+  "CMakeFiles/scap_packet.dir/headers.cpp.o.d"
+  "CMakeFiles/scap_packet.dir/packet.cpp.o"
+  "CMakeFiles/scap_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/scap_packet.dir/pcap.cpp.o"
+  "CMakeFiles/scap_packet.dir/pcap.cpp.o.d"
+  "libscap_packet.a"
+  "libscap_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

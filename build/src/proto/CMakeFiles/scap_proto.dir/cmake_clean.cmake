@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_proto.dir/dns.cpp.o"
+  "CMakeFiles/scap_proto.dir/dns.cpp.o.d"
+  "CMakeFiles/scap_proto.dir/http.cpp.o"
+  "CMakeFiles/scap_proto.dir/http.cpp.o.d"
+  "libscap_proto.a"
+  "libscap_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scap_proto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_api.dir/capi.cpp.o"
+  "CMakeFiles/scap_api.dir/capi.cpp.o.d"
+  "CMakeFiles/scap_api.dir/capture.cpp.o"
+  "CMakeFiles/scap_api.dir/capture.cpp.o.d"
+  "libscap_api.a"
+  "libscap_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_sim.dir/cache.cpp.o"
+  "CMakeFiles/scap_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/scap_sim.dir/queue_server.cpp.o"
+  "CMakeFiles/scap_sim.dir/queue_server.cpp.o.d"
+  "libscap_sim.a"
+  "libscap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/clock_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/clock_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/hash_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/hash_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/ring_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/ring_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/rng_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/rng_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/stats_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/stats_test.cpp.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

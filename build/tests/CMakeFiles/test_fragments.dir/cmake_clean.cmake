@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragments.dir/packet/fragment_test.cpp.o"
+  "CMakeFiles/test_fragments.dir/packet/fragment_test.cpp.o.d"
+  "test_fragments"
+  "test_fragments.pdb"
+  "test_fragments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/defrag_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/defrag_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/defrag_test.cpp.o.d"
+  "/root/repo/tests/kernel/flow_table_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/flow_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/flow_table_test.cpp.o.d"
+  "/root/repo/tests/kernel/loadbalance_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/loadbalance_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/loadbalance_test.cpp.o.d"
+  "/root/repo/tests/kernel/memory_invariant_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/memory_invariant_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/memory_invariant_test.cpp.o.d"
+  "/root/repo/tests/kernel/memory_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/memory_test.cpp.o.d"
+  "/root/repo/tests/kernel/module_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/module_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/module_test.cpp.o.d"
+  "/root/repo/tests/kernel/ppl_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/ppl_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/ppl_test.cpp.o.d"
+  "/root/repo/tests/kernel/reassembly_property_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/reassembly_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/reassembly_property_test.cpp.o.d"
+  "/root/repo/tests/kernel/reassembly_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/reassembly_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/reassembly_test.cpp.o.d"
+  "/root/repo/tests/kernel/segment_store_test.cpp" "tests/CMakeFiles/test_kernel.dir/kernel/segment_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/segment_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/scap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/scap_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/scap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/scap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/defrag_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/defrag_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/flow_table_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/flow_table_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/loadbalance_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/loadbalance_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/memory_invariant_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/memory_invariant_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/memory_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/memory_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/module_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/module_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/ppl_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/ppl_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/reassembly_property_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/reassembly_property_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/reassembly_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/reassembly_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/segment_store_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/segment_store_test.cpp.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

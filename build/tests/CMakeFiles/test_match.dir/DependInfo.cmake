@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/match/aho_corasick_test.cpp" "tests/CMakeFiles/test_match.dir/match/aho_corasick_test.cpp.o" "gcc" "tests/CMakeFiles/test_match.dir/match/aho_corasick_test.cpp.o.d"
+  "/root/repo/tests/match/rules_test.cpp" "tests/CMakeFiles/test_match.dir/match/rules_test.cpp.o" "gcc" "tests/CMakeFiles/test_match.dir/match/rules_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/scap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/scap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/scap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/packet/bpf_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/bpf_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/bpf_test.cpp.o.d"
+  "/root/repo/tests/packet/checksum_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/checksum_test.cpp.o.d"
+  "/root/repo/tests/packet/craft_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/craft_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/craft_test.cpp.o.d"
+  "/root/repo/tests/packet/decode_fuzz_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/decode_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/decode_fuzz_test.cpp.o.d"
+  "/root/repo/tests/packet/headers_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/headers_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/headers_test.cpp.o.d"
+  "/root/repo/tests/packet/packet_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/packet_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/packet_test.cpp.o.d"
+  "/root/repo/tests/packet/pcap_endian_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/pcap_endian_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/pcap_endian_test.cpp.o.d"
+  "/root/repo/tests/packet/pcap_test.cpp" "tests/CMakeFiles/test_packet.dir/packet/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/pcap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/scap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/scap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

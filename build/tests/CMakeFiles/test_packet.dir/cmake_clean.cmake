@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet.dir/packet/bpf_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/bpf_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/checksum_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/checksum_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/craft_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/craft_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/decode_fuzz_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/decode_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/headers_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/headers_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/packet_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/packet_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/pcap_endian_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/pcap_endian_test.cpp.o.d"
+  "CMakeFiles/test_packet.dir/packet/pcap_test.cpp.o"
+  "CMakeFiles/test_packet.dir/packet/pcap_test.cpp.o.d"
+  "test_packet"
+  "test_packet.pdb"
+  "test_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/proto/dns_test.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/dns_test.cpp.o.d"
+  "CMakeFiles/test_proto.dir/proto/http_test.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/http_test.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

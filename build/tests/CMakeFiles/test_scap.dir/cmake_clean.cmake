@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scap.dir/scap/capi_test.cpp.o"
+  "CMakeFiles/test_scap.dir/scap/capi_test.cpp.o.d"
+  "CMakeFiles/test_scap.dir/scap/capture_features_test.cpp.o"
+  "CMakeFiles/test_scap.dir/scap/capture_features_test.cpp.o.d"
+  "CMakeFiles/test_scap.dir/scap/capture_test.cpp.o"
+  "CMakeFiles/test_scap.dir/scap/capture_test.cpp.o.d"
+  "CMakeFiles/test_scap.dir/scap/multiapp_test.cpp.o"
+  "CMakeFiles/test_scap.dir/scap/multiapp_test.cpp.o.d"
+  "test_scap"
+  "test_scap.pdb"
+  "test_scap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

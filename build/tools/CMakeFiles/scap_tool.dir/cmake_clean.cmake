@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_tool.dir/scap_tool.cpp.o"
+  "CMakeFiles/scap_tool.dir/scap_tool.cpp.o.d"
+  "scap_tool"
+  "scap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_gen "/root/repo/build/tools/scap_tool" "gen" "/root/repo/build/tools/tool_test.pcap" "--flows" "40" "--patterns")
+set_tests_properties(tool_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_info "/root/repo/build/tools/scap_tool" "info" "/root/repo/build/tools/tool_test.pcap")
+set_tests_properties(tool_info PROPERTIES  DEPENDS "tool_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_flows "/root/repo/build/tools/scap_tool" "flows" "/root/repo/build/tools/tool_test.pcap")
+set_tests_properties(tool_flows PROPERTIES  DEPENDS "tool_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_streams "/root/repo/build/tools/scap_tool" "streams" "/root/repo/build/tools/tool_test.pcap")
+set_tests_properties(tool_streams PROPERTIES  DEPENDS "tool_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_export "/root/repo/build/tools/scap_tool" "export" "/root/repo/build/tools/tool_test.pcap" "--out" "/root/repo/build/tools/tool_test.ipfix")
+set_tests_properties(tool_export PROPERTIES  DEPENDS "tool_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_decode "/root/repo/build/tools/scap_tool" "decode" "/root/repo/build/tools/tool_test.ipfix")
+set_tests_properties(tool_decode PROPERTIES  DEPENDS "tool_export" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
