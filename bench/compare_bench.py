@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the fast-path throughput harness.
+
+Runs bench/throughput with a fixed seed, then compares each workload's
+packets/sec against the checked-in baseline JSON. Fails (exit 1) when any
+workload regresses by more than --tolerance (default 10%).
+
+Wired as the optional `perf`-labeled ctest (cmake -DSCAP_PERF_TESTS=ON);
+tier-1 test runs never execute it. The baseline was recorded on the machine
+that produced EXPERIMENTS.md's numbers — regenerate it on your own hardware
+before trusting absolute comparisons:
+
+    build/bench/throughput --out=bench/baseline/BENCH_throughput.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_workloads(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {w["name"]: w for w in doc["workloads"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True, help="path to the throughput binary")
+    ap.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional pps regression (default 0.10)")
+    ap.add_argument("--seed", type=int, default=2013)
+    args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"SKIP: no baseline at {args.baseline}; record one with "
+              f"{args.bench} --out={args.baseline}")
+        return 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "BENCH_throughput.json")
+        proc = subprocess.run(
+            [args.bench, f"--out={out}", f"--seed={args.seed}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            print(f"FAIL: throughput harness exited {proc.returncode}")
+            return 1
+        current = load_workloads(out)
+
+    baseline = load_workloads(args.baseline)
+    failed = False
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"FAIL: workload '{name}' missing from current run")
+            failed = True
+            continue
+        base_pps, cur_pps = base["pps"], cur["pps"]
+        ratio = cur_pps / base_pps if base_pps > 0 else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{name}: baseline {base_pps:,.0f} pps -> current "
+              f"{cur_pps:,.0f} pps ({ratio:.2%}) {verdict}")
+
+    if failed:
+        print(f"FAIL: pps regressed more than {args.tolerance:.0%} "
+              f"vs {args.baseline}")
+        return 1
+    print("PASS: no workload regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

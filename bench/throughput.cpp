@@ -1,0 +1,326 @@
+// Wall-clock throughput harness for the fast path (open-addressing flow
+// table + slab-allocated records + batched ingest).
+//
+// Unlike the fig* benches, which measure *simulated* cycle budgets, this
+// harness measures real packets/second of the implementation itself on
+// three workloads:
+//
+//   flow_lookup  — N established streams past their cutoff, hit round-robin
+//                  with data packets: pure find/touch/discard, the
+//                  flow-lookup-dominated path. Steady state must perform
+//                  ZERO heap allocations per packet (asserted).
+//   reassembly   — a flowgen campus-like trace (SYN/data/FIN churn, payload
+//                  chunking) pushed straight into ScapKernel in batches.
+//   pipeline     — the same trace through the full ScapPipeline simulation
+//                  driver with ingest_batch = 32.
+//
+// Results go to stdout and to a machine-readable JSON file (default
+// BENCH_throughput.json) consumed by bench/compare_bench.py.
+//
+// Compiling with -DSCAP_SEED_BASELINE builds the same harness against the
+// pre-batching kernel API (per-packet handle_packet, no ingest_batch) so
+// before/after numbers come from identical measurement code.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/common/driver.hpp"
+#include "flowgen/replay.hpp"
+#include "flowgen/workload.hpp"
+#include "kernel/module.hpp"
+#include "packet/craft.hpp"
+
+// --- Allocation counter ------------------------------------------------------
+// Counts every operator-new in the process; workloads sample it around their
+// timed region. Only the delta matters, so background noise before/after the
+// region is irrelevant.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace scap::bench {
+namespace {
+
+constexpr std::size_t kBatch = 32;
+
+struct WorkloadResult {
+  std::string name;
+  std::uint64_t packets = 0;
+  double seconds = 0.0;
+  std::uint64_t allocs = 0;
+  std::uint64_t pool_recycled = 0;
+
+  double pps() const { return seconds > 0 ? packets / seconds : 0.0; }
+  double ns_per_pkt() const {
+    return packets ? seconds * 1e9 / static_cast<double>(packets) : 0.0;
+  }
+  double allocs_per_pkt() const {
+    return packets ? static_cast<double>(allocs) / static_cast<double>(packets)
+                   : 0.0;
+  }
+};
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Feed a contiguous packet vector into the kernel in kBatch-sized spans.
+kernel::PacketOutcome ingest(kernel::ScapKernel& k,
+                             std::span<const Packet> pkts, int core) {
+  kernel::PacketOutcome out;
+#ifdef SCAP_SEED_BASELINE
+  for (const Packet& p : pkts) out = k.handle_packet(p, p.timestamp(), core);
+#else
+  for (std::size_t i = 0; i < pkts.size(); i += kBatch) {
+    out = k.handle_batch(pkts.subspan(i, std::min(kBatch, pkts.size() - i)),
+                         pkts[i].timestamp(), core);
+  }
+#endif
+  return out;
+}
+
+void drain(kernel::ScapKernel& k, int core) {
+  auto& q = k.events(core);
+  while (!q.empty()) {
+    kernel::Event ev = q.pop();
+    k.release_chunk(ev);
+  }
+}
+
+// --- flow_lookup -------------------------------------------------------------
+
+WorkloadResult run_flow_lookup(bool& zero_alloc_ok) {
+  constexpr std::size_t kFlows = 4096;
+  constexpr std::size_t kRounds = 8;    // packets per flow per replay pass
+  constexpr int kReps = 128;            // timed passes over the packet vector
+
+  kernel::KernelConfig cfg;
+  cfg.max_streams = kFlows * 2;
+  cfg.defaults.cutoff_bytes = 64;  // everything past 64B is kernel-discarded
+  kernel::ScapKernel k(cfg);
+
+  std::vector<std::uint8_t> payload(512, 0xab);
+  const Timestamp t0(0);
+
+  // Establish kFlows streams and push each past its cutoff.
+  std::vector<FiveTuple> tuples(kFlows);
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    FiveTuple& tup = tuples[i];
+    tup.src_ip = 0x0a000000u + static_cast<std::uint32_t>(i);
+    tup.dst_ip = 0xc0a80001u;
+    tup.src_port = 40000;
+    tup.dst_port = 80;
+    tup.protocol = kProtoTcp;
+    TcpSegmentSpec syn{.tuple = tup, .seq = 0, .flags = kTcpSyn};
+    k.handle_packet(make_tcp_packet(syn, t0), t0, 0);
+    TcpSegmentSpec d0{.tuple = tup, .seq = 1, .payload = payload};
+    k.handle_packet(make_tcp_packet(d0, t0), t0, 0);
+    TcpSegmentSpec d1{.tuple = tup, .seq = 513, .payload = payload};
+    k.handle_packet(make_tcp_packet(d1, t0), t0, 0);  // past cutoff now
+  }
+  drain(k, 0);
+
+  // One steady-state packet template, stamped per flow without any frame
+  // allocation (the frame buffer is shared).
+  TcpSegmentSpec steady{.tuple = tuples[0], .seq = 4096, .payload = payload};
+  const Packet tmpl = make_tcp_packet(steady, t0);
+  std::vector<Packet> pkts;
+  pkts.reserve(kFlows * kRounds);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t i = 0; i < kFlows; ++i) {
+      pkts.push_back(tmpl.with_flow(tuples[i], 4096, t0));
+    }
+  }
+
+  ingest(k, pkts, 0);  // warmup pass (grows any remaining lazy state)
+  drain(k, 0);
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  const double start = now_sec();
+  for (int rep = 0; rep < kReps; ++rep) ingest(k, pkts, 0);
+  const double elapsed = now_sec() - start;
+  const std::uint64_t allocs = g_allocs.load() - allocs_before;
+
+  WorkloadResult r;
+  r.name = "flow_lookup";
+  r.packets = static_cast<std::uint64_t>(pkts.size()) * kReps;
+  r.seconds = elapsed;
+  r.allocs = allocs;
+  zero_alloc_ok = allocs == 0;
+  return r;
+}
+
+// --- reassembly --------------------------------------------------------------
+
+WorkloadResult run_reassembly(const flowgen::Trace& trace) {
+  kernel::KernelConfig cfg;
+  cfg.max_streams = 1 << 16;
+  kernel::ScapKernel k(cfg);
+
+  // Warmup: one untimed pass grows the record pool, chunk vectors, and event
+  // deque to steady-state capacity.
+  ingest(k, trace.packets, 0);
+  drain(k, 0);
+
+  constexpr int kLoops = 4;
+  const std::uint64_t allocs_before = g_allocs.load();
+  const double start = now_sec();
+  for (int loop = 0; loop < kLoops; ++loop) {
+    for (std::size_t i = 0; i < trace.packets.size(); i += kBatch) {
+      ingest(k,
+             std::span<const Packet>(trace.packets)
+                 .subspan(i, std::min(kBatch, trace.packets.size() - i)),
+             0);
+      drain(k, 0);
+    }
+  }
+  const double elapsed = now_sec() - start;
+
+  WorkloadResult r;
+  r.name = "reassembly";
+  r.packets = static_cast<std::uint64_t>(trace.packets.size()) * kLoops;
+  r.seconds = elapsed;
+  r.allocs = g_allocs.load() - allocs_before;
+#ifndef SCAP_SEED_BASELINE
+  r.pool_recycled = k.stats().pool_recycled;
+#endif
+  return r;
+}
+
+// --- pipeline ----------------------------------------------------------------
+
+WorkloadResult run_pipeline(const flowgen::Trace& trace) {
+  ScapRunOptions opt;
+  opt.softirq_cores = 4;
+#ifndef SCAP_SEED_BASELINE
+  opt.ingest_batch = static_cast<int>(kBatch);
+#endif
+  const std::uint64_t allocs_before = g_allocs.load();
+  const double start = now_sec();
+  const RunResult res = run_scap(trace, /*rate_gbps=*/2.0, /*loops=*/2, opt);
+  const double elapsed = now_sec() - start;
+
+  WorkloadResult r;
+  r.name = "pipeline";
+  r.packets = res.pkts_offered;
+  r.seconds = elapsed;
+  r.allocs = g_allocs.load() - allocs_before;
+  return r;
+}
+
+// --- output ------------------------------------------------------------------
+
+void write_json(const std::string& path, std::uint64_t seed,
+                const std::vector<WorkloadResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "throughput: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"seed\": %llu,\n  \"workloads\": [\n",
+               static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"packets\": %llu, \"seconds\": %.6f, "
+        "\"pps\": %.1f, \"ns_per_pkt\": %.2f, \"allocs\": %llu, "
+        "\"allocs_per_pkt\": %.6f, \"pool_recycled\": %llu}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.packets), r.seconds,
+        r.pps(), r.ns_per_pkt(), static_cast<unsigned long long>(r.allocs),
+        r.allocs_per_pkt(), static_cast<unsigned long long>(r.pool_recycled),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace scap::bench
+
+int main(int argc, char** argv) {
+  using namespace scap;
+  using namespace scap::bench;
+
+  std::string out_path = "BENCH_throughput.json";
+  std::uint64_t seed = 2013;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: throughput [--out=FILE.json] [--seed=N]\n");
+      return 2;
+    }
+  }
+
+  flowgen::WorkloadConfig cfg;
+  cfg.flows = 2500;
+  cfg.seed = seed;
+  const flowgen::Trace trace = flowgen::build_trace(cfg);
+
+  std::vector<WorkloadResult> results;
+  bool zero_alloc_ok = false;
+  results.push_back(run_flow_lookup(zero_alloc_ok));
+  results.push_back(run_reassembly(trace));
+  results.push_back(run_pipeline(trace));
+
+  std::printf("workload,packets,seconds,pps,ns_per_pkt,allocs_per_pkt\n");
+  for (const WorkloadResult& r : results) {
+    std::printf("%s,%llu,%.4f,%.0f,%.2f,%.6f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.packets), r.seconds, r.pps(),
+                r.ns_per_pkt(), r.allocs_per_pkt());
+  }
+  write_json(out_path, seed, results);
+
+  if (!zero_alloc_ok) {
+    std::fprintf(stderr,
+                 "throughput: FAIL — flow_lookup steady state performed heap "
+                 "allocations (expected zero)\n");
+#ifndef SCAP_SEED_BASELINE
+    return 1;
+#endif
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// FunctionRef — a lightweight, non-owning reference to a callable.
+//
+// The kernel fast path (flow-table eviction/expiry hooks, per-packet
+// visitors) previously took `const std::function&` parameters; each call
+// paid a type-erased dispatch through a potentially heap-backed wrapper,
+// and constructing one from a capturing lambda could allocate. FunctionRef
+// is two words (object pointer + trampoline pointer), never allocates, and
+// inlines into a single indirect call.
+//
+// Lifetime rules: FunctionRef does NOT extend the lifetime of the callable
+// it references. Passing a temporary lambda as a function argument is safe
+// (the temporary lives until the full expression ends); storing a
+// FunctionRef beyond the callable's lifetime is not.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace scap {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference: `operator bool` is false; calling is undefined.
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Bind to any callable compatible with the signature. Non-owning.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::remove_reference_t<F>*>(obj),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace scap

@@ -2,7 +2,7 @@
 
 namespace scap::flowgen {
 
-void Replayer::for_each(const std::function<void(const Packet&)>& fn) const {
+void Replayer::for_each(FunctionRef<void(const Packet&)> fn) const {
   const double loop_span_sec =
       trace_.natural_duration_sec * scale_ +
       1e-6;  // tiny gap between loops so timestamps stay strictly ordered

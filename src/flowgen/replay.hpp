@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "base/function_ref.hpp"
 #include "flowgen/workload.hpp"
 
 namespace scap::flowgen {
@@ -25,7 +25,7 @@ class Replayer {
 
   /// Invoke `fn(packet)` for every replayed packet in time order. Packet
   /// timestamps are rescaled to the target rate.
-  void for_each(const std::function<void(const Packet&)>& fn) const;
+  void for_each(FunctionRef<void(const Packet&)> fn) const;
 
   /// Total virtual duration of the full replay in seconds.
   double duration_sec() const {

@@ -1,15 +1,134 @@
 #include "kernel/flow_table.hpp"
 
+#include "kernel/record_pool.hpp"
+
 namespace scap::kernel {
 
+namespace {
+constexpr std::size_t kMinCapacity = 64;
+// Grow when size exceeds 7/8 of capacity... kept stricter at 0.7 so the
+// expected probe length stays short even right before a resize.
+constexpr double kMaxLoad = 0.7;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t c = kMinCapacity;
+  while (c < n) c <<= 1;
+  return c;
+}
+}  // namespace
+
 FlowTable::FlowTable(std::size_t max_records, std::uint64_t seed)
-    : max_records_(max_records), by_tuple_(16, TupleHash{seed}) {}
+    : max_records_(max_records),
+      seed_(seed),
+      pool_(std::make_unique<RecordPool>()) {
+  // Pre-size for the record budget when one is configured, so a budgeted
+  // table never rehashes on the hot path.
+  const std::size_t want =
+      max_records ? next_pow2(max_records * 2) : kMinCapacity;
+  slots_.assign(want, Slot{});
+  mask_ = want - 1;
+  id_slots_.assign(want, nullptr);
+  id_mask_ = want - 1;
+}
 
 FlowTable::~FlowTable() = default;
 
+RecordPoolStats FlowTable::pool_stats() const { return pool_->stats(); }
+
 StreamRecord* FlowTable::find(const FiveTuple& tuple) {
-  auto it = by_tuple_.find(tuple);
-  return it == by_tuple_.end() ? nullptr : it->second.get();
+  const std::uint64_t h = hash_of(tuple);
+  std::size_t i = h & mask_;
+  while (slots_[i].rec != nullptr) {
+    if (slots_[i].hash == h && slots_[i].rec->tuple == tuple) {
+      return slots_[i].rec;
+    }
+    i = (i + 1) & mask_;
+  }
+  return nullptr;
+}
+
+void FlowTable::insert_slot(StreamRecord* rec, std::uint64_t hash) {
+  std::size_t i = hash & mask_;
+  while (slots_[i].rec != nullptr) i = (i + 1) & mask_;
+  slots_[i].rec = rec;
+  slots_[i].hash = hash;
+}
+
+void FlowTable::grow_tuple_table() {
+  std::vector<Slot> old = std::move(slots_);
+  const std::size_t cap = (mask_ + 1) * 2;
+  slots_.assign(cap, Slot{});
+  mask_ = cap - 1;
+  for (const Slot& s : old) {
+    if (s.rec != nullptr) insert_slot(s.rec, s.hash);
+  }
+}
+
+void FlowTable::erase_tuple_slot(std::size_t i) {
+  // Tombstone-free deletion: backward-shift every entry in the probe window
+  // that can legally occupy the hole (its ideal slot lies at or before it).
+  std::size_t hole = i;
+  std::size_t k = i;
+  while (true) {
+    k = (k + 1) & mask_;
+    if (slots_[k].rec == nullptr) break;
+    const std::size_t ideal = slots_[k].hash & mask_;
+    // `hole` is on k's probe path iff the cyclic distance ideal->hole does
+    // not exceed the distance ideal->k.
+    if (((hole - ideal) & mask_) <= ((k - ideal) & mask_)) {
+      slots_[hole] = slots_[k];
+      hole = k;
+    }
+  }
+  slots_[hole] = Slot{};
+}
+
+void FlowTable::insert_id(StreamRecord* rec) {
+  std::size_t i = mix64(rec->id) & id_mask_;
+  while (id_slots_[i] != nullptr) i = (i + 1) & id_mask_;
+  id_slots_[i] = rec;
+}
+
+void FlowTable::grow_id_table() {
+  std::vector<StreamRecord*> old = std::move(id_slots_);
+  const std::size_t cap = (id_mask_ + 1) * 2;
+  id_slots_.assign(cap, nullptr);
+  id_mask_ = cap - 1;
+  for (StreamRecord* rec : old) {
+    if (rec != nullptr) insert_id(rec);
+  }
+}
+
+void FlowTable::erase_id(StreamId id) {
+  std::size_t i = mix64(id) & id_mask_;
+  while (id_slots_[i] != nullptr) {
+    if (id_slots_[i]->id == id) break;
+    i = (i + 1) & id_mask_;
+  }
+  if (id_slots_[i] == nullptr) return;  // not present
+  std::size_t hole = i;
+  std::size_t k = i;
+  while (true) {
+    k = (k + 1) & id_mask_;
+    if (id_slots_[k] == nullptr) break;
+    const std::size_t ideal = mix64(id_slots_[k]->id) & id_mask_;
+    if (((hole - ideal) & id_mask_) <= ((k - ideal) & id_mask_)) {
+      id_slots_[hole] = id_slots_[k];
+      hole = k;
+    }
+  }
+  id_slots_[hole] = nullptr;
+  --id_size_;
+}
+
+StreamRecord* FlowTable::by_id(StreamId id) {
+  if (id == kInvalidStreamId) return nullptr;
+  std::size_t i = mix64(id) & id_mask_;
+  while (id_slots_[i] != nullptr) {
+    if (id_slots_[i]->id == id) return id_slots_[i];
+    i = (i + 1) & id_mask_;
+  }
+  return nullptr;
 }
 
 void FlowTable::lru_unlink(StreamRecord& rec) {
@@ -34,35 +153,43 @@ void FlowTable::lru_push_front(StreamRecord& rec) {
   if (!lru_tail_) lru_tail_ = &rec;
 }
 
-StreamRecord* FlowTable::create(
-    const FiveTuple& tuple, Timestamp now,
-    const std::function<void(StreamRecord&)>& on_evict) {
-  if (max_records_ > 0 && by_tuple_.size() >= max_records_) {
+StreamRecord* FlowTable::create(const FiveTuple& tuple, Timestamp now,
+                                FunctionRef<void(StreamRecord&)> on_evict) {
+  if (max_records_ > 0 && size_ >= max_records_) {
     // Budget exhausted: evict the oldest stream so the new one can always
     // be tracked (paper §6.4).
     StreamRecord* victim = lru_tail_;
-    if (victim == nullptr) return nullptr;
+    if (victim == nullptr) return nullptr;  // max_records > 0 && empty: never
+    const StreamId victim_id = victim->id;
     if (on_evict) on_evict(*victim);
-    remove(*victim);
+    // The eviction hook may remove the victim itself (the kernel's hook
+    // terminates the stream, which does); only remove it if still tracked.
+    if (by_id(victim_id) == victim) remove(*victim);
     ++evicted_total_;
   }
-  auto rec = std::make_unique<StreamRecord>();
-  StreamRecord* raw = rec.get();
-  raw->id = next_id_++;
-  raw->tuple = tuple;
-  raw->created_at = now;
-  raw->last_access = now;
-  raw->last_flush = now;
-  by_tuple_.emplace(tuple, std::move(rec));
-  by_id_.emplace(raw->id, raw);
-  lru_push_front(*raw);
-  ++created_total_;
-  return raw;
-}
+  if (static_cast<double>(size_ + 1) >
+      kMaxLoad * static_cast<double>(mask_ + 1)) {
+    grow_tuple_table();
+  }
+  if (static_cast<double>(id_size_ + 1) >
+      kMaxLoad * static_cast<double>(id_mask_ + 1)) {
+    grow_id_table();
+  }
 
-StreamRecord* FlowTable::by_id(StreamId id) {
-  auto it = by_id_.find(id);
-  return it == by_id_.end() ? nullptr : it->second;
+  StreamRecord* rec = pool_->acquire();
+  rec->id = next_id_++;
+  rec->tuple = tuple;
+  rec->tuple_hash = hash_of(tuple);
+  rec->created_at = now;
+  rec->last_access = now;
+  rec->last_flush = now;
+  insert_slot(rec, rec->tuple_hash);
+  insert_id(rec);
+  ++id_size_;
+  ++size_;
+  lru_push_front(*rec);
+  ++created_total_;
+  return rec;
 }
 
 void FlowTable::touch(StreamRecord& rec, Timestamp now) {
@@ -74,18 +201,24 @@ void FlowTable::touch(StreamRecord& rec, Timestamp now) {
 
 void FlowTable::remove(StreamRecord& rec) {
   lru_unlink(rec);
-  by_id_.erase(rec.id);
+  erase_id(rec.id);
   // Unlink the opposite direction's back-pointer.
   if (rec.opposite != kInvalidStreamId) {
     if (StreamRecord* opp = by_id(rec.opposite)) {
       opp->opposite = kInvalidStreamId;
     }
   }
-  by_tuple_.erase(rec.tuple);  // destroys rec
+  // Locate this record's slot (not merely a record with an equal tuple:
+  // duplicates are possible, so compare the pointer).
+  std::size_t i = rec.tuple_hash & mask_;
+  while (slots_[i].rec != &rec) i = (i + 1) & mask_;
+  erase_tuple_slot(i);
+  --size_;
+  pool_->release(&rec);
 }
 
-void FlowTable::expire_idle(
-    Timestamp now, const std::function<void(StreamRecord&)>& on_expire) {
+void FlowTable::expire_idle(Timestamp now,
+                            FunctionRef<void(StreamRecord&)> on_expire) {
   while (lru_tail_ != nullptr) {
     StreamRecord* rec = lru_tail_;
     if (now - rec->last_access < rec->params.inactivity_timeout) break;

@@ -1,20 +1,33 @@
 // Flow table: directional stream records with LRU-ordered inactivity expiry
 // (paper §5.2).
 //
-// Lookups use a seeded hash (a random seed per table instance, so attackers
-// cannot precompute bucket collisions). The access list the paper describes
-// — active streams sorted by last access, newest first — is the intrusive
-// LRU here: packet arrival moves the record to the front; expiry walks from
-// the tail. When the record budget is exhausted, the policy from §6.4
-// applies: the oldest stream is evicted so that newer streams can always be
-// tracked (no static limit like Libnids/Stream5).
+// Layout (fast path, see DESIGN.md "Fast-path memory layout"): a single
+// flat, power-of-two, linear-probing hash table keyed by FiveTuple. Each
+// slot caches the key's 64-bit seeded hash next to the record pointer, so
+// probing touches one contiguous array and compares 8-byte hashes before
+// ever dereferencing a record. Deletion is tombstone-free: the probe window
+// is repaired by backward shifting, so load never degrades over time. A
+// second flat table indexes records by StreamId. The records themselves
+// live in a slab-backed RecordPool (record_pool.hpp) — pointers handed out
+// by find()/create() remain stable across table growth and are invalidated
+// only by remove()/eviction/expiry of that same record.
+//
+// Lookups use a seeded hash (per-table seed, plumbed from KernelConfig so
+// benches can randomize it; attackers cannot precompute bucket collisions —
+// the paper picks a random hash function at module-init time for the same
+// reason). The access list the paper describes — active streams sorted by
+// last access, newest first — is the intrusive LRU here: packet arrival
+// moves the record to the front; expiry walks from the tail. When the
+// record budget is exhausted, the policy from §6.4 applies: the oldest
+// stream is evicted so that newer streams can always be tracked (no static
+// limit like Libnids/Stream5).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "base/function_ref.hpp"
 #include "base/hash.hpp"
 #include "kernel/reassembly.hpp"
 #include "kernel/stream.hpp"
@@ -25,6 +38,7 @@ namespace scap::kernel {
 struct StreamRecord {
   StreamId id = kInvalidStreamId;
   FiveTuple tuple;
+  std::uint64_t tuple_hash = 0;  // seeded hash of `tuple`, cached at create
   Direction dir = Direction::kOrig;
   StreamId opposite = kInvalidStreamId;
   StreamStatus status = StreamStatus::kActive;
@@ -59,12 +73,25 @@ struct StreamRecord {
   StreamRecord* lru_next = nullptr;
 };
 
+/// Snapshot of RecordPool occupancy (mirrored into KernelStats).
+struct RecordPoolStats {
+  std::uint64_t capacity = 0;   // records across all slabs
+  std::uint64_t free = 0;       // records on the freelist
+  std::uint64_t slabs = 0;
+  std::uint64_t acquired_total = 0;
+  std::uint64_t recycled_total = 0;  // acquires served by a reused record
+};
+
+class RecordPool;
+
 class FlowTable {
  public:
+  static constexpr std::uint64_t kDefaultSeed = 0x5ca9'f10a'7ab1'e000ULL;
+
   /// `max_records`: record budget; 0 means unlimited. `seed` randomizes the
   /// hash (defaults to a fixed value for reproducible experiments).
   explicit FlowTable(std::size_t max_records = 0,
-                     std::uint64_t seed = 0x5ca9'f10a'7ab1'e000ULL);
+                     std::uint64_t seed = kDefaultSeed);
 
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
@@ -75,9 +102,13 @@ class FlowTable {
 
   /// Create a record for a tuple. If the budget is exhausted, the least
   /// recently used record is evicted first and handed to `on_evict`.
-  /// Returns nullptr only when max_records == capacity 0 edge cases.
+  /// Always returns a valid record: with max_records > 0 an eviction victim
+  /// necessarily exists once the budget is reached, and with max_records ==
+  /// 0 the table grows without bound. (Creating a tuple that is already
+  /// present inserts a second record for it; callers are expected to
+  /// find() first, as the kernel's lookup_or_create does.)
   StreamRecord* create(const FiveTuple& tuple, Timestamp now,
-                       const std::function<void(StreamRecord&)>& on_evict);
+                       FunctionRef<void(StreamRecord&)> on_evict);
 
   StreamRecord* by_id(StreamId id);
 
@@ -89,40 +120,72 @@ class FlowTable {
 
   /// Invoke `on_expire` for every record idle since before its own
   /// inactivity timeout, oldest first, and remove it afterwards.
-  void expire_idle(Timestamp now,
-                   const std::function<void(StreamRecord&)>& on_expire);
+  void expire_idle(Timestamp now, FunctionRef<void(StreamRecord&)> on_expire);
 
-  std::size_t size() const { return by_tuple_.size(); }
+  std::size_t size() const { return size_; }
   std::uint64_t created_total() const { return created_total_; }
   std::uint64_t evicted_total() const { return evicted_total_; }
 
   /// Oldest record (tail of the access list), or nullptr.
   StreamRecord* oldest() { return lru_tail_; }
 
+  /// Seeded hash of a tuple — the value cached in slots and records.
+  std::uint64_t hash_of(const FiveTuple& t) const {
+    // Field-wise hashing: hashing the struct's raw bytes would include
+    // indeterminate padding.
+    std::uint64_t h = mix64(seed_ ^ t.src_ip);
+    h = mix64(h ^ t.dst_ip);
+    h = mix64(h ^ (static_cast<std::uint64_t>(t.src_port) << 32) ^
+              (static_cast<std::uint64_t>(t.dst_port) << 16) ^ t.protocol);
+    return h;
+  }
+
+  /// Prefetch the probe window for a tuple hash (batched ingest runs this
+  /// a couple of packets ahead of the lookup).
+  void prefetch(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[hash & mask_]);
+#else
+    (void)hash;
+#endif
+  }
+
+  RecordPoolStats pool_stats() const;
+
  private:
-  struct TupleHash {
-    std::uint64_t seed;
-    std::size_t operator()(const FiveTuple& t) const {
-      // Field-wise hashing: hashing the struct's raw bytes would include
-      // indeterminate padding.
-      std::uint64_t h = mix64(seed ^ t.src_ip);
-      h = mix64(h ^ t.dst_ip);
-      h = mix64(h ^ (static_cast<std::uint64_t>(t.src_port) << 32) ^
-                (static_cast<std::uint64_t>(t.dst_port) << 16) ^ t.protocol);
-      return h;
-    }
+  struct Slot {
+    StreamRecord* rec = nullptr;  // nullptr = empty
+    std::uint64_t hash = 0;
   };
 
   void lru_unlink(StreamRecord& rec);
   void lru_push_front(StreamRecord& rec);
 
+  void insert_slot(StreamRecord* rec, std::uint64_t hash);
+  void erase_tuple_slot(std::size_t i);
+  void grow_tuple_table();
+  void insert_id(StreamRecord* rec);
+  void erase_id(StreamId id);
+  void grow_id_table();
+
   std::size_t max_records_;
+  std::uint64_t seed_;
   StreamId next_id_ = 1;
   std::uint64_t created_total_ = 0;
   std::uint64_t evicted_total_ = 0;
-  std::unordered_map<FiveTuple, std::unique_ptr<StreamRecord>, TupleHash>
-      by_tuple_;
-  std::unordered_map<StreamId, StreamRecord*> by_id_;
+  std::size_t size_ = 0;
+
+  // Tuple-keyed open-addressing table (linear probe, backward-shift erase).
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+
+  // StreamId-keyed open-addressing side index. Records are keyed by their
+  // own `id` field; empty = nullptr.
+  std::vector<StreamRecord*> id_slots_;
+  std::size_t id_mask_ = 0;
+  std::size_t id_size_ = 0;
+
+  std::unique_ptr<RecordPool> pool_;
   StreamRecord* lru_head_ = nullptr;
   StreamRecord* lru_tail_ = nullptr;
 };

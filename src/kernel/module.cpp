@@ -8,7 +8,7 @@ ScapKernel::ScapKernel(KernelConfig config, nic::Nic* nic)
     : config_(std::move(config)),
       nic_(nic),
       allocator_(config_.memory_size),
-      table_(config_.max_streams),
+      table_(config_.max_streams, config_.flow_hash_seed),
       ppl_(config_.ppl),
       queues_(static_cast<std::size_t>(std::max(config_.num_cores, 1))),
       core_streams_(queues_.size(), 0),
@@ -275,7 +275,14 @@ StreamRecord* ScapKernel::lookup_or_create(const Packet& pkt, Timestamp now,
   }
 
   resolve_params(*rec);
-  rec->reasm = std::make_unique<TcpReassembler>(rec->params, config_.need_pkts);
+  // Pool-recycled records arrive with their previous reassembler attached;
+  // reset it in place instead of paying a heap round trip.
+  if (rec->reasm) {
+    rec->reasm->reset(rec->params, config_.need_pkts);
+  } else {
+    rec->reasm =
+        std::make_unique<TcpReassembler>(rec->params, config_.need_pkts);
+  }
   if (rec->params.flush_timeout > Duration(0)) flush_watch_.insert(rec->id);
 
   maybe_rebalance(*rec, now);
@@ -414,13 +421,43 @@ void ScapKernel::handle_payload(StreamRecord& rec, const Packet& pkt,
 
 PacketOutcome ScapKernel::handle_packet(const Packet& pkt, Timestamp now,
                                         int core) {
-  PacketOutcome outcome;
-  ++stats_.pkts_seen;
-  stats_.bytes_seen += pkt.wire_len();
-
   if (now - last_maintenance_ >= config_.expiry_interval) {
     run_maintenance(now);
   }
+  return handle_one(pkt, now, core);
+}
+
+PacketOutcome ScapKernel::handle_batch(std::span<const Packet> pkts,
+                                       Timestamp now, int core,
+                                       std::span<PacketOutcome> outcomes) {
+  // One maintenance-timer check per batch instead of per packet.
+  if (now - last_maintenance_ >= config_.expiry_interval) {
+    run_maintenance(now);
+  }
+  PacketOutcome total;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    // Pull the probe window for the lookup two packets ahead into cache
+    // while this packet is processed.
+    if (i + 2 < pkts.size() && pkts[i + 2].valid()) {
+      table_.prefetch(table_.hash_of(pkts[i + 2].tuple()));
+    }
+    const PacketOutcome out = handle_one(pkts[i], pkts[i].timestamp(), core);
+    if (!outcomes.empty()) outcomes[i] = out;
+    total.verdict = out.verdict;
+    total.stored_bytes += out.stored_bytes;
+    total.events += out.events;
+    total.created_stream = total.created_stream || out.created_stream;
+    total.terminated_stream = total.terminated_stream || out.terminated_stream;
+    total.fdir_updates += out.fdir_updates;
+  }
+  return total;
+}
+
+PacketOutcome ScapKernel::handle_one(const Packet& pkt, Timestamp now,
+                                     int core) {
+  PacketOutcome outcome;
+  ++stats_.pkts_seen;
+  stats_.bytes_seen += pkt.wire_len();
 
   if (!pkt.valid()) {
     ++stats_.pkts_invalid;

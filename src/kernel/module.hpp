@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -63,6 +64,12 @@ struct KernelConfig {
 
   /// Flow-record budget; 0 = unlimited (grow until host memory).
   std::size_t max_streams = 0;
+
+  /// Seed for the flow table's tuple hash. The default is fixed for
+  /// reproducible experiments; randomize it (the paper picks a random hash
+  /// at module-init time, §5.2) to defeat precomputed-collision attacks or
+  /// to probe hash-collision resistance in benches.
+  std::uint64_t flow_hash_seed = 0x5ca9'f10a'7ab1'e000ULL;
 
   /// How often the idle-stream / filter-timeout scan runs.
   Duration expiry_interval = Duration::from_sec(1);
@@ -142,6 +149,12 @@ struct KernelStats {
   std::uint64_t fdir_reinstalls = 0;
   std::uint64_t fdir_removals = 0;
   std::uint64_t streams_rebalanced = 0;
+
+  // Record-pool occupancy (filled on read from the flow table's slab pool).
+  std::uint64_t pool_capacity = 0;   // records across all slabs
+  std::uint64_t pool_free = 0;       // records on the freelist
+  std::uint64_t pool_slabs = 0;
+  std::uint64_t pool_recycled = 0;   // creates served by a recycled record
 };
 
 class ScapKernel {
@@ -150,6 +163,18 @@ class ScapKernel {
 
   /// Process one packet in softirq context on `core`.
   PacketOutcome handle_packet(const Packet& pkt, Timestamp now, int core = 0);
+
+  /// Batched ingest: process `pkts` on `core`, amortizing the maintenance
+  /// check (run once, at `now`) and prefetching each packet's flow-table
+  /// probe window two packets ahead of its lookup. Each packet is processed
+  /// at its own timestamp. When `outcomes` is non-empty it receives the
+  /// per-packet outcome (outcomes.size() >= pkts.size()); the return value
+  /// aggregates the batch (verdict = last packet's, counters summed).
+  /// handle_batch({&pkt, 1}, now, core) is behaviourally identical to
+  /// handle_packet(pkt, now, core) when now == pkt.timestamp().
+  PacketOutcome handle_batch(std::span<const Packet> pkts, Timestamp now,
+                             int core = 0,
+                             std::span<PacketOutcome> outcomes = {});
 
   /// Run the periodic maintenance pass (inactivity expiry, FDIR timeout
   /// service, flush timeouts). Called automatically from handle_packet every
@@ -179,7 +204,16 @@ class ScapKernel {
   /// to the stream; returns false if the stream no longer exists.
   bool keep_stream_chunk(StreamId id, Chunk&& chunk, std::uint32_t alloc);
 
-  const KernelStats& stats() const { return stats_; }
+  const KernelStats& stats() const {
+    // Pool occupancy is owned by the flow table; mirror it on read so the
+    // hot path never maintains these counters.
+    const RecordPoolStats pool = table_.pool_stats();
+    stats_.pool_capacity = pool.capacity;
+    stats_.pool_free = pool.free;
+    stats_.pool_slabs = pool.slabs;
+    stats_.pool_recycled = pool.recycled_total;
+    return stats_;
+  }
   const KernelConfig& config() const { return config_; }
   ChunkAllocator& allocator() { return allocator_; }
   FlowTable& table() { return table_; }
@@ -187,6 +221,10 @@ class ScapKernel {
   const IpDefragmenter& defragmenter() const { return defrag_; }
 
  private:
+  /// handle_packet minus the maintenance-timer check (the batch path runs
+  /// that once per batch).
+  PacketOutcome handle_one(const Packet& pkt, Timestamp now, int core);
+
   StreamRecord* lookup_or_create(const Packet& pkt, Timestamp now, int core,
                                  PacketOutcome& outcome);
   void resolve_params(StreamRecord& rec);
@@ -219,7 +257,8 @@ class ScapKernel {
   FlowTable table_;
   Ppl ppl_;
   std::vector<EventQueue> queues_;
-  KernelStats stats_;
+  // mutable: stats() mirrors pool occupancy into the struct on read.
+  mutable KernelStats stats_;
   Timestamp last_maintenance_;
   std::unordered_set<StreamId> flush_watch_;  // streams with flush timeouts
   std::vector<std::int64_t> core_streams_;    // active streams per core

@@ -13,6 +13,22 @@ ChunkBuilder::ChunkBuilder(std::uint32_t chunk_size, std::uint32_t overlap_size,
       overlap_size_(overlap_size),
       record_packets_(record_packets) {}
 
+void ChunkBuilder::reset(std::uint32_t chunk_size, std::uint32_t overlap_size,
+                         bool record_packets) {
+  chunk_size_ = chunk_size ? chunk_size : 1;
+  overlap_size_ = overlap_size;
+  record_packets_ = record_packets;
+  // clear() keeps the vectors' capacity — the point of recycling.
+  current_.data.clear();
+  current_.packets.clear();
+  current_.stream_offset = 0;
+  current_.overlap_len = 0;
+  current_.errors = 0;
+  current_started_ = false;
+  pending_errors_ = 0;
+  retained_.reset();
+}
+
 Chunk ChunkBuilder::take_current() {
   Chunk out = std::move(current_);
   out.errors |= pending_errors_;
@@ -115,6 +131,18 @@ TcpReassembler::TcpReassembler(const StreamParams& params, bool record_packets,
       policy_(params.policy),
       max_ooo_bytes_(max_ooo_bytes),
       builder_(params.chunk_size, params.overlap_size, record_packets) {}
+
+void TcpReassembler::reset(const StreamParams& params, bool record_packets,
+                           std::uint64_t max_ooo_bytes) {
+  mode_ = params.mode;
+  policy_ = params.policy;
+  max_ooo_bytes_ = max_ooo_bytes;
+  builder_.reset(params.chunk_size, params.overlap_size, record_packets);
+  ooo_.clear();
+  have_base_ = false;
+  base_raw_ = 0;
+  next_off_ = 0;
+}
 
 void TcpReassembler::on_syn(std::uint32_t isn) {
   if (have_base_) return;  // retransmitted SYN

@@ -53,6 +53,11 @@ class ChunkBuilder {
   ChunkBuilder(std::uint32_t chunk_size, std::uint32_t overlap_size,
                bool record_packets);
 
+  /// Reconfigure for a fresh stream, dropping all buffered state but
+  /// keeping the current chunk's grown capacity (record-pool recycling).
+  void reset(std::uint32_t chunk_size, std::uint32_t overlap_size,
+             bool record_packets);
+
   /// Append delivered bytes; returns any chunks that filled up.
   std::vector<Chunk> append(std::span<const std::uint8_t> data,
                             const SegmentMeta& meta, std::uint64_t stream_off);
@@ -94,6 +99,12 @@ class TcpReassembler {
  public:
   TcpReassembler(const StreamParams& params, bool record_packets,
                  std::uint64_t max_ooo_bytes = 256 * 1024);
+
+  /// Reinitialize for a fresh stream (record-pool recycling): equivalent to
+  /// destroying and reconstructing, but reuses grown internal buffers so
+  /// steady-state stream churn allocates nothing.
+  void reset(const StreamParams& params, bool record_packets,
+             std::uint64_t max_ooo_bytes = 256 * 1024);
 
   struct Result {
     std::vector<Chunk> completed;

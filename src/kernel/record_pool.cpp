@@ -1,0 +1,48 @@
+#include "kernel/record_pool.hpp"
+
+namespace scap::kernel {
+
+RecordPool::RecordPool(std::size_t slab_records)
+    : slab_records_(slab_records ? slab_records : 1) {
+  grow();
+}
+
+void RecordPool::grow() {
+  auto slab = std::make_unique<StreamRecord[]>(slab_records_);
+  // Reserve for the full pool so release() never reallocates the freelist,
+  // even if every record comes back at once.
+  free_.reserve((slabs_.size() + 1) * slab_records_);
+  // Hand out low addresses first (freelist is popped from the back).
+  for (std::size_t i = slab_records_; i-- > 0;) {
+    free_.push_back(&slab[i]);
+  }
+  slabs_.push_back(std::move(slab));
+}
+
+StreamRecord* RecordPool::acquire() {
+  if (free_.empty()) grow();
+  StreamRecord* rec = free_.back();
+  free_.pop_back();
+  ++acquired_total_;
+  if (rec->reasm) ++recycled_total_;
+  // Reset every field to its default, but keep the recycled reassembler
+  // (with its grown internal buffers) for the caller to reset() and reuse.
+  std::unique_ptr<TcpReassembler> reasm = std::move(rec->reasm);
+  *rec = StreamRecord{};
+  rec->reasm = std::move(reasm);
+  return rec;
+}
+
+void RecordPool::release(StreamRecord* rec) { free_.push_back(rec); }
+
+RecordPoolStats RecordPool::stats() const {
+  RecordPoolStats s;
+  s.capacity = slabs_.size() * slab_records_;
+  s.free = free_.size();
+  s.slabs = slabs_.size();
+  s.acquired_total = acquired_total_;
+  s.recycled_total = recycled_total_;
+  return s;
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,56 @@
+// Slab allocator for StreamRecords (fast-path memory layout, DESIGN.md).
+//
+// Stream create/terminate is the second-hottest kernel operation after flow
+// lookup; allocating each StreamRecord (plus its TcpReassembler) with
+// operator new puts a malloc/free pair on that path and scatters records
+// across the heap. The pool carves records out of fixed-size slabs and
+// recycles them through a freelist, so steady-state stream churn performs
+// zero heap allocations: a released record — including its reassembler and
+// that reassembler's grown buffers — is handed back to the next create.
+//
+// Pointer stability: slabs are never freed while the pool lives, so a
+// StreamRecord* stays valid from acquire() until release() regardless of
+// how many records are created in between (the flow table relies on this
+// across rehashes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kernel/flow_table.hpp"
+
+namespace scap::kernel {
+
+class RecordPool {
+ public:
+  /// `slab_records`: records per slab (one slab is allocated up front).
+  explicit RecordPool(std::size_t slab_records = 1024);
+
+  RecordPool(const RecordPool&) = delete;
+  RecordPool& operator=(const RecordPool&) = delete;
+
+  /// Take a record. All fields are value-initialized except `reasm`, which
+  /// keeps the recycled record's reassembler instance (if any) so the
+  /// caller can reset() it instead of reallocating. Allocates a new slab
+  /// only when the freelist is empty.
+  StreamRecord* acquire();
+
+  /// Return a record to the freelist. The record's reassembler is kept
+  /// alive for recycling; everything else becomes garbage.
+  void release(StreamRecord* rec);
+
+  RecordPoolStats stats() const;
+
+ private:
+  void grow();
+
+  std::size_t slab_records_;
+  std::vector<std::unique_ptr<StreamRecord[]>> slabs_;
+  std::vector<StreamRecord*> free_;
+  std::uint64_t acquired_total_ = 0;
+  std::uint64_t recycled_total_ = 0;
+};
+
+}  // namespace scap::kernel

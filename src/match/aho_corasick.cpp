@@ -107,7 +107,7 @@ void AhoCorasick::build(const std::vector<std::string>& patterns) {
 
 std::uint64_t AhoCorasick::scan_stream(std::uint32_t& state,
                                        std::span<const std::uint8_t> data,
-                                       const MatchFn& on_match) const {
+                                       MatchFn on_match) const {
   if (nodes_ == 0) return 0;
   std::uint64_t matches = 0;
   std::uint32_t s = state;
@@ -125,7 +125,7 @@ std::uint64_t AhoCorasick::scan_stream(std::uint32_t& state,
 }
 
 std::uint64_t AhoCorasick::scan(std::span<const std::uint8_t> data,
-                                const MatchFn& on_match) const {
+                                MatchFn on_match) const {
   std::uint32_t state = root_state();
   return scan_stream(state, data, on_match);
 }

@@ -8,17 +8,19 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "base/function_ref.hpp"
 
 namespace scap::match {
 
 class AhoCorasick {
  public:
   /// Called on each match: (pattern index, end offset in the scanned data).
-  using MatchFn = std::function<void(std::size_t, std::size_t)>;
+  /// Non-owning: the callable only needs to outlive the scan call.
+  using MatchFn = FunctionRef<void(std::size_t, std::size_t)>;
 
   AhoCorasick() = default;
   explicit AhoCorasick(const std::vector<std::string>& patterns) {
@@ -30,13 +32,13 @@ class AhoCorasick {
 
   /// Scan a buffer from the root state; returns total matches.
   std::uint64_t scan(std::span<const std::uint8_t> data,
-                     const MatchFn& on_match = nullptr) const;
+                     MatchFn on_match = nullptr) const;
 
   /// Streaming scan: `state` carries the automaton position across calls
   /// (initialize to root_state()). Returns matches in this piece.
   std::uint64_t scan_stream(std::uint32_t& state,
                             std::span<const std::uint8_t> data,
-                            const MatchFn& on_match = nullptr) const;
+                            MatchFn on_match = nullptr) const;
 
   static constexpr std::uint32_t root_state() { return 0; }
   std::size_t pattern_count() const { return pattern_lengths_.size(); }

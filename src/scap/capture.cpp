@@ -264,13 +264,66 @@ kernel::PacketOutcome Capture::inject(const Packet& pkt) {
   return out;
 }
 
+kernel::PacketOutcome Capture::inject_batch(std::span<const Packet> pkts) {
+  if (!started_) throw std::logic_error("scap: capture not started");
+  kernel::PacketOutcome total;
+  if (pkts.empty()) return total;
+  last_ts_ = pkts.back().timestamp();
+  // The NIC receives every packet, in order, before the kernel runs; the
+  // RSS/FDIR verdict buckets each packet to its queue so the kernel sees one
+  // contiguous batch per core.
+  if (batch_buckets_.size() < static_cast<std::size_t>(config_.num_cores)) {
+    batch_buckets_.resize(static_cast<std::size_t>(config_.num_cores));
+  }
+  for (const Packet& pkt : pkts) {
+    const nic::RxResult rx = nic_->receive(pkt);
+    if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
+    batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
+  }
+  auto accumulate = [&total](const kernel::PacketOutcome& out) {
+    total.verdict = out.verdict;
+    total.stored_bytes += out.stored_bytes;
+    total.events += out.events;
+    total.created_stream = total.created_stream || out.created_stream;
+    total.terminated_stream = total.terminated_stream || out.terminated_stream;
+    total.fdir_updates += out.fdir_updates;
+  };
+  for (std::size_t q = 0; q < batch_buckets_.size(); ++q) {
+    auto& bucket = batch_buckets_[q];
+    if (bucket.empty()) continue;
+    const int core = static_cast<int>(q);
+    if (worker_threads_ > 0) {
+      {
+        std::scoped_lock lock(kernel_mutex_);
+        accumulate(
+            kernel_->handle_batch(bucket, bucket.front().timestamp(), core));
+      }
+      wake_worker(core);
+    } else {
+      accumulate(
+          kernel_->handle_batch(bucket, bucket.front().timestamp(), core));
+      drain_core_inline(core);
+    }
+    bucket.clear();
+  }
+  return total;
+}
+
 std::uint64_t Capture::replay_pcap(const std::string& path) {
+  constexpr std::size_t kBatch = 32;
   PcapReader reader(path);
   std::uint64_t n = 0;
+  std::vector<Packet> batch;
+  batch.reserve(kBatch);
   while (auto pkt = reader.next()) {
-    inject(*pkt);
+    batch.push_back(std::move(*pkt));
     ++n;
+    if (batch.size() == kBatch) {
+      inject_batch(batch);
+      batch.clear();
+    }
   }
+  if (!batch.empty()) inject_batch(batch);
   return n;
 }
 

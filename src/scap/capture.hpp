@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -159,7 +160,16 @@ class Capture {
   /// kernel outcome for instrumentation.
   kernel::PacketOutcome inject(const Packet& pkt);
 
-  /// Replay a pcap file through the capture. Returns packets injected.
+  /// Feed a batch of packets: each is received by the NIC in order, then the
+  /// kernel processes them per RSS queue through handle_batch (amortized
+  /// maintenance check + flow-lookup prefetch). Event callbacks run after
+  /// the whole batch in inline mode; FDIR filters installed while processing
+  /// a batch take effect from the next batch. Returns the aggregate outcome
+  /// (counters summed, verdict = last packet's).
+  kernel::PacketOutcome inject_batch(std::span<const Packet> pkts);
+
+  /// Replay a pcap file through the capture in inject_batch-sized batches.
+  /// Returns packets injected.
   std::uint64_t replay_pcap(const std::string& path);
 
   /// Dispatch pending events on the calling thread (inline mode only; in
@@ -198,6 +208,7 @@ class Capture {
 
   std::unique_ptr<nic::Nic> nic_;
   std::unique_ptr<kernel::ScapKernel> kernel_;
+  std::vector<std::vector<Packet>> batch_buckets_;  // per-queue RSS buckets
 
   // Threaded mode machinery.
   std::mutex kernel_mutex_;

@@ -1,0 +1,165 @@
+// Differential test: the open-addressing FlowTable vs a trivially-correct
+// reference model (std::unordered_map + std::list LRU) driven through a long
+// randomized interleaving of create/find/touch/remove/expire. Asserts
+// identical contents, identical LRU order, identical eviction victims, and
+// record-pointer stability across table growth.
+
+#include "kernel/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace scap::kernel {
+namespace {
+
+constexpr int kTuplePool = 512;
+constexpr int kOps = 120000;
+constexpr std::int64_t kStepNs = 1'000'000;  // 1ms of virtual time per op
+
+FiveTuple tuple_at(int i) {
+  return {0x0a000000u + static_cast<std::uint32_t>(i / 256), 0x0a00ffffu,
+          static_cast<std::uint16_t>(10000 + i), 80, kProtoTcp};
+}
+
+struct RefEntry {
+  StreamId id = kInvalidStreamId;
+  Timestamp last_access;
+};
+
+/// Reference LRU flow table: map keyed by tuple-pool index, list front =
+/// most recently used.
+struct RefModel {
+  std::unordered_map<int, RefEntry> entries;
+  std::list<int> lru;
+
+  void to_front(int key) {
+    lru.remove(key);
+    lru.push_front(key);
+  }
+  void create(int key, StreamId id, Timestamp now) {
+    entries[key] = {id, now};
+    lru.push_front(key);
+  }
+  void remove(int key) {
+    entries.erase(key);
+    lru.remove(key);
+  }
+};
+
+void run_differential(std::size_t max_records) {
+  FlowTable table(max_records);
+  RefModel ref;
+  std::mt19937 rng(0x5ca9u + static_cast<std::uint32_t>(max_records));
+  std::uniform_int_distribution<int> key_dist(0, kTuplePool - 1);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  // Pointer recorded at creation; must stay valid for the record's lifetime
+  // even while the table's slot arrays grow.
+  std::unordered_map<StreamId, const StreamRecord*> created_at;
+
+  const Duration timeout = StreamParams{}.inactivity_timeout;
+  std::int64_t t_ns = 0;
+
+  for (int op = 0; op < kOps; ++op) {
+    t_ns += kStepNs;
+    const Timestamp now(t_ns);
+    const int key = key_dist(rng);
+    const int what = op_dist(rng);
+
+    if (what < 40) {  // create (if this tuple isn't tracked yet)
+      if (ref.entries.contains(key)) continue;
+      int expected_victim = -1;
+      if (max_records > 0 && ref.entries.size() >= max_records) {
+        expected_victim = ref.lru.back();
+      }
+      int evicted = -1;
+      StreamRecord* rec =
+          table.create(tuple_at(key), now, [&](StreamRecord& victim) {
+            evicted = static_cast<int>(victim.tuple.src_port) - 10000;
+          });
+      ASSERT_NE(rec, nullptr);
+      ASSERT_EQ(evicted, expected_victim) << "eviction victim diverged";
+      if (expected_victim >= 0) ref.remove(expected_victim);
+      ref.create(key, rec->id, now);
+      created_at[rec->id] = rec;
+    } else if (what < 65) {  // find
+      StreamRecord* rec = table.find(tuple_at(key));
+      auto it = ref.entries.find(key);
+      if (it == ref.entries.end()) {
+        ASSERT_EQ(rec, nullptr);
+      } else {
+        ASSERT_NE(rec, nullptr);
+        ASSERT_EQ(rec->id, it->second.id);
+        ASSERT_EQ(rec, created_at[it->second.id]) << "record pointer moved";
+        ASSERT_EQ(table.by_id(it->second.id), rec);
+      }
+    } else if (what < 85) {  // touch
+      auto it = ref.entries.find(key);
+      if (it == ref.entries.end()) continue;
+      StreamRecord* rec = table.find(tuple_at(key));
+      ASSERT_NE(rec, nullptr);
+      table.touch(*rec, now);
+      it->second.last_access = now;
+      ref.to_front(key);
+    } else if (what < 95) {  // remove
+      auto it = ref.entries.find(key);
+      if (it == ref.entries.end()) continue;
+      StreamRecord* rec = table.find(tuple_at(key));
+      ASSERT_NE(rec, nullptr);
+      created_at.erase(rec->id);
+      table.remove(*rec);
+      ref.remove(key);
+      ASSERT_EQ(table.find(tuple_at(key)), nullptr);
+    } else {  // expiry sweep after an idle gap
+      t_ns += 2 * timeout.ns();
+      const Timestamp later(t_ns);
+      std::vector<int> expired;
+      table.expire_idle(later, [&](StreamRecord& rec) {
+        expired.push_back(static_cast<int>(rec.tuple.src_port) - 10000);
+        created_at.erase(rec.id);
+      });
+      // Everything is now idle past the uniform default timeout: the sweep
+      // must deliver every entry, oldest first.
+      std::vector<int> expected(ref.lru.rbegin(), ref.lru.rend());
+      ASSERT_EQ(expired, expected) << "expiry order diverged";
+      ref.entries.clear();
+      ref.lru.clear();
+    }
+
+    ASSERT_EQ(table.size(), ref.entries.size());
+  }
+
+  // Final full-structure comparison: contents and exact LRU order (walk the
+  // intrusive list oldest -> newest via lru_prev).
+  ASSERT_EQ(table.size(), ref.entries.size());
+  std::vector<int> table_order;
+  for (const StreamRecord* rec = table.oldest(); rec != nullptr;
+       rec = rec->lru_prev) {
+    table_order.push_back(static_cast<int>(rec->tuple.src_port) - 10000);
+  }
+  const std::vector<int> ref_order(ref.lru.rbegin(), ref.lru.rend());
+  EXPECT_EQ(table_order, ref_order);
+  for (const auto& [key, entry] : ref.entries) {
+    StreamRecord* rec = table.find(tuple_at(key));
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->id, entry.id);
+    EXPECT_EQ(rec->last_access, entry.last_access);
+  }
+}
+
+TEST(FlowTableDiff, UnboundedMatchesReferenceModel) {
+  run_differential(/*max_records=*/0);
+}
+
+TEST(FlowTableDiff, BudgetedEvictionMatchesReferenceModel) {
+  // Budget far below the tuple pool so create constantly evicts.
+  run_differential(/*max_records=*/100);
+}
+
+}  // namespace
+}  // namespace scap::kernel

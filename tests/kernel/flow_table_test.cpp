@@ -55,6 +55,41 @@ TEST(FlowTable, EvictsOldestWhenBudgetExhausted) {
   EXPECT_EQ(table.evicted_total(), 1u);
 }
 
+TEST(FlowTable, BudgetExhaustionAlwaysYieldsARecord) {
+  // Contract: with max_records > 0 and the budget exhausted, create always
+  // succeeds by evicting the LRU victim — it never returns nullptr.
+  constexpr std::size_t kBudget = 4;
+  FlowTable table(kBudget);
+  for (std::uint16_t i = 1; i <= 2 * kBudget; ++i) {
+    int evictions = 0;
+    auto* rec = table.create(tuple(i), Timestamp(i),
+                             [&](StreamRecord&) { ++evictions; });
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(evictions, i > kBudget ? 1 : 0);
+    EXPECT_LE(table.size(), kBudget);
+    // Interleave touches so eviction order differs from creation order.
+    if (auto* keep = table.find(tuple(1))) table.touch(*keep, Timestamp(i));
+  }
+  EXPECT_EQ(table.size(), kBudget);
+  EXPECT_EQ(table.evicted_total(), kBudget);
+  // tuple(1) was touched on every round and must have survived throughout.
+  EXPECT_NE(table.find(tuple(1)), nullptr);
+}
+
+TEST(FlowTable, RecordPointersStableAcrossGrowth) {
+  FlowTable table;  // unbounded: starts at minimum capacity and regrows
+  std::vector<StreamRecord*> recs;
+  for (std::uint16_t i = 0; i < 5000; ++i) {
+    FiveTuple t{static_cast<std::uint32_t>(i), 3, i, 443, kProtoTcp};
+    recs.push_back(table.create(t, Timestamp(i), nullptr));
+  }
+  for (std::uint16_t i = 0; i < 5000; ++i) {
+    FiveTuple t{static_cast<std::uint32_t>(i), 3, i, 443, kProtoTcp};
+    EXPECT_EQ(table.find(t), recs[i]);     // same slab-allocated record
+    EXPECT_EQ(table.by_id(recs[i]->id), recs[i]);
+  }
+}
+
 TEST(FlowTable, ExpireIdleRespectsPerStreamTimeout) {
   FlowTable table;
   auto* a = table.create(tuple(1), Timestamp(0), nullptr);
