@@ -1,0 +1,192 @@
+#include "faultinject/adversary.hpp"
+
+#include <algorithm>
+
+#include "packet/checksum.hpp"
+#include "packet/craft.hpp"
+
+namespace scap::faultinject {
+
+namespace {
+
+/// Rewrite the IPv4 header checksum in a full Ethernet frame in place.
+void fix_ip_checksum(std::vector<std::uint8_t>& frame) {
+  if (frame.size() < kEthHeaderLen + 20) return;
+  frame[kEthHeaderLen + 10] = 0;
+  frame[kEthHeaderLen + 11] = 0;
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(frame).subspan(kEthHeaderLen, 20));
+  frame[kEthHeaderLen + 10] = static_cast<std::uint8_t>(csum >> 8);
+  frame[kEthHeaderLen + 11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+}  // namespace
+
+AdversaryGen::AdversaryGen(const AdversaryConfig& config)
+    : config_(config), rng_(config.seed) {
+  sessions_.resize(std::max<std::size_t>(config_.sessions, 1));
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    Session& s = sessions_[i];
+    s.tuple.src_ip = 0x0a000000 + static_cast<std::uint32_t>(i + 1);
+    s.tuple.dst_ip = 0x0a800001;
+    s.tuple.src_port = static_cast<std::uint16_t>(20000 + i);
+    s.tuple.dst_port = 80;
+    s.tuple.protocol = kProtoTcp;
+    s.seq = static_cast<std::uint32_t>(rng_.next_u32());
+  }
+}
+
+Packet AdversaryGen::next() {
+  const Timestamp ts =
+      config_.start + Duration(config_.spacing.ns() *
+                               static_cast<std::int64_t>(emitted_));
+  ++emitted_;
+
+  const AdversaryMix& m = config_.mix;
+  const double total =
+      m.session + m.garbage + m.mutated + m.syn_flood + m.frag_flood;
+  double pick = rng_.uniform() * (total > 0 ? total : 1.0);
+  if ((pick -= m.session) < 0) return make_session_packet(ts);
+  if ((pick -= m.garbage) < 0) return make_garbage(ts);
+  if ((pick -= m.mutated) < 0) return make_mutated(ts);
+  if ((pick -= m.syn_flood) < 0) return make_syn_flood(ts);
+  return make_frag_flood(ts);
+}
+
+std::vector<Packet> AdversaryGen::generate() {
+  std::vector<Packet> out;
+  out.reserve(config_.packets);
+  for (std::uint64_t i = 0; i < config_.packets; ++i) out.push_back(next());
+  return out;
+}
+
+Packet AdversaryGen::make_session_packet(Timestamp ts) {
+  Session& s = sessions_[rng_.bounded(sessions_.size())];
+  TcpSegmentSpec spec;
+  spec.tuple = s.tuple;
+  if (!s.open) {
+    spec.seq = s.seq;
+    spec.flags = kTcpSyn;
+    s.seq += 1;  // SYN consumes one sequence number
+    s.open = true;
+    return make_tcp_packet(spec, ts);
+  }
+  // Occasionally close and let the session restart with fresh numbers.
+  if (rng_.chance(0.02)) {
+    spec.seq = s.seq;
+    spec.flags = kTcpFin | kTcpAck;
+    s.open = false;
+    s.seq = static_cast<std::uint32_t>(rng_.next_u32());
+    return make_tcp_packet(spec, ts);
+  }
+  std::vector<std::uint8_t> payload(config_.payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+  spec.seq = s.seq;
+  spec.flags = kTcpAck | kTcpPsh;
+  spec.payload = payload;
+  s.seq += static_cast<std::uint32_t>(payload.size());
+  return make_tcp_packet(spec, ts);
+}
+
+Packet AdversaryGen::make_garbage(Timestamp ts) {
+  // Anything from an empty runt to an oversized blob of random bytes. The
+  // decoder must classify it, never crash on it.
+  const std::size_t len = rng_.bounded(96) < 90 ? rng_.bounded(128)
+                                                : 1400 + rng_.bounded(600);
+  std::vector<std::uint8_t> frame(len);
+  for (auto& b : frame) b = static_cast<std::uint8_t>(rng_.next_u64());
+  return Packet::from_bytes(frame, ts);
+}
+
+Packet AdversaryGen::make_mutated(Timestamp ts) {
+  // Start from a frame that would decode cleanly, then break one thing.
+  TcpSegmentSpec spec;
+  spec.tuple = sessions_[rng_.bounded(sessions_.size())].tuple;
+  spec.seq = static_cast<std::uint32_t>(rng_.next_u32());
+  spec.flags = kTcpAck;
+  std::vector<std::uint8_t> payload(32 + rng_.bounded(200));
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+  spec.payload = payload;
+  std::vector<std::uint8_t> frame = build_tcp_frame(spec);
+
+  switch (rng_.bounded(8)) {
+    case 0:  // truncate mid-header
+      frame.resize(rng_.bounded(kEthHeaderLen + 40));
+      break;
+    case 1:  // bad IP version
+      frame[kEthHeaderLen] =
+          static_cast<std::uint8_t>((rng_.bounded(15) << 4) | 5);
+      fix_ip_checksum(frame);
+      break;
+    case 2:  // absurd IHL (claims options that are not there)
+      frame[kEthHeaderLen] = 0x4f;
+      fix_ip_checksum(frame);
+      break;
+    case 3: {  // absurd total_len (far past the frame, or inside the header)
+      const std::uint16_t bogus = rng_.chance(0.5)
+                                      ? static_cast<std::uint16_t>(0xffff)
+                                      : static_cast<std::uint16_t>(
+                                            rng_.bounded(20));
+      frame[kEthHeaderLen + 2] = static_cast<std::uint8_t>(bogus >> 8);
+      frame[kEthHeaderLen + 3] = static_cast<std::uint8_t>(bogus & 0xff);
+      fix_ip_checksum(frame);
+      break;
+    }
+    case 4:  // absurd TCP data offset
+      frame[kEthHeaderLen + 20 + 12] =
+          static_cast<std::uint8_t>(rng_.bounded(16) << 4);
+      break;
+    case 5:  // corrupt the IP checksum
+      frame[kEthHeaderLen + 10] ^= 0xff;
+      break;
+    case 6:  // corrupt the TCP checksum
+      frame[kEthHeaderLen + 20 + 16] ^= 0xff;
+      break;
+    default:  // flip a random byte anywhere in the frame
+      frame[rng_.bounded(frame.size())] ^=
+          static_cast<std::uint8_t>(1 + rng_.bounded(255));
+      break;
+  }
+  return Packet::from_bytes(frame, ts);
+}
+
+Packet AdversaryGen::make_syn_flood(Timestamp ts) {
+  // A brand-new spoofed tuple every packet: maximum flow-table churn.
+  flood_ip_ += 1 + static_cast<std::uint32_t>(rng_.bounded(7));
+  TcpSegmentSpec spec;
+  spec.tuple.src_ip = flood_ip_;
+  spec.tuple.dst_ip = 0x0a800001;
+  spec.tuple.src_port = static_cast<std::uint16_t>(1024 + rng_.bounded(60000));
+  spec.tuple.dst_port = 80;
+  spec.tuple.protocol = kProtoTcp;
+  spec.seq = static_cast<std::uint32_t>(rng_.next_u32());
+  spec.flags = kTcpSyn;
+  return make_tcp_packet(spec, ts);
+}
+
+Packet AdversaryGen::make_frag_flood(Timestamp ts) {
+  // A non-first fragment whose head never arrives: each one parks bytes in
+  // the defragmenter until its datagram times out.
+  const std::size_t payload_len = 64 + rng_.bounded(512);
+  std::vector<std::uint8_t> frame(kEthHeaderLen + 20 + payload_len);
+  for (auto& b : frame) b = static_cast<std::uint8_t>(rng_.next_u64());
+  EthHeader eth{};
+  eth.ether_type = kEtherTypeIpv4;
+  write_eth(frame, eth);
+  Ipv4Header ip{};
+  ip.version = 4;
+  ip.ihl = 5;
+  ip.total_len = static_cast<std::uint16_t>(20 + payload_len);
+  ip.id = static_cast<std::uint16_t>(rng_.next_u32());
+  // Offset 8..16KB in 8-byte units, MF set: the datagram can never complete.
+  ip.frag_off = static_cast<std::uint16_t>(0x2000 | (1 + rng_.bounded(2048)));
+  ip.ttl = 64;
+  ip.protocol = kProtoUdp;
+  ip.src_ip = 0x0b000001 + static_cast<std::uint32_t>(rng_.bounded(64));
+  ip.dst_ip = 0x0a800001;
+  write_ipv4(std::span<std::uint8_t>(frame).subspan(kEthHeaderLen), ip);
+  fix_ip_checksum(frame);
+  return Packet::from_bytes(frame, ts);
+}
+
+}  // namespace scap::faultinject

@@ -1,0 +1,83 @@
+// Adversarial traffic synthesis for the chaos harness (DESIGN.md §8).
+//
+// Produces a seeded, replayable packet schedule mixing cooperative TCP
+// sessions with the hostile inputs a capture box on a real network sees:
+//
+//   - random garbage frames (nothing decodes)
+//   - structured header mutations of well-formed frames: truncation,
+//     IP version/IHL/total_len corruption, TCP data-offset corruption,
+//     flipped checksum bytes, absurd length fields
+//   - SYN floods from rotating spoofed sources (flow-table pressure)
+//   - IPv4 fragment floods that never complete (defrag memory pressure)
+//
+// Every decision comes from one Rng seeded by AdversaryConfig::seed, so the
+// same config replays byte-identically — the property chaos_run's
+// --check-reproducible gate and the fuzz suites build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/clock.hpp"
+#include "base/rng.hpp"
+#include "packet/packet.hpp"
+
+namespace scap::faultinject {
+
+/// Relative mix weights; they need not sum to anything in particular.
+struct AdversaryMix {
+  double session = 6.0;     // next packet of a well-formed TCP session
+  double garbage = 1.0;     // uniformly random bytes
+  double mutated = 1.0;     // structured mutation of a well-formed frame
+  double syn_flood = 1.0;   // spoofed SYN, new tuple every packet
+  double frag_flood = 1.0;  // orphan IPv4 fragment, never completes
+};
+
+struct AdversaryConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t packets = 10000;
+  AdversaryMix mix;
+  /// Concurrent well-formed sessions rotated round-robin-by-chance.
+  std::size_t sessions = 32;
+  /// Payload bytes per data segment of well-formed sessions.
+  std::size_t payload_bytes = 512;
+  /// Virtual-time spacing between consecutive packets.
+  Duration spacing = Duration::from_usec(2);
+  Timestamp start = Timestamp(0);
+};
+
+/// Seeded adversarial packet stream. generate() is a pure function of the
+/// config: two generators with equal configs yield identical packets.
+class AdversaryGen {
+ public:
+  explicit AdversaryGen(const AdversaryConfig& config);
+
+  /// Produce the next packet of the schedule.
+  Packet next();
+
+  /// Produce the whole schedule (config.packets packets).
+  std::vector<Packet> generate();
+
+  const AdversaryConfig& config() const { return config_; }
+
+ private:
+  struct Session {
+    FiveTuple tuple;
+    std::uint32_t seq = 0;
+    bool open = false;
+  };
+
+  Packet make_session_packet(Timestamp ts);
+  Packet make_garbage(Timestamp ts);
+  Packet make_mutated(Timestamp ts);
+  Packet make_syn_flood(Timestamp ts);
+  Packet make_frag_flood(Timestamp ts);
+
+  AdversaryConfig config_;
+  Rng rng_;
+  std::vector<Session> sessions_;
+  std::uint64_t emitted_ = 0;
+  std::uint32_t flood_ip_ = 0xc0a80000;  // rotating spoofed source
+};
+
+}  // namespace scap::faultinject

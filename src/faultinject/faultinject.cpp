@@ -1,0 +1,62 @@
+#include "faultinject/faultinject.hpp"
+
+namespace scap::faultinject {
+
+namespace {
+FaultInjector* g_installed = nullptr;
+}  // namespace
+
+const char* to_string(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kRecordPoolAcquire: return "record_pool_acquire";
+    case FaultPoint::kChunkAlloc: return "chunk_alloc";
+    case FaultPoint::kSegmentStoreInsert: return "segment_store_insert";
+    case FaultPoint::kFdirAdd: return "fdir_add";
+    case FaultPoint::kCount: break;
+  }
+  return "unknown";
+}
+
+InjectionPlan InjectionPlan::uniform(std::uint64_t seed, double probability) {
+  InjectionPlan plan;
+  plan.seed = seed;
+  for (auto& p : plan.points) p.probability = probability;
+  return plan;
+}
+
+FaultInjector::FaultInjector(const InjectionPlan& plan) : plan_(plan) {
+  for (std::size_t i = 0; i < kNumFaultPoints; ++i) {
+    // Per-point stream: decisions depend only on (seed, point, ordinal),
+    // never on how calls to different points interleave.
+    state_[i].rng.reseed(plan_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+  }
+}
+
+bool FaultInjector::roll(FaultPoint p) {
+  PointState& st = state_[static_cast<std::size_t>(p)];
+  const InjectionPlan::Point& cfg = plan_.at(p);
+  ++st.calls;
+  bool fail = false;
+  if (cfg.every_n != 0 && st.calls % cfg.every_n == 0) fail = true;
+  // Always draw when a probability is configured so the decision for call k
+  // does not depend on every_n hits before it.
+  if (cfg.probability > 0.0 && st.rng.chance(cfg.probability)) fail = true;
+  if (fail) ++st.injected;
+  return fail;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto& st : state_) total += st.injected;
+  return total;
+}
+
+FaultInjector* installed() { return g_installed; }
+
+FaultScope::FaultScope(FaultInjector& injector) : previous_(g_installed) {
+  g_installed = &injector;
+}
+
+FaultScope::~FaultScope() { g_installed = previous_; }
+
+}  // namespace scap::faultinject

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the Scap datapath (DESIGN.md §8).
+//
+// The datapath's graceful-degradation promise — under overload and attack,
+// shed the least-valuable bytes instead of crashing — is only as good as
+// its failure paths, and failure paths are exactly the code normal traffic
+// never exercises. This subsystem lets tests and the chaos harness
+// (tools/chaos_run) fail chosen allocation/insertion sites on a seeded,
+// replayable schedule:
+//
+//   kRecordPoolAcquire  — StreamRecord slab allocation (flow_table/create)
+//   kChunkAlloc         — chunk-buffer block reservation (kernel/memory)
+//   kSegmentStoreInsert — out-of-order/fragment buffering (reassembly, defrag)
+//   kFdirAdd            — NIC filter-table installation (nic/fdir)
+//
+// Sites consult `should_fail(point)`; with no injector installed that is a
+// single predictable-branch null check, so production paths pay nothing.
+// Installation is process-global (mirroring the kernel's failslab/fail_page
+// alloc fault injection) and scoped via RAII: single-threaded deterministic
+// harnesses install a FaultScope, run, and read back per-point counters.
+// Decisions are drawn from a per-point splitmix/xoshiro stream seeded from
+// plan.seed ^ point, so the schedule depends only on (seed, per-point call
+// ordinal) — identical runs make identical decisions, and one point's
+// traffic does not perturb another's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/rng.hpp"
+
+namespace scap::faultinject {
+
+enum class FaultPoint : std::uint8_t {
+  kRecordPoolAcquire = 0,
+  kChunkAlloc,
+  kSegmentStoreInsert,
+  kFdirAdd,
+  kCount,
+};
+
+constexpr std::size_t kNumFaultPoints =
+    static_cast<std::size_t>(FaultPoint::kCount);
+
+const char* to_string(FaultPoint p);
+
+/// Seeded, replayable schedule of injected failures.
+struct InjectionPlan {
+  struct Point {
+    /// Independent per-call failure probability (0 disables).
+    double probability = 0.0;
+    /// Fail every Nth call to the point, 1-based (0 disables). Combines
+    /// with `probability` by OR.
+    std::uint64_t every_n = 0;
+  };
+
+  std::uint64_t seed = 1;
+  std::array<Point, kNumFaultPoints> points{};
+
+  Point& at(FaultPoint p) { return points[static_cast<std::size_t>(p)]; }
+  const Point& at(FaultPoint p) const {
+    return points[static_cast<std::size_t>(p)];
+  }
+
+  /// Convenience: the same probability at every point.
+  static InjectionPlan uniform(std::uint64_t seed, double probability);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const InjectionPlan& plan);
+
+  /// Decide whether the `calls()`-th invocation of `p` fails. Deterministic
+  /// in (plan.seed, point, per-point call ordinal).
+  bool roll(FaultPoint p);
+
+  std::uint64_t calls(FaultPoint p) const {
+    return state_[static_cast<std::size_t>(p)].calls;
+  }
+  std::uint64_t injected(FaultPoint p) const {
+    return state_[static_cast<std::size_t>(p)].injected;
+  }
+  std::uint64_t injected_total() const;
+
+  const InjectionPlan& plan() const { return plan_; }
+
+ private:
+  struct PointState {
+    Rng rng;
+    std::uint64_t calls = 0;
+    std::uint64_t injected = 0;
+  };
+
+  InjectionPlan plan_;
+  std::array<PointState, kNumFaultPoints> state_;
+};
+
+/// The process-global injector consulted by instrumented sites; nullptr
+/// (the default) means every site succeeds.
+FaultInjector* installed();
+
+/// Hook called by instrumented allocation/insertion sites.
+inline bool should_fail(FaultPoint p) {
+  FaultInjector* inj = installed();
+  return inj != nullptr && inj->roll(p);
+}
+
+/// RAII installation. Nested scopes restore the previous injector, so a
+/// test can tighten the plan for one phase and fall back afterwards.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace scap::faultinject

@@ -18,8 +18,15 @@ std::optional<Packet> IpDefragmenter::try_complete(const Key& key,
   auto run = dg.store.pop_contiguous(0);
   if (!run.has_value()) return std::nullopt;
   if (run->size() < *dg.total_len) {
-    // Contiguous prefix but the tail is still missing: put it back.
-    dg.store.insert(0, *run, config_.policy);
+    // Contiguous prefix but the tail is still missing: put it back. If the
+    // re-insert hits an injected allocation failure the prefix is lost like
+    // any other dropped fragment; fix the byte accounting to match.
+    auto back = dg.store.insert(0, *run, config_.policy);
+    if (back.failed) {
+      buffered_bytes_ -=
+          std::min<std::uint64_t>(buffered_bytes_, run->size());
+      ++stats_.fragments_dropped_alloc;
+    }
     return std::nullopt;
   }
   run->resize(*dg.total_len);  // clip any overshoot from overlapping tails
@@ -88,6 +95,12 @@ std::optional<Packet> IpDefragmenter::feed(const Packet& pkt, Timestamp now) {
   const std::uint64_t before = dg.store.buffered_bytes();
   auto ins = dg.store.insert(frag_off, data, config_.policy);
   buffered_bytes_ += dg.store.buffered_bytes() - before;
+  if (ins.failed) {
+    // Allocation failed: this fragment is dropped; whatever the datagram
+    // already buffered stays pending and may still complete or expire.
+    ++stats_.fragments_dropped_alloc;
+    return std::nullopt;
+  }
   if (ins.conflict) ++stats_.overlap_conflicts;
 
   auto done = try_complete(key, dg, now);

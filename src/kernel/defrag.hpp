@@ -28,6 +28,7 @@ struct DefragStats {
   std::uint64_t datagrams_completed = 0;
   std::uint64_t datagrams_expired = 0;
   std::uint64_t fragments_dropped_overload = 0;
+  std::uint64_t fragments_dropped_alloc = 0;  // buffer allocation failed
   std::uint64_t overlap_conflicts = 0;
 };
 

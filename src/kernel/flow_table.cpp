@@ -177,6 +177,9 @@ StreamRecord* FlowTable::create(const FiveTuple& tuple, Timestamp now,
   }
 
   StreamRecord* rec = pool_->acquire();
+  // Record allocation failed (fault injection): the stream cannot be
+  // tracked. The table is unchanged — only (possibly) grown above.
+  if (rec == nullptr) return nullptr;
   rec->id = next_id_++;
   rec->tuple = tuple;
   rec->tuple_hash = hash_of(tuple);

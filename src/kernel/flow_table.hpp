@@ -80,6 +80,7 @@ struct RecordPoolStats {
   std::uint64_t slabs = 0;
   std::uint64_t acquired_total = 0;
   std::uint64_t recycled_total = 0;  // acquires served by a reused record
+  std::uint64_t acquire_failures = 0;  // injected allocation failures
 };
 
 class RecordPool;

@@ -1,8 +1,16 @@
 #include "kernel/memory.hpp"
 
+#include "faultinject/faultinject.hpp"
+
 namespace scap::kernel {
 
 std::optional<std::uint64_t> ChunkAllocator::allocate(std::uint32_t size) {
+  // Injected failure: indistinguishable from exhaustion to the caller, and
+  // counted through the same failures() statistic.
+  if (faultinject::should_fail(faultinject::FaultPoint::kChunkAlloc)) {
+    ++failures_;
+    return std::nullopt;
+  }
   if (used_ + size > capacity_) {
     ++failures_;
     return std::nullopt;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "packet/craft.hpp"
+
 namespace scap::kernel {
 
 ScapKernel::ScapKernel(KernelConfig config, nic::Nic* nic)
@@ -32,13 +34,25 @@ void ScapKernel::maybe_rebalance(StreamRecord& rec, Timestamp now) {
     if (core_streams_[i] < core_streams_[target]) target = i;
   }
   if (target == core) return;
+  std::uint64_t installed_ids[2] = {0, 0};
+  int installed = 0;
   for (const FiveTuple& tuple : {rec.tuple, rec.tuple.reversed()}) {
     nic::FdirFilter f;
     f.tuple = tuple;
     f.action = nic::FdirAction::kToQueue;
     f.queue = static_cast<int>(target);
     f.expires = now + rec.params.inactivity_timeout;
-    nic_->fdir().add(f);
+    const std::uint64_t id = nic_->fdir().add(f);
+    if (id == 0) {
+      // Steering filter rejected: abort the rebalance and undo the filters
+      // installed so far, leaving the stream on its RSS core.
+      ++stats_.fdir_install_failures;
+      for (int i = 0; i < installed; ++i) {
+        if (nic_->fdir().remove(installed_ids[i])) ++stats_.fdir_removals;
+      }
+      return;
+    }
+    installed_ids[installed++] = id;
     ++stats_.fdir_installs;
   }
   rec.core = static_cast<int>(target);
@@ -184,12 +198,19 @@ void ScapKernel::install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
     rec.fdir_timeout = config_.fdir_base_timeout;
     ++stats_.fdir_installs;
   }
+  bool any_installed = false;
   for (const auto& f :
        nic::make_cutoff_filters(rec.tuple, now + rec.fdir_timeout)) {
-    nic_->fdir().add(f);
+    if (nic_->fdir().add(f) == 0) {
+      // Hardware rejected the filter: enforcement stays in software (the
+      // kernel-level cutoff still discards), and a later packet retries.
+      ++stats_.fdir_install_failures;
+      continue;
+    }
+    any_installed = true;
     ++outcome.fdir_updates;
   }
-  rec.fdir_installed = true;
+  rec.fdir_installed = any_installed;
 }
 
 void ScapKernel::trigger_cutoff(StreamRecord& rec, Timestamp now,
@@ -256,7 +277,14 @@ StreamRecord* ScapKernel::lookup_or_create(const Packet& pkt, Timestamp now,
     terminate(victim, StreamStatus::kClosedTimeout, now, nullptr);
     ++stats_.streams_evicted;
   });
-  if (rec == nullptr) return nullptr;
+  if (rec == nullptr) {
+    // Record allocation failed (fault injection): the packet is dropped
+    // with its own counter, not mistaken for an uninteresting control
+    // packet.
+    ++stats_.pkts_norec_dropped;
+    outcome.verdict = Verdict::kNoRecordDrop;
+    return nullptr;
+  }
 
   rec->core = core;
   rec->stats.first_packet = now;
@@ -385,6 +413,18 @@ void ScapKernel::handle_payload(StreamRecord& rec, const Packet& pkt,
                    : rec.reasm->on_datagram(payload, meta);
 
   rec.error_bits |= result.errors;
+  if (result.alloc_failed) {
+    // Out-of-order buffering failed to allocate: the segment is dropped
+    // with its own counter; the stream survives (flagged kErrBufferOverflow
+    // by the reassembler).
+    rec.stats.dropped_pkts++;
+    rec.stats.dropped_bytes += pkt.wire_payload_len();
+    stats_.reasm_alloc_failures++;
+    stats_.pkts_nomem_dropped++;
+    stats_.bytes_nomem_dropped += pkt.wire_payload_len();
+    outcome.verdict = Verdict::kNoMemDrop;
+    return;
+  }
   rec.stats.captured_bytes += result.accepted_bytes;
   rec.stats.discarded_bytes += result.dup_bytes;
   if (result.accepted_bytes > 0) {
@@ -461,7 +501,13 @@ PacketOutcome ScapKernel::handle_one(const Packet& pkt, Timestamp now,
 
   if (!pkt.valid()) {
     ++stats_.pkts_invalid;
+    ++stats_.parse_errors[static_cast<std::size_t>(pkt.decode_error())];
     outcome.verdict = Verdict::kInvalid;
+    return outcome;
+  }
+  if (config_.verify_checksums && !verify_checksums(pkt.frame())) {
+    ++stats_.pkts_bad_checksum;
+    outcome.verdict = Verdict::kChecksumDrop;
     return outcome;
   }
   // IPv4 defragmentation before stream processing (§2.3).
@@ -477,6 +523,8 @@ PacketOutcome ScapKernel::handle_one(const Packet& pkt, Timestamp now,
     effective = &reassembled_frag;
     if (!effective->valid()) {
       ++stats_.pkts_invalid;
+      ++stats_.parse_errors[static_cast<std::size_t>(
+          effective->decode_error())];
       outcome.verdict = Verdict::kInvalid;
       return outcome;
     }
@@ -500,11 +548,10 @@ PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
     return outcome;
   }
 
+  // A nullptr keeps whatever verdict lookup_or_create set (kNoRecordDrop on
+  // allocation failure, the default kIgnored for FIN/RST of unknown flows).
   StreamRecord* rec = lookup_or_create(pkt, now, core, outcome);
-  if (rec == nullptr) {
-    outcome.verdict = Verdict::kIgnored;
-    return outcome;
-  }
+  if (rec == nullptr) return outcome;
   table_.touch(*rec, now);
   rec->stats.last_packet = now;
 
@@ -588,6 +635,10 @@ PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
 
 void ScapKernel::run_maintenance(Timestamp now) {
   last_maintenance_ = now;
+
+  // Feed the adaptive overload controller one pressure sample per
+  // maintenance tick: deterministic cadence, off the per-packet path.
+  ppl_.observe(allocator_.used_fraction());
 
   if (config_.defragment_ip) defrag_.expire(now);
 

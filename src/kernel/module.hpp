@@ -74,6 +74,11 @@ struct KernelConfig {
   /// How often the idle-stream / filter-timeout scan runs.
   Duration expiry_interval = Duration::from_sec(1);
 
+  /// Drop packets whose IP/transport checksums fail verification (counted
+  /// as pkts_bad_checksum). Off by default: trace replays and snapped
+  /// captures legitimately carry unverifiable checksums.
+  bool verify_checksums = false;
+
   /// Socket-level BPF filter (scap_set_filter); empty matches everything.
   BpfProgram filter;
 
@@ -114,6 +119,8 @@ enum class Verdict : std::uint8_t {
   kDupDiscard,      // entirely duplicate segment
   kPplDrop,         // prioritized packet loss
   kNoMemDrop,       // chunk buffer exhausted
+  kNoRecordDrop,    // stream-record allocation failed
+  kChecksumDrop,    // checksum verification failed (verify_checksums)
 };
 
 struct PacketOutcome {
@@ -141,6 +148,10 @@ struct KernelStats {
   std::uint64_t bytes_ppl_dropped = 0;
   std::uint64_t pkts_nomem_dropped = 0;
   std::uint64_t bytes_nomem_dropped = 0;
+  std::uint64_t pkts_norec_dropped = 0;   // stream-record allocation failed
+  std::uint64_t pkts_bad_checksum = 0;    // failed checksum verification
+  std::uint64_t reasm_alloc_failures = 0; // segments lost to failed buffering
+  std::uint64_t fdir_install_failures = 0;  // NIC rejected a filter install
   std::uint64_t streams_created = 0;
   std::uint64_t streams_terminated = 0;
   std::uint64_t streams_evicted = 0;
@@ -150,11 +161,23 @@ struct KernelStats {
   std::uint64_t fdir_removals = 0;
   std::uint64_t streams_rebalanced = 0;
 
+  // Per-reason decode failures (parse-error taxonomy, DESIGN.md §8),
+  // indexed by DecodeError. Sums to pkts_invalid.
+  std::uint64_t parse_errors[kNumDecodeErrors] = {};
+
   // Record-pool occupancy (filled on read from the flow table's slab pool).
   std::uint64_t pool_capacity = 0;   // records across all slabs
   std::uint64_t pool_free = 0;       // records on the freelist
   std::uint64_t pool_slabs = 0;
   std::uint64_t pool_recycled = 0;   // creates served by a recycled record
+
+  // Adaptive overload controller (mirrored on read from Ppl).
+  std::int64_t ppl_effective_cutoff = -1;  // -1 = no cutoff active
+  std::uint64_t ppl_overload_active = 0;   // 0/1: inside the overload state
+  std::uint64_t ppl_overload_entries = 0;
+  std::uint64_t ppl_overload_exits = 0;
+  std::uint64_t ppl_tightenings = 0;
+  std::uint64_t ppl_relaxations = 0;
 };
 
 class ScapKernel {
@@ -206,17 +229,26 @@ class ScapKernel {
 
   const KernelStats& stats() const {
     // Pool occupancy is owned by the flow table; mirror it on read so the
-    // hot path never maintains these counters.
+    // hot path never maintains these counters. Same for the adaptive
+    // controller, whose state lives in Ppl.
     const RecordPoolStats pool = table_.pool_stats();
     stats_.pool_capacity = pool.capacity;
     stats_.pool_free = pool.free;
     stats_.pool_slabs = pool.slabs;
     stats_.pool_recycled = pool.recycled_total;
+    const PplControllerState& ctl = ppl_.controller();
+    stats_.ppl_effective_cutoff = ppl_.effective_cutoff();
+    stats_.ppl_overload_active = ctl.overload ? 1 : 0;
+    stats_.ppl_overload_entries = ctl.overload_entries;
+    stats_.ppl_overload_exits = ctl.overload_exits;
+    stats_.ppl_tightenings = ctl.tightenings;
+    stats_.ppl_relaxations = ctl.relaxations;
     return stats_;
   }
   const KernelConfig& config() const { return config_; }
   ChunkAllocator& allocator() { return allocator_; }
   FlowTable& table() { return table_; }
+  const Ppl& ppl() const { return ppl_; }
   nic::Nic* nic() { return nic_; }
   const IpDefragmenter& defragmenter() const { return defrag_; }
 

@@ -23,11 +23,61 @@ PplVerdict Ppl::admit(double used_fraction, int priority,
                                     : config_.base_threshold;
   if (used_fraction <= lower) return PplVerdict::kAdmit;
   // In this priority's overload band (watermark_{i-1}, watermark_i]:
-  if (config_.overload_cutoff >= 0 &&
-      stream_offset >= static_cast<std::uint64_t>(config_.overload_cutoff)) {
+  const std::int64_t cutoff = effective_cutoff();
+  if (cutoff >= 0 && stream_offset >= static_cast<std::uint64_t>(cutoff)) {
     return PplVerdict::kDropOverload;
   }
   return PplVerdict::kAdmit;
+}
+
+void Ppl::observe(double used_fraction) {
+  if (!config_.adaptive) return;
+  if (used_fraction < 0) used_fraction = 0;
+  if (used_fraction > 1) used_fraction = 1;
+  state_.pressure_ewma +=
+      config_.ewma_alpha * (used_fraction - state_.pressure_ewma);
+
+  if (!state_.overload) {
+    if (state_.pressure_ewma >= config_.enter_fraction) {
+      state_.overload = true;
+      state_.effective_cutoff = config_.start_cutoff;
+      ++state_.overload_entries;
+    }
+    return;
+  }
+
+  if (state_.pressure_ewma >= config_.enter_fraction) {
+    // Sustained pressure: tighten multiplicatively down to the floor.
+    const auto next = static_cast<std::int64_t>(
+        static_cast<double>(state_.effective_cutoff) * config_.tighten_factor);
+    const std::int64_t clamped = next < config_.min_cutoff
+                                     ? config_.min_cutoff
+                                     : next;
+    if (clamped < state_.effective_cutoff) {
+      state_.effective_cutoff = clamped;
+      ++state_.tightenings;
+    }
+    return;
+  }
+
+  if (state_.pressure_ewma <= config_.exit_fraction) {
+    // Pressure receded: relax stepwise; once the cutoff would pass its
+    // starting point, leave overload entirely.
+    const auto next = static_cast<std::int64_t>(
+        static_cast<double>(state_.effective_cutoff) * config_.relax_factor);
+    if (next > config_.start_cutoff) {
+      state_.overload = false;
+      state_.effective_cutoff = -1;
+      ++state_.overload_exits;
+    } else {
+      state_.effective_cutoff = next;
+      ++state_.relaxations;
+    }
+    return;
+  }
+
+  // Hold band (exit_fraction, enter_fraction): freeze the cutoff. This is
+  // the hysteresis that keeps the controller from flapping.
 }
 
 }  // namespace scap::kernel

@@ -14,6 +14,24 @@
 // TCP control packets (SYN/FIN/RST) are always admitted: they carry no
 // payload, and the kernel needs them for stream lifecycle tracking
 // (paper §6.5.1).
+//
+// Adaptive overload control (DESIGN.md §8). The paper uses a static
+// overload_cutoff; a fixed value either over-drops at light load or
+// under-protects at heavy load, and reacting to the instantaneous occupancy
+// oscillates (Braun et al.). When `adaptive` is on, the controller tracks an
+// EWMA of memory pressure and drives the *effective* cutoff through a
+// hysteresis state machine:
+//   - EWMA >= enter_fraction: overload. The cutoff engages at start_cutoff
+//     and tightens multiplicatively (tighten_factor, floored at min_cutoff)
+//     while pressure stays at or above the enter threshold.
+//   - EWMA <= exit_fraction: the cutoff relaxes multiplicatively
+//     (relax_factor); once it would exceed start_cutoff the controller
+//     leaves overload and the static overload_cutoff applies again.
+//   - In between (the hold band) the cutoff is frozen — the hysteresis that
+//     prevents enter/exit flapping around a single threshold.
+// Only the in-band cutoff value ever changes; the watermark ladder is
+// untouched, so the paper's invariant — a higher-priority packet is never
+// dropped while a lower watermark is uncrossed — holds under adaptation.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +42,27 @@ struct PplConfig {
   double base_threshold = 0.5;      // fraction of memory free of any drops
   int priority_levels = 1;          // n
   std::int64_t overload_cutoff = -1;  // bytes; -1 disables
+
+  // --- adaptive overload control ------------------------------------------
+  bool adaptive = false;         // enable the EWMA + hysteresis controller
+  double ewma_alpha = 0.3;       // weight of the newest pressure sample
+  double enter_fraction = 0.85;  // EWMA at/above this: overload, tighten
+  double exit_fraction = 0.70;   // EWMA at/below this: relax toward exit
+  std::int64_t start_cutoff = 256 * 1024;  // cutoff applied on entry, bytes
+  std::int64_t min_cutoff = 4 * 1024;      // tightening floor, bytes
+  double tighten_factor = 0.5;   // cutoff multiplier per overloaded sample
+  double relax_factor = 2.0;     // cutoff multiplier per relaxed sample
+};
+
+/// Observable state of the adaptive controller (mirrored into KernelStats).
+struct PplControllerState {
+  double pressure_ewma = 0.0;
+  bool overload = false;               // inside the hysteresis overload state
+  std::int64_t effective_cutoff = -1;  // cutoff applied while overloaded
+  std::uint64_t overload_entries = 0;
+  std::uint64_t overload_exits = 0;
+  std::uint64_t tightenings = 0;
+  std::uint64_t relaxations = 0;
 };
 
 enum class PplVerdict : std::uint8_t {
@@ -44,20 +83,47 @@ class Ppl {
   PplVerdict admit(double used_fraction, int priority,
                    std::uint64_t stream_offset) const;
 
+  /// Feed one memory-pressure sample to the adaptive controller (no-op when
+  /// `adaptive` is off). Called from the kernel's periodic maintenance pass,
+  /// so the cadence is the deterministic expiry interval, not packet rate.
+  void observe(double used_fraction);
+
+  /// The overload cutoff admit() currently applies: the adapted value while
+  /// the controller is in overload, the static configuration otherwise
+  /// (-1 = no cutoff).
+  std::int64_t effective_cutoff() const {
+    return config_.adaptive && state_.overload ? state_.effective_cutoff
+                                               : config_.overload_cutoff;
+  }
+
   /// Watermark for a 0-based priority level, as a memory fraction.
   double watermark(int priority) const;
 
   const PplConfig& config() const { return config_; }
+  const PplControllerState& controller() const { return state_; }
 
  private:
   static PplConfig sanitize(PplConfig c) {
     if (c.priority_levels < 1) c.priority_levels = 1;
     if (c.base_threshold < 0) c.base_threshold = 0;
     if (c.base_threshold > 1) c.base_threshold = 1;
+    if (c.ewma_alpha <= 0) c.ewma_alpha = 0.3;
+    if (c.ewma_alpha > 1) c.ewma_alpha = 1;
+    if (c.enter_fraction < 0) c.enter_fraction = 0;
+    if (c.enter_fraction > 1) c.enter_fraction = 1;
+    if (c.exit_fraction < 0) c.exit_fraction = 0;
+    if (c.exit_fraction > c.enter_fraction) c.exit_fraction = c.enter_fraction;
+    if (c.min_cutoff < 1) c.min_cutoff = 1;
+    if (c.start_cutoff < c.min_cutoff) c.start_cutoff = c.min_cutoff;
+    if (!(c.tighten_factor > 0) || c.tighten_factor >= 1) {
+      c.tighten_factor = 0.5;
+    }
+    if (c.relax_factor <= 1) c.relax_factor = 2.0;
     return c;
   }
 
   PplConfig config_;
+  PplControllerState state_;
 };
 
 }  // namespace scap::kernel

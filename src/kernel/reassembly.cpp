@@ -258,6 +258,15 @@ TcpReassembler::Result TcpReassembler::on_data(
     return result;
   }
   auto ins = ooo_.insert(uoff, data, policy_);
+  if (ins.failed) {
+    // Buffer allocation failed: the segment is lost, leaving a hole the
+    // stream's consumer learns about through the overflow flag. The store
+    // itself is untouched, so already-buffered data stays deliverable.
+    result.alloc_failed = true;
+    result.errors |= kErrBufferOverflow;
+    builder_.flag_error(kErrBufferOverflow);
+    return result;
+  }
   result.accepted_bytes += ins.new_bytes;
   result.dup_bytes += ins.dup_bytes;
   if (ins.conflict) {

@@ -111,6 +111,7 @@ class TcpReassembler {
     std::uint64_t accepted_bytes = 0;  // written to a chunk or buffered
     std::uint64_t dup_bytes = 0;       // duplicate / overlap-losing bytes
     std::uint32_t errors = 0;          // error bits raised by this segment
+    bool alloc_failed = false;         // segment lost to a failed allocation
   };
 
   /// Record the SYN's ISN: stream data starts at ISN+1.

@@ -1,5 +1,7 @@
 #include "kernel/record_pool.hpp"
 
+#include "faultinject/faultinject.hpp"
+
 namespace scap::kernel {
 
 RecordPool::RecordPool(std::size_t slab_records)
@@ -20,6 +22,12 @@ void RecordPool::grow() {
 }
 
 StreamRecord* RecordPool::acquire() {
+  // Injected slab-allocation failure (models a failed kmalloc of a new
+  // slab): callers must treat nullptr as "stream cannot be tracked".
+  if (faultinject::should_fail(faultinject::FaultPoint::kRecordPoolAcquire)) {
+    ++acquire_failures_;
+    return nullptr;
+  }
   if (free_.empty()) grow();
   StreamRecord* rec = free_.back();
   free_.pop_back();
@@ -42,6 +50,7 @@ RecordPoolStats RecordPool::stats() const {
   s.slabs = slabs_.size();
   s.acquired_total = acquired_total_;
   s.recycled_total = recycled_total_;
+  s.acquire_failures = acquire_failures_;
   return s;
 }
 

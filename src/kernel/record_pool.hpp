@@ -51,6 +51,7 @@ class RecordPool {
   std::vector<StreamRecord*> free_;
   std::uint64_t acquired_total_ = 0;
   std::uint64_t recycled_total_ = 0;
+  std::uint64_t acquire_failures_ = 0;  // injected allocation failures
 };
 
 }  // namespace scap::kernel

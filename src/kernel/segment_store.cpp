@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "faultinject/faultinject.hpp"
+
 namespace scap::kernel {
 namespace {
 
@@ -35,6 +37,12 @@ SegmentStore::InsertResult SegmentStore::insert(
     OverlapPolicy policy) {
   InsertResult result;
   if (data.empty()) return result;
+  // Injected buffer-allocation failure: report it before touching the store
+  // so a failed insert never leaves partial state behind.
+  if (faultinject::should_fail(faultinject::FaultPoint::kSegmentStoreInsert)) {
+    result.failed = true;
+    return result;
+  }
   const std::uint64_t end = off + data.size();
 
   // Collect every existing segment overlapping [off, end).

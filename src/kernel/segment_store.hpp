@@ -26,6 +26,7 @@ class SegmentStore {
     std::uint64_t new_bytes = 0;   // bytes added to the store
     std::uint64_t dup_bytes = 0;   // bytes discarded as duplicates/losers
     bool conflict = false;         // an overlapped byte disagreed
+    bool failed = false;           // allocation failed; nothing was stored
   };
 
   /// Insert `data` at stream offset `off`, resolving overlaps per `policy`.

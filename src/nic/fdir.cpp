@@ -2,6 +2,7 @@
 
 #include "base/bytes.hpp"
 #include "base/hash.hpp"
+#include "faultinject/faultinject.hpp"
 
 namespace scap::nic {
 
@@ -18,10 +19,19 @@ std::uint64_t FdirTable::tuple_key(const FiveTuple& t) {
 std::uint64_t FdirTable::add(const FdirFilter& filter,
                              std::optional<FdirFilter>* evicted) {
   if (evicted) evicted->reset();
+  // Injected hardware programming failure (a real ixgbe fdir_write can
+  // fail): id 0 tells the caller the filter was NOT installed.
+  if (faultinject::should_fail(faultinject::FaultPoint::kFdirAdd)) {
+    ++add_failures_;
+    return 0;
+  }
   if (by_id_.size() >= capacity_) {
     // Evict the filter closest to expiry.
     auto soon = by_timeout_.begin();
-    if (soon == by_timeout_.end()) return 0;  // capacity 0
+    if (soon == by_timeout_.end()) {
+      ++add_failures_;  // capacity 0: nothing to evict, nothing to install
+      return 0;
+    }
     auto it = by_id_.find(soon->second);
     if (evicted && it != by_id_.end()) *evicted = it->second.filter;
     if (it != by_id_.end()) erase_entry(it);

@@ -73,6 +73,8 @@ class FdirTable {
   std::size_t size() const { return by_id_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Installs rejected with id 0 (capacity 0, or injected hardware error).
+  std::uint64_t add_failures() const { return add_failures_; }
 
  private:
   struct Entry {
@@ -86,6 +88,7 @@ class FdirTable {
   std::size_t capacity_;
   std::uint64_t next_id_ = 1;
   std::uint64_t evictions_ = 0;
+  std::uint64_t add_failures_ = 0;
   std::unordered_map<std::uint64_t, Entry> by_id_;
   // tuple key -> filter ids (usually 1-2 per tuple: ACK and ACK|PSH).
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_tuple_;

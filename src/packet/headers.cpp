@@ -22,8 +22,37 @@ std::string to_string(const FiveTuple& t) {
   return buf;
 }
 
-std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame) {
-  if (frame.size() < kEthHeaderLen) return std::nullopt;
+const char* to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kEthTruncated: return "eth_truncated";
+    case DecodeError::kNonIpv4: return "non_ipv4";
+    case DecodeError::kIpTruncated: return "ip_truncated";
+    case DecodeError::kIpBadVersion: return "ip_bad_version";
+    case DecodeError::kIpBadHeaderLen: return "ip_bad_header_len";
+    case DecodeError::kIpBadTotalLen: return "ip_bad_total_len";
+    case DecodeError::kTcpTruncated: return "tcp_truncated";
+    case DecodeError::kTcpBadDataOff: return "tcp_bad_data_off";
+    case DecodeError::kUdpTruncated: return "udp_truncated";
+    case DecodeError::kUdpBadLength: return "udp_bad_length";
+    case DecodeError::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+/// Record the rejection reason and fail the parse in one expression.
+inline std::nullopt_t reject(DecodeError* error, DecodeError reason) {
+  if (error != nullptr) *error = reason;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame,
+                                   DecodeError* error) {
+  if (frame.size() < kEthHeaderLen) {
+    return reject(error, DecodeError::kEthTruncated);
+  }
   EthHeader h;
   std::memcpy(h.dst, frame.data(), 6);
   std::memcpy(h.src, frame.data() + 6, 6);
@@ -31,16 +60,27 @@ std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame) {
   return h;
 }
 
-std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 20) return std::nullopt;
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes,
+                                     DecodeError* error) {
+  if (bytes.size() < 20) return reject(error, DecodeError::kIpTruncated);
   const std::uint8_t* p = bytes.data();
   Ipv4Header h;
   h.version = p[0] >> 4;
   h.ihl = p[0] & 0x0f;
-  if (h.version != 4 || h.ihl < 5) return std::nullopt;
-  if (bytes.size() < h.header_len()) return std::nullopt;
+  if (h.version != 4) return reject(error, DecodeError::kIpBadVersion);
+  if (h.ihl < 5) return reject(error, DecodeError::kIpBadHeaderLen);
+  if (bytes.size() < h.header_len()) {
+    return reject(error, DecodeError::kIpTruncated);
+  }
   h.dscp_ecn = p[1];
   h.total_len = load_be16(p + 2);
+  // A datagram that claims to end inside its own header cannot carry
+  // anything; rejecting here keeps total_len >= header_len for all callers.
+  // (A snapped capture is the opposite case — total_len beyond the captured
+  // bytes — and stays valid.)
+  if (h.total_len < h.header_len()) {
+    return reject(error, DecodeError::kIpBadTotalLen);
+  }
   h.id = load_be16(p + 4);
   h.frag_off = load_be16(p + 6);
   h.ttl = p[8];
@@ -51,8 +91,9 @@ std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes) {
   return h;
 }
 
-std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 20) return std::nullopt;
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes,
+                                   DecodeError* error) {
+  if (bytes.size() < 20) return reject(error, DecodeError::kTcpTruncated);
   const std::uint8_t* p = bytes.data();
   TcpHeader h;
   h.src_port = load_be16(p);
@@ -60,8 +101,10 @@ std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes) {
   h.seq = load_be32(p + 4);
   h.ack = load_be32(p + 8);
   h.data_off = p[12] >> 4;
-  if (h.data_off < 5) return std::nullopt;
-  if (bytes.size() < h.header_len()) return std::nullopt;
+  if (h.data_off < 5) return reject(error, DecodeError::kTcpBadDataOff);
+  if (bytes.size() < h.header_len()) {
+    return reject(error, DecodeError::kTcpTruncated);
+  }
   h.flags = p[13];
   h.window = load_be16(p + 14);
   h.checksum = load_be16(p + 16);
@@ -69,13 +112,15 @@ std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes) {
   return h;
 }
 
-std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 8) return std::nullopt;
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> bytes,
+                                   DecodeError* error) {
+  if (bytes.size() < 8) return reject(error, DecodeError::kUdpTruncated);
   const std::uint8_t* p = bytes.data();
   UdpHeader h;
   h.src_port = load_be16(p);
   h.dst_port = load_be16(p + 2);
   h.length = load_be16(p + 4);
+  if (h.length < 8) return reject(error, DecodeError::kUdpBadLength);
   h.checksum = load_be16(p + 6);
   return h;
 }

@@ -113,10 +113,39 @@ std::string ip_to_string(std::uint32_t ip);
 
 // --- Parsing --------------------------------------------------------------
 
-std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame);
-std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes);
-std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes);
-std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> bytes);
+/// Why a frame failed to decode. Every undecodable frame maps to exactly one
+/// reason, so the kernel's per-reason counters sum to its invalid-packet
+/// count — the property the malformed-input fuzz suite checks.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,        // decoded fine
+  kEthTruncated,    // frame shorter than the Ethernet header
+  kNonIpv4,         // ether_type we do not handle (ARP, IPv6, ...)
+  kIpTruncated,     // IPv4 header (or its options) past the captured bytes
+  kIpBadVersion,    // version field != 4
+  kIpBadHeaderLen,  // IHL < 5 words
+  kIpBadTotalLen,   // total_len smaller than the IP header itself
+  kTcpTruncated,    // TCP header (or its options) past the captured bytes
+  kTcpBadDataOff,   // data offset < 5 words
+  kUdpTruncated,    // UDP header past the captured bytes
+  kUdpBadLength,    // UDP length field < 8 (cannot even hold the header)
+  kCount,
+};
+
+constexpr std::size_t kNumDecodeErrors =
+    static_cast<std::size_t>(DecodeError::kCount);
+
+const char* to_string(DecodeError e);
+
+// Parsers return nullopt on malformed input and, when `error` is non-null,
+// report which taxonomy bucket the rejection belongs to.
+std::optional<EthHeader> parse_eth(std::span<const std::uint8_t> frame,
+                                   DecodeError* error = nullptr);
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> bytes,
+                                     DecodeError* error = nullptr);
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> bytes,
+                                   DecodeError* error = nullptr);
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> bytes,
+                                   DecodeError* error = nullptr);
 
 // --- Serialization (used by the traffic generator) -------------------------
 

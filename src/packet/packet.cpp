@@ -8,14 +8,21 @@ Packet Packet::decode(FrameBuffer frame, Timestamp ts, std::uint32_t wire_len) {
   Packet p;
   p.ts_ = ts;
   p.frame_ = std::move(frame);
-  if (!p.frame_) return p;
+  if (!p.frame_) {
+    p.decode_error_ = DecodeError::kEthTruncated;
+    return p;
+  }
   const auto bytes = std::span<const std::uint8_t>(*p.frame_);
   p.wire_len_ = wire_len ? wire_len : static_cast<std::uint32_t>(bytes.size());
 
-  const auto eth = parse_eth(bytes);
-  if (!eth || eth->ether_type != kEtherTypeIpv4) return p;
+  const auto eth = parse_eth(bytes, &p.decode_error_);
+  if (!eth) return p;
+  if (eth->ether_type != kEtherTypeIpv4) {
+    p.decode_error_ = DecodeError::kNonIpv4;
+    return p;
+  }
   const auto ip_bytes = bytes.subspan(kEthHeaderLen);
-  const auto ip = parse_ipv4(ip_bytes);
+  const auto ip = parse_ipv4(ip_bytes, &p.decode_error_);
   if (!ip) return p;
 
   p.tuple_.src_ip = ip->src_ip;
@@ -37,7 +44,7 @@ Packet Packet::decode(FrameBuffer frame, Timestamp ts, std::uint32_t wire_len) {
                                         : std::span<const std::uint8_t>{};
 
   if (ip->protocol == kProtoTcp) {
-    const auto tcp = parse_tcp(l4);
+    const auto tcp = parse_tcp(l4, &p.decode_error_);
     if (!tcp) return p;
     p.tuple_.src_port = tcp->src_port;
     p.tuple_.dst_port = tcp->dst_port;
@@ -57,7 +64,7 @@ Packet Packet::decode(FrameBuffer frame, Timestamp ts, std::uint32_t wire_len) {
     if (p.payload_len_ > p.wire_payload_len_) p.payload_len_ = p.wire_payload_len_;
     p.valid_ = true;
   } else if (ip->protocol == kProtoUdp) {
-    const auto udp = parse_udp(l4);
+    const auto udp = parse_udp(l4, &p.decode_error_);
     if (!udp) return p;
     p.tuple_.src_port = udp->src_port;
     p.tuple_.dst_port = udp->dst_port;

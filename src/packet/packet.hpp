@@ -32,6 +32,9 @@ class Packet {
                            std::uint32_t wire_len = 0);
 
   bool valid() const { return valid_; }
+  /// Why decoding failed (kNone when valid()). Invalid packets map to
+  /// exactly one taxonomy bucket.
+  DecodeError decode_error() const { return decode_error_; }
   Timestamp timestamp() const { return ts_; }
   void set_timestamp(Timestamp ts) { ts_ = ts; }
 
@@ -101,6 +104,7 @@ class Packet {
   std::uint32_t wire_payload_len_ = 0;
   bool valid_ = false;
   bool ip_fragment_ = false;
+  DecodeError decode_error_ = DecodeError::kNone;
 };
 
 }  // namespace scap

@@ -23,6 +23,9 @@ scap::Parameter param_of(int p) {
       return scap::Parameter::kBaseThresholdPercent;
     case SCAP_PARAM_OVERLOAD_CUTOFF: return scap::Parameter::kOverloadCutoff;
     case SCAP_PARAM_PRIORITY_LEVELS: return scap::Parameter::kPriorityLevels;
+    case SCAP_PARAM_ADAPTIVE_CUTOFF: return scap::Parameter::kAdaptiveCutoff;
+    case SCAP_PARAM_ADAPTIVE_MIN_CUTOFF:
+      return scap::Parameter::kAdaptiveMinCutoff;
     default: return scap::Parameter::kInactivityTimeoutMs;
   }
 }
@@ -236,5 +239,6 @@ int scap_get_stats(scap_t* sc, scap_stats_t* stats) {
   stats->streams_created = s.kernel.streams_created;
   stats->streams_terminated = s.kernel.streams_terminated;
   stats->streams_evicted = s.kernel.streams_evicted;
+  stats->pkts_parse_error = s.kernel.pkts_invalid;
   return 0;
 }

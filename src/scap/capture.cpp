@@ -122,6 +122,16 @@ bool Capture::set_parameter(Parameter p, std::int64_t value) {
     case Parameter::kPriorityLevels:
       config_.ppl.priority_levels = static_cast<int>(value);
       return true;
+    case Parameter::kAdaptiveCutoff:
+      // value > 0 enables the EWMA/hysteresis controller with this starting
+      // cutoff; 0 disables it (back to the static overload cutoff).
+      config_.ppl.adaptive = value > 0;
+      if (value > 0) config_.ppl.start_cutoff = value;
+      return true;
+    case Parameter::kAdaptiveMinCutoff:
+      if (value <= 0) return false;
+      config_.ppl.min_cutoff = value;
+      return true;
   }
   return false;
 }

@@ -41,6 +41,8 @@ enum class Parameter {
   kBaseThresholdPercent,  // PPL base threshold, 0-100
   kOverloadCutoff,
   kPriorityLevels,
+  kAdaptiveCutoff,     // adaptive overload control: start cutoff (0 = off)
+  kAdaptiveMinCutoff,  // adaptive overload control: tightening floor
 };
 
 class Capture;
@@ -131,6 +133,7 @@ class Capture {
   void set_overlap_policy(kernel::OverlapPolicy p) {
     config_.defaults.policy = p;
   }
+  void set_defragment(bool on) { config_.defragment_ip = on; }
 
   // --- handlers --------------------------------------------------------------
   void dispatch_creation(StreamHandler handler);

@@ -50,6 +50,10 @@ constexpr int SCAP_PARAM_FLUSH_TIMEOUT_MS = 3;
 constexpr int SCAP_PARAM_BASE_THRESHOLD_PCT = 4;
 constexpr int SCAP_PARAM_OVERLOAD_CUTOFF = 5;
 constexpr int SCAP_PARAM_PRIORITY_LEVELS = 6;
+// Adaptive overload control (extension, DESIGN.md §8): value > 0 enables
+// the EWMA/hysteresis controller with that starting cutoff; 0 disables.
+constexpr int SCAP_PARAM_ADAPTIVE_CUTOFF = 7;
+constexpr int SCAP_PARAM_ADAPTIVE_MIN_CUTOFF = 8;
 
 // Stream status values (scap_stream_status).
 constexpr int SCAP_STREAM_ACTIVE = 0;
@@ -81,6 +85,7 @@ struct scap_stats_t {
   std::uint64_t streams_created;
   std::uint64_t streams_terminated;
   std::uint64_t streams_evicted;
+  std::uint64_t pkts_parse_error;  // undecodable input (parse-error taxonomy)
 };
 
 // --- socket lifecycle ----------------------------------------------------------

@@ -1,0 +1,181 @@
+// Adaptive overload controller (DESIGN.md §8): EWMA pressure tracking with
+// a hysteresis state machine driving the effective in-band cutoff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "kernel/ppl.hpp"
+
+namespace scap::kernel {
+namespace {
+
+PplConfig adaptive_config() {
+  PplConfig c;
+  c.base_threshold = 0.5;
+  c.priority_levels = 2;
+  c.overload_cutoff = -1;  // static cutoff off: only the controller acts
+  c.adaptive = true;
+  c.ewma_alpha = 0.3;
+  c.enter_fraction = 0.85;
+  c.exit_fraction = 0.70;
+  c.start_cutoff = 64 * 1024;
+  c.min_cutoff = 4 * 1024;
+  return c;
+}
+
+TEST(PplAdaptive, DisabledControllerIsInert) {
+  PplConfig c = adaptive_config();
+  c.adaptive = false;
+  c.overload_cutoff = 1234;
+  Ppl ppl(c);
+  for (int i = 0; i < 100; ++i) ppl.observe(1.0);
+  EXPECT_FALSE(ppl.controller().overload);
+  EXPECT_EQ(ppl.effective_cutoff(), 1234);
+}
+
+TEST(PplAdaptive, EntersOverloadAtStartCutoffThenTightensToFloor) {
+  Ppl ppl(adaptive_config());
+  const PplConfig& c = ppl.config();
+
+  int entered_at = -1;
+  for (int i = 0; i < 64; ++i) {
+    ppl.observe(1.0);
+    if (ppl.controller().overload && entered_at < 0) {
+      entered_at = i;
+      // First overloaded sample applies the start cutoff, not the floor.
+      EXPECT_EQ(ppl.effective_cutoff(), c.start_cutoff);
+    }
+  }
+  ASSERT_GE(entered_at, 0) << "sustained pressure never entered overload";
+  EXPECT_EQ(ppl.controller().overload_entries, 1u);
+  // Sustained pressure tightened the cutoff all the way to the floor...
+  EXPECT_EQ(ppl.effective_cutoff(), c.min_cutoff);
+  // ...in log2(start/min) = 4 halvings, each counted once.
+  EXPECT_EQ(ppl.controller().tightenings, 4u);
+}
+
+TEST(PplAdaptive, RelaxesStepwiseAndExitsCleanly) {
+  Ppl ppl(adaptive_config());
+  for (int i = 0; i < 64; ++i) ppl.observe(1.0);
+  ASSERT_TRUE(ppl.controller().overload);
+  ASSERT_EQ(ppl.effective_cutoff(), ppl.config().min_cutoff);
+
+  for (int i = 0; i < 64; ++i) ppl.observe(0.0);
+  EXPECT_FALSE(ppl.controller().overload);
+  EXPECT_EQ(ppl.controller().overload_exits, 1u);
+  // 4k -> 8k -> 16k -> 32k -> 64k -> exit: four counted relaxations.
+  EXPECT_EQ(ppl.controller().relaxations, 4u);
+  // Out of overload the static configuration applies again (-1 = none).
+  EXPECT_EQ(ppl.effective_cutoff(), -1);
+}
+
+TEST(PplAdaptive, HoldBandFreezesTheCutoff) {
+  Ppl ppl(adaptive_config());
+  for (int i = 0; i < 8; ++i) ppl.observe(1.0);  // enter + tighten a little
+  ASSERT_TRUE(ppl.controller().overload);
+
+  // Samples of 0.78 pull the EWMA into (exit=0.70, enter=0.85); give it a
+  // few samples to decay below the enter threshold, then the state must be
+  // frozen: no transitions, no cutoff movement, however long it lasts.
+  for (int i = 0; i < 10; ++i) ppl.observe(0.78);
+  const std::int64_t frozen = ppl.effective_cutoff();
+  const std::uint64_t tightenings = ppl.controller().tightenings;
+  for (int i = 0; i < 1000; ++i) ppl.observe(0.78);
+  EXPECT_TRUE(ppl.controller().overload);
+  EXPECT_EQ(ppl.effective_cutoff(), frozen);
+  EXPECT_EQ(ppl.controller().tightenings, tightenings);
+  EXPECT_EQ(ppl.controller().relaxations, 0u);
+  EXPECT_EQ(ppl.controller().overload_entries, 1u);
+  EXPECT_EQ(ppl.controller().overload_exits, 0u);
+}
+
+// The anti-oscillation property the hysteresis band buys: pressure that
+// flaps around a *single* threshold (the failure mode of a naive
+// controller) crosses the band's midpoint every sample, yet causes at most
+// one enter/exit transition pair, because the EWMA settles inside the band.
+TEST(PplAdaptive, NoOscillationAcrossTheHysteresisBand) {
+  Ppl ppl(adaptive_config());
+  for (int i = 0; i < 500; ++i) {
+    ppl.observe((i % 2) == 0 ? 0.95 : 0.60);  // mean 0.775, inside the band
+  }
+  const PplControllerState& st = ppl.controller();
+  EXPECT_LE(st.overload_entries + st.overload_exits, 2u)
+      << "controller flapped: " << st.overload_entries << " entries, "
+      << st.overload_exits << " exits";
+}
+
+// Step-load convergence: a burst of overload followed by calm converges to
+// exactly one entry and one exit with bounded cutoff motion.
+TEST(PplAdaptive, StepLoadConvergesWithoutRinging) {
+  Ppl ppl(adaptive_config());
+  for (int i = 0; i < 200; ++i) ppl.observe(0.95);
+  for (int i = 0; i < 200; ++i) ppl.observe(0.40);
+  const PplControllerState& st = ppl.controller();
+  EXPECT_EQ(st.overload_entries, 1u);
+  EXPECT_EQ(st.overload_exits, 1u);
+  EXPECT_FALSE(st.overload);
+  EXPECT_EQ(st.tightenings, 4u);   // start 64k -> floor 4k
+  EXPECT_EQ(st.relaxations, 4u);   // floor 4k -> past start -> exit
+}
+
+// The paper's PPL invariant must survive adaptation: the controller only
+// moves the in-band cutoff, never the watermark ladder, so (a) a
+// higher-priority packet is never dropped while a lower-priority one is
+// admitted, and (b) offset-0 admission decisions are identical to the
+// static controller's at every point of a random pressure schedule.
+TEST(PplAdaptive, PriorityInvariantHoldsThroughoutAdaptation) {
+  PplConfig cfg = adaptive_config();
+  Ppl adaptive(cfg);
+  cfg.adaptive = false;
+  Ppl fixed(cfg);
+
+  Rng rng(0xada9f1ull);
+  for (int step = 0; step < 400; ++step) {
+    adaptive.observe(rng.uniform());
+    for (double used = 0.0; used <= 1.0; used += 0.05) {
+      for (int p = 0; p + 1 < cfg.priority_levels; ++p) {
+        const bool low_ok =
+            adaptive.admit(used, p, 0) == PplVerdict::kAdmit;
+        const bool high_ok =
+            adaptive.admit(used, p + 1, 0) == PplVerdict::kAdmit;
+        EXPECT_TRUE(!low_ok || high_ok)
+            << "step " << step << " used " << used << ": priority " << p + 1
+            << " dropped while " << p << " admitted";
+      }
+      // min_cutoff >= 1, so offset 0 is never beyond any adapted cutoff:
+      // adaptation must not change which packets drop at stream start.
+      for (int p = 0; p < cfg.priority_levels; ++p) {
+        EXPECT_EQ(adaptive.admit(used, p, 0), fixed.admit(used, p, 0))
+            << "adaptation changed an offset-0 verdict at used=" << used;
+      }
+    }
+  }
+}
+
+// Degenerate configurations must sanitize into a working controller.
+TEST(PplAdaptive, SanitizesDegenerateAdaptiveConfig) {
+  PplConfig c;
+  c.adaptive = true;
+  c.ewma_alpha = -2.0;        // -> default 0.3
+  c.enter_fraction = 1.5;     // -> 1.0
+  c.exit_fraction = 2.0;      // -> clamped to enter
+  c.min_cutoff = -5;          // -> 1
+  c.start_cutoff = -100;      // -> min_cutoff
+  c.tighten_factor = 3.0;     // -> default 0.5
+  c.relax_factor = 0.5;       // -> default 2.0
+  Ppl ppl(c);
+  EXPECT_GT(ppl.config().ewma_alpha, 0.0);
+  EXPECT_LE(ppl.config().ewma_alpha, 1.0);
+  EXPECT_LE(ppl.config().exit_fraction, ppl.config().enter_fraction);
+  EXPECT_GE(ppl.config().min_cutoff, 1);
+  EXPECT_GE(ppl.config().start_cutoff, ppl.config().min_cutoff);
+  EXPECT_LT(ppl.config().tighten_factor, 1.0);
+  EXPECT_GT(ppl.config().relax_factor, 1.0);
+  // Must not wedge: samples beyond [0,1] clamp and the EWMA stays bounded.
+  for (int i = 0; i < 100; ++i) ppl.observe(7.0);
+  EXPECT_LE(ppl.controller().pressure_ewma, 1.0);
+}
+
+}  // namespace
+}  // namespace scap::kernel

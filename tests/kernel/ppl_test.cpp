@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace scap::kernel {
 namespace {
 
@@ -68,6 +70,42 @@ TEST(Ppl, SanitizesDegenerateConfig) {
   Ppl ppl({.base_threshold = -3.0, .priority_levels = 0});
   EXPECT_EQ(ppl.config().priority_levels, 1);
   EXPECT_DOUBLE_EQ(ppl.config().base_threshold, 0.0);
+}
+
+// Boundary semantics at exact watermark equality. With base 0.5 and two
+// levels the watermarks land on 0.75 and 1.0 — exactly representable in
+// binary floating point, so these comparisons are precise, not approximate.
+// The rule: a watermark belongs to the band *below* it. admit() drops on
+// `used > watermark_i` (strict) and band membership is
+// (watermark_{i-1}, watermark_i], checked with `used <= lower` on the way in.
+TEST(Ppl, ExactWatermarkEqualityBelongsToLowerBand) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2,
+           .overload_cutoff = -1});
+  // used == base_threshold: no drops of any kind (<= base admits).
+  EXPECT_EQ(ppl.admit(0.5, 0, 1u << 30), PplVerdict::kAdmit);
+  // used exactly at watermark_1 = 0.75: priority 0 is still in its band,
+  // not above it — admitted, not kDropPriority.
+  EXPECT_EQ(ppl.admit(0.75, 0, 0), PplVerdict::kAdmit);
+  // The tiniest step above the watermark flips it to a priority drop.
+  EXPECT_EQ(ppl.admit(std::nextafter(0.75, 1.0), 0, 0),
+            PplVerdict::kDropPriority);
+  // used exactly at watermark_2 = 1.0: top priority still admitted.
+  EXPECT_EQ(ppl.admit(1.0, 1, 0), PplVerdict::kAdmit);
+}
+
+TEST(Ppl, ExactLowerWatermarkIsOutsideTheBandCutoff) {
+  Ppl ppl({.base_threshold = 0.5, .priority_levels = 2,
+           .overload_cutoff = 100});
+  // used == watermark_1 = 0.75 is priority 1's *lower* watermark: the band
+  // is (0.75, 1.0], so at exactly 0.75 the cutoff must not apply even for
+  // offsets far beyond it.
+  EXPECT_EQ(ppl.admit(0.75, 1, 1u << 30), PplVerdict::kAdmit);
+  // One ulp above the lower watermark the cutoff engages.
+  EXPECT_EQ(ppl.admit(std::nextafter(0.75, 1.0), 1, 1u << 30),
+            PplVerdict::kDropOverload);
+  // Offset exactly at the cutoff is already beyond it (>= drops).
+  EXPECT_EQ(ppl.admit(0.8, 1, 100), PplVerdict::kDropOverload);
+  EXPECT_EQ(ppl.admit(0.8, 1, 99), PplVerdict::kAdmit);
 }
 
 // Property sweep: a higher-priority packet is never dropped at a memory

@@ -56,6 +56,7 @@ TEST(Ipv4Header, FragmentFieldsDecoded) {
   Ipv4Header h{};
   h.version = 4;
   h.ihl = 5;
+  h.total_len = 204;  // a total_len below header_len is now rejected
   h.frag_off = 0x2000 | (184 / 8);  // MF set, offset 184 bytes
   std::array<std::uint8_t, 20> buf{};
   write_ipv4(buf, h);

@@ -1,0 +1,231 @@
+// chaos_run — deterministic adversarial smoke harness (DESIGN.md §8).
+//
+// Drives a full inline Capture with the seeded AdversaryGen traffic mix
+// (well-formed sessions + garbage + header mutations + SYN/frag floods)
+// while a FaultScope fails allocation/insertion sites on a replayable
+// schedule, then prints a deterministic report of every counter the run
+// touched. The process exits non-zero if any hardening invariant breaks:
+//
+//   - the parse-error taxonomy must sum to pkts_invalid
+//   - every injected fault must surface in a counter, not a crash
+//   - with --check-reproducible, two runs of the same seed must produce
+//     byte-identical reports (the bit-reproducibility acceptance gate)
+//
+// Usage: chaos_run [--seed S] [--packets N] [--check-reproducible]
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "faultinject/adversary.hpp"
+#include "faultinject/faultinject.hpp"
+#include "packet/headers.hpp"
+#include "scap/capture.hpp"
+
+namespace {
+
+using scap::Capture;
+using scap::Parameter;
+using scap::faultinject::AdversaryConfig;
+using scap::faultinject::AdversaryGen;
+using scap::faultinject::FaultInjector;
+using scap::faultinject::FaultPoint;
+using scap::faultinject::FaultScope;
+using scap::faultinject::InjectionPlan;
+using scap::faultinject::kNumFaultPoints;
+using scap::kernel::KernelStats;
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint64_t packets = 20000;
+  bool check_reproducible = false;
+};
+
+void append(std::string& out, const char* key, std::uint64_t value) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%s=%" PRIu64 "\n", key, value);
+  out += line;
+}
+
+/// Run the adversarial scenario once; returns (report, ok). The report is a
+/// pure function of the seed/packet count, so two calls with equal options
+/// must return identical strings.
+std::string run_once(const Options& opt, bool& ok) {
+  ok = true;
+
+  // Small memory so the adversarial load actually reaches the overload and
+  // exhaustion paths it is meant to exercise.
+  Capture cap("chaos0", 80 * 1024,
+              scap::kernel::ReassemblyMode::kTcpStrict,
+              /*need_pkts=*/false);
+  cap.set_use_fdir(true);
+  cap.set_defragment(true);
+  // Cutoffs trip after two chunks -> FDIR installs (and their injected
+  // faults), while streams still hold blocks long enough that memory
+  // pressure sustains and the adaptive controller engages.
+  cap.set_cutoff(16 * 1024);
+  cap.set_parameter(Parameter::kChunkSize, 8 * 1024);
+  cap.set_parameter(Parameter::kPriorityLevels, 4);
+  // High base threshold: PPL itself sheds little, so sustained pressure
+  // reaches the adaptive controller's enter band — the regime the
+  // EWMA/hysteresis cutoff exists for.
+  cap.set_parameter(Parameter::kBaseThresholdPercent, 80);
+  // Adaptive overload control instead of a static cutoff.
+  cap.set_parameter(Parameter::kAdaptiveCutoff, 64 * 1024);
+  cap.set_parameter(Parameter::kAdaptiveMinCutoff, 4 * 1024);
+
+  // Applications set priorities from the creation callback (paper §3.3);
+  // spread streams across the priority ladder by client port (the server
+  // port is 80 for the whole mix, which would pin everything to one level).
+  cap.dispatch_creation([](scap::StreamView& sv) {
+    sv.set_priority(static_cast<int>(sv.tuple().src_port % 4));
+  });
+
+  InjectionPlan plan;
+  plan.seed = opt.seed;
+  plan.at(FaultPoint::kRecordPoolAcquire).probability = 0.01;
+  plan.at(FaultPoint::kChunkAlloc).probability = 0.02;
+  plan.at(FaultPoint::kSegmentStoreInsert).probability = 0.02;
+  plan.at(FaultPoint::kFdirAdd).probability = 0.05;
+  FaultInjector injector(plan);
+
+  AdversaryConfig acfg;
+  acfg.seed = opt.seed;
+  acfg.packets = opt.packets;
+  // Spread the schedule over enough virtual time that the kernel's
+  // per-second maintenance pass — which feeds the adaptive controller and
+  // services FDIR timeouts — runs many times during the storm.
+  acfg.spacing = scap::Duration::from_usec(1000);
+  AdversaryGen gen(acfg);
+
+  cap.start();
+  {
+    FaultScope scope(injector);
+    for (std::uint64_t i = 0; i < opt.packets; ++i) {
+      cap.inject(gen.next());
+    }
+    cap.stop();  // flush inside the scope: teardown paths get faults too
+  }
+
+  const scap::CaptureStats stats = cap.stats();
+  const KernelStats& k = stats.kernel;
+
+  std::string report;
+  report += "chaos_run report\n";
+  append(report, "seed", opt.seed);
+  append(report, "packets", opt.packets);
+
+  append(report, "pkts_seen", k.pkts_seen);
+  append(report, "pkts_stored", k.pkts_stored);
+  append(report, "bytes_stored", k.bytes_stored);
+  append(report, "pkts_invalid", k.pkts_invalid);
+  append(report, "pkts_cutoff", k.pkts_cutoff);
+  append(report, "pkts_dup", k.pkts_dup);
+  append(report, "pkts_ppl_dropped", k.pkts_ppl_dropped);
+  append(report, "pkts_nomem_dropped", k.pkts_nomem_dropped);
+  append(report, "pkts_norec_dropped", k.pkts_norec_dropped);
+  append(report, "reasm_alloc_failures", k.reasm_alloc_failures);
+  append(report, "fdir_install_failures", k.fdir_install_failures);
+  append(report, "fdir_installs", k.fdir_installs);
+  append(report, "streams_created", k.streams_created);
+  append(report, "streams_terminated", k.streams_terminated);
+  append(report, "streams_evicted", k.streams_evicted);
+  append(report, "events_emitted", k.events_emitted);
+  append(report, "nic_dropped_by_filter", stats.nic_dropped_by_filter);
+
+  // Parse-error taxonomy.
+  std::uint64_t taxonomy_sum = 0;
+  for (std::size_t i = 0; i < scap::kNumDecodeErrors; ++i) {
+    const auto err = static_cast<scap::DecodeError>(i);
+    if (err == scap::DecodeError::kNone) continue;
+    std::string key = "parse_error.";
+    key += scap::to_string(err);
+    append(report, key.c_str(), k.parse_errors[i]);
+    taxonomy_sum += k.parse_errors[i];
+  }
+
+  // Adaptive overload controller.
+  append(report, "ppl_overload_entries", k.ppl_overload_entries);
+  append(report, "ppl_overload_exits", k.ppl_overload_exits);
+  append(report, "ppl_tightenings", k.ppl_tightenings);
+  append(report, "ppl_relaxations", k.ppl_relaxations);
+
+  // Fault injector: calls seen and failures injected per point.
+  for (std::size_t i = 0; i < kNumFaultPoints; ++i) {
+    const auto p = static_cast<FaultPoint>(i);
+    std::string key = "fault.";
+    key += scap::faultinject::to_string(p);
+    append(report, (key + ".calls").c_str(), injector.calls(p));
+    append(report, (key + ".injected").c_str(), injector.injected(p));
+  }
+
+  // --- invariants ----------------------------------------------------------
+  if (taxonomy_sum != k.pkts_invalid) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION: parse-error taxonomy sums to %" PRIu64
+                 " but pkts_invalid=%" PRIu64 "\n",
+                 taxonomy_sum, k.pkts_invalid);
+    ok = false;
+  }
+  // Record-pool faults must surface as no-record drops. (Not an equality:
+  // injected faults on the teardown/flush path have no packet to count.)
+  if (injector.injected(FaultPoint::kRecordPoolAcquire) > 0 &&
+      k.pkts_norec_dropped == 0) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION: record-pool faults injected but "
+                 "pkts_norec_dropped=0\n");
+    ok = false;
+  }
+  if (injector.injected(FaultPoint::kFdirAdd) > k.fdir_install_failures) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION: %" PRIu64
+                 " FDIR faults injected but only %" PRIu64
+                 " install failures counted\n",
+                 injector.injected(FaultPoint::kFdirAdd),
+                 k.fdir_install_failures);
+    ok = false;
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      opt.packets = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--check-reproducible") == 0) {
+      opt.check_reproducible = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_run [--seed S] [--packets N] "
+                   "[--check-reproducible]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  const std::string report = run_once(opt, ok);
+  std::fputs(report.c_str(), stdout);
+
+  if (opt.check_reproducible) {
+    bool ok2 = true;
+    const std::string again = run_once(opt, ok2);
+    ok = ok && ok2;
+    if (again != report) {
+      std::fprintf(stderr,
+                   "REPRODUCIBILITY VIOLATION: two runs with seed %" PRIu64
+                   " produced different reports\n",
+                   opt.seed);
+      std::fputs(again.c_str(), stderr);
+      return 1;
+    }
+    std::printf("reproducible=1\n");
+  }
+  return ok ? 0 : 1;
+}
