@@ -80,8 +80,12 @@ double ScapPipeline::softirq_cost(const kernel::PacketOutcome& out,
     case kernel::Verdict::kDupDiscard:
     case kernel::Verdict::kPplDrop:
     case kernel::Verdict::kNoMemDrop:
+    case kernel::Verdict::kNoRecordDrop:
+    case kernel::Verdict::kChecksumDrop:
     case kernel::Verdict::kIgnored:
     case kernel::Verdict::kFilteredBpf:
+    case kernel::Verdict::kFragmentHeld:
+    case kernel::Verdict::kBuffered:
       cycles += c.flow_update;
       break;
     case kernel::Verdict::kInvalid:

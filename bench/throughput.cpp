@@ -64,6 +64,13 @@ void* operator new(std::size_t size, std::align_val_t align) {
 void* operator new[](std::size_t size, std::align_val_t align) {
   return ::operator new(size, align);
 }
+// The replacement operator-new family above is malloc/aligned_alloc backed,
+// so free() is the correct deallocator for every pointer reaching these —
+// GCC's pairing heuristic cannot see that and flags inlined call sites.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
@@ -73,6 +80,9 @@ void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace scap::bench {
 namespace {
@@ -86,7 +96,9 @@ struct WorkloadResult {
   std::uint64_t allocs = 0;
   std::uint64_t pool_recycled = 0;
 
-  double pps() const { return seconds > 0 ? packets / seconds : 0.0; }
+  double pps() const {
+    return seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
   double ns_per_pkt() const {
     return packets ? seconds * 1e9 / static_cast<double>(packets) : 0.0;
   }

@@ -1,0 +1,16 @@
+#include "base/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scap {
+
+void invariant_fail(const char* file, int line, const char* expr,
+                    const char* message) {
+  std::fprintf(stderr, "SCAP INVARIANT VIOLATION at %s:%d\n  check: %s\n  %s\n",
+               file, line, expr, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scap

@@ -1,0 +1,69 @@
+// SCAP_ASSERT / SCAP_INVARIANT — the runtime leg of the correctness
+// tooling layer (DESIGN.md §9).
+//
+// Both macros check a condition and abort with a source location when it
+// fails. They are compiled in whenever SCAP_ENABLE_INVARIANTS is defined
+// (CMake defines it for every build type except Release, so tests, the
+// chaos harness and sanitizer builds all run with fatal invariants) and
+// compile to nothing in Release builds — the condition expression is not
+// evaluated, only type-checked via sizeof, so hot paths pay zero cost.
+//
+//   SCAP_ASSERT(cond, msg)         — programmer error (bad argument, broken
+//                                    internal state). "This can't happen."
+//   SCAP_INVARIANT(cond, msg)      — accounting law from the paper (counter
+//                                    conservation, PPL monotonicity, pool
+//                                    balance). Same mechanics, different
+//                                    intent: a failure means a counter was
+//                                    added or moved without its mirror.
+//   SCAP_INVARIANT_REPORT(expr)    — expr yields a std::string describing
+//                                    the first violated invariant ("" = all
+//                                    hold); aborts printing the report.
+#pragma once
+
+#include <string>
+
+namespace scap {
+
+/// Print the failure and abort. Out of line so the macro expansion stays
+/// small enough to inline around.
+[[noreturn]] void invariant_fail(const char* file, int line,
+                                 const char* expr, const char* message);
+
+}  // namespace scap
+
+#if defined(SCAP_ENABLE_INVARIANTS)
+
+#define SCAP_ASSERT(cond, msg)                                \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::scap::invariant_fail(__FILE__, __LINE__, #cond, msg); \
+    }                                                         \
+  } while (false)
+
+#define SCAP_INVARIANT(cond, msg) SCAP_ASSERT(cond, msg)
+
+#define SCAP_INVARIANT_REPORT(expr)                                          \
+  do {                                                                       \
+    const std::string scap_invariant_report_ = (expr);                       \
+    if (!scap_invariant_report_.empty()) {                                   \
+      ::scap::invariant_fail(__FILE__, __LINE__, #expr,                      \
+                             scap_invariant_report_.c_str());                \
+    }                                                                        \
+  } while (false)
+
+#else  // Release: type-check the expression, never evaluate it.
+
+#define SCAP_ASSERT(cond, msg) \
+  do {                         \
+    (void)sizeof((cond));      \
+    (void)(msg);               \
+  } while (false)
+
+#define SCAP_INVARIANT(cond, msg) SCAP_ASSERT(cond, msg)
+
+#define SCAP_INVARIANT_REPORT(expr) \
+  do {                              \
+    (void)sizeof((expr));           \
+  } while (false)
+
+#endif  // SCAP_ENABLE_INVARIANTS

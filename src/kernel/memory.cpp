@@ -1,8 +1,20 @@
 #include "kernel/memory.hpp"
 
+#include <algorithm>
+
 #include "faultinject/faultinject.hpp"
 
 namespace scap::kernel {
+
+std::vector<std::uint64_t>& ChunkAllocator::free_list(std::uint32_t size) {
+  auto it = std::lower_bound(
+      free_lists_.begin(), free_lists_.end(), size,
+      [](const auto& entry, std::uint32_t s) { return entry.first < s; });
+  if (it == free_lists_.end() || it->first != size) {
+    it = free_lists_.emplace(it, size, std::vector<std::uint64_t>{});
+  }
+  return it->second;
+}
 
 std::optional<std::uint64_t> ChunkAllocator::allocate(std::uint32_t size) {
   // Injected failure: indistinguishable from exhaustion to the caller, and
@@ -18,7 +30,7 @@ std::optional<std::uint64_t> ChunkAllocator::allocate(std::uint32_t size) {
   used_ += size;
   if (used_ > high_water_) high_water_ = used_;
   ++allocations_;
-  auto& fl = free_lists_[size];
+  auto& fl = free_list(size);
   if (!fl.empty()) {
     const std::uint64_t addr = fl.back();
     fl.pop_back();
@@ -33,7 +45,7 @@ std::uint64_t ChunkAllocator::allocate_forced(std::uint32_t size) {
   used_ += size;
   if (used_ > high_water_) high_water_ = used_;
   ++allocations_;
-  auto& fl = free_lists_[size];
+  auto& fl = free_list(size);
   if (!fl.empty()) {
     const std::uint64_t addr = fl.back();
     fl.pop_back();
@@ -47,7 +59,7 @@ std::uint64_t ChunkAllocator::allocate_forced(std::uint32_t size) {
 void ChunkAllocator::release(std::uint64_t addr, std::uint32_t size) {
   if (size == 0) return;
   used_ = used_ >= size ? used_ - size : 0;
-  free_lists_[size].push_back(addr);
+  free_list(size).push_back(addr);
 }
 
 }  // namespace scap::kernel

@@ -12,7 +12,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace scap::kernel {
@@ -46,13 +46,20 @@ class ChunkAllocator {
   std::uint64_t high_water() const { return high_water_; }
 
  private:
+  /// Free list for one block size, or a fresh one. The segregated lists
+  /// live in a size-sorted flat vector (binary search): allocation is a
+  /// per-chunk operation, and a flat array beats hashing both in lookup
+  /// cost and in determinism (no bucket-order dependence).
+  std::vector<std::uint64_t>& free_list(std::uint32_t size);
+
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
   std::uint64_t bump_ = 0;  // next fresh address
   std::uint64_t allocations_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t high_water_ = 0;
-  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> free_lists_;
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>>
+      free_lists_;  // sorted by block size
 };
 
 }  // namespace scap::kernel

@@ -1,10 +1,161 @@
 #include "kernel/module.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <iterator>
+#include <numeric>
 
+#include "base/assert.hpp"
 #include "packet/craft.hpp"
 
 namespace scap::kernel {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kInvalid: return "invalid";
+    case Verdict::kFragmentHeld: return "fragment_held";
+    case Verdict::kFilteredBpf: return "filtered_bpf";
+    case Verdict::kIgnored: return "ignored";
+    case Verdict::kControl: return "control";
+    case Verdict::kStored: return "stored";
+    case Verdict::kCutoffDiscard: return "cutoff_discard";
+    case Verdict::kDupDiscard: return "dup_discard";
+    case Verdict::kPplDrop: return "ppl_drop";
+    case Verdict::kNoMemDrop: return "nomem_drop";
+    case Verdict::kNoRecordDrop: return "norec_drop";
+    case Verdict::kChecksumDrop: return "checksum_drop";
+    case Verdict::kBuffered: return "buffered";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string violation(const char* law, std::uint64_t lhs, std::uint64_t rhs) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "conservation violated: %s (%" PRIu64 " != %" PRIu64 ")", law,
+                lhs, rhs);
+  return buf;
+}
+
+}  // namespace
+
+std::string KernelStats::check_conservation() const {
+  // Law 1: every packet that entered landed in exactly one verdict bucket.
+  const std::uint64_t verdict_sum =
+      std::accumulate(verdicts, verdicts + kNumVerdicts, std::uint64_t{0});
+  if (verdict_sum != pkts_seen) {
+    return violation("pkts_seen == sum(verdicts)", pkts_seen, verdict_sum);
+  }
+
+  // Law 2: each delivery/drop scalar equals its verdict bucket — a counter
+  // incremented without its verdict (or a verdict set without its counter)
+  // breaks the pairing.
+  struct Pair {
+    Verdict v;
+    std::uint64_t counter;
+    const char* law;
+  };
+  const Pair pairs[] = {
+      {Verdict::kInvalid, pkts_invalid, "verdicts[invalid] == pkts_invalid"},
+      {Verdict::kFragmentHeld, pkts_frag_held,
+       "verdicts[fragment_held] == pkts_frag_held"},
+      {Verdict::kFilteredBpf, pkts_filtered,
+       "verdicts[filtered_bpf] == pkts_filtered"},
+      {Verdict::kIgnored, pkts_ignored, "verdicts[ignored] == pkts_ignored"},
+      {Verdict::kControl, pkts_control, "verdicts[control] == pkts_control"},
+      {Verdict::kStored, pkts_stored, "verdicts[stored] == pkts_stored"},
+      {Verdict::kCutoffDiscard, pkts_cutoff,
+       "verdicts[cutoff_discard] == pkts_cutoff"},
+      {Verdict::kDupDiscard, pkts_dup, "verdicts[dup_discard] == pkts_dup"},
+      {Verdict::kPplDrop, pkts_ppl_dropped,
+       "verdicts[ppl_drop] == pkts_ppl_dropped"},
+      {Verdict::kNoMemDrop, pkts_nomem_dropped,
+       "verdicts[nomem_drop] == pkts_nomem_dropped"},
+      {Verdict::kNoRecordDrop, pkts_norec_dropped,
+       "verdicts[norec_drop] == pkts_norec_dropped"},
+      {Verdict::kChecksumDrop, pkts_bad_checksum,
+       "verdicts[checksum_drop] == pkts_bad_checksum"},
+      {Verdict::kBuffered, pkts_buffered,
+       "verdicts[buffered] == pkts_buffered"},
+  };
+  static_assert(std::size(pairs) == kNumVerdicts,
+                "every Verdict needs a conservation pairing");
+  for (const Pair& p : pairs) {
+    const std::uint64_t bucket = verdicts[static_cast<std::size_t>(p.v)];
+    if (bucket != p.counter) return violation(p.law, bucket, p.counter);
+  }
+
+  // Law 3: the parse-error taxonomy accounts for every invalid packet.
+  const std::uint64_t taxonomy_sum = std::accumulate(
+      parse_errors, parse_errors + kNumDecodeErrors, std::uint64_t{0});
+  if (taxonomy_sum != pkts_invalid) {
+    return violation("sum(parse_errors) == pkts_invalid", taxonomy_sum,
+                     pkts_invalid);
+  }
+
+  // Law 4: stream lifecycle reconciles — every created stream is either
+  // still live or was terminated (eviction and expiry both terminate).
+  if (streams_created != streams_terminated + streams_active) {
+    return violation("streams_created == streams_terminated + streams_active",
+                     streams_created, streams_terminated + streams_active);
+  }
+  if (streams_evicted > streams_terminated) {
+    return violation("streams_evicted <= streams_terminated", streams_evicted,
+                     streams_terminated);
+  }
+
+  // Law 5: record-pool acquire/release balance — the records missing from
+  // the freelist are exactly the live streams (slab records never leak).
+  if (pool_capacity - pool_free != streams_active) {
+    return violation("pool in-use == streams_active",
+                     pool_capacity - pool_free, streams_active);
+  }
+
+  // Law 6: sub-counters stay within their parents.
+  if (reasm_alloc_failures > pkts_nomem_dropped) {
+    return violation("reasm_alloc_failures <= pkts_nomem_dropped",
+                     reasm_alloc_failures, pkts_nomem_dropped);
+  }
+  if (bytes_stored > bytes_seen) {
+    return violation("bytes_stored <= bytes_seen", bytes_stored, bytes_seen);
+  }
+  return {};
+}
+
+std::string ScapKernel::check_invariants() const {
+  // stats() mirrors pool occupancy, live-stream count and controller state
+  // into the snapshot the conservation checker needs.
+  std::string report = stats().check_conservation();
+  if (!report.empty()) return report;
+
+  // PPL priority monotonicity (paper §2.2): the watermark ladder must be
+  // non-decreasing in priority and anchored in [base_threshold, 1]. With a
+  // monotone ladder, admit() can never drop a higher-priority packet while
+  // admitting a lower-priority one at the same occupancy and offset.
+  const int levels = ppl_.config().priority_levels;
+  double prev = ppl_.config().base_threshold;
+  for (int p = 0; p < levels; ++p) {
+    const double w = ppl_.watermark(p);
+    if (w < prev) {
+      return "ppl watermark ladder not monotone at priority " +
+             std::to_string(p);
+    }
+    prev = w;
+  }
+  if (prev > 1.0 + 1e-9) return "ppl watermark ladder exceeds memory_size";
+
+  // The adaptive controller may only tighten below the static start cutoff,
+  // never below its floor (PPL drops stay priority-monotone because the
+  // ladder itself is untouched; DESIGN.md §8).
+  const PplControllerState& ctl = ppl_.controller();
+  if (ctl.overload && ctl.effective_cutoff < ppl_.config().min_cutoff) {
+    return "ppl adaptive cutoff fell below min_cutoff";
+  }
+  return {};
+}
 
 ScapKernel::ScapKernel(KernelConfig config, nic::Nic* nic)
     : config_(std::move(config)),
@@ -439,7 +590,11 @@ void ScapKernel::handle_payload(StreamRecord& rec, const Packet& pkt,
     stats_.bytes_dup += result.dup_bytes;
     outcome.verdict = Verdict::kDupDiscard;
   } else {
-    outcome.verdict = Verdict::kControl;
+    // Nothing delivered and nothing duplicated: the reassembler holds the
+    // segment out of order (or the payload was empty). Counted separately
+    // from control packets so the conservation law stays exact.
+    stats_.pkts_buffered++;
+    outcome.verdict = Verdict::kBuffered;
   }
 
   bool first = true;
@@ -464,7 +619,9 @@ PacketOutcome ScapKernel::handle_packet(const Packet& pkt, Timestamp now,
   if (now - last_maintenance_ >= config_.expiry_interval) {
     run_maintenance(now);
   }
-  return handle_one(pkt, now, core);
+  const PacketOutcome out = handle_one(pkt, now, core);
+  ++stats_.verdicts[static_cast<std::size_t>(out.verdict)];
+  return out;
 }
 
 PacketOutcome ScapKernel::handle_batch(std::span<const Packet> pkts,
@@ -482,6 +639,7 @@ PacketOutcome ScapKernel::handle_batch(std::span<const Packet> pkts,
       table_.prefetch(table_.hash_of(pkts[i + 2].tuple()));
     }
     const PacketOutcome out = handle_one(pkts[i], pkts[i].timestamp(), core);
+    ++stats_.verdicts[static_cast<std::size_t>(out.verdict)];
     if (!outcomes.empty()) outcomes[i] = out;
     total.verdict = out.verdict;
     total.stored_bytes += out.stored_bytes;
@@ -516,6 +674,7 @@ PacketOutcome ScapKernel::handle_one(const Packet& pkt, Timestamp now,
   if (config_.defragment_ip && pkt.is_ip_fragment()) {
     auto done = defrag_.feed(pkt, now);
     if (!done.has_value()) {
+      ++stats_.pkts_frag_held;
       outcome.verdict = Verdict::kFragmentHeld;
       return outcome;
     }
@@ -551,7 +710,10 @@ PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
   // A nullptr keeps whatever verdict lookup_or_create set (kNoRecordDrop on
   // allocation failure, the default kIgnored for FIN/RST of unknown flows).
   StreamRecord* rec = lookup_or_create(pkt, now, core, outcome);
-  if (rec == nullptr) return outcome;
+  if (rec == nullptr) {
+    if (outcome.verdict == Verdict::kIgnored) ++stats_.pkts_ignored;
+    return outcome;
+  }
   table_.touch(*rec, now);
   rec->stats.last_packet = now;
 
@@ -628,6 +790,10 @@ PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
     }
   } else {
     rec->stats.pkts++;
+    // Zero-payload UDP keepalives previously set the control verdict
+    // without the control counter — invisible to the accounting (found by
+    // the conservation checker).
+    ++stats_.pkts_control;
     outcome.verdict = Verdict::kControl;
   }
   return outcome;
@@ -692,12 +858,18 @@ void ScapKernel::run_maintenance(Timestamp now) {
       }
     }
   }
+
+  // Every maintenance tick re-proves the accounting laws (fatal in
+  // Debug/test builds, compiled out in Release) — a mis-counted drop is
+  // caught within one expiry interval of the packet that caused it.
+  SCAP_INVARIANT_REPORT(check_invariants());
 }
 
 void ScapKernel::terminate_all(Timestamp now) {
   while (StreamRecord* rec = table_.oldest()) {
     terminate(*rec, StreamStatus::kClosedTimeout, now, nullptr);
   }
+  SCAP_INVARIANT_REPORT(check_invariants());
 }
 
 bool ScapKernel::set_stream_cutoff(StreamId id, std::int64_t cutoff) {

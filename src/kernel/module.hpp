@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -121,7 +122,14 @@ enum class Verdict : std::uint8_t {
   kNoMemDrop,       // chunk buffer exhausted
   kNoRecordDrop,    // stream-record allocation failed
   kChecksumDrop,    // checksum verification failed (verify_checksums)
+  kBuffered,        // consumed without in-order delivery (OOO hold / empty)
 };
+
+inline constexpr std::size_t kNumVerdicts =
+    static_cast<std::size_t>(Verdict::kBuffered) + 1;
+
+/// Stable lowercase name for reports (chaos_run, conservation checker).
+const char* to_string(Verdict v);
 
 struct PacketOutcome {
   Verdict verdict = Verdict::kIgnored;
@@ -150,6 +158,9 @@ struct KernelStats {
   std::uint64_t bytes_nomem_dropped = 0;
   std::uint64_t pkts_norec_dropped = 0;   // stream-record allocation failed
   std::uint64_t pkts_bad_checksum = 0;    // failed checksum verification
+  std::uint64_t pkts_ignored = 0;         // FIN/RST/pure-ACK of unknown flows
+  std::uint64_t pkts_frag_held = 0;       // IP fragments buffered by defrag
+  std::uint64_t pkts_buffered = 0;        // held by reassembly, not delivered
   std::uint64_t reasm_alloc_failures = 0; // segments lost to failed buffering
   std::uint64_t fdir_install_failures = 0;  // NIC rejected a filter install
   std::uint64_t streams_created = 0;
@@ -165,6 +176,16 @@ struct KernelStats {
   // indexed by DecodeError. Sums to pkts_invalid.
   std::uint64_t parse_errors[kNumDecodeErrors] = {};
 
+  // Final-verdict histogram, indexed by Verdict; incremented exactly once
+  // per packet entering the kernel. The conservation law (paper §3.4, §5;
+  // DESIGN.md §9) is checked against it: pkts_seen == Σ verdicts, and every
+  // per-verdict scalar above must equal its histogram bucket — a counter
+  // bumped without its verdict (or vice versa) is a conservation bug.
+  std::uint64_t verdicts[kNumVerdicts] = {};
+
+  // Live streams (mirrored on read from the flow table).
+  std::uint64_t streams_active = 0;
+
   // Record-pool occupancy (filled on read from the flow table's slab pool).
   std::uint64_t pool_capacity = 0;   // records across all slabs
   std::uint64_t pool_free = 0;       // records on the freelist
@@ -178,6 +199,16 @@ struct KernelStats {
   std::uint64_t ppl_overload_exits = 0;
   std::uint64_t ppl_tightenings = 0;
   std::uint64_t ppl_relaxations = 0;
+
+  /// Verify the counter-conservation laws over this snapshot: every packet
+  /// that entered the kernel landed in exactly one verdict bucket, each
+  /// drop/delivery scalar matches its verdict histogram entry, the
+  /// parse-error taxonomy sums to pkts_invalid, the record pool balances
+  /// against live streams, and stream lifecycle counters reconcile.
+  /// Returns "" when every law holds, else a description of the first
+  /// violation. Pool/stream checks need the mirrored fields, so call this
+  /// on the result of ScapKernel::stats() (or use check_invariants()).
+  std::string check_conservation() const;
 };
 
 class ScapKernel {
@@ -227,6 +258,13 @@ class ScapKernel {
   /// to the stream; returns false if the stream no longer exists.
   bool keep_stream_chunk(StreamId id, Chunk&& chunk, std::uint32_t alloc);
 
+  /// Check every kernel invariant (counter conservation, pool balance, PPL
+  /// watermark monotonicity) against the current state. Returns "" when all
+  /// hold, else the first violation. Always compiled; the SCAP_INVARIANT
+  /// wiring in run_maintenance()/terminate_all() makes it fatal in
+  /// Debug/test builds and a no-op in Release.
+  std::string check_invariants() const;
+
   const KernelStats& stats() const {
     // Pool occupancy is owned by the flow table; mirror it on read so the
     // hot path never maintains these counters. Same for the adaptive
@@ -236,6 +274,7 @@ class ScapKernel {
     stats_.pool_free = pool.free;
     stats_.pool_slabs = pool.slabs;
     stats_.pool_recycled = pool.recycled_total;
+    stats_.streams_active = table_.size();
     const PplControllerState& ctl = ppl_.controller();
     stats_.ppl_effective_cutoff = ppl_.effective_cutoff();
     stats_.ppl_overload_active = ctl.overload ? 1 : 0;

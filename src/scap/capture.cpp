@@ -256,18 +256,27 @@ void Capture::worker_main(int core, std::stop_token st) {
 kernel::PacketOutcome Capture::inject(const Packet& pkt) {
   if (!started_) throw std::logic_error("scap: capture not started");
   last_ts_ = pkt.timestamp();
-  const nic::RxResult rx = nic_->receive(pkt);
-  if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
-    return kernel::PacketOutcome{};  // subzero path: never reached the host
-  }
   kernel::PacketOutcome out;
   if (worker_threads_ > 0) {
+    // The NIC is shared state in threaded mode: the kernel installs FDIR
+    // filters into it under kernel_mutex_ (from worker callbacks), so the
+    // producer's receive path must hold the same lock.
+    int queue;
     {
       std::scoped_lock lock(kernel_mutex_);
+      const nic::RxResult rx = nic_->receive(pkt);
+      if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
+        return kernel::PacketOutcome{};  // subzero: never reached the host
+      }
       out = kernel_->handle_packet(pkt, pkt.timestamp(), rx.queue);
+      queue = rx.queue;
     }
-    wake_worker(rx.queue);
+    wake_worker(queue);
   } else {
+    const nic::RxResult rx = nic_->receive(pkt);
+    if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
+      return kernel::PacketOutcome{};  // subzero: never reached the host
+    }
     out = kernel_->handle_packet(pkt, pkt.timestamp(), rx.queue);
     drain_core_inline(rx.queue);
   }
@@ -285,10 +294,16 @@ kernel::PacketOutcome Capture::inject_batch(std::span<const Packet> pkts) {
   if (batch_buckets_.size() < static_cast<std::size_t>(config_.num_cores)) {
     batch_buckets_.resize(static_cast<std::size_t>(config_.num_cores));
   }
-  for (const Packet& pkt : pkts) {
-    const nic::RxResult rx = nic_->receive(pkt);
-    if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
-    batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
+  {
+    // Same shared-NIC rule as inject(): classification must not race with
+    // worker-driven FDIR updates in threaded mode.
+    std::unique_lock<std::mutex> lock(kernel_mutex_, std::defer_lock);
+    if (worker_threads_ > 0) lock.lock();
+    for (const Packet& pkt : pkts) {
+      const nic::RxResult rx = nic_->receive(pkt);
+      if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
+      batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
+    }
   }
   auto accumulate = [&total](const kernel::PacketOutcome& out) {
     total.verdict = out.verdict;
@@ -358,6 +373,12 @@ void Capture::stop() {
 }
 
 CaptureStats Capture::stats() const {
+  // Workers mutate kernel state (and events_dispatched_) under
+  // kernel_mutex_; take it while they may be live so a monitoring thread
+  // can poll stats() concurrently. Do not call stats() from inside a
+  // dispatch callback in threaded mode — the worker already holds the lock.
+  std::unique_lock<std::mutex> lock(kernel_mutex_, std::defer_lock);
+  if (!workers_.empty()) lock.lock();
   CaptureStats s;
   if (kernel_) s.kernel = kernel_->stats();
   if (nic_) s.nic_dropped_by_filter = nic_->stats().dropped_by_filter;

@@ -185,6 +185,7 @@ class Capture {
   CaptureStats stats() const;
 
   kernel::ScapKernel& kernel() { return *kernel_; }
+  bool has_kernel() const { return kernel_ != nullptr; }
   nic::Nic& nic() { return *nic_; }
   const std::string& device() const { return device_; }
   int worker_threads() const { return worker_threads_; }
@@ -214,7 +215,7 @@ class Capture {
   std::vector<std::vector<Packet>> batch_buckets_;  // per-queue RSS buckets
 
   // Threaded mode machinery.
-  std::mutex kernel_mutex_;
+  mutable std::mutex kernel_mutex_;
   std::vector<std::jthread> workers_;
   std::vector<std::unique_ptr<std::condition_variable_any>> wakeups_;
   std::uint64_t events_dispatched_ = 0;

@@ -72,7 +72,18 @@ struct scap_pkthdr {
   std::uint8_t tcp_flags;
 };
 
+// Fixed-size mirrors of the kernel's per-reason arrays. Sized generously so
+// adding a decode-error reason or verdict does not break the C ABI; unused
+// tail entries are zero.
+constexpr std::size_t SCAP_MAX_PARSE_ERRORS = 16;
+constexpr std::size_t SCAP_MAX_VERDICTS = 16;
+
 /// Aggregate statistics (scap_get_stats).
+///
+/// Every KernelStats counter is mirrored here — the counter-conservation
+/// law (DESIGN.md §9) demands that a packet entering the kernel is visible
+/// in exactly one bucket of this struct, and tools/scap_lint.py fails the
+/// build if a kernel counter is added without its mirror.
 struct scap_stats_t {
   std::uint64_t pkts_seen;
   std::uint64_t bytes_seen;
@@ -86,6 +97,50 @@ struct scap_stats_t {
   std::uint64_t streams_terminated;
   std::uint64_t streams_evicted;
   std::uint64_t pkts_parse_error;  // undecodable input (parse-error taxonomy)
+
+  // --- full kernel counter mirror -------------------------------------------
+  std::uint64_t pkts_control;      // TCP lifecycle / zero-payload datagrams
+  std::uint64_t pkts_ignored;      // FIN/RST/pure-ACK of unknown flows
+  std::uint64_t pkts_frag_held;    // IP fragments buffered by defrag
+  std::uint64_t pkts_buffered;     // held out-of-order by reassembly
+  std::uint64_t pkts_filtered;     // rejected by the socket BPF filter
+  std::uint64_t pkts_cutoff;
+  std::uint64_t bytes_cutoff;
+  std::uint64_t pkts_dup;
+  std::uint64_t bytes_dup;
+  std::uint64_t pkts_ppl_dropped;
+  std::uint64_t bytes_ppl_dropped;
+  std::uint64_t pkts_nomem_dropped;
+  std::uint64_t bytes_nomem_dropped;
+  std::uint64_t pkts_norec_dropped;   // stream-record allocation failed
+  std::uint64_t pkts_bad_checksum;
+  std::uint64_t reasm_alloc_failures;
+  std::uint64_t fdir_installs;
+  std::uint64_t fdir_reinstalls;
+  std::uint64_t fdir_removals;
+  std::uint64_t fdir_install_failures;
+  std::uint64_t streams_rebalanced;
+  std::uint64_t streams_active;
+  std::uint64_t events_emitted;
+
+  // Record-pool occupancy.
+  std::uint64_t pool_capacity;
+  std::uint64_t pool_free;
+  std::uint64_t pool_slabs;
+  std::uint64_t pool_recycled;
+
+  // Adaptive overload controller.
+  std::int64_t ppl_effective_cutoff;   // -1 = no cutoff active
+  std::uint64_t ppl_overload_active;   // 0/1
+  std::uint64_t ppl_overload_entries;
+  std::uint64_t ppl_overload_exits;
+  std::uint64_t ppl_tightenings;
+  std::uint64_t ppl_relaxations;
+
+  // Per-reason decode failures (sums to pkts_parse_error) and the
+  // per-verdict packet histogram (sums to pkts_seen).
+  std::uint64_t parse_errors[SCAP_MAX_PARSE_ERRORS];
+  std::uint64_t verdicts[SCAP_MAX_VERDICTS];
 };
 
 // --- socket lifecycle ----------------------------------------------------------

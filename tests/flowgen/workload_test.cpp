@@ -50,7 +50,8 @@ TEST(Workload, TcpFractionRoughlyRespected) {
   Trace t = build_trace(cfg);
   int tcp = 0;
   for (const auto& flow : t.flows) tcp += flow.tcp ? 1 : 0;
-  EXPECT_NEAR(static_cast<double>(tcp) / t.flows.size(), 0.954, 0.03);
+  EXPECT_NEAR(static_cast<double>(tcp) / static_cast<double>(t.flows.size()),
+              0.954, 0.03);
 }
 
 TEST(Workload, FlowByteAccountingMatchesPackets) {

@@ -70,7 +70,9 @@ TEST(Defrag, InOrderReassembly) {
   std::optional<Packet> done;
   for (std::size_t i = 0; i < frags.size(); ++i) {
     done = defrag.feed(frags[i], Timestamp(0));
-    if (i + 1 < frags.size()) EXPECT_FALSE(done.has_value());
+    if (i + 1 < frags.size()) {
+      EXPECT_FALSE(done.has_value());
+    }
   }
   ASSERT_TRUE(done.has_value());
   ASSERT_TRUE(done->valid());

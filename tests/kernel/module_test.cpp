@@ -39,6 +39,7 @@ std::string chunk_text(const Event& ev) {
 
 TEST(ScapKernelTest, FullSessionLifecycle) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
 
@@ -80,6 +81,7 @@ TEST(ScapKernelTest, FullSessionLifecycle) {
 
 TEST(ScapKernelTest, HandshakeEstablishedTracked) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -94,6 +96,7 @@ TEST(ScapKernelTest, HandshakeEstablishedTracked) {
 
 TEST(ScapKernelTest, MidFlowDataFlagsIncompleteHandshake) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.data("no handshake", t), t);
@@ -104,6 +107,7 @@ TEST(ScapKernelTest, MidFlowDataFlagsIncompleteHandshake) {
 
 TEST(ScapKernelTest, RstTerminatesBothDirections) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -118,6 +122,7 @@ TEST(ScapKernelTest, RstTerminatesBothDirections) {
 
 TEST(ScapKernelTest, PureAckForUnknownStreamIgnored) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   auto out = k.handle_packet(s.ack(Timestamp(0)), Timestamp(0));
   EXPECT_EQ(out.verdict, Verdict::kIgnored);
@@ -128,6 +133,7 @@ TEST(ScapKernelTest, BpfFilterDiscardsEarly) {
   KernelConfig cfg = small_config();
   cfg.filter = BpfProgram::compile("port 443");
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;  // port 80
   auto out = k.handle_packet(s.syn(Timestamp(0)), Timestamp(0));
   EXPECT_EQ(out.verdict, Verdict::kFilteredBpf);
@@ -139,6 +145,7 @@ TEST(ScapKernelTest, CutoffTruncatesStream) {
   KernelConfig cfg = small_config();
   cfg.defaults.cutoff_bytes = 10;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -174,6 +181,7 @@ TEST(ScapKernelTest, ZeroCutoffDiscardsAllData) {
   KernelConfig cfg = small_config();
   cfg.defaults.cutoff_bytes = 0;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -199,6 +207,7 @@ TEST(ScapKernelTest, CutoffClassOverridesDefault) {
   cls.cutoff_bytes = 4;
   cfg.cutoff_classes.push_back(std::move(cls));
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
 
   SessionBuilder web(client_tuple(40000, 80));
   SessionBuilder other(client_tuple(40001, 9999));
@@ -217,6 +226,7 @@ TEST(ScapKernelTest, PerDirectionCutoff) {
   cfg.cutoff_per_dir[static_cast<int>(Direction::kOrig)] = 4;
   cfg.cutoff_per_dir[static_cast<int>(Direction::kReply)] = -1;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -233,6 +243,7 @@ TEST(ScapKernelTest, FdirInstalledOnCutoffAndPassesFinRst) {
   cfg.defaults.cutoff_bytes = 4;
   cfg.use_fdir = true;
   ScapKernel k(cfg, &nic);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -259,6 +270,7 @@ TEST(ScapKernelTest, FdirTimeoutReinstallDoublesTimeout) {
   cfg.expiry_interval = Duration::from_msec(100);
   cfg.defaults.inactivity_timeout = Duration::from_sec(1000);
   ScapKernel k(cfg, &nic);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -286,6 +298,7 @@ TEST(ScapKernelTest, FinSeqEstimatesOffloadedFlowSize) {
   cfg.defaults.cutoff_bytes = 4;
   cfg.use_fdir = true;
   ScapKernel k(cfg, &nic);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -313,6 +326,7 @@ TEST(ScapKernelTest, PplDropsLowPriorityUnderMemoryPressure) {
   cfg.ppl.base_threshold = 0.25;
   cfg.ppl.priority_levels = 2;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   Timestamp t(0);
 
   // Fill memory with HIGH-priority streams whose events we never consume
@@ -351,6 +365,7 @@ TEST(ScapKernelTest, ControlPacketsBypassPpl) {
   cfg.defaults.chunk_size = 4096;
   cfg.ppl.base_threshold = 0.0;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   Timestamp t(0);
   std::string block(4096, 'x');
   SessionBuilder a(client_tuple(1000, 80));
@@ -368,6 +383,7 @@ TEST(ScapKernelTest, InactivityTimeoutTerminatesStreams) {
   cfg.defaults.inactivity_timeout = Duration::from_sec(10);
   cfg.expiry_interval = Duration::from_sec(1);
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -394,6 +410,7 @@ TEST(ScapKernelTest, UdpStreamsConcatenateAndExpire) {
   KernelConfig cfg = small_config();
   cfg.expiry_interval = Duration::from_sec(1);
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   FiveTuple t5{0x0a000001, 0x0a000002, 5000, 53, kProtoUdp};
   Timestamp t(0);
   k.handle_packet(make_udp_packet(t5, bytes_of("query-1|"), t), t);
@@ -408,6 +425,7 @@ TEST(ScapKernelTest, UdpStreamsConcatenateAndExpire) {
 
 TEST(ScapKernelTest, DiscardStreamStopsCollection) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -423,6 +441,7 @@ TEST(ScapKernelTest, EvictionOnRecordBudgetKeepsNewestStreams) {
   KernelConfig cfg = small_config();
   cfg.max_streams = 100;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   Timestamp t(0);
   for (std::uint16_t i = 0; i < 300; ++i) {
     SessionBuilder s(client_tuple(static_cast<std::uint16_t>(1000 + i), 80));
@@ -440,6 +459,7 @@ TEST(ScapKernelTest, MultiAppMaskFollowsFilters) {
   cfg.app_filters.push_back(BpfProgram::compile("port 80"));
   cfg.app_filters.push_back(BpfProgram::compile("port 443"));
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder web(client_tuple(40000, 80));
   Timestamp t(0);
   k.handle_packet(web.syn(t), t);
@@ -454,6 +474,7 @@ TEST(ScapKernelTest, NeedPktsProducesPacketRecords) {
   KernelConfig cfg = small_config();
   cfg.need_pkts = true;
   ScapKernel k(cfg);
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -474,6 +495,7 @@ TEST(ScapKernelTest, NeedPktsProducesPacketRecords) {
 
 TEST(ScapKernelTest, StatsConsistency) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   SessionBuilder s;
   Timestamp t(0);
   k.handle_packet(s.syn(t), t);
@@ -491,6 +513,7 @@ TEST(ScapKernelTest, StatsConsistency) {
 
 TEST(ScapKernelTest, TerminateAllFlushesEverything) {
   ScapKernel k(small_config());
+  testing::KernelInvariantGuard guard(k);
   Timestamp t(0);
   for (std::uint16_t i = 0; i < 10; ++i) {
     SessionBuilder s(client_tuple(static_cast<std::uint16_t>(7000 + i), 80));

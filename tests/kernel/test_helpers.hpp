@@ -1,15 +1,68 @@
 // Shared helpers for kernel-level tests: hand-crafted TCP session packet
-// sequences with precise control over sequence numbers, flags and timing.
+// sequences with precise control over sequence numbers, flags and timing,
+// plus the conservation-check hook test fixtures run at teardown.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "kernel/module.hpp"
 #include "packet/craft.hpp"
 #include "packet/packet.hpp"
 
 namespace scap::kernel::testing {
+
+/// Asserts the kernel's full conservation suite (DESIGN.md §9). Fixtures
+/// call this from TearDown so every scenario — not only the ones written
+/// to probe accounting — proves the counter-conservation law on exit.
+inline void expect_invariants_hold(ScapKernel& k) {
+  EXPECT_EQ(k.check_invariants(), "") << "conservation violated at teardown";
+}
+
+/// Fixture base: tests that own a ScapKernel register it once and inherit
+/// the teardown conservation check.
+class KernelInvariantTest : public ::testing::Test {
+ protected:
+  void register_kernel(ScapKernel& k) { kernel_ = &k; }
+  void TearDown() override {
+    if (kernel_ != nullptr) expect_invariants_hold(*kernel_);
+  }
+
+ private:
+  ScapKernel* kernel_ = nullptr;
+};
+
+/// Scope guard for plain TEST()s driving a ScapKernel: declare right after
+/// the kernel and the conservation suite is asserted on scope exit, however
+/// the test ends.
+class KernelInvariantGuard {
+ public:
+  explicit KernelInvariantGuard(ScapKernel& k) : kernel_(k) {}
+  ~KernelInvariantGuard() { expect_invariants_hold(kernel_); }
+  KernelInvariantGuard(const KernelInvariantGuard&) = delete;
+  KernelInvariantGuard& operator=(const KernelInvariantGuard&) = delete;
+
+ private:
+  ScapKernel& kernel_;
+};
+
+/// Same for capture-level tests (templated so this kernel-layer header
+/// does not depend on scap/capture.hpp). Declare after cap.start() — the
+/// capture owns its kernel only once started.
+template <typename CaptureT>
+class CaptureInvariantGuard {
+ public:
+  explicit CaptureInvariantGuard(CaptureT& cap) : cap_(cap) {}
+  ~CaptureInvariantGuard() { expect_invariants_hold(cap_.kernel()); }
+  CaptureInvariantGuard(const CaptureInvariantGuard&) = delete;
+  CaptureInvariantGuard& operator=(const CaptureInvariantGuard&) = delete;
+
+ private:
+  CaptureT& cap_;
+};
 
 inline FiveTuple client_tuple(std::uint16_t src_port = 40000,
                               std::uint16_t dst_port = 80) {

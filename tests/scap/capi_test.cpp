@@ -54,6 +54,17 @@ class CApiTest : public ::testing::Test {
     g_collected = &collected_;
   }
   void TearDown() override { g_collected = nullptr; }
+
+  /// Asserts the kernel conservation suite, then closes the handle; used
+  /// instead of bare scap_close so every C-API scenario proves the
+  /// invariants at teardown.
+  static void close_checked(scap_t* sc) {
+    if (sc != nullptr && sc->has_kernel()) {
+      scap::kernel::testing::expect_invariants_hold(sc->kernel());
+    }
+    scap_close(sc);
+  }
+
   Collected collected_;
 };
 
@@ -79,7 +90,7 @@ TEST_F(CApiTest, PaperUseCaseFlowStatsExport) {
   ASSERT_EQ(scap_get_stats(sc, &stats), 0);
   EXPECT_EQ(stats.pkts_seen, 3u);
   EXPECT_GE(stats.streams_created, 1u);
-  scap_close(sc);
+  close_checked(sc);
 }
 
 TEST_F(CApiTest, PaperUseCaseStreamProcessing) {
@@ -100,7 +111,7 @@ TEST_F(CApiTest, PaperUseCaseStreamProcessing) {
   ASSERT_EQ(collected_.chunks.size(), 1u);
   EXPECT_EQ(collected_.chunks[0], "GET /index.html");
   EXPECT_EQ(collected_.creations, 1);
-  scap_close(sc);
+  close_checked(sc);
 }
 
 TEST_F(CApiTest, FileDeviceReplaysToCompletion) {
@@ -121,7 +132,7 @@ TEST_F(CApiTest, FileDeviceReplaysToCompletion) {
   ASSERT_EQ(scap_start_capture(sc), 0);
   ASSERT_EQ(collected_.chunks.size(), 1u);
   EXPECT_EQ(collected_.chunks[0], "file replay data");
-  scap_close(sc);
+  close_checked(sc);
   std::filesystem::remove(path);
 }
 
@@ -138,7 +149,7 @@ TEST_F(CApiTest, PacketDeliveryApi) {
   scap_inject(sc, s.fin(t));
   scap_flush(sc);
   EXPECT_EQ(collected_.packets, 3);
-  scap_close(sc);
+  close_checked(sc);
 }
 
 TEST_F(CApiTest, ParameterAndFilterValidation) {
@@ -151,7 +162,7 @@ TEST_F(CApiTest, ParameterAndFilterValidation) {
   EXPECT_EQ(scap_add_cutoff_direction(sc, 100, SCAP_DIR_ORIG), 0);
   EXPECT_EQ(scap_add_cutoff_direction(sc, 100, 7), -1);
   EXPECT_EQ(scap_add_cutoff_class(sc, 100, "port 80"), 0);
-  scap_close(sc);
+  close_checked(sc);
 }
 
 TEST_F(CApiTest, NullSafety) {
@@ -168,7 +179,7 @@ TEST_F(CApiTest, MissingFileDeviceFailsStart) {
                            SCAP_TCP_FAST, 0);
   ASSERT_NE(sc, nullptr);
   EXPECT_EQ(scap_start_capture(sc), -1);
-  scap_close(sc);
+  close_checked(sc);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@ TEST(CaptureFeatures, FlushTimeoutDeliversPartialChunks) {
     chunks.emplace_back(sd.data().begin(), sd.data().end());
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   cap.inject(s.syn(Timestamp(0)));
   cap.inject(s.data("early ", Timestamp::from_usec(1000)));
@@ -55,6 +56,7 @@ TEST(CaptureFeatures, UdpStreamsThroughApi) {
     EXPECT_EQ(sd.tuple().protocol, kProtoUdp);
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   FiveTuple t{0x0a000001, 0x0a000002, 5353, 53, kProtoUdp};
   const std::string q1 = "q1|", q2 = "q2|";
   cap.inject(make_udp_packet(t, bytes_of(q1), Timestamp(0)));
@@ -74,6 +76,7 @@ TEST(CaptureFeatures, OverlapDeliveredToCallbacks) {
                         sd.overlap_len());
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   cap.inject(s.syn(Timestamp(0)));
   cap.inject(s.data("abcdefgh", Timestamp(0)));  // chunk 1, no overlap
@@ -118,6 +121,7 @@ TEST(CaptureFeatures, PerStreamChunkSizeFromCallback) {
   });
   cap.dispatch_data([&](StreamView& sd) { sizes.push_back(sd.data_len()); });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   cap.inject(s.syn(Timestamp(0)));
   cap.inject(s.data("0123456789ab", Timestamp(0)));
@@ -133,6 +137,7 @@ TEST(CaptureFeatures, ErrorBitsSurfaceInCallbacks) {
   std::uint32_t seen_errors = 0;
   cap.dispatch_data([&](StreamView& sd) { seen_errors |= sd.chunk_errors(); });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -152,6 +157,7 @@ TEST(CaptureFeatures, ThreadedStressDeliversAllBytes) {
       [&](StreamView& sd) { bytes += sd.data_len(); });
   cap.dispatch_termination([&](StreamView&) { ++closed; });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
 
   flowgen::WorkloadConfig cfg;
   cfg.flows = 150;

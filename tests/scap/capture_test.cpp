@@ -34,6 +34,7 @@ TEST(CaptureTest, InlineModeDispatchesCallbacks) {
     }
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -62,6 +63,7 @@ TEST(CaptureTest, FlowStatsUseCaseFromPaper) {
     rows[sd.tuple().src_port] = {sd.stats().bytes, sd.stats().pkts};
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   Timestamp t(0);
   for (std::uint16_t port : {std::uint16_t{1001}, std::uint16_t{1002}}) {
     SessionBuilder s(client_tuple(port, 80));
@@ -84,6 +86,7 @@ TEST(CaptureTest, BpfFilterLimitsStreams) {
   int created = 0;
   cap.dispatch_creation([&](StreamView&) { ++created; });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   Timestamp t(0);
   SessionBuilder web(client_tuple(4000, 80));
   SessionBuilder ssh(client_tuple(4001, 22));
@@ -106,6 +109,7 @@ TEST(CaptureTest, KeepChunkMergesDeliveries) {
     }
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -129,6 +133,7 @@ TEST(CaptureTest, PerStreamCutoffFromCallback) {
     captured[sd.tuple().src_port] = sd.stats().captured_bytes;
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   Timestamp t(0);
   SessionBuilder limited(client_tuple(5001, 80));
   SessionBuilder full(client_tuple(5002, 443));
@@ -151,6 +156,7 @@ TEST(CaptureTest, DiscardStreamFromCallback) {
   });
   cap.set_parameter(Parameter::kChunkSize, 4);
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -174,6 +180,7 @@ TEST(CaptureTest, PacketDeliveryThroughStreamView) {
     }
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -202,6 +209,7 @@ TEST(CaptureTest, ThreadedModeDeliversEverything) {
     ++terminations;
   });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   Timestamp t(0);
   const int kStreams = 50;
   for (int i = 0; i < kStreams; ++i) {
@@ -219,6 +227,7 @@ TEST(CaptureTest, ThreadedModeDeliversEverything) {
 TEST(CaptureTest, StatsAggregate) {
   Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -237,6 +246,7 @@ TEST(CaptureTest, StrictModeEndToEnd) {
   cap.dispatch_data(
       [&](StreamView& sd) { text.append(sd.data().begin(), sd.data().end()); });
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   SessionBuilder s;
   Timestamp t(0);
   cap.inject(s.syn(t));
@@ -256,6 +266,7 @@ TEST(CaptureTest, StrictModeEndToEnd) {
 TEST(CaptureTest, StartTwiceThrows) {
   Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   EXPECT_THROW(cap.start(), std::logic_error);
 }
 

@@ -38,6 +38,7 @@ TEST(MultiApp, EachApplicationSeesItsFilteredSubset) {
   cap.add_application("port 80", handlers_for(web));
   cap.add_application("port 25 or port 53", handlers_for(dns_or_mail));
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
 
   Timestamp t(0);
   SessionBuilder http(client_tuple(40000, 80));
@@ -62,6 +63,7 @@ TEST(MultiApp, UnwantedStreamsDiscardedInKernel) {
   AppLog web;
   cap.add_application("port 80", handlers_for(web));
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   Timestamp t(0);
   SessionBuilder other(client_tuple(40002, 9999));
   cap.inject(other.syn(t));
@@ -78,6 +80,7 @@ TEST(MultiApp, OverlappingFiltersShareOneReassembly) {
   cap.add_application("tcp", handlers_for(all_tcp));
   cap.add_application("port 80", handlers_for(web));
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   Timestamp t(0);
   SessionBuilder http(client_tuple(40000, 80));
   cap.inject(http.syn(t));
@@ -96,6 +99,7 @@ TEST(MultiApp, OverlappingFiltersShareOneReassembly) {
 TEST(MultiApp, AddAfterStartThrows) {
   Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
   cap.start();
+  kernel::testing::CaptureInvariantGuard guard(cap);
   EXPECT_THROW(cap.add_application("tcp", {}), std::logic_error);
 }
 

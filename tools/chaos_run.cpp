@@ -10,8 +10,13 @@
 //   - every injected fault must surface in a counter, not a crash
 //   - with --check-reproducible, two runs of the same seed must produce
 //     byte-identical reports (the bit-reproducibility acceptance gate)
+//   - with --check-invariants, the kernel's full conservation suite
+//     (ScapKernel::check_invariants: verdict-histogram conservation, pool
+//     balance, PPL monotonicity) is evaluated every 1000 packets and after
+//     the final flush; any violation fails the run
 //
 // Usage: chaos_run [--seed S] [--packets N] [--check-reproducible]
+//                  [--check-invariants]
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -41,6 +46,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint64_t packets = 20000;
   bool check_reproducible = false;
+  bool check_invariants = false;
 };
 
 void append(std::string& out, const char* key, std::uint64_t value) {
@@ -105,8 +111,24 @@ std::string run_once(const Options& opt, bool& ok) {
     FaultScope scope(injector);
     for (std::uint64_t i = 0; i < opt.packets; ++i) {
       cap.inject(gen.next());
+      if (opt.check_invariants && (i + 1) % 1000 == 0) {
+        const std::string v = cap.kernel().check_invariants();
+        if (!v.empty()) {
+          std::fprintf(stderr,
+                       "INVARIANT VIOLATION after %" PRIu64 " packets: %s\n",
+                       i + 1, v.c_str());
+          ok = false;
+        }
+      }
     }
     cap.stop();  // flush inside the scope: teardown paths get faults too
+  }
+  if (opt.check_invariants) {
+    const std::string v = cap.kernel().check_invariants();
+    if (!v.empty()) {
+      std::fprintf(stderr, "INVARIANT VIOLATION after flush: %s\n", v.c_str());
+      ok = false;
+    }
   }
 
   const scap::CaptureStats stats = cap.stats();
@@ -117,23 +139,53 @@ std::string run_once(const Options& opt, bool& ok) {
   append(report, "seed", opt.seed);
   append(report, "packets", opt.packets);
 
+  // Every KernelStats counter is dumped (scap_lint enforces it): a counter
+  // missing from this report is invisible to the reproducibility gate.
   append(report, "pkts_seen", k.pkts_seen);
+  append(report, "bytes_seen", k.bytes_seen);
   append(report, "pkts_stored", k.pkts_stored);
   append(report, "bytes_stored", k.bytes_stored);
+  append(report, "pkts_control", k.pkts_control);
+  append(report, "pkts_filtered", k.pkts_filtered);
+  append(report, "pkts_ignored", k.pkts_ignored);
+  append(report, "pkts_frag_held", k.pkts_frag_held);
+  append(report, "pkts_buffered", k.pkts_buffered);
   append(report, "pkts_invalid", k.pkts_invalid);
   append(report, "pkts_cutoff", k.pkts_cutoff);
+  append(report, "bytes_cutoff", k.bytes_cutoff);
   append(report, "pkts_dup", k.pkts_dup);
+  append(report, "bytes_dup", k.bytes_dup);
   append(report, "pkts_ppl_dropped", k.pkts_ppl_dropped);
+  append(report, "bytes_ppl_dropped", k.bytes_ppl_dropped);
   append(report, "pkts_nomem_dropped", k.pkts_nomem_dropped);
+  append(report, "bytes_nomem_dropped", k.bytes_nomem_dropped);
   append(report, "pkts_norec_dropped", k.pkts_norec_dropped);
+  append(report, "pkts_bad_checksum", k.pkts_bad_checksum);
   append(report, "reasm_alloc_failures", k.reasm_alloc_failures);
   append(report, "fdir_install_failures", k.fdir_install_failures);
   append(report, "fdir_installs", k.fdir_installs);
+  append(report, "fdir_reinstalls", k.fdir_reinstalls);
+  append(report, "fdir_removals", k.fdir_removals);
   append(report, "streams_created", k.streams_created);
   append(report, "streams_terminated", k.streams_terminated);
   append(report, "streams_evicted", k.streams_evicted);
+  append(report, "streams_rebalanced", k.streams_rebalanced);
+  append(report, "streams_active", k.streams_active);
   append(report, "events_emitted", k.events_emitted);
   append(report, "nic_dropped_by_filter", stats.nic_dropped_by_filter);
+
+  // Record pool occupancy.
+  append(report, "pool_capacity", k.pool_capacity);
+  append(report, "pool_free", k.pool_free);
+  append(report, "pool_slabs", k.pool_slabs);
+  append(report, "pool_recycled", k.pool_recycled);
+
+  // Final-verdict histogram (sums to pkts_seen — conservation law 1).
+  for (std::size_t i = 0; i < scap::kernel::kNumVerdicts; ++i) {
+    std::string key = "verdict.";
+    key += scap::kernel::to_string(static_cast<scap::kernel::Verdict>(i));
+    append(report, key.c_str(), k.verdicts[i]);
+  }
 
   // Parse-error taxonomy.
   std::uint64_t taxonomy_sum = 0;
@@ -147,6 +199,11 @@ std::string run_once(const Options& opt, bool& ok) {
   }
 
   // Adaptive overload controller.
+  append(report, "ppl_effective_cutoff",
+         static_cast<std::uint64_t>(k.ppl_effective_cutoff < 0
+                                        ? 0
+                                        : k.ppl_effective_cutoff));
+  append(report, "ppl_overload_active", k.ppl_overload_active);
   append(report, "ppl_overload_entries", k.ppl_overload_entries);
   append(report, "ppl_overload_exits", k.ppl_overload_exits);
   append(report, "ppl_tightenings", k.ppl_tightenings);
@@ -201,10 +258,12 @@ int main(int argc, char** argv) {
       opt.packets = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--check-reproducible") == 0) {
       opt.check_reproducible = true;
+    } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
+      opt.check_invariants = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_run [--seed S] [--packets N] "
-                   "[--check-reproducible]\n");
+                   "[--check-reproducible] [--check-invariants]\n");
       return 2;
     }
   }

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Verify that every first-party C++ file satisfies the repo's .clang-format.
+
+Exit codes:
+  0  — all files formatted
+  1  — at least one file would be reformatted
+  77 — clang-format is not installed (ctest SKIP_RETURN_CODE)
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+DIRS = ("src", "tests", "tools", "bench", "examples")
+EXTS = {".cpp", ".hpp", ".h"}
+
+
+def main() -> int:
+    fmt = shutil.which("clang-format")
+    if fmt is None:
+        print("clang-format not found on PATH; skipping (exit 77)")
+        return 77
+
+    root = Path(__file__).resolve().parent.parent
+    files = sorted(
+        str(p) for d in DIRS for p in (root / d).rglob("*")
+        if p.suffix in EXTS and p.is_file())
+    if not files:
+        print("error: no C++ sources found", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run([fmt, "--dry-run", "--Werror", *files],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print(f"clang-format: style violations (checked {len(files)} files)")
+        return 1
+    print(f"clang-format: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's first-party sources.
+
+Thin ctest wrapper around clang-tidy: reads compile_commands.json from the
+build directory, keeps first-party translation units (src/, tools/, bench/,
+examples/ — tests are gtest-macro heavy and excluded), and runs clang-tidy
+with the checks from the repo's .clang-tidy.
+
+Exit codes:
+  0  — clean
+  1  — clang-tidy reported diagnostics
+  77 — clang-tidy is not installed (ctest SKIP_RETURN_CODE)
+  2  — usage / environment error
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+FIRST_PARTY = ("src/", "tools/", "bench/", "examples/")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", required=True,
+                        help="build directory containing compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("clang-tidy not found on PATH; skipping (exit 77)")
+        return 77
+
+    build = Path(args.build)
+    ccdb = build / "compile_commands.json"
+    if not ccdb.is_file():
+        print(f"error: {ccdb} not found "
+              "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    root = Path(__file__).resolve().parent.parent
+    entries = json.loads(ccdb.read_text())
+    files = sorted({
+        e["file"] for e in entries
+        if any(str(Path(e["file"]).resolve().relative_to(root))
+               .startswith(p) for p in FIRST_PARTY
+               if Path(e["file"]).resolve().is_relative_to(root))
+    })
+    if not files:
+        print("error: no first-party files in compile database",
+              file=sys.stderr)
+        return 2
+
+    print(f"clang-tidy: {len(files)} translation units")
+    failed = False
+    for f in files:
+        proc = subprocess.run(
+            [tidy, "-p", str(build), "--quiet", "--warnings-as-errors=*", f],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            failed = True
+            rel = Path(f).resolve()
+            print(f"--- {rel} ---")
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+    if failed:
+        print("clang-tidy: FAILED")
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""scap_lint — Scap-specific static checks (DESIGN.md §9).
+
+Rules
+-----
+heap-hot-path
+    No raw `new`/`new[]`, `malloc`/`calloc`/`realloc`, or
+    `std::unordered_map` in kernel hot-path files. Fast-path memory must go
+    through RecordPool (stream records), ChunkAllocator (chunk blocks) or
+    the open-addressing FlowTable; ad-hoc heap traffic on the packet path
+    is exactly what the PR-1 fast-path overhaul removed.
+
+nondeterminism
+    No `rand()`, `std::random_device`, `std::mt19937`, wall-clock reads
+    (`system_clock` / `steady_clock` / `gettimeofday` / `time(nullptr)`)
+    anywhere in src/. All randomness flows from the seeded scap::Rng and
+    all time from the virtual scap::Timestamp, or bit-reproducible chaos
+    runs are impossible.
+
+counter-conservation
+    Every counter declared in KernelStats (src/kernel/module.hpp) must be
+    (a) written somewhere in src/kernel/ (incremented on the hot path or
+    mirrored in stats()), (b) mirrored into the C API's scap_stats_t in
+    src/scap/capi.cpp, and (c) dumped by tools/chaos_run.cpp. A counter
+    added but not mirrored is the bug class the conservation checker
+    exists for: it silently vanishes from every report that matters.
+
+api-stats-mirror
+    Every field of scap_stats_t (src/scap/scap.h) must be assigned in
+    scap_get_stats (src/scap/capi.cpp) — the reverse direction of the
+    mirror law.
+
+Waivers: append `// scap-lint: allow(<rule>) <reason>` to the offending
+line (or the line directly above it). Waivers without a reason are
+themselves findings.
+
+Usage: scap_lint.py [--root DIR] [--list-rules]
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Kernel hot-path files: everything a packet touches between handle_packet
+# and event emission. Cold-path kernel files (defrag holds fragments across
+# packets, events are queue plumbing) still obey nondeterminism rules but
+# may use standard containers.
+HOT_PATH_FILES = [
+    "src/kernel/module.hpp",
+    "src/kernel/module.cpp",
+    "src/kernel/flow_table.hpp",
+    "src/kernel/flow_table.cpp",
+    "src/kernel/record_pool.hpp",
+    "src/kernel/record_pool.cpp",
+    "src/kernel/memory.hpp",
+    "src/kernel/memory.cpp",
+    "src/kernel/reassembly.hpp",
+    "src/kernel/reassembly.cpp",
+    "src/kernel/segment_store.hpp",
+    "src/kernel/segment_store.cpp",
+    "src/kernel/ppl.hpp",
+    "src/kernel/ppl.cpp",
+    "src/kernel/stream.hpp",
+]
+
+HEAP_PATTERNS = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "raw operator new"),
+    (re.compile(r"\bnew\s*\("), "placement/raw operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "C heap allocation"),
+    (re.compile(r"std::unordered_map\b"), "std::unordered_map"),
+]
+
+NONDET_PATTERNS = [
+    (re.compile(r"\b(?:srand|rand)\s*\("), "libc rand()"),
+    (re.compile(r"std::random_device\b"), "std::random_device"),
+    (re.compile(r"std::(?:mt19937|mt19937_64|default_random_engine)\b"),
+     "unseeded-by-policy std <random> engine"),
+    (re.compile(
+        r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"),
+     "wall-clock read"),
+    (re.compile(r"\b(?:gettimeofday|clock_gettime)\s*\("), "wall-clock read"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "wall-clock read"),
+]
+
+# Files allowed to talk about randomness sources (the seeded generator and
+# its documentation live here).
+NONDET_EXEMPT = ["src/base/rng.hpp"]
+
+WAIVER_RE = re.compile(r"//\s*scap-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line):
+    """Blank out string/char literals and // comments so patterns match
+    only code. Block comments are handled per-line by the caller."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def waivers_for(lines, idx, rule):
+    """True if line idx (0-based) or the line above carries a waiver for
+    `rule`."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = WAIVER_RE.search(lines[j])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def scan_patterns(root, rel, patterns, rule, findings):
+    path = os.path.join(root, rel)
+    if not os.path.exists(path):
+        findings.append(Finding(rel, 0, rule, "file missing (rule expects it)"))
+        return
+    lines = read_lines(path)
+    in_block_comment = False
+    for i, raw in enumerate(lines):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Strip /* ... */ spans that open (and possibly close) on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        code = strip_comments_and_strings(line)
+        for pattern, what in patterns:
+            if pattern.search(code) and not waivers_for(lines, i, rule):
+                findings.append(Finding(rel, i + 1, rule,
+                                        f"{what} (forbidden here)"))
+
+
+FIELD_RE = re.compile(
+    r"^\s*std::u?int64_t\s+([a-z_][a-z0-9_]*)(?:\s*\[[^\]]*\])?\s*=?")
+
+
+def parse_struct_fields(lines, struct_name):
+    """Collect (name, line_no, declaration_line) for integer fields of
+    `struct <name> {...}` — counters only, nested braces skipped."""
+    fields = []
+    in_struct = False
+    depth = 0
+    for i, line in enumerate(lines):
+        if not in_struct:
+            if re.search(r"\bstruct\s+" + struct_name + r"\b", line):
+                in_struct = True
+                depth = line.count("{") - line.count("}")
+            continue
+        depth += line.count("{") - line.count("}")
+        if depth < 0 or (depth == 0 and "};" in line):
+            break
+        if depth > 1:
+            continue  # nested scope (e.g. a member function body)
+        m = FIELD_RE.match(line)
+        if m:
+            fields.append((m.group(1), i + 1, line))
+    return fields
+
+
+def word_in_file(root, rel, word):
+    path = os.path.join(root, rel)
+    if not os.path.exists(path):
+        return False
+    pattern = re.compile(r"\b" + re.escape(word) + r"\b")
+    lines = read_lines(path)
+    for line in lines:
+        if pattern.search(strip_comments_and_strings(line)):
+            return True
+    return False
+
+
+def check_counter_conservation(root, findings):
+    module_hpp = "src/kernel/module.hpp"
+    path = os.path.join(root, module_hpp)
+    if not os.path.exists(path):
+        findings.append(Finding(module_hpp, 0, "counter-conservation",
+                                "module.hpp not found"))
+        return
+    lines = read_lines(path)
+    counters = parse_struct_fields(lines, "KernelStats")
+    if not counters:
+        findings.append(Finding(module_hpp, 0, "counter-conservation",
+                                "could not parse KernelStats counters"))
+        return
+
+    kernel_sources = ["src/kernel/module.cpp", "src/kernel/module.hpp"]
+    write_re_cache = {}
+    for name, line_no, decl in counters:
+        if waivers_for(lines, line_no - 1, "counter-conservation"):
+            continue
+        # (a) written somewhere in the kernel: ++x / x++ / x += / x = / x[.
+        wrote = False
+        write_re = write_re_cache.setdefault(
+            name,
+            re.compile(r"(\+\+\s*(?:stats_?\s*\.\s*)?" + re.escape(name) +
+                       r"\b)|(\b" + re.escape(name) +
+                       r"(?:\s*\[[^\]]*\])?\s*(?:\+\+|\+=|-=|=[^=]))"))
+        for rel in kernel_sources:
+            src_path = os.path.join(root, rel)
+            if not os.path.exists(src_path):
+                continue
+            for i, src_line in enumerate(read_lines(src_path)):
+                if rel == module_hpp and i + 1 == line_no:
+                    continue  # the declaration itself
+                if write_re.search(strip_comments_and_strings(src_line)):
+                    wrote = True
+                    break
+            if wrote:
+                break
+        if not wrote:
+            findings.append(Finding(
+                module_hpp, line_no, "counter-conservation",
+                f"KernelStats::{name} is declared but never written in "
+                "src/kernel/ — dead counter or missing increment"))
+        # (b) mirrored into the C API.
+        if not word_in_file(root, "src/scap/capi.cpp", name):
+            findings.append(Finding(
+                module_hpp, line_no, "counter-conservation",
+                f"KernelStats::{name} is not mirrored into scap_stats_t in "
+                "src/scap/capi.cpp"))
+        # (c) dumped by the chaos harness.
+        if not word_in_file(root, "tools/chaos_run.cpp", name):
+            findings.append(Finding(
+                module_hpp, line_no, "counter-conservation",
+                f"KernelStats::{name} is not dumped by tools/chaos_run.cpp — "
+                "invisible to the reproducibility gate"))
+
+
+def check_api_stats_mirror(root, findings):
+    scap_h = "src/scap/scap.h"
+    path = os.path.join(root, scap_h)
+    if not os.path.exists(path):
+        findings.append(Finding(scap_h, 0, "api-stats-mirror",
+                                "scap.h not found"))
+        return
+    lines = read_lines(path)
+    fields = parse_struct_fields(lines, "scap_stats_t")
+    if not fields:
+        findings.append(Finding(scap_h, 0, "api-stats-mirror",
+                                "could not parse scap_stats_t"))
+        return
+    capi = os.path.join(root, "src/scap/capi.cpp")
+    capi_lines = [strip_comments_and_strings(l) for l in read_lines(capi)]
+    for name, line_no, _ in fields:
+        assign = re.compile(r"stats->\s*" + re.escape(name) + r"\b")
+        if not any(assign.search(l) for l in capi_lines):
+            findings.append(Finding(
+                scap_h, line_no, "api-stats-mirror",
+                f"scap_stats_t::{name} is never assigned in scap_get_stats"))
+
+
+def iter_source_files(root, subdir):
+    for dirpath, _, names in os.walk(os.path.join(root, subdir)):
+        for n in sorted(names):
+            if n.endswith((".cpp", ".hpp", ".h")):
+                yield os.path.relpath(os.path.join(dirpath, n), root)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("heap-hot-path\nnondeterminism\ncounter-conservation\n"
+              "api-stats-mirror")
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"scap_lint: {root} does not look like the scap repo",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    for rel in HOT_PATH_FILES:
+        scan_patterns(root, rel, HEAP_PATTERNS, "heap-hot-path", findings)
+    for rel in iter_source_files(root, "src"):
+        if rel.replace(os.sep, "/") in NONDET_EXEMPT:
+            continue
+        scan_patterns(root, rel, NONDET_PATTERNS, "nondeterminism", findings)
+    check_counter_conservation(root, findings)
+    check_api_stats_mirror(root, findings)
+
+    # A waiver must say why, or it is itself a finding.
+    for rel in list(iter_source_files(root, "src")) + \
+            list(iter_source_files(root, "tools")):
+        for i, line in enumerate(read_lines(os.path.join(root, rel))):
+            m = WAIVER_RE.search(line)
+            if m and not m.group(2).strip():
+                findings.append(Finding(rel, i + 1, "waiver",
+                                        "waiver without a reason"))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"scap_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("scap_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
