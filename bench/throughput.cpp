@@ -37,6 +37,9 @@
 #include "flowgen/workload.hpp"
 #include "kernel/module.hpp"
 #include "packet/craft.hpp"
+#ifndef SCAP_SEED_BASELINE
+#include "trace/trace.hpp"
+#endif
 
 // --- Allocation counter ------------------------------------------------------
 // Counts every operator-new in the process; workloads sample it around their
@@ -202,10 +205,23 @@ WorkloadResult run_flow_lookup(bool& zero_alloc_ok) {
 
 // --- reassembly --------------------------------------------------------------
 
-WorkloadResult run_reassembly(const flowgen::Trace& trace) {
+// With `traced`, a Tracer is attached before the first packet, so every
+// instrumentation site in the batch path takes its branch+store. Comparing
+// the two runs prices the observability layer (trace-on overhead);
+// comparing the untraced run against the checked-in baseline via
+// compare_bench.py prices the instrumentation itself (trace-off overhead,
+// the <=2% acceptance gate).
+WorkloadResult run_reassembly(const flowgen::Trace& trace, bool traced) {
   kernel::KernelConfig cfg;
   cfg.max_streams = 1 << 16;
   kernel::ScapKernel k(cfg);
+#ifndef SCAP_SEED_BASELINE
+  trace::Tracer tracer(trace::TraceConfig{.ring_capacity = 1 << 14,
+                                          .cores = 1});
+  if (traced) k.set_tracer(&tracer);
+#else
+  (void)traced;
+#endif
 
   // Warmup: one untimed pass grows the record pool, chunk vectors, and event
   // deque to steady-state capacity.
@@ -227,7 +243,7 @@ WorkloadResult run_reassembly(const flowgen::Trace& trace) {
   const double elapsed = now_sec() - start;
 
   WorkloadResult r;
-  r.name = "reassembly";
+  r.name = traced ? "reassembly_traced" : "reassembly";
   r.packets = static_cast<std::uint64_t>(trace.packets.size()) * kLoops;
   r.seconds = elapsed;
   r.allocs = g_allocs.load() - allocs_before;
@@ -315,7 +331,10 @@ int main(int argc, char** argv) {
   std::vector<WorkloadResult> results;
   bool zero_alloc_ok = false;
   results.push_back(run_flow_lookup(zero_alloc_ok));
-  results.push_back(run_reassembly(trace));
+  results.push_back(run_reassembly(trace, /*traced=*/false));
+#ifndef SCAP_SEED_BASELINE
+  results.push_back(run_reassembly(trace, /*traced=*/true));
+#endif
   results.push_back(run_pipeline(trace));
 
   std::printf("workload,packets,seconds,pps,ns_per_pkt,allocs_per_pkt\n");
@@ -325,6 +344,18 @@ int main(int argc, char** argv) {
                 r.ns_per_pkt(), r.allocs_per_pkt());
   }
   write_json(out_path, seed, results);
+
+  // Trace-on overhead: reassembly with a live tracer vs without one.
+  const WorkloadResult* plain = nullptr;
+  const WorkloadResult* traced = nullptr;
+  for (const WorkloadResult& r : results) {
+    if (r.name == "reassembly") plain = &r;
+    if (r.name == "reassembly_traced") traced = &r;
+  }
+  if (plain != nullptr && traced != nullptr && plain->ns_per_pkt() > 0) {
+    std::printf("trace_on_overhead_pct=%.2f\n",
+                (traced->ns_per_pkt() / plain->ns_per_pkt() - 1.0) * 100.0);
+  }
 
   if (!zero_alloc_ok) {
     std::fprintf(stderr,

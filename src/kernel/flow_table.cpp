@@ -38,12 +38,16 @@ RecordPoolStats FlowTable::pool_stats() const { return pool_->stats(); }
 StreamRecord* FlowTable::find(const FiveTuple& tuple) {
   const std::uint64_t h = hash_of(tuple);
   std::size_t i = h & mask_;
+  std::size_t probes = 1;
   while (slots_[i].rec != nullptr) {
     if (slots_[i].hash == h && slots_[i].rec->tuple == tuple) {
+      last_probe_len_ = probes;
       return slots_[i].rec;
     }
     i = (i + 1) & mask_;
+    ++probes;
   }
+  last_probe_len_ = probes;
   return nullptr;
 }
 

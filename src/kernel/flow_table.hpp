@@ -153,6 +153,11 @@ class FlowTable {
 
   RecordPoolStats pool_stats() const;
 
+  /// Slots inspected by the most recent find() — the probe-length sample
+  /// the tracer's flow_probe_len histogram records (DESIGN.md §10). A
+  /// direct hit or an immediately-empty slot both count as 1.
+  std::size_t last_probe_len() const { return last_probe_len_; }
+
  private:
   struct Slot {
     StreamRecord* rec = nullptr;  // nullptr = empty
@@ -175,6 +180,7 @@ class FlowTable {
   std::uint64_t created_total_ = 0;
   std::uint64_t evicted_total_ = 0;
   std::size_t size_ = 0;
+  std::size_t last_probe_len_ = 0;
 
   // Tuple-keyed open-addressing table (linear probe, backward-shift erase).
   std::vector<Slot> slots_;

@@ -154,6 +154,45 @@ std::string ScapKernel::check_invariants() const {
   if (ctl.overload && ctl.effective_cutoff < ppl_.config().min_cutoff) {
     return "ppl adaptive cutoff fell below min_cutoff";
   }
+
+#if defined(SCAP_ENABLE_TRACE)
+  // Trace conservation (DESIGN.md §10): the tracer's per-type counts are
+  // cumulative at record time (independent of ring wrap), so they must
+  // track their kernel counters exactly — an emit site missing next to a
+  // counter increment (or vice versa) shows up here. Requires the tracer
+  // to have been attached before the first packet (set_tracer asserts it).
+  if (tracer_ != nullptr) {
+    struct TraceLaw {
+      trace::TraceEventType type;
+      std::uint64_t counter;
+      const char* law;
+    };
+    const TraceLaw laws[] = {
+        {trace::TraceEventType::kPacketVerdict, stats_.pkts_seen,
+         "trace(packet_verdict) == pkts_seen"},
+        {trace::TraceEventType::kStreamCreated, stats_.streams_created,
+         "trace(stream_created) == streams_created"},
+        {trace::TraceEventType::kStreamTerminated, stats_.streams_terminated,
+         "trace(stream_terminated) == streams_terminated"},
+        {trace::TraceEventType::kChunkDelivered, stats_.chunks_delivered,
+         "trace(chunk_delivered) == chunks_delivered"},
+    };
+    for (const TraceLaw& l : laws) {
+      const std::uint64_t recorded = tracer_->recorded_of(l.type);
+      if (recorded != l.counter) return violation(l.law, recorded, l.counter);
+    }
+    const trace::MetricsRegistry& m = tracer_->metrics();
+    if (m.chunk_latency_us.total() != stats_.chunks_delivered) {
+      return violation("hist(chunk_latency_us) == chunks_delivered",
+                       m.chunk_latency_us.total(), stats_.chunks_delivered);
+    }
+    if (m.stream_size_bytes.total() != stats_.streams_terminated) {
+      return violation("hist(stream_size_bytes) == streams_terminated",
+                       m.stream_size_bytes.total(),
+                       stats_.streams_terminated);
+    }
+  }
+#endif
   return {};
 }
 
@@ -278,6 +317,23 @@ void ScapKernel::emit_created(StreamRecord& rec) {
 
 void ScapKernel::emit_data(StreamRecord& rec, Chunk&& chunk,
                            bool transfer_block) {
+#if defined(SCAP_ENABLE_TRACE)
+  if (tracer_ != nullptr) {
+    // Delivery happens at the stream's current packet time (last_access —
+    // flush timeouts and terminations deliver at maintenance time, which
+    // the caller has already folded into last_access for live streams).
+    // Chunk latency is first contributing segment -> delivery, in µs.
+    const std::int64_t lat_ns =
+        chunk.first_ts.ns() > 0 ? (rec.last_access - chunk.first_ts).ns() : 0;
+    tracer_->record(trace::TraceEventType::kChunkDelivered, rec.core,
+                    rec.last_access, rec.id, 0,
+                    static_cast<std::uint32_t>(chunk.data.size()),
+                    chunk.stream_offset);
+    tracer_->metrics().chunk_latency_us.add(
+        lat_ns > 0 ? static_cast<std::uint64_t>(lat_ns) / 1000 : 0);
+  }
+#endif
+  ++stats_.chunks_delivered;
   Event ev;
   ev.type = EventType::kData;
   ev.stream = snapshot(rec);
@@ -309,6 +365,10 @@ void ScapKernel::emit_data(StreamRecord& rec, Chunk&& chunk,
 }
 
 void ScapKernel::emit_terminated(StreamRecord& rec) {
+  SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kStreamTerminated,
+                   rec.core, rec.last_access, rec.id,
+                   static_cast<std::uint16_t>(rec.status), 0, rec.stats.bytes);
+  SCAP_TRACE_METRIC(tracer_, stream_size_bytes, rec.stats.bytes);
   Event ev;
   ev.type = EventType::kTerminated;
   ev.stream = snapshot(rec);
@@ -362,6 +422,9 @@ void ScapKernel::install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
     ++outcome.fdir_updates;
   }
   rec.fdir_installed = any_installed;
+  SCAP_TRACE_EVENT(
+      tracer_, trace::TraceEventType::kFdirInstall, rec.core, now, rec.id,
+      static_cast<std::uint16_t>(any_installed ? (reinstall ? 1 : 0) : 2));
 }
 
 void ScapKernel::trigger_cutoff(StreamRecord& rec, Timestamp now,
@@ -382,7 +445,6 @@ void ScapKernel::trigger_cutoff(StreamRecord& rec, Timestamp now,
 
 void ScapKernel::terminate(StreamRecord& rec, StreamStatus status,
                            Timestamp now, PacketOutcome* outcome) {
-  (void)now;
   rec.status = status;
   flush_chunks(rec, 0);
   if (rec.chunk_alloc) {
@@ -402,6 +464,8 @@ void ScapKernel::terminate(StreamRecord& rec, StreamStatus status,
       stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple.reversed());
     }
     rec.fdir_installed = false;
+    SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kFdirEvict, rec.core,
+                     now, rec.id, 0);
   }
   flush_watch_.erase(rec.id);
   auto& count = core_streams_[static_cast<std::size_t>(rec.core)];
@@ -415,6 +479,7 @@ StreamRecord* ScapKernel::lookup_or_create(const Packet& pkt, Timestamp now,
                                            int core,
                                            PacketOutcome& outcome) {
   StreamRecord* rec = table_.find(pkt.tuple());
+  SCAP_TRACE_METRIC(tracer_, flow_probe_len, table_.last_probe_len());
   if (rec != nullptr) return rec;
 
   // Only create streams for packets that begin or carry a flow: SYN, any
@@ -467,6 +532,11 @@ StreamRecord* ScapKernel::lookup_or_create(const Packet& pkt, Timestamp now,
   maybe_rebalance(*rec, now);
   ++core_streams_[static_cast<std::size_t>(rec->core)];
   ++stats_.streams_created;
+  // Traced here, not in emit_created: creation events are configurable but
+  // the trace law count(stream_created) == streams_created is not.
+  SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kStreamCreated, rec->core,
+                   now, rec->id, static_cast<std::uint16_t>(rec->core),
+                   static_cast<std::uint32_t>(rec->params.priority));
   outcome.created_stream = true;
   emit_created(*rec);
   return rec;
@@ -621,6 +691,9 @@ PacketOutcome ScapKernel::handle_packet(const Packet& pkt, Timestamp now,
   }
   const PacketOutcome out = handle_one(pkt, now, core);
   ++stats_.verdicts[static_cast<std::size_t>(out.verdict)];
+  SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPacketVerdict, core, now,
+                   out.stream_id, static_cast<std::uint16_t>(out.verdict),
+                   pkt.wire_len());
   return out;
 }
 
@@ -640,6 +713,10 @@ PacketOutcome ScapKernel::handle_batch(std::span<const Packet> pkts,
     }
     const PacketOutcome out = handle_one(pkts[i], pkts[i].timestamp(), core);
     ++stats_.verdicts[static_cast<std::size_t>(out.verdict)];
+    SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPacketVerdict, core,
+                     pkts[i].timestamp(), out.stream_id,
+                     static_cast<std::uint16_t>(out.verdict),
+                     pkts[i].wire_len());
     if (!outcomes.empty()) outcomes[i] = out;
     total.verdict = out.verdict;
     total.stored_bytes += out.stored_bytes;
@@ -714,6 +791,7 @@ PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
     if (outcome.verdict == Verdict::kIgnored) ++stats_.pkts_ignored;
     return outcome;
   }
+  outcome.stream_id = rec->id;
   table_.touch(*rec, now);
   rec->stats.last_packet = now;
 
@@ -802,9 +880,22 @@ PacketOutcome ScapKernel::handle_decoded(const Packet& pkt, Timestamp now,
 void ScapKernel::run_maintenance(Timestamp now) {
   last_maintenance_ = now;
 
+  SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kMaintenanceTick, 0, now,
+                   0, 0, static_cast<std::uint32_t>(table_.size()),
+                   allocator_.used());
+#if defined(SCAP_ENABLE_TRACE)
+  if (tracer_ != nullptr) {
+    // Per-queue backlog distribution, sampled at the deterministic
+    // maintenance cadence (one sample per queue per tick).
+    for (const EventQueue& q : queues_) {
+      tracer_->metrics().queue_occupancy.add(q.size());
+    }
+  }
+#endif
+
   // Feed the adaptive overload controller one pressure sample per
   // maintenance tick: deterministic cadence, off the per-packet path.
-  ppl_.observe(allocator_.used_fraction());
+  ppl_.observe(allocator_.used_fraction(), now);
 
   if (config_.defragment_ip) defrag_.expire(now);
 
@@ -824,6 +915,8 @@ void ScapKernel::run_maintenance(Timestamp now) {
     if (rec.fdir_installed && nic_ != nullptr) {
       stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
       rec.fdir_installed = false;
+      SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kFdirEvict, rec.core,
+                       now, rec.id, 0);
     }
     flush_watch_.erase(rec.id);
     auto& count = core_streams_[static_cast<std::size_t>(rec.core)];
@@ -835,10 +928,12 @@ void ScapKernel::run_maintenance(Timestamp now) {
   // packet shows up later the filter is re-installed with a doubled timeout.
   if (nic_ != nullptr && config_.use_fdir) {
     for (const auto& f : nic_->fdir().expire(now)) {
-      if (StreamRecord* rec = table_.find(f.tuple)) {
-        rec->fdir_installed = false;
-      }
+      StreamRecord* rec = table_.find(f.tuple);
+      if (rec != nullptr) rec->fdir_installed = false;
       ++stats_.fdir_removals;
+      SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kFdirEvict,
+                       rec != nullptr ? rec->core : 0, now,
+                       rec != nullptr ? rec->id : 0, 1);
     }
   }
 

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/assert.hpp"
 #include "base/clock.hpp"
 #include "kernel/defrag.hpp"
 #include "kernel/events.hpp"
@@ -27,6 +28,7 @@
 #include "nic/nic.hpp"
 #include "packet/bpf.hpp"
 #include "packet/packet.hpp"
+#include "trace/trace.hpp"
 
 namespace scap::kernel {
 
@@ -138,6 +140,9 @@ struct PacketOutcome {
   bool created_stream = false;
   bool terminated_stream = false;
   int fdir_updates = 0;
+  /// Stream the packet resolved to (kInvalidStreamId when it never reached
+  /// a record: invalid, filtered, ignored, held fragments, failed creates).
+  StreamId stream_id = kInvalidStreamId;
 };
 
 struct KernelStats {
@@ -167,6 +172,7 @@ struct KernelStats {
   std::uint64_t streams_terminated = 0;
   std::uint64_t streams_evicted = 0;
   std::uint64_t events_emitted = 0;
+  std::uint64_t chunks_delivered = 0;  // data events carrying a chunk
   std::uint64_t fdir_installs = 0;
   std::uint64_t fdir_reinstalls = 0;
   std::uint64_t fdir_removals = 0;
@@ -209,6 +215,10 @@ struct KernelStats {
   /// violation. Pool/stream checks need the mirrored fields, so call this
   /// on the result of ScapKernel::stats() (or use check_invariants()).
   std::string check_conservation() const;
+
+  // Whole-snapshot equality: the trace/replay cross-check asserts that a
+  // traced and an untraced run of the same input agree on every counter.
+  friend bool operator==(const KernelStats&, const KernelStats&) = default;
 };
 
 class ScapKernel {
@@ -264,6 +274,20 @@ class ScapKernel {
   /// wiring in run_maintenance()/terminate_all() makes it fatal in
   /// Debug/test builds and a no-op in Release.
   std::string check_invariants() const;
+
+  /// Attach the event tracer (DESIGN.md §10). Must happen before the first
+  /// packet: the tracer's event counts double as conservation counters
+  /// (check_invariants proves count(packet_verdict) == pkts_seen etc.), so
+  /// a mid-run attach would trip the next maintenance tick's invariant
+  /// check. Also wires the PPL controller. Pass nullptr to detach is not
+  /// supported for the same reason.
+  void set_tracer(trace::Tracer* tracer) {
+    SCAP_ASSERT(stats_.pkts_seen == 0,
+                "tracer must attach before the first packet");
+    tracer_ = tracer;
+    ppl_.set_tracer(tracer);
+  }
+  trace::Tracer* tracer() const { return tracer_; }
 
   const KernelStats& stats() const {
     // Pool occupancy is owned by the flow table; mirror it on read so the
@@ -334,6 +358,7 @@ class ScapKernel {
   std::unordered_set<StreamId> flush_watch_;  // streams with flush timeouts
   std::vector<std::int64_t> core_streams_;    // active streams per core
   IpDefragmenter defrag_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace scap::kernel

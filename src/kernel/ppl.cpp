@@ -30,10 +30,22 @@ PplVerdict Ppl::admit(double used_fraction, int priority,
   return PplVerdict::kAdmit;
 }
 
-void Ppl::observe(double used_fraction) {
-  if (!config_.adaptive) return;
+void Ppl::observe(double used_fraction, Timestamp now) {
   if (used_fraction < 0) used_fraction = 0;
   if (used_fraction > 1) used_fraction = 1;
+
+  // Watermark-crossing events fire on the raw sample against the ladder's
+  // anchor, adaptive or not — the trace marks when PPL *could* start
+  // dropping, which is the base-threshold crossing.
+  const bool above = used_fraction > config_.base_threshold;
+  if (above != (prev_sample_ > config_.base_threshold)) {
+    SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPplWatermark, 0, now, 0,
+                     static_cast<std::uint16_t>(above ? 1 : 0),
+                     static_cast<std::uint32_t>(used_fraction * 1000.0));
+  }
+  prev_sample_ = used_fraction;
+
+  if (!config_.adaptive) return;
   state_.pressure_ewma +=
       config_.ewma_alpha * (used_fraction - state_.pressure_ewma);
 
@@ -42,6 +54,9 @@ void Ppl::observe(double used_fraction) {
       state_.overload = true;
       state_.effective_cutoff = config_.start_cutoff;
       ++state_.overload_entries;
+      SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPplCutoffChange, 0,
+                       now, 0, 1, 0,
+                       static_cast<std::uint64_t>(state_.effective_cutoff));
     }
     return;
   }
@@ -56,6 +71,9 @@ void Ppl::observe(double used_fraction) {
     if (clamped < state_.effective_cutoff) {
       state_.effective_cutoff = clamped;
       ++state_.tightenings;
+      SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPplCutoffChange, 0,
+                       now, 0, 1, 0,
+                       static_cast<std::uint64_t>(state_.effective_cutoff));
     }
     return;
   }
@@ -69,9 +87,14 @@ void Ppl::observe(double used_fraction) {
       state_.overload = false;
       state_.effective_cutoff = -1;
       ++state_.overload_exits;
+      SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPplCutoffChange, 0,
+                       now, 0, 0, 0, 0);
     } else {
       state_.effective_cutoff = next;
       ++state_.relaxations;
+      SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kPplCutoffChange, 0,
+                       now, 0, 1, 0,
+                       static_cast<std::uint64_t>(state_.effective_cutoff));
     }
     return;
   }

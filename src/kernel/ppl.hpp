@@ -36,6 +36,9 @@
 
 #include <cstdint>
 
+#include "base/clock.hpp"
+#include "trace/trace.hpp"
+
 namespace scap::kernel {
 
 struct PplConfig {
@@ -84,9 +87,15 @@ class Ppl {
                    std::uint64_t stream_offset) const;
 
   /// Feed one memory-pressure sample to the adaptive controller (no-op when
-  /// `adaptive` is off). Called from the kernel's periodic maintenance pass,
-  /// so the cadence is the deterministic expiry interval, not packet rate.
-  void observe(double used_fraction);
+  /// `adaptive` is off, except for watermark-crossing trace events). Called
+  /// from the kernel's periodic maintenance pass, so the cadence is the
+  /// deterministic expiry interval, not packet rate. `now` timestamps the
+  /// trace events this sample produces.
+  void observe(double used_fraction, Timestamp now = Timestamp());
+
+  /// Attach the event tracer (kPplWatermark on base-threshold crossings,
+  /// kPplCutoffChange on overload transitions and cutoff moves).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   /// The overload cutoff admit() currently applies: the adapted value while
   /// the controller is in overload, the static configuration otherwise
@@ -124,6 +133,8 @@ class Ppl {
 
   PplConfig config_;
   PplControllerState state_;
+  trace::Tracer* tracer_ = nullptr;
+  double prev_sample_ = 0.0;  // last raw occupancy sample (crossing detection)
 };
 
 }  // namespace scap::kernel

@@ -24,6 +24,7 @@ void ChunkBuilder::reset(std::uint32_t chunk_size, std::uint32_t overlap_size,
   current_.stream_offset = 0;
   current_.overlap_len = 0;
   current_.errors = 0;
+  current_.first_ts = Timestamp();
   current_started_ = false;
   pending_errors_ = 0;
   retained_.reset();
@@ -73,7 +74,12 @@ std::vector<Chunk> ChunkBuilder::append(std::span<const std::uint8_t> data,
   while (consumed < data.size()) {
     if (!current_started_) {
       current_.stream_offset = stream_off + consumed;
+      current_.first_ts = meta.ts;
       current_started_ = true;
+    } else if (current_.first_ts.ns() == 0) {
+      // Overlap-seeded chunks start with repeated bytes; the latency clock
+      // starts with the first segment that contributes new data.
+      current_.first_ts = meta.ts;
     }
     const std::uint32_t room =
         chunk_size_ > current_.data.size()

@@ -36,6 +36,10 @@ struct Chunk {
   std::uint32_t overlap_len = 0;
   /// StreamError bits raised while assembling this chunk.
   std::uint32_t errors = 0;
+  /// Arrival time of the first segment that contributed new bytes — the
+  /// start of the chunk-latency interval the tracer measures (DESIGN.md
+  /// §10); delivery time minus first_ts is the paper's per-chunk latency.
+  Timestamp first_ts;
   std::vector<PacketRecord> packets;
 };
 

@@ -18,6 +18,7 @@
 
 #include "nic/fdir.hpp"
 #include "nic/rss.hpp"
+#include "trace/trace.hpp"
 
 namespace scap::nic {
 
@@ -62,10 +63,16 @@ class Nic {
     stats_.per_queue.assign(static_cast<std::size_t>(num_queues()), 0);
   }
 
+  /// Attach the event tracer (kNicDrop for subzero-copy filter drops,
+  /// kNicSteer for FDIR queue-steering hits; plain RSS stays untraced —
+  /// it is every packet, and the kernel's verdict event already covers it).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   RssEngine rss_;
   FdirTable fdir_;
   NicStats stats_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace scap::nic

@@ -1,8 +1,10 @@
 #include "scap/scap.h"
 
+#include <fstream>
 #include <string>
 
 #include "scap/capture.hpp"
+#include "trace/export.hpp"
 
 namespace {
 
@@ -32,6 +34,13 @@ scap::Parameter param_of(int p) {
 
 bool is_file_device(const std::string& device) {
   return device.rfind("file:", 0) == 0;
+}
+
+void copy_hist(scap_hist_t& out, const scap::trace::Log2Histogram& in) {
+  out.total = in.total();
+  for (std::size_t i = 0; i < SCAP_HIST_BUCKETS; ++i) {
+    out.buckets[i] = in.count(i);
+  }
 }
 
 }  // namespace
@@ -267,6 +276,7 @@ int scap_get_stats(scap_t* sc, scap_stats_t* stats) {
   stats->streams_rebalanced = s.kernel.streams_rebalanced;
   stats->streams_active = s.kernel.streams_active;
   stats->events_emitted = s.kernel.events_emitted;
+  stats->chunks_delivered = s.kernel.chunks_delivered;
   stats->pool_capacity = s.kernel.pool_capacity;
   stats->pool_free = s.kernel.pool_free;
   stats->pool_slabs = s.kernel.pool_slabs;
@@ -285,5 +295,51 @@ int scap_get_stats(scap_t* sc, scap_stats_t* stats) {
        i < scap::kernel::kNumVerdicts && i < SCAP_MAX_VERDICTS; ++i) {
     stats->verdicts[i] = s.kernel.verdicts[i];
   }
+
+  // Trace metrics mirror. The C ABI histogram is a fixed array, so the
+  // bucket counts must line up exactly with the C++ histogram.
+  static_assert(SCAP_HIST_BUCKETS == scap::trace::Log2Histogram::kBuckets,
+                "scap_hist_t must mirror trace::Log2Histogram bucket-for-bucket");
+  stats->trace_events_recorded = s.trace_events_recorded;
+  stats->trace_events_dropped = s.trace_events_dropped;
+  copy_hist(stats->hist_stream_size_bytes, s.metrics.stream_size_bytes);
+  copy_hist(stats->hist_chunk_latency_us, s.metrics.chunk_latency_us);
+  copy_hist(stats->hist_flow_probe_len, s.metrics.flow_probe_len);
+  copy_hist(stats->hist_queue_occupancy, s.metrics.queue_occupancy);
   return 0;
+}
+
+int scap_enable_trace(scap_t* sc, std::size_t ring_capacity) {
+  if (sc == nullptr || ring_capacity == 0) return -1;
+  try {
+    sc->enable_tracing(ring_capacity);
+    return 0;
+  } catch (...) {
+    return -1;  // capture already started
+  }
+}
+
+int scap_dump_trace(scap_t* sc, const char* path, int format) {
+  if (sc == nullptr || path == nullptr) return -1;
+  scap::trace::Tracer* tracer = sc->tracer();
+  if (tracer == nullptr) return -1;
+  std::ofstream out(path, format == SCAP_TRACE_FORMAT_BINARY
+                              ? std::ios::binary | std::ios::out
+                              : std::ios::out);
+  if (!out) return -1;
+  const scap::trace::Schema& schema = scap::trace::kernel_schema();
+  switch (format) {
+    case SCAP_TRACE_FORMAT_TEXT:
+      scap::trace::write_text(*tracer, schema, out);
+      break;
+    case SCAP_TRACE_FORMAT_CHROME:
+      scap::trace::write_chrome_json(*tracer, schema, out);
+      break;
+    case SCAP_TRACE_FORMAT_BINARY:
+      scap::trace::write_binary(*tracer, out);
+      break;
+    default:
+      return -1;
+  }
+  return out.good() ? 0 : -1;
 }

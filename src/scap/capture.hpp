@@ -29,6 +29,7 @@
 #include "kernel/module.hpp"
 #include "nic/nic.hpp"
 #include "packet/packet.hpp"
+#include "trace/trace.hpp"
 
 namespace scap {
 
@@ -108,6 +109,11 @@ struct CaptureStats {
   kernel::KernelStats kernel;
   std::uint64_t nic_dropped_by_filter = 0;
   std::uint64_t events_dispatched = 0;
+  // Tracing (zero/empty when enable_tracing was not called).
+  bool traced = false;
+  std::uint64_t trace_events_recorded = 0;
+  std::uint64_t trace_events_dropped = 0;  // lost to ring wrap
+  trace::MetricsRegistry metrics;
 };
 
 class Capture {
@@ -134,6 +140,17 @@ class Capture {
     config_.defaults.policy = p;
   }
   void set_defragment(bool on) { config_.defragment_ip = on; }
+
+  /// Turn on event tracing (DESIGN.md §10) with one fixed-capacity ring per
+  /// core. Must be called before start(): the trace's conservation laws
+  /// require the tracer to see every packet. With SCAP_TRACE=OFF builds the
+  /// tracer still exists but the instrumentation sites compile to nothing,
+  /// so the rings stay empty.
+  void enable_tracing(std::size_t ring_capacity = 1 << 16);
+
+  /// The attached tracer, or nullptr. In threaded mode, read it only after
+  /// stop(): workers append to the per-core rings under kernel_mutex_.
+  trace::Tracer* tracer() const { return tracer_.get(); }
 
   // --- handlers --------------------------------------------------------------
   void dispatch_creation(StreamHandler handler);
@@ -194,7 +211,7 @@ class Capture {
  private:
   friend class StreamView;
 
-  void dispatch_event(kernel::Event& ev);
+  void dispatch_event(kernel::Event& ev, int core);
   void drain_core_inline(int core);
   void worker_main(int core, std::stop_token st);
   void wake_worker(int core);
@@ -212,6 +229,8 @@ class Capture {
 
   std::unique_ptr<nic::Nic> nic_;
   std::unique_ptr<kernel::ScapKernel> kernel_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::size_t trace_capacity_ = 0;  // 0 = tracing off
   std::vector<std::vector<Packet>> batch_buckets_;  // per-queue RSS buckets
 
   // Threaded mode machinery.

@@ -78,6 +78,21 @@ struct scap_pkthdr {
 constexpr std::size_t SCAP_MAX_PARSE_ERRORS = 16;
 constexpr std::size_t SCAP_MAX_VERDICTS = 16;
 
+// Trace export formats (scap_dump_trace).
+constexpr int SCAP_TRACE_FORMAT_TEXT = 0;    // stable text (golden files)
+constexpr int SCAP_TRACE_FORMAT_CHROME = 1;  // Chrome trace_event JSON
+constexpr int SCAP_TRACE_FORMAT_BINARY = 2;  // compact "SCTR" (scap_trace)
+
+/// Log2 histogram mirror (scap_get_stats): bucket 0 holds the value 0,
+/// bucket i holds [2^(i-1), 2^i), the last bucket is the overflow
+/// catch-all. Matches scap::trace::Log2Histogram::kBuckets (static_assert
+/// in capi.cpp).
+constexpr std::size_t SCAP_HIST_BUCKETS = 32;
+struct scap_hist_t {
+  std::uint64_t total;  // == sum of buckets (histogram conservation law)
+  std::uint64_t buckets[SCAP_HIST_BUCKETS];
+};
+
 /// Aggregate statistics (scap_get_stats).
 ///
 /// Every KernelStats counter is mirrored here — the counter-conservation
@@ -122,6 +137,7 @@ struct scap_stats_t {
   std::uint64_t streams_rebalanced;
   std::uint64_t streams_active;
   std::uint64_t events_emitted;
+  std::uint64_t chunks_delivered;  // data events carrying a chunk
 
   // Record-pool occupancy.
   std::uint64_t pool_capacity;
@@ -141,6 +157,14 @@ struct scap_stats_t {
   // per-verdict packet histogram (sums to pkts_seen).
   std::uint64_t parse_errors[SCAP_MAX_PARSE_ERRORS];
   std::uint64_t verdicts[SCAP_MAX_VERDICTS];
+
+  // --- tracing (zero unless scap_enable_trace was called) -------------------
+  std::uint64_t trace_events_recorded;
+  std::uint64_t trace_events_dropped;   // lost to trace-ring wrap
+  scap_hist_t hist_stream_size_bytes;   // per terminated stream
+  scap_hist_t hist_chunk_latency_us;    // first segment -> delivery
+  scap_hist_t hist_flow_probe_len;      // flow-table slots probed per lookup
+  scap_hist_t hist_queue_occupancy;     // event-queue depth at maintenance
 };
 
 // --- socket lifecycle ----------------------------------------------------------
@@ -201,3 +225,13 @@ const std::uint8_t* scap_next_stream_packet(stream_t* sd, scap_pkthdr* h);
 // --- statistics -------------------------------------------------------------------
 
 int scap_get_stats(scap_t* sc, scap_stats_t* stats);
+
+// --- tracing (extension, DESIGN.md §10) --------------------------------------------
+
+/// Enable per-core event tracing with `ring_capacity` retained events per
+/// core. Must be called before scap_start_capture.
+int scap_enable_trace(scap_t* sc, std::size_t ring_capacity);
+
+/// Write the captured trace to `path` in one of the SCAP_TRACE_FORMAT_*
+/// formats. Call after the capture has quiesced (scap_flush / replay done).
+int scap_dump_trace(scap_t* sc, const char* path, int format);

@@ -1,0 +1,51 @@
+// The kernel-aware Schema for trace exporters. Lives here — above the
+// kernel in the layering — because scap_trace itself must not link the
+// kernel (export.hpp explains the function-pointer indirection).
+#include "trace/export.hpp"
+
+#include "kernel/events.hpp"
+#include "kernel/module.hpp"
+#include "kernel/stream.hpp"
+
+namespace scap::trace {
+namespace {
+
+const char* verdict_name(std::uint16_t v) {
+  if (v >= kernel::kNumVerdicts) return nullptr;
+  return kernel::to_string(static_cast<kernel::Verdict>(v));
+}
+
+const char* status_name(std::uint16_t s) {
+  switch (static_cast<kernel::StreamStatus>(s)) {
+    case kernel::StreamStatus::kActive:
+      return "active";
+    case kernel::StreamStatus::kClosedFin:
+      return "closed_fin";
+    case kernel::StreamStatus::kClosedRst:
+      return "closed_rst";
+    case kernel::StreamStatus::kClosedTimeout:
+      return "closed_timeout";
+  }
+  return nullptr;
+}
+
+const char* event_name(std::uint16_t e) {
+  switch (static_cast<kernel::EventType>(e)) {
+    case kernel::EventType::kCreated:
+      return "created";
+    case kernel::EventType::kData:
+      return "data";
+    case kernel::EventType::kTerminated:
+      return "terminated";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const Schema& kernel_schema() {
+  static const Schema schema{verdict_name, status_name, event_name};
+  return schema;
+}
+
+}  // namespace scap::trace

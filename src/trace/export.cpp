@@ -1,0 +1,270 @@
+#include "trace/export.hpp"
+
+#include <cstring>
+#include <ostream>
+#include <istream>
+#include <sstream>
+
+namespace scap::trace {
+namespace {
+
+void append_name_or_number(std::string& out, const char* (*lookup)(std::uint16_t),
+                           std::uint16_t value) {
+  if (lookup != nullptr) {
+    const char* name = lookup(value);
+    if (name != nullptr) {
+      out += name;
+      return;
+    }
+  }
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string format_event(const TraceEvent& ev, const Schema& schema) {
+  // Fixed field order, decimal only: this string is the golden-file format.
+  std::string line;
+  line.reserve(96);
+  line += std::to_string(ev.ts_ns);
+  line += " c";
+  line += std::to_string(ev.core);
+  line += ' ';
+  line += to_string(ev.type);
+  switch (ev.type) {
+    case TraceEventType::kPacketVerdict:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " verdict=";
+      append_name_or_number(line, schema.verdict_name, ev.a16);
+      line += " wire_bytes=";
+      line += std::to_string(ev.a32);
+      break;
+    case TraceEventType::kStreamCreated:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " core=";
+      line += std::to_string(ev.a16);
+      line += " priority=";
+      line += std::to_string(ev.a32);
+      break;
+    case TraceEventType::kChunkDelivered:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " bytes=";
+      line += std::to_string(ev.a32);
+      line += " offset=";
+      line += std::to_string(ev.a64);
+      break;
+    case TraceEventType::kStreamTerminated:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " status=";
+      append_name_or_number(line, schema.status_name, ev.a16);
+      line += " bytes=";
+      line += std::to_string(ev.a64);
+      break;
+    case TraceEventType::kPplWatermark:
+      line += ev.a16 != 0 ? " dir=rising" : " dir=falling";
+      line += " occupancy_permille=";
+      line += std::to_string(ev.a32);
+      break;
+    case TraceEventType::kPplCutoffChange:
+      line += ev.a16 != 0 ? " overload=1" : " overload=0";
+      line += " cutoff=";
+      line += std::to_string(ev.a64);
+      break;
+    case TraceEventType::kFdirInstall:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += ev.a16 == 0   ? " kind=install"
+              : ev.a16 == 1 ? " kind=reinstall"
+                            : " kind=rejected";
+      break;
+    case TraceEventType::kFdirEvict:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += ev.a16 == 0 ? " kind=removed" : " kind=timeout";
+      break;
+    case TraceEventType::kNicSteer:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " queue=";
+      line += std::to_string(ev.a16);
+      line += " wire_bytes=";
+      line += std::to_string(ev.a32);
+      break;
+    case TraceEventType::kNicDrop:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " wire_bytes=";
+      line += std::to_string(ev.a32);
+      break;
+    case TraceEventType::kMaintenanceTick:
+      line += " active_streams=";
+      line += std::to_string(ev.a32);
+      line += " chunk_bytes=";
+      line += std::to_string(ev.a64);
+      break;
+    case TraceEventType::kEventDispatched:
+      line += " stream=";
+      line += std::to_string(ev.stream);
+      line += " event=";
+      append_name_or_number(line, schema.event_name, ev.a16);
+      line += " bytes=";
+      line += std::to_string(ev.a32);
+      break;
+  }
+  return line;
+}
+
+void write_text(const Tracer& tracer, const Schema& schema, std::ostream& os) {
+  os << "scap-trace v" << kBinaryVersion << " cores=" << tracer.cores()
+     << " events=" << tracer.recorded() << " dropped=" << tracer.dropped()
+     << '\n';
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    os << format_event(ev, schema) << '\n';
+  }
+}
+
+void write_histograms(const MetricsRegistry& metrics, std::ostream& os) {
+  struct Named {
+    const char* name;
+    const Log2Histogram* hist;
+  };
+  const Named named[] = {
+      {"stream_size_bytes", &metrics.stream_size_bytes},
+      {"chunk_latency_us", &metrics.chunk_latency_us},
+      {"flow_probe_len", &metrics.flow_probe_len},
+      {"queue_occupancy", &metrics.queue_occupancy},
+  };
+  for (const Named& h : named) {
+    os << "hist " << h.name << " total=" << h.hist->total();
+    for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+      if (h.hist->count(i) == 0) continue;
+      os << " b" << i << "=" << h.hist->count(i);
+    }
+    os << '\n';
+  }
+}
+
+void write_chrome_json(const Tracer& tracer, const Schema& schema,
+                       std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    // Instant events, microsecond timestamps, one "thread" per core.
+    os << "{\"name\":\"" << to_string(ev.type) << "\",\"ph\":\"i\",\"s\":\"t\""
+       << ",\"pid\":1,\"tid\":" << static_cast<int>(ev.core)
+       << ",\"ts\":" << ev.ts_ns / 1000 << ",\"args\":{\"detail\":\"";
+    // format_event output is decimal + [a-z_= ] only, so it embeds in a JSON
+    // string without escaping.
+    os << format_event(ev, schema) << "\"}}";
+  }
+  os << "]}";
+  os << '\n';
+}
+
+namespace {
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool read_u32(std::istream& is, std::uint32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+bool read_u64(std::istream& is, std::uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+
+void write_hist(std::ostream& os, const Log2Histogram& hist) {
+  write_u64(os, hist.total());
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    write_u64(os, hist.count(i));
+  }
+}
+
+bool read_hist(std::istream& is, Log2Histogram* hist) {
+  std::uint64_t total = 0;
+  if (!read_u64(is, &total)) return false;
+  std::uint64_t remaining = total;
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    std::uint64_t count = 0;
+    if (!read_u64(is, &count)) return false;
+    // Rebuild via add() so the in-memory totals stay self-consistent.
+    for (; count > 0 && remaining > 0; --count, --remaining) {
+      hist->add(Log2Histogram::bucket_floor(i));
+    }
+    if (count != 0) return false;  // counts exceed the recorded total
+  }
+  return remaining == 0;
+}
+
+constexpr char kMagic[4] = {'S', 'C', 'T', 'R'};
+
+}  // namespace
+
+void write_binary(const Tracer& tracer, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kBinaryVersion);
+  write_u32(os, static_cast<std::uint32_t>(tracer.cores()));
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  write_u64(os, events.size());
+  write_u64(os, tracer.dropped());
+  for (const TraceEvent& ev : events) {
+    os.write(reinterpret_cast<const char*>(&ev), sizeof(ev));
+  }
+  const MetricsRegistry& m = tracer.metrics();
+  write_hist(os, m.stream_size_bytes);
+  write_hist(os, m.chunk_latency_us);
+  write_hist(os, m.flow_probe_len);
+  write_hist(os, m.queue_occupancy);
+}
+
+bool read_binary(std::istream& is, BinaryTrace* out, std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("not a scap trace file (bad magic)");
+  }
+  std::uint32_t version = 0;
+  if (!read_u32(is, &version) || version != kBinaryVersion) {
+    return fail("unsupported trace version");
+  }
+  std::uint64_t count = 0;
+  if (!read_u32(is, &out->cores) || !read_u64(is, &count) ||
+      !read_u64(is, &out->dropped)) {
+    return fail("truncated header");
+  }
+  // 1B events at 32B each would be a 32GB file; anything claiming more is
+  // corrupt, and the cap keeps a bad header from driving a huge reserve().
+  if (count > (std::uint64_t{1} << 30)) return fail("implausible event count");
+  out->events.resize(static_cast<std::size_t>(count));
+  for (TraceEvent& ev : out->events) {
+    is.read(reinterpret_cast<char*>(&ev), sizeof(ev));
+    if (!is.good()) return fail("truncated event block");
+    if (static_cast<std::size_t>(ev.type) >= kNumTraceEventTypes) {
+      return fail("corrupt event type");
+    }
+  }
+  if (!read_hist(is, &out->metrics.stream_size_bytes) ||
+      !read_hist(is, &out->metrics.chunk_latency_us) ||
+      !read_hist(is, &out->metrics.flow_probe_len) ||
+      !read_hist(is, &out->metrics.queue_occupancy)) {
+    return fail("truncated or inconsistent histogram block");
+  }
+  return true;
+}
+
+}  // namespace scap::trace

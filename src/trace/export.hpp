@@ -1,0 +1,69 @@
+// Trace exporters (ISSUE 4; DESIGN.md §10): a stable text serialization the
+// golden-trace tests diff, a Chrome trace_event JSON export for
+// chrome://tracing / Perfetto, and a compact binary format consumed by
+// tools/scap_trace. scap_trace lives below the kernel in the dependency
+// graph, so kernel enum names (Verdict, StreamStatus, EventType) arrive via
+// the Schema function-pointer table instead of a link-time dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace scap::trace {
+
+/// Name lookups for type-specific event payloads. Null members fall back to
+/// numeric printing, so the exporters work with a default Schema too.
+struct Schema {
+  const char* (*verdict_name)(std::uint16_t) = nullptr;  // kPacketVerdict a16
+  const char* (*status_name)(std::uint16_t) = nullptr;   // kStreamTerminated
+  const char* (*event_name)(std::uint16_t) = nullptr;    // kEventDispatched
+};
+
+/// The kernel-aware Schema used by chaos_run, capi and the tests. Defined in
+/// src/scap/trace_schema.cpp (above the kernel in the layering).
+const Schema& kernel_schema();
+
+/// One event as one stable text line (no pointers, no locale, fixed field
+/// order) — the unit the golden files are built from.
+std::string format_event(const TraceEvent& ev, const Schema& schema);
+
+/// Full text serialization: header (core count, event count, drop count)
+/// followed by one format_event line per event in snapshot order.
+void write_text(const Tracer& tracer, const Schema& schema, std::ostream& os);
+
+/// Histogram summary block (also stable; appended to text dumps).
+void write_histograms(const MetricsRegistry& metrics, std::ostream& os);
+
+/// Chrome trace_event JSON (chrome://tracing, Perfetto). Instant events on
+/// per-core rows; timestamps in microseconds as the format requires.
+void write_chrome_json(const Tracer& tracer, const Schema& schema,
+                       std::ostream& os);
+
+// ---- compact binary format ("SCTR") ----
+//
+//   magic "SCTR" | u32 version=1 | u32 cores | u64 event count | u64 dropped
+//   | events (32 bytes each, host little-endian, snapshot order)
+//   | 4 histograms, each: u64 total + kBuckets u64 counts
+//     (order: stream_size_bytes, chunk_latency_us, flow_probe_len,
+//      queue_occupancy)
+
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+/// In-memory image of a binary trace file (what tools/scap_trace loads).
+struct BinaryTrace {
+  std::uint32_t cores = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+  MetricsRegistry metrics;
+};
+
+void write_binary(const Tracer& tracer, std::ostream& os);
+
+/// Returns false (and fills `error`) on a truncated or foreign file.
+bool read_binary(std::istream& is, BinaryTrace* out, std::string* error);
+
+}  // namespace scap::trace

@@ -1,0 +1,87 @@
+// Metrics registry for the observability layer (ISSUE 4; DESIGN.md §10).
+//
+// Fixed-bucket log2 histograms capture the distributions the paper reports
+// only as aggregates: stream sizes (Fig. 3), chunk delivery latency
+// (Fig. 4), flow-table probe lengths (cache behaviour, §5.2) and per-queue
+// event backlog (multicore scaling, §5.4/§6). Buckets are powers of two —
+// add() is a bit_width + two increments, cheap enough for the hot path —
+// and the bucket count matches SCAP_HIST_BUCKETS so the whole histogram
+// mirrors into scap_stats_t without translation.
+//
+// Conservation laws (tests/trace/histogram_test.cpp, wired into
+// ScapKernel::check_invariants):
+//   - sum(buckets) == total() at all times
+//   - chunk_latency_us.total() == KernelStats::chunks_delivered
+//   - stream_size_bytes.total() == KernelStats::streams_terminated
+//   - merge() is associative and commutative (per-core registries fold)
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace scap::trace {
+
+/// Histogram over log2-spaced buckets: bucket 0 holds the value 0, bucket i
+/// (i >= 1) holds values with bit_width i, i.e. [2^(i-1), 2^i). The last
+/// bucket is the overflow catch-all for everything wider.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void add(std::uint64_t value) {
+    ++counts_[bucket_of(value)];
+    ++total_;
+  }
+
+  /// Bucket index a value lands in (exposed for tests and exporters).
+  static std::size_t bucket_of(std::uint64_t value) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of a bucket (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_floor(std::size_t idx) {
+    return idx == 0 ? 0 : std::uint64_t{1} << (idx - 1);
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::size_t idx) const { return counts_[idx]; }
+  const std::uint64_t* counts() const { return counts_; }
+
+  /// Fold another histogram in (per-core registries -> one summary).
+  void merge(const Log2Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+  void reset() { *this = Log2Histogram{}; }
+
+  friend bool operator==(const Log2Histogram&,
+                         const Log2Histogram&) = default;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// The fixed set of distributions the tracer maintains. A plain struct, not
+/// a name->histogram map: the hot path indexes members directly and the
+/// registry stays allocation-free.
+struct MetricsRegistry {
+  Log2Histogram stream_size_bytes;   // per terminated stream: total bytes seen
+  Log2Histogram chunk_latency_us;    // first segment -> delivery, microseconds
+  Log2Histogram flow_probe_len;      // flow-table slots probed per lookup
+  Log2Histogram queue_occupancy;     // event-queue depth at maintenance ticks
+
+  void merge(const MetricsRegistry& other) {
+    stream_size_bytes.merge(other.stream_size_bytes);
+    chunk_latency_us.merge(other.chunk_latency_us);
+    flow_probe_len.merge(other.flow_probe_len);
+    queue_occupancy.merge(other.queue_occupancy);
+  }
+
+  friend bool operator==(const MetricsRegistry&,
+                         const MetricsRegistry&) = default;
+};
+
+}  // namespace scap::trace

@@ -1,0 +1,90 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace scap::trace {
+
+const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kPacketVerdict:
+      return "packet_verdict";
+    case TraceEventType::kStreamCreated:
+      return "stream_created";
+    case TraceEventType::kChunkDelivered:
+      return "chunk_delivered";
+    case TraceEventType::kStreamTerminated:
+      return "stream_terminated";
+    case TraceEventType::kPplWatermark:
+      return "ppl_watermark";
+    case TraceEventType::kPplCutoffChange:
+      return "ppl_cutoff_change";
+    case TraceEventType::kFdirInstall:
+      return "fdir_install";
+    case TraceEventType::kFdirEvict:
+      return "fdir_evict";
+    case TraceEventType::kNicSteer:
+      return "nic_steer";
+    case TraceEventType::kNicDrop:
+      return "nic_drop";
+    case TraceEventType::kMaintenanceTick:
+      return "maintenance_tick";
+    case TraceEventType::kEventDispatched:
+      return "event_dispatched";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(const TraceConfig& config) {
+  const int cores = config.cores > 0 ? config.cores : 1;
+  rings_.reserve(static_cast<std::size_t>(cores));
+  for (int i = 0; i < cores; ++i) rings_.emplace_back(config.ring_capacity);
+}
+
+std::uint64_t Tracer::recorded_of(TraceEventType t) const {
+  std::uint64_t sum = 0;
+  for (const auto& ring : rings_) sum += ring.recorded_of(t);
+  return sum;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::uint64_t sum = 0;
+  for (const auto& ring : rings_) sum += ring.recorded();
+  return sum;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t sum = 0;
+  for (const auto& ring : rings_) sum += ring.dropped();
+  return sum;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> merged;
+  std::size_t n = 0;
+  for (const auto& ring : rings_) n += ring.size();
+  merged.reserve(n);
+  // Tag each event with its ring position so the sort key (ts, core, seq)
+  // is a total order: identical runs produce byte-identical snapshots.
+  struct Keyed {
+    TraceEvent ev;
+    std::size_t seq;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(n);
+  for (const auto& ring : rings_) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      keyed.push_back({ring.at(i), i});
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.ev.ts_ns != b.ev.ts_ns)
+                       return a.ev.ts_ns < b.ev.ts_ns;
+                     if (a.ev.core != b.ev.core) return a.ev.core < b.ev.core;
+                     return a.seq < b.seq;
+                   });
+  for (const auto& k : keyed) merged.push_back(k.ev);
+  return merged;
+}
+
+}  // namespace scap::trace

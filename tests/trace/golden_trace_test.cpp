@@ -1,0 +1,122 @@
+// Golden-trace differential tests (ISSUE 4 satellite).
+//
+// Three seeded AdversaryGen workloads run through an inline Capture with
+// tracing on; the full text serialization (event timeline + histogram
+// block) must match the committed files in tests/trace/golden/ byte for
+// byte. Because every timestamp is simulated-clock and every ring is
+// per-core, the serialization is a pure function of the seed — any diff
+// means a behaviour change in the datapath, not noise.
+//
+// Regenerating after an intentional change (see tests/trace/golden/README):
+//   SCAP_REGEN_GOLDEN=1 ./build/tests/test_trace --gtest_filter='GoldenTrace.*'
+// then review the diff and commit the new files.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "faultinject/adversary.hpp"
+#include "scap/capture.hpp"
+#include "trace/export.hpp"
+
+namespace scap {
+namespace {
+
+struct Workload {
+  const char* name;  // golden file: <name>.txt
+  std::uint64_t seed;
+  std::uint64_t packets;
+  void (*configure)(Capture&);
+};
+
+// Three regimes: a plain capture, the cutoff/FDIR offload path, and the
+// memory-pressure path that drives PPL + the adaptive controller.
+const Workload kWorkloads[] = {
+    {"plain", 101, 400,
+     [](Capture& cap) { cap.set_parameter(Parameter::kChunkSize, 4 * 1024); }},
+    {"cutoff_fdir", 202, 400,
+     [](Capture& cap) {
+       cap.set_use_fdir(true);
+       cap.set_cutoff(8 * 1024);
+       cap.set_parameter(Parameter::kChunkSize, 4 * 1024);
+     }},
+    {"overload", 303, 600,
+     [](Capture& cap) {
+       cap.set_cutoff(16 * 1024);
+       cap.set_parameter(Parameter::kChunkSize, 8 * 1024);
+       cap.set_parameter(Parameter::kBaseThresholdPercent, 80);
+       cap.set_parameter(Parameter::kAdaptiveCutoff, 64 * 1024);
+       cap.set_parameter(Parameter::kAdaptiveMinCutoff, 4 * 1024);
+     }},
+};
+
+std::string run_workload(const Workload& w) {
+  // Small memory pool so the overload workload actually sheds load.
+  Capture cap("golden0", 80 * 1024, kernel::ReassemblyMode::kTcpStrict,
+              /*need_pkts=*/false);
+  cap.set_defragment(true);
+  w.configure(cap);
+  cap.enable_tracing(1 << 16);  // large enough that nothing wraps
+  cap.start();
+
+  faultinject::AdversaryConfig acfg;
+  acfg.seed = w.seed;
+  acfg.packets = w.packets;
+  acfg.spacing = Duration::from_usec(1000);
+  faultinject::AdversaryGen gen(acfg);
+  for (std::uint64_t i = 0; i < w.packets; ++i) cap.inject(gen.next());
+  cap.stop();
+
+  EXPECT_EQ(cap.kernel().check_invariants(), "");
+  EXPECT_EQ(cap.tracer()->dropped(), 0u) << "ring wrapped; grow the capacity";
+
+  std::ostringstream os;
+  trace::write_text(*cap.tracer(), trace::kernel_schema(), os);
+  trace::write_histograms(cap.tracer()->metrics(), os);
+  return os.str();
+}
+
+std::string golden_path(const Workload& w) {
+  return std::string(SCAP_TRACE_GOLDEN_DIR) + "/" + w.name + ".txt";
+}
+
+class GoldenTrace : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(GoldenTrace, MatchesCommittedSerialization) {
+  const Workload& w = GetParam();
+  const std::string once = run_workload(w);
+  // Bit-identical across two runs of the same seed (the acceptance gate),
+  // independent of whether tracing is compiled in.
+  ASSERT_EQ(once, run_workload(w)) << "trace is not a function of the seed";
+
+#if !defined(SCAP_ENABLE_TRACE)
+  GTEST_SKIP() << "built with SCAP_TRACE=OFF; no timeline to diff";
+#else
+  if (std::getenv("SCAP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(w), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path(w);
+    out << once;
+    return;
+  }
+  std::ifstream in(golden_path(w), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path(w)
+                         << " (run with SCAP_REGEN_GOLDEN=1 to create)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(once, expected.str())
+      << "trace diverged from the golden file; if the change is intentional, "
+         "regenerate with SCAP_REGEN_GOLDEN=1 and review the diff";
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GoldenTrace,
+                         ::testing::ValuesIn(kWorkloads),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+}  // namespace
+}  // namespace scap

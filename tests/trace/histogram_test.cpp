@@ -1,0 +1,181 @@
+// Histogram laws (ISSUE 4 satellite; mirrored in ScapKernel's conservation
+// suite): bucket sums equal totals, totals equal their matching KernelStats
+// scalars, the overflow bucket catches wide values, and merge() is
+// associative/commutative so per-core registries fold into one summary.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "faultinject/adversary.hpp"
+#include "scap/capture.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+
+namespace scap::trace {
+namespace {
+
+std::uint64_t bucket_sum(const Log2Histogram& h) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) sum += h.count(i);
+  return sum;
+}
+
+TEST(Log2HistogramTest, BucketBoundaries) {
+  // Bucket 0 is exactly the value 0; bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2u);
+  for (std::size_t i = 2; i < Log2Histogram::kBuckets - 1; ++i) {
+    const std::uint64_t lo = Log2Histogram::bucket_floor(i);
+    EXPECT_EQ(Log2Histogram::bucket_of(lo), i);
+    EXPECT_EQ(Log2Histogram::bucket_of(2 * lo - 1), i);
+    EXPECT_EQ(Log2Histogram::bucket_of(2 * lo), i + 1);
+  }
+}
+
+TEST(Log2HistogramTest, OverflowBucketCatchesWideValues) {
+  Log2Histogram h;
+  const std::size_t last = Log2Histogram::kBuckets - 1;
+  h.add(Log2Histogram::bucket_floor(last));      // 2^30: first overflow value
+  h.add(std::uint64_t{1} << 40);
+  h.add(~std::uint64_t{0});
+  EXPECT_EQ(h.count(last), 3u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(bucket_sum(h), h.total());
+}
+
+TEST(Log2HistogramTest, SumOfBucketsEqualsTotal) {
+  Log2Histogram h;
+  // Deterministic spread: exercise every bucket several times.
+  for (std::uint64_t v = 0; v < 10000; v += 7) h.add(v * v);
+  EXPECT_EQ(bucket_sum(h), h.total());
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(bucket_sum(h), 0u);
+}
+
+Log2Histogram filled(std::uint64_t from, std::uint64_t to) {
+  Log2Histogram h;
+  for (std::uint64_t v = from; v < to; ++v) h.add(v * 13);
+  return h;
+}
+
+TEST(Log2HistogramTest, MergeIsAssociativeAndCommutative) {
+  const Log2Histogram a = filled(0, 100);
+  const Log2Histogram b = filled(50, 5000);
+  const Log2Histogram c = filled(4000, 4100);
+
+  Log2Histogram ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  Log2Histogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  Log2Histogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+
+  Log2Histogram ba = b;     // b + a == a + b
+  ba.merge(a);
+  Log2Histogram ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(bucket_sum(ab_c), ab_c.total());
+}
+
+TEST(MetricsRegistryTest, MergeFoldsEveryHistogram) {
+  MetricsRegistry x, y;
+  x.stream_size_bytes.add(100);
+  x.flow_probe_len.add(1);
+  y.stream_size_bytes.add(5000);
+  y.chunk_latency_us.add(30);
+  y.queue_occupancy.add(0);
+  x.merge(y);
+  EXPECT_EQ(x.stream_size_bytes.total(), 2u);
+  EXPECT_EQ(x.chunk_latency_us.total(), 1u);
+  EXPECT_EQ(x.flow_probe_len.total(), 1u);
+  EXPECT_EQ(x.queue_occupancy.total(), 1u);
+}
+
+// The binary format must round-trip the histogram block exactly (the text
+// and Chrome exports are lossy by design; "SCTR" is not).
+TEST(BinaryFormatTest, RoundTripsEventsAndHistograms) {
+  Tracer tracer(TraceConfig{.ring_capacity = 64, .cores = 2});
+  tracer.record(TraceEventType::kPacketVerdict, 0, Timestamp(1000), 7, 2, 60);
+  tracer.record(TraceEventType::kStreamCreated, 1, Timestamp(2000), 7, 1, 0);
+  tracer.record(TraceEventType::kMaintenanceTick, 0, Timestamp(3000), 0, 0, 5,
+                4096);
+  tracer.metrics().stream_size_bytes.add(12345);
+  tracer.metrics().chunk_latency_us.add(0);
+  tracer.metrics().flow_probe_len.add(3);
+  tracer.metrics().queue_occupancy.add(~std::uint64_t{0});  // overflow bucket
+
+  std::stringstream buf;
+  write_binary(tracer, buf);
+  BinaryTrace loaded;
+  std::string error;
+  ASSERT_TRUE(read_binary(buf, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.cores, 2u);
+  EXPECT_EQ(loaded.dropped, 0u);
+  ASSERT_EQ(loaded.events.size(), 3u);
+  EXPECT_EQ(loaded.events, tracer.snapshot());
+  EXPECT_EQ(loaded.metrics, tracer.metrics());
+}
+
+TEST(BinaryFormatTest, RejectsForeignAndTruncatedFiles) {
+  BinaryTrace out;
+  std::string error;
+  std::stringstream foreign("not a trace at all");
+  EXPECT_FALSE(read_binary(foreign, &out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  Tracer tracer(TraceConfig{.ring_capacity = 8, .cores = 1});
+  tracer.record(TraceEventType::kNicDrop, 0, Timestamp(1), 0, 0, 60);
+  std::stringstream buf;
+  write_binary(tracer, buf);
+  const std::string whole = buf.str();
+  std::stringstream cut(whole.substr(0, whole.size() / 2));
+  EXPECT_FALSE(read_binary(cut, &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// Integration: after a real capture the histogram totals must equal their
+// matching KernelStats scalars. ScapKernel::check_invariants enforces the
+// same laws (fatal under SCAP_INVARIANT_REPORT), so this also guards the
+// wiring of the conservation suite itself.
+TEST(HistogramConservation, TotalsMatchKernelScalars) {
+#if !defined(SCAP_ENABLE_TRACE)
+  GTEST_SKIP() << "built with SCAP_TRACE=OFF; metrics are never populated";
+#else
+  Capture cap("hist0", 256 * 1024, kernel::ReassemblyMode::kTcpFast,
+              /*need_pkts=*/false);
+  cap.set_cutoff(32 * 1024);
+  cap.enable_tracing(1 << 14);
+  cap.start();
+
+  faultinject::AdversaryConfig acfg;
+  acfg.seed = 77;
+  acfg.packets = 4000;
+  acfg.spacing = Duration::from_usec(500);
+  faultinject::AdversaryGen gen(acfg);
+  for (std::uint64_t i = 0; i < acfg.packets; ++i) cap.inject(gen.next());
+  cap.stop();
+
+  const CaptureStats s = cap.stats();
+  ASSERT_TRUE(s.traced);
+  EXPECT_GT(s.kernel.chunks_delivered, 0u);
+  EXPECT_EQ(s.metrics.chunk_latency_us.total(), s.kernel.chunks_delivered);
+  EXPECT_EQ(s.metrics.stream_size_bytes.total(), s.kernel.streams_terminated);
+  for (const Log2Histogram* h :
+       {&s.metrics.stream_size_bytes, &s.metrics.chunk_latency_us,
+        &s.metrics.flow_probe_len, &s.metrics.queue_occupancy}) {
+    EXPECT_EQ(bucket_sum(*h), h->total());
+  }
+  EXPECT_EQ(cap.kernel().check_invariants(), "");
+#endif
+}
+
+}  // namespace
+}  // namespace scap::trace

@@ -1,0 +1,75 @@
+// Trace/replay cross-check (ISSUE 4 satellite): tracing must be a pure
+// observer. The same pcap replayed through two identically configured
+// Captures — one with tracing enabled, one without — must produce the same
+// KernelStats snapshot (every counter, both per-verdict histograms) and the
+// same number of dispatched events. A divergence means an instrumentation
+// site leaked into the datapath's behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "faultinject/adversary.hpp"
+#include "packet/pcap.hpp"
+#include "scap/capture.hpp"
+
+namespace scap {
+namespace {
+
+struct RunResult {
+  kernel::KernelStats kernel;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t nic_dropped = 0;
+};
+
+RunResult replay(const std::string& path, bool traced) {
+  Capture cap("replay0", 128 * 1024, kernel::ReassemblyMode::kTcpStrict,
+              /*need_pkts=*/false);
+  cap.set_use_fdir(true);
+  cap.set_defragment(true);
+  cap.set_cutoff(8 * 1024);
+  cap.set_parameter(Parameter::kChunkSize, 4 * 1024);
+  cap.set_parameter(Parameter::kAdaptiveCutoff, 64 * 1024);
+  if (traced) cap.enable_tracing(1 << 14);
+  cap.start();
+  cap.replay_pcap(path);
+  cap.stop();
+  EXPECT_EQ(cap.kernel().check_invariants(), "");
+
+  const CaptureStats s = cap.stats();
+  return RunResult{s.kernel, s.events_dispatched, s.nic_dropped_by_filter};
+}
+
+TEST(TraceReplayCrossCheck, TracingIsAPureObserver) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "scap_trace_replay.pcap")
+          .string();
+  {
+    PcapWriter w(path);
+    faultinject::AdversaryConfig acfg;
+    acfg.seed = 55;
+    acfg.packets = 3000;
+    acfg.spacing = Duration::from_usec(800);
+    faultinject::AdversaryGen gen(acfg);
+    for (std::uint64_t i = 0; i < acfg.packets; ++i) w.write(gen.next());
+  }
+
+  const RunResult off = replay(path, /*traced=*/false);
+  const RunResult on = replay(path, /*traced=*/true);
+  std::filesystem::remove(path);
+
+  // The workload must have actually exercised the instrumented paths.
+  ASSERT_GT(off.kernel.pkts_seen, 0u);
+  ASSERT_GT(off.kernel.chunks_delivered, 0u);
+  ASSERT_GT(off.kernel.streams_terminated, 0u);
+
+  // Every counter — including both per-verdict histograms — is identical.
+  EXPECT_EQ(on.kernel, off.kernel);
+  EXPECT_EQ(on.events_dispatched, off.events_dispatched);
+  EXPECT_EQ(on.nic_dropped, off.nic_dropped);
+}
+
+}  // namespace
+}  // namespace scap

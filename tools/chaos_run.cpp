@@ -16,18 +16,20 @@
 //     the final flush; any violation fails the run
 //
 // Usage: chaos_run [--seed S] [--packets N] [--check-reproducible]
-//                  [--check-invariants]
+//                  [--check-invariants] [--trace-out FILE]
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "faultinject/adversary.hpp"
 #include "faultinject/faultinject.hpp"
 #include "packet/headers.hpp"
 #include "scap/capture.hpp"
+#include "trace/export.hpp"
 
 namespace {
 
@@ -47,6 +49,7 @@ struct Options {
   std::uint64_t packets = 20000;
   bool check_reproducible = false;
   bool check_invariants = false;
+  std::string trace_out;  // write the binary trace here (empty = don't)
 };
 
 void append(std::string& out, const char* key, std::uint64_t value) {
@@ -106,6 +109,10 @@ std::string run_once(const Options& opt, bool& ok) {
   acfg.spacing = scap::Duration::from_usec(1000);
   AdversaryGen gen(acfg);
 
+  // Tracing is always on here: the per-type trace counts and histograms
+  // below feed the reproducibility gate and the trace conservation laws
+  // checked by --check-invariants.
+  cap.enable_tracing(1 << 14);
   cap.start();
   {
     FaultScope scope(injector);
@@ -172,6 +179,7 @@ std::string run_once(const Options& opt, bool& ok) {
   append(report, "streams_rebalanced", k.streams_rebalanced);
   append(report, "streams_active", k.streams_active);
   append(report, "events_emitted", k.events_emitted);
+  append(report, "chunks_delivered", k.chunks_delivered);
   append(report, "nic_dropped_by_filter", stats.nic_dropped_by_filter);
 
   // Record pool occupancy.
@@ -218,6 +226,48 @@ std::string run_once(const Options& opt, bool& ok) {
     append(report, (key + ".injected").c_str(), injector.injected(p));
   }
 
+  // Trace layer: per-type event counts (wrap-independent) and the metric
+  // histograms. All zero in SCAP_TRACE=OFF builds, deterministic otherwise,
+  // so the reproducibility gate covers the tracer too.
+  const scap::trace::Tracer* tracer = cap.tracer();
+  append(report, "trace_events_recorded", stats.trace_events_recorded);
+  append(report, "trace_events_dropped", stats.trace_events_dropped);
+  for (std::size_t i = 0; i < scap::trace::kNumTraceEventTypes; ++i) {
+    const auto t = static_cast<scap::trace::TraceEventType>(i);
+    std::string key = "trace.";
+    key += scap::trace::to_string(t);
+    append(report, key.c_str(),
+           tracer != nullptr ? tracer->recorded_of(t) : 0);
+  }
+  const struct {
+    const char* name;
+    const scap::trace::Log2Histogram* hist;
+  } hists[] = {
+      {"stream_size_bytes", &stats.metrics.stream_size_bytes},
+      {"chunk_latency_us", &stats.metrics.chunk_latency_us},
+      {"flow_probe_len", &stats.metrics.flow_probe_len},
+      {"queue_occupancy", &stats.metrics.queue_occupancy},
+  };
+  for (const auto& h : hists) {
+    const std::string key = std::string("hist.") + h.name;
+    append(report, (key + ".total").c_str(), h.hist->total());
+    for (std::size_t b = 0; b < scap::trace::Log2Histogram::kBuckets; ++b) {
+      if (h.hist->count(b) == 0) continue;
+      append(report, (key + ".b" + std::to_string(b)).c_str(),
+             h.hist->count(b));
+    }
+  }
+
+  if (!opt.trace_out.empty() && tracer != nullptr) {
+    std::ofstream trace_file(opt.trace_out, std::ios::binary);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", opt.trace_out.c_str());
+      ok = false;
+    } else {
+      scap::trace::write_binary(*tracer, trace_file);
+    }
+  }
+
   // --- invariants ----------------------------------------------------------
   if (taxonomy_sum != k.pkts_invalid) {
     std::fprintf(stderr,
@@ -260,10 +310,13 @@ int main(int argc, char** argv) {
       opt.check_reproducible = true;
     } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
       opt.check_invariants = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opt.trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: chaos_run [--seed S] [--packets N] "
-                   "[--check-reproducible] [--check-invariants]\n");
+                   "[--check-reproducible] [--check-invariants] "
+                   "[--trace-out FILE]\n");
       return 2;
     }
   }

@@ -30,6 +30,13 @@ api-stats-mirror
     scap_get_stats (src/scap/capi.cpp) — the reverse direction of the
     mirror law.
 
+trace-coverage
+    Every enumerator of trace::TraceEventType (src/trace/trace.hpp) must
+    have (a) an emit site somewhere in src/ outside src/trace/ — an event
+    type nothing records is dead weight in the 32-byte record — and (b) a
+    pretty-printer case in src/trace/export.cpp, or the golden/text/Chrome
+    serializations silently print it payload-less.
+
 Waivers: append `// scap-lint: allow(<rule>) <reason>` to the offending
 line (or the line directly above it). Waivers without a reason are
 themselves findings.
@@ -300,6 +307,64 @@ def check_api_stats_mirror(root, findings):
                 f"scap_stats_t::{name} is never assigned in scap_get_stats"))
 
 
+def check_trace_coverage(root, findings):
+    trace_hpp = "src/trace/trace.hpp"
+    path = os.path.join(root, trace_hpp)
+    if not os.path.exists(path):
+        findings.append(Finding(trace_hpp, 0, "trace-coverage",
+                                "trace.hpp not found"))
+        return
+    lines = read_lines(path)
+
+    # Enumerators of `enum class TraceEventType`.
+    enums = []
+    in_enum = False
+    for i, line in enumerate(lines):
+        code = strip_comments_and_strings(line)
+        if not in_enum:
+            if re.search(r"enum\s+class\s+TraceEventType\b", code):
+                in_enum = True
+            continue
+        if "}" in code:
+            break
+        m = re.match(r"\s*(k[A-Za-z0-9_]+)\s*(?:=[^,]*)?,?\s*$", code)
+        if m:
+            enums.append((m.group(1), i + 1))
+    if not enums:
+        findings.append(Finding(trace_hpp, 0, "trace-coverage",
+                                "could not parse TraceEventType enumerators"))
+        return
+
+    # All code outside src/trace/ that could host an emit site, pre-stripped.
+    emit_lines = []
+    for rel in iter_source_files(root, "src"):
+        if rel.replace(os.sep, "/").startswith("src/trace/"):
+            continue
+        for line in read_lines(os.path.join(root, rel)):
+            emit_lines.append(strip_comments_and_strings(line))
+    export_cpp = os.path.join(root, "src/trace/export.cpp")
+    export_lines = ([strip_comments_and_strings(l) for l in
+                     read_lines(export_cpp)]
+                    if os.path.exists(export_cpp) else [])
+
+    for name, line_no in enums:
+        if waivers_for(lines, line_no - 1, "trace-coverage"):
+            continue
+        ref = re.compile(r"TraceEventType::" + re.escape(name) + r"\b")
+        if not any(ref.search(l) for l in emit_lines):
+            findings.append(Finding(
+                trace_hpp, line_no, "trace-coverage",
+                f"TraceEventType::{name} has no emit site in src/ outside "
+                "src/trace/ — dead event type"))
+        case_re = re.compile(r"case\s+TraceEventType::" + re.escape(name) +
+                             r"\b")
+        if not any(case_re.search(l) for l in export_lines):
+            findings.append(Finding(
+                trace_hpp, line_no, "trace-coverage",
+                f"TraceEventType::{name} has no pretty-printer case in "
+                "src/trace/export.cpp (format_event)"))
+
+
 def iter_source_files(root, subdir):
     for dirpath, _, names in os.walk(os.path.join(root, subdir)):
         for n in sorted(names):
@@ -316,7 +381,7 @@ def main():
 
     if args.list_rules:
         print("heap-hot-path\nnondeterminism\ncounter-conservation\n"
-              "api-stats-mirror")
+              "api-stats-mirror\ntrace-coverage")
         return 0
 
     root = os.path.abspath(args.root)
@@ -334,6 +399,7 @@ def main():
         scan_patterns(root, rel, NONDET_PATTERNS, "nondeterminism", findings)
     check_counter_conservation(root, findings)
     check_api_stats_mirror(root, findings)
+    check_trace_coverage(root, findings)
 
     # A waiver must say why, or it is itself a finding.
     for rel in list(iter_source_files(root, "src")) + \
