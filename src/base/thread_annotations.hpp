@@ -1,0 +1,56 @@
+// Clang thread-safety capability annotations (DESIGN.md §11).
+//
+// These macros wrap the attributes behind `-Wthread-safety` so the compiler
+// proves the lock discipline on every clang build instead of TSan catching
+// schedules it happens to execute. On compilers without the attributes
+// (gcc, MSVC) every macro expands to nothing, so the annotations are pure
+// documentation there — the CI `analyze` job builds with a pinned clang and
+// `-Wthread-safety -Wthread-safety-beta` promoted to errors.
+//
+// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   SCAP_CAPABILITY(name)    the class is a capability (base::Mutex)
+//   SCAP_SCOPED_CAPABILITY   RAII object acquiring/releasing a capability
+//   SCAP_GUARDED_BY(mu)      field may only be accessed while holding mu
+//   SCAP_PT_GUARDED_BY(mu)   pointer field: the *pointee* requires mu
+//   SCAP_REQUIRES(...)       function must be called with capability held
+//   SCAP_ACQUIRE/RELEASE     function acquires/releases the capability
+//   SCAP_TRY_ACQUIRE(b)      conditional acquire (returns b on success)
+//   SCAP_EXCLUDES(...)       function must NOT be called holding it
+//                            (self-deadlock documentation with teeth)
+//   SCAP_ASSERT_CAPABILITY   run-time assertion that the capability is held;
+//                            used where serialization is structural (inline
+//                            dispatch mode) rather than a lock acquisition
+//   SCAP_RETURN_CAPABILITY   accessor returning a reference to a capability
+//   SCAP_NO_THREAD_SAFETY_ANALYSIS  opt a function out (last resort; every
+//                            use needs a justifying comment)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SCAP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(SCAP_THREAD_ANNOTATION)
+#define SCAP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define SCAP_CAPABILITY(x) SCAP_THREAD_ANNOTATION(capability(x))
+#define SCAP_SCOPED_CAPABILITY SCAP_THREAD_ANNOTATION(scoped_lockable)
+#define SCAP_GUARDED_BY(x) SCAP_THREAD_ANNOTATION(guarded_by(x))
+#define SCAP_PT_GUARDED_BY(x) SCAP_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SCAP_REQUIRES(...) \
+  SCAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SCAP_REQUIRES_SHARED(...) \
+  SCAP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define SCAP_ACQUIRE(...) \
+  SCAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SCAP_RELEASE(...) \
+  SCAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SCAP_TRY_ACQUIRE(...) \
+  SCAP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SCAP_EXCLUDES(...) SCAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SCAP_ASSERT_CAPABILITY(...) \
+  SCAP_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define SCAP_RETURN_CAPABILITY(x) SCAP_THREAD_ANNOTATION(lock_returned(x))
+#define SCAP_NO_THREAD_SAFETY_ANALYSIS \
+  SCAP_THREAD_ANNOTATION(no_thread_safety_analysis)

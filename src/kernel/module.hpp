@@ -20,6 +20,7 @@
 
 #include "base/assert.hpp"
 #include "base/clock.hpp"
+#include "base/mutex.hpp"
 #include "kernel/defrag.hpp"
 #include "kernel/events.hpp"
 #include "kernel/flow_table.hpp"
@@ -225,8 +226,19 @@ class ScapKernel {
  public:
   explicit ScapKernel(KernelConfig config, nic::Nic* nic = nullptr);
 
+  /// The kernel's serialization domain (DESIGN.md §11). Every entry point
+  /// below is annotated SCAP_REQUIRES(serial_): callers must be the only
+  /// execution context inside the kernel. The capture acquires it together
+  /// with kernel_mutex_ in threaded mode (base::SerialGuard right after the
+  /// MutexLock); single-threaded drivers (tests, chaos_run, benches)
+  /// satisfy it trivially and are compiled without -Wthread-safety.
+  base::SerialDomain& serial() const SCAP_RETURN_CAPABILITY(serial_) {
+    return serial_;
+  }
+
   /// Process one packet in softirq context on `core`.
-  PacketOutcome handle_packet(const Packet& pkt, Timestamp now, int core = 0);
+  PacketOutcome handle_packet(const Packet& pkt, Timestamp now, int core = 0)
+      SCAP_REQUIRES(serial_);
 
   /// Batched ingest: process `pkts` on `core`, amortizing the maintenance
   /// check (run once, at `now`) and prefetching each packet's flow-table
@@ -238,42 +250,51 @@ class ScapKernel {
   /// handle_packet(pkt, now, core) when now == pkt.timestamp().
   PacketOutcome handle_batch(std::span<const Packet> pkts, Timestamp now,
                              int core = 0,
-                             std::span<PacketOutcome> outcomes = {});
+                             std::span<PacketOutcome> outcomes = {})
+      SCAP_REQUIRES(serial_);
 
   /// Run the periodic maintenance pass (inactivity expiry, FDIR timeout
   /// service, flush timeouts). Called automatically from handle_packet every
   /// expiry_interval; exposed for drivers that need explicit control.
-  void run_maintenance(Timestamp now);
+  void run_maintenance(Timestamp now) SCAP_REQUIRES(serial_);
 
   /// Flush + terminate every remaining stream (end of capture).
-  void terminate_all(Timestamp now);
+  void terminate_all(Timestamp now) SCAP_REQUIRES(serial_);
 
-  /// Event access (per core).
-  EventQueue& events(int core) { return queues_[static_cast<std::size_t>(core)]; }
+  /// Event access (per core). The queues are the worker handoff point: in
+  /// threaded mode workers pop them under the same serialization the
+  /// producer pushes under (capture's kernel_mutex_ + this domain).
+  EventQueue& events(int core) SCAP_REQUIRES(serial_) {
+    return queues_[static_cast<std::size_t>(core)];
+  }
 
   /// The consumer must release each data event's chunk accounting once the
   /// application is done with it.
-  void release_chunk(const Event& ev) {
+  void release_chunk(const Event& ev) SCAP_REQUIRES(serial_) {
     if (ev.chunk_alloc) allocator_.release(ev.chunk_addr, ev.chunk_alloc);
   }
 
   // --- runtime control (backing for the Scap API) -------------------------
-  StreamRecord* find_stream(StreamId id) { return table_.by_id(id); }
-  bool set_stream_cutoff(StreamId id, std::int64_t cutoff);
-  bool set_stream_priority(StreamId id, int priority);
-  bool discard_stream(StreamId id);
+  StreamRecord* find_stream(StreamId id) SCAP_REQUIRES(serial_) {
+    return table_.by_id(id);
+  }
+  bool set_stream_cutoff(StreamId id, std::int64_t cutoff)
+      SCAP_REQUIRES(serial_);
+  bool set_stream_priority(StreamId id, int priority) SCAP_REQUIRES(serial_);
+  bool discard_stream(StreamId id) SCAP_REQUIRES(serial_);
 
   /// Re-attach a delivered chunk so the next delivery contains it too
   /// (scap_keep_stream_chunk). Transfers the chunk's memory accounting back
   /// to the stream; returns false if the stream no longer exists.
-  bool keep_stream_chunk(StreamId id, Chunk&& chunk, std::uint32_t alloc);
+  bool keep_stream_chunk(StreamId id, Chunk&& chunk, std::uint32_t alloc)
+      SCAP_REQUIRES(serial_);
 
   /// Check every kernel invariant (counter conservation, pool balance, PPL
   /// watermark monotonicity) against the current state. Returns "" when all
   /// hold, else the first violation. Always compiled; the SCAP_INVARIANT
   /// wiring in run_maintenance()/terminate_all() makes it fatal in
   /// Debug/test builds and a no-op in Release.
-  std::string check_invariants() const;
+  std::string check_invariants() const SCAP_REQUIRES(serial_);
 
   /// Attach the event tracer (DESIGN.md §10). Must happen before the first
   /// packet: the tracer's event counts double as conservation counters
@@ -281,7 +302,7 @@ class ScapKernel {
   /// a mid-run attach would trip the next maintenance tick's invariant
   /// check. Also wires the PPL controller. Pass nullptr to detach is not
   /// supported for the same reason.
-  void set_tracer(trace::Tracer* tracer) {
+  void set_tracer(trace::Tracer* tracer) SCAP_REQUIRES(serial_) {
     SCAP_ASSERT(stats_.pkts_seen == 0,
                 "tracer must attach before the first packet");
     tracer_ = tracer;
@@ -289,7 +310,7 @@ class ScapKernel {
   }
   trace::Tracer* tracer() const { return tracer_; }
 
-  const KernelStats& stats() const {
+  const KernelStats& stats() const SCAP_REQUIRES(serial_) {
     // Pool occupancy is owned by the flow table; mirror it on read so the
     // hot path never maintains these counters. Same for the adaptive
     // controller, whose state lives in Ppl.
@@ -318,36 +339,47 @@ class ScapKernel {
  private:
   /// handle_packet minus the maintenance-timer check (the batch path runs
   /// that once per batch).
-  PacketOutcome handle_one(const Packet& pkt, Timestamp now, int core);
+  PacketOutcome handle_one(const Packet& pkt, Timestamp now, int core)
+      SCAP_REQUIRES(serial_);
 
   StreamRecord* lookup_or_create(const Packet& pkt, Timestamp now, int core,
-                                 PacketOutcome& outcome);
-  void resolve_params(StreamRecord& rec);
+                                 PacketOutcome& outcome)
+      SCAP_REQUIRES(serial_);
+  void resolve_params(StreamRecord& rec) SCAP_REQUIRES(serial_);
   std::uint64_t app_mask_for(const FiveTuple& tuple) const;
-  void emit_created(StreamRecord& rec);
-  void emit_data(StreamRecord& rec, Chunk&& chunk, bool transfer_block);
-  void emit_terminated(StreamRecord& rec);
+  void emit_created(StreamRecord& rec) SCAP_REQUIRES(serial_);
+  void emit_data(StreamRecord& rec, Chunk&& chunk, bool transfer_block)
+      SCAP_REQUIRES(serial_);
+  void emit_terminated(StreamRecord& rec) SCAP_REQUIRES(serial_);
   StreamSnapshot snapshot(const StreamRecord& rec) const;
-  void ensure_block(StreamRecord& rec);
+  void ensure_block(StreamRecord& rec) SCAP_REQUIRES(serial_);
   void handle_payload(StreamRecord& rec, const Packet& pkt, Timestamp now,
-                      PacketOutcome& outcome);
+                      PacketOutcome& outcome) SCAP_REQUIRES(serial_);
   void trigger_cutoff(StreamRecord& rec, Timestamp now,
-                      PacketOutcome& outcome);
+                      PacketOutcome& outcome) SCAP_REQUIRES(serial_);
   void terminate(StreamRecord& rec, StreamStatus status, Timestamp now,
-                 PacketOutcome* outcome);
+                 PacketOutcome* outcome) SCAP_REQUIRES(serial_);
   void install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
-                    PacketOutcome& outcome);
-  void flush_chunks(StreamRecord& rec, std::uint32_t error_bits);
+                    PacketOutcome& outcome) SCAP_REQUIRES(serial_);
+  void flush_chunks(StreamRecord& rec, std::uint32_t error_bits)
+      SCAP_REQUIRES(serial_);
 
   /// Steer a freshly created stream away from an overloaded core (§2.4).
-  void maybe_rebalance(StreamRecord& rec, Timestamp now);
+  void maybe_rebalance(StreamRecord& rec, Timestamp now)
+      SCAP_REQUIRES(serial_);
 
   /// Post-defragmentation continuation of handle_packet.
   PacketOutcome handle_decoded(const Packet& pkt, Timestamp now, int core,
-                               PacketOutcome& outcome);
+                               PacketOutcome& outcome) SCAP_REQUIRES(serial_);
 
   KernelConfig config_;
-  nic::Nic* nic_;
+  /// The serialization domain every entry point requires (see serial()).
+  /// mutable so const observers (stats, check_invariants) can name it.
+  mutable base::SerialDomain serial_;
+  /// NIC pointee is FDIR/RSS state mutated by the kernel: only touch it
+  /// from inside the serial domain. Reading the pointer itself (nic())
+  /// is free — it is set once at construction.
+  nic::Nic* nic_ SCAP_PT_GUARDED_BY(serial_);
   ChunkAllocator allocator_;
   FlowTable table_;
   Ppl ppl_;
@@ -358,7 +390,9 @@ class ScapKernel {
   std::unordered_set<StreamId> flush_watch_;  // streams with flush timeouts
   std::vector<std::int64_t> core_streams_;    // active streams per core
   IpDefragmenter defrag_;
-  trace::Tracer* tracer_ = nullptr;
+  /// Per-core trace rings are recorded into from the serial domain only;
+  /// the pointer is set once (set_tracer) before the first packet.
+  trace::Tracer* tracer_ SCAP_PT_GUARDED_BY(serial_) = nullptr;
 };
 
 }  // namespace scap::kernel

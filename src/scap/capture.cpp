@@ -2,23 +2,34 @@
 
 #include <stdexcept>
 
+#include "base/assert.hpp"
 #include "packet/pcap.hpp"
 
 namespace scap {
 
 // --- StreamView --------------------------------------------------------------
+//
+// Control methods run inside dispatch callbacks, which always hold
+// kernel_mutex_ and the kernel's serial domain (see class comment in the
+// header); cap_.assert_serialized() states that to the analysis.
 
-void StreamView::discard() { cap_.kernel_->discard_stream(id()); }
+void StreamView::discard() {
+  cap_.assert_serialized();
+  cap_.kernel_->discard_stream(id());
+}
 
 void StreamView::set_cutoff(std::int64_t bytes) {
+  cap_.assert_serialized();
   cap_.kernel_->set_stream_cutoff(id(), bytes);
 }
 
 void StreamView::set_priority(int priority) {
+  cap_.assert_serialized();
   cap_.kernel_->set_stream_priority(id(), priority);
 }
 
 bool StreamView::set_parameter(Parameter p, std::int64_t value) {
+  cap_.assert_serialized();
   kernel::StreamRecord* rec = cap_.kernel_->find_stream(id());
   if (rec == nullptr) return false;
   switch (p) {
@@ -163,21 +174,28 @@ void Capture::enable_tracing(std::size_t ring_capacity) {
 void Capture::start() {
   if (started_) throw std::logic_error("scap: capture already started");
   const int cores = config_.num_cores;
-  nic_ = std::make_unique<nic::Nic>(cores);
-  kernel_ = std::make_unique<kernel::ScapKernel>(config_, nic_.get());
-  if (trace_capacity_ > 0) {
-    trace::TraceConfig tc;
-    tc.ring_capacity = trace_capacity_;
-    tc.cores = cores;
-    tracer_ = std::make_unique<trace::Tracer>(tc);
-    kernel_->set_tracer(tracer_.get());
-    nic_->set_tracer(tracer_.get());
+  {
+    // No worker exists yet, but construction dereferences the guarded
+    // pointers (tracer attach); taking the uncontended lock once per
+    // capture keeps the capability story uniform.
+    base::MutexLock lock(kernel_mutex_);
+    nic_ = std::make_unique<nic::Nic>(cores);
+    kernel_ = std::make_unique<kernel::ScapKernel>(config_, nic_.get());
+    if (trace_capacity_ > 0) {
+      trace::TraceConfig tc;
+      tc.ring_capacity = trace_capacity_;
+      tc.cores = cores;
+      tracer_ = std::make_unique<trace::Tracer>(tc);
+      base::SerialGuard serial(kernel_->serial());
+      kernel_->set_tracer(tracer_.get());
+      nic_->set_tracer(tracer_.get());
+    }
   }
   started_ = true;
   if (worker_threads_ > 0) {
     wakeups_.clear();
     for (int i = 0; i < worker_threads_; ++i) {
-      wakeups_.push_back(std::make_unique<std::condition_variable_any>());
+      wakeups_.push_back(std::make_unique<base::CondVar>());
     }
     for (int i = 0; i < worker_threads_; ++i) {
       workers_.emplace_back(
@@ -257,6 +275,10 @@ void Capture::drain_core_inline(int core) {
 }
 
 std::size_t Capture::poll() {
+  // In threaded mode the workers own dispatch; polling from outside would
+  // race them. stop() polls only after the workers are joined and cleared.
+  SCAP_ASSERT(workers_.empty(), "poll() is inline-mode only");
+  assert_serialized();
   const std::uint64_t before = events_dispatched_;
   for (int c = 0; c < config_.num_cores; ++c) drain_core_inline(c);
   return static_cast<std::size_t>(events_dispatched_ - before);
@@ -267,11 +289,15 @@ void Capture::wake_worker(int core) {
 }
 
 void Capture::worker_main(int core, std::stop_token st) {
-  std::unique_lock lock(kernel_mutex_);
+  base::MutexLock lock(kernel_mutex_);
+  // Holding kernel_mutex_ is what grants the serial domain in threaded
+  // mode: every producer-side kernel call takes the same pair.
+  base::SerialGuard serial(kernel_->serial());
   auto& q = kernel_->events(core);
   while (!st.stop_requested() || !q.empty()) {
     if (q.empty()) {
-      wakeups_[core]->wait(lock, st, [&] { return !q.empty(); });
+      wakeups_[static_cast<std::size_t>(core)]->wait(
+          lock, st, [&] { return !q.empty(); });
       if (q.empty()) continue;  // stop requested with empty queue
     }
     kernel::Event ev = q.pop();
@@ -285,14 +311,15 @@ void Capture::worker_main(int core, std::stop_token st) {
 kernel::PacketOutcome Capture::inject(const Packet& pkt) {
   if (!started_) throw std::logic_error("scap: capture not started");
   last_ts_ = pkt.timestamp();
-  kernel::PacketOutcome out;
   if (worker_threads_ > 0) {
     // The NIC is shared state in threaded mode: the kernel installs FDIR
     // filters into it under kernel_mutex_ (from worker callbacks), so the
     // producer's receive path must hold the same lock.
+    kernel::PacketOutcome out;
     int queue;
     {
-      std::scoped_lock lock(kernel_mutex_);
+      base::MutexLock lock(kernel_mutex_);
+      base::SerialGuard serial(kernel_->serial());
       const nic::RxResult rx = nic_->receive(pkt);
       if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
         return kernel::PacketOutcome{};  // subzero: never reached the host
@@ -301,16 +328,30 @@ kernel::PacketOutcome Capture::inject(const Packet& pkt) {
       queue = rx.queue;
     }
     wake_worker(queue);
-  } else {
-    const nic::RxResult rx = nic_->receive(pkt);
-    if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
-      return kernel::PacketOutcome{};  // subzero: never reached the host
-    }
-    out = kernel_->handle_packet(pkt, pkt.timestamp(), rx.queue);
-    drain_core_inline(rx.queue);
+    return out;
   }
+  assert_serialized();
+  const nic::RxResult rx = nic_->receive(pkt);
+  if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
+    return kernel::PacketOutcome{};  // subzero: never reached the host
+  }
+  kernel::PacketOutcome out =
+      kernel_->handle_packet(pkt, pkt.timestamp(), rx.queue);
+  drain_core_inline(rx.queue);
   return out;
 }
+
+namespace {
+void accumulate(kernel::PacketOutcome& total,
+                const kernel::PacketOutcome& out) {
+  total.verdict = out.verdict;
+  total.stored_bytes += out.stored_bytes;
+  total.events += out.events;
+  total.created_stream = total.created_stream || out.created_stream;
+  total.terminated_stream = total.terminated_stream || out.terminated_stream;
+  total.fdir_updates += out.fdir_updates;
+}
+}  // namespace
 
 kernel::PacketOutcome Capture::inject_batch(std::span<const Packet> pkts) {
   if (!started_) throw std::logic_error("scap: capture not started");
@@ -323,41 +364,45 @@ kernel::PacketOutcome Capture::inject_batch(std::span<const Packet> pkts) {
   if (batch_buckets_.size() < static_cast<std::size_t>(config_.num_cores)) {
     batch_buckets_.resize(static_cast<std::size_t>(config_.num_cores));
   }
-  {
-    // Same shared-NIC rule as inject(): classification must not race with
-    // worker-driven FDIR updates in threaded mode.
-    std::unique_lock<std::mutex> lock(kernel_mutex_, std::defer_lock);
-    if (worker_threads_ > 0) lock.lock();
-    for (const Packet& pkt : pkts) {
-      const nic::RxResult rx = nic_->receive(pkt);
-      if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
-      batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
+  if (worker_threads_ > 0) {
+    {
+      // Same shared-NIC rule as inject(): classification must not race with
+      // worker-driven FDIR updates.
+      base::MutexLock lock(kernel_mutex_);
+      for (const Packet& pkt : pkts) {
+        const nic::RxResult rx = nic_->receive(pkt);
+        if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
+        batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
+      }
     }
+    for (std::size_t q = 0; q < batch_buckets_.size(); ++q) {
+      auto& bucket = batch_buckets_[q];
+      if (bucket.empty()) continue;
+      const int core = static_cast<int>(q);
+      {
+        base::MutexLock lock(kernel_mutex_);
+        base::SerialGuard serial(kernel_->serial());
+        accumulate(total, kernel_->handle_batch(
+                              bucket, bucket.front().timestamp(), core));
+      }
+      wake_worker(core);
+      bucket.clear();
+    }
+    return total;
   }
-  auto accumulate = [&total](const kernel::PacketOutcome& out) {
-    total.verdict = out.verdict;
-    total.stored_bytes += out.stored_bytes;
-    total.events += out.events;
-    total.created_stream = total.created_stream || out.created_stream;
-    total.terminated_stream = total.terminated_stream || out.terminated_stream;
-    total.fdir_updates += out.fdir_updates;
-  };
+  assert_serialized();
+  for (const Packet& pkt : pkts) {
+    const nic::RxResult rx = nic_->receive(pkt);
+    if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
+    batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
+  }
   for (std::size_t q = 0; q < batch_buckets_.size(); ++q) {
     auto& bucket = batch_buckets_[q];
     if (bucket.empty()) continue;
     const int core = static_cast<int>(q);
-    if (worker_threads_ > 0) {
-      {
-        std::scoped_lock lock(kernel_mutex_);
-        accumulate(
-            kernel_->handle_batch(bucket, bucket.front().timestamp(), core));
-      }
-      wake_worker(core);
-    } else {
-      accumulate(
-          kernel_->handle_batch(bucket, bucket.front().timestamp(), core));
-      drain_core_inline(core);
-    }
+    accumulate(total,
+               kernel_->handle_batch(bucket, bucket.front().timestamp(), core));
+    drain_core_inline(core);
     bucket.clear();
   }
   return total;
@@ -385,31 +430,46 @@ void Capture::stop() {
   if (!started_) return;
   if (worker_threads_ > 0) {
     {
-      std::scoped_lock lock(kernel_mutex_);
+      base::MutexLock lock(kernel_mutex_);
+      base::SerialGuard serial(kernel_->serial());
       kernel_->terminate_all(last_ts_);
     }
     for (auto& w : workers_) w.request_stop();
-    for (std::size_t i = 0; i < wakeups_.size(); ++i) wakeups_[i]->notify_all();
+    for (auto& cv : wakeups_) cv->notify_all();
     workers_.clear();  // joins
     wakeups_.clear();
-    // Drain anything the workers left behind.
+    // Drain anything the workers left behind (they are joined: poll's
+    // inline-only assertion holds).
     poll();
-  } else {
-    kernel_->terminate_all(last_ts_);
-    poll();
+    started_ = false;
+    return;
   }
+  assert_serialized();
+  kernel_->terminate_all(last_ts_);
+  for (int c = 0; c < config_.num_cores; ++c) drain_core_inline(c);
   started_ = false;
 }
 
 CaptureStats Capture::stats() const {
-  // Workers mutate kernel state (and events_dispatched_) under
-  // kernel_mutex_; take it while they may be live so a monitoring thread
-  // can poll stats() concurrently. Do not call stats() from inside a
-  // dispatch callback in threaded mode — the worker already holds the lock.
-  std::unique_lock<std::mutex> lock(kernel_mutex_, std::defer_lock);
-  if (!workers_.empty()) lock.lock();
+  // Branch on worker_threads_, which is immutable once the capture runs —
+  // the previous workers_.empty() check read the vector unsynchronized
+  // while stop() mutated it (caught by the thread-safety analysis during
+  // annotation; ConcurrencySmoke.StatsInsideInlineCallback covers the
+  // inline side).
+  if (worker_threads_ > 0) {
+    base::MutexLock lock(kernel_mutex_);
+    return stats_locked();
+  }
+  assert_serialized();
+  return stats_locked();
+}
+
+CaptureStats Capture::stats_locked() const {
   CaptureStats s;
-  if (kernel_) s.kernel = kernel_->stats();
+  if (kernel_) {
+    base::SerialGuard serial(kernel_->serial());
+    s.kernel = kernel_->stats();
+  }
   if (nic_) s.nic_dropped_by_filter = nic_->stats().dropped_by_filter;
   s.events_dispatched = events_dispatched_;
   if (tracer_) {

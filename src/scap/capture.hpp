@@ -12,20 +12,31 @@
 //     the kernel enqueues events to the worker owning the stream's core and
 //     wakes it, as the paper's per-core kernel/worker pairs do.
 //
+// Concurrency model (DESIGN.md §11): kernel_mutex_ is the capability that
+// guards everything the workers and the producer share — the kernel (and
+// through it the flow table, event queues and per-core trace rings), the
+// NIC (workers install FDIR filters into it), and events_dispatched_. The
+// kernel's own entry points additionally require its SerialDomain; in
+// threaded mode a SerialGuard is taken right after the MutexLock, in inline
+// mode assert_serialized() claims both capabilities structurally (a single
+// thread is trivially serialized). The clang thread-safety analysis checks
+// all of this on every clang build (-Wthread-safety, errors under
+// SCAP_WERROR).
+//
 // Packet sources: inject() for programmatic feeds, replay_pcap() for traces.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "kernel/module.hpp"
 #include "nic/nic.hpp"
 #include "packet/packet.hpp"
@@ -51,6 +62,13 @@ class Capture;
 /// The application's view of a stream inside a callback — the paper's
 /// stream_t as handed to handlers. Wraps the event's immutable snapshot and
 /// forwards per-stream control calls to the kernel.
+///
+/// A StreamView only exists inside a dispatch callback, which always runs
+/// with the capture's kernel_mutex_ and the kernel's serial domain held
+/// (worker threads take both; inline mode holds them structurally). The
+/// control methods assert exactly that (Capture::assert_serialized) before
+/// re-entering the kernel — the C API wrappers in capi.cpp cannot carry
+/// capability annotations across extern "C".
 class StreamView {
  public:
   StreamView(Capture& cap, kernel::Event& ev) : cap_(cap), ev_(ev) {}
@@ -97,6 +115,10 @@ class StreamView {
 
  private:
   friend class Capture;
+
+  // Dispatch callbacks run with both capabilities held (see class comment);
+  // the control methods carry that structural fact into the analysis by
+  // calling cap_.assert_serialized() before re-entering the kernel.
   Capture& cap_;
   kernel::Event& ev_;
   std::size_t pkt_cursor_ = 0;
@@ -148,8 +170,11 @@ class Capture {
   /// so the rings stay empty.
   void enable_tracing(std::size_t ring_capacity = 1 << 16);
 
-  /// The attached tracer, or nullptr. In threaded mode, read it only after
-  /// stop(): workers append to the per-core rings under kernel_mutex_.
+  /// The attached tracer, or nullptr. The pointee is SCAP_PT_GUARDED_BY
+  /// (kernel_mutex_): workers append to the per-core rings holding that
+  /// mutex, so in threaded mode dereference only after stop() has joined
+  /// them. The raw pointer returned here escapes the analysis — treat it
+  /// as borrowed under the same rule.
   trace::Tracer* tracer() const { return tracer_.get(); }
 
   // --- handlers --------------------------------------------------------------
@@ -174,11 +199,12 @@ class Capture {
 
   // --- capture lifecycle ------------------------------------------------------
   /// Instantiate NIC + kernel and (in threaded mode) start workers.
-  void start();
+  void start() SCAP_EXCLUDES(kernel_mutex_);
 
   /// Feed one packet (timestamp taken from the packet). Returns the NIC/
   /// kernel outcome for instrumentation.
-  kernel::PacketOutcome inject(const Packet& pkt);
+  kernel::PacketOutcome inject(const Packet& pkt)
+      SCAP_EXCLUDES(kernel_mutex_);
 
   /// Feed a batch of packets: each is received by the NIC in order, then the
   /// kernel processes them per RSS queue through handle_batch (amortized
@@ -186,24 +212,41 @@ class Capture {
   /// the whole batch in inline mode; FDIR filters installed while processing
   /// a batch take effect from the next batch. Returns the aggregate outcome
   /// (counters summed, verdict = last packet's).
-  kernel::PacketOutcome inject_batch(std::span<const Packet> pkts);
+  kernel::PacketOutcome inject_batch(std::span<const Packet> pkts)
+      SCAP_EXCLUDES(kernel_mutex_);
 
   /// Replay a pcap file through the capture in inject_batch-sized batches.
   /// Returns packets injected.
-  std::uint64_t replay_pcap(const std::string& path);
+  std::uint64_t replay_pcap(const std::string& path)
+      SCAP_EXCLUDES(kernel_mutex_);
 
-  /// Dispatch pending events on the calling thread (inline mode only; in
-  /// threaded mode the workers do this). Returns events dispatched.
-  std::size_t poll();
+  /// Dispatch pending events on the calling thread. Inline mode only (in
+  /// threaded mode the workers dispatch; calling poll() while workers are
+  /// live is a hard error, asserted). Returns events dispatched.
+  std::size_t poll() SCAP_EXCLUDES(kernel_mutex_);
 
   /// Flush all remaining streams, dispatch final events, join workers.
-  void stop();
+  void stop() SCAP_EXCLUDES(kernel_mutex_);
 
-  CaptureStats stats() const;
+  /// Snapshot of kernel + NIC + dispatch counters. Safe to call from a
+  /// monitoring thread while workers are live (takes kernel_mutex_ in
+  /// threaded mode). Do not call from inside a dispatch callback in
+  /// threaded mode: the worker already holds the mutex, and the
+  /// SCAP_EXCLUDES annotation makes clang reject such a call path.
+  CaptureStats stats() const SCAP_EXCLUDES(kernel_mutex_);
 
-  kernel::ScapKernel& kernel() { return *kernel_; }
+  /// Direct kernel/NIC access for single-threaded drivers (tests, benches,
+  /// chaos_run). These assert the serialization capabilities rather than
+  /// take the lock — never call them while workers are live.
+  kernel::ScapKernel& kernel() {
+    assert_serialized();
+    return *kernel_;
+  }
   bool has_kernel() const { return kernel_ != nullptr; }
-  nic::Nic& nic() { return *nic_; }
+  nic::Nic& nic() {
+    assert_serialized();
+    return *nic_;
+  }
   const std::string& device() const { return device_; }
   int worker_threads() const { return worker_threads_; }
   bool started() const { return started_; }
@@ -211,15 +254,29 @@ class Capture {
  private:
   friend class StreamView;
 
-  void dispatch_event(kernel::Event& ev, int core);
-  void drain_core_inline(int core);
-  void worker_main(int core, std::stop_token st);
+  /// Claim kernel_mutex_ and the kernel's serial domain structurally: in
+  /// inline mode a single thread does all processing, and after stop() the
+  /// workers are joined. Zero runtime cost — the assertion exists for the
+  /// thread-safety analysis. Threaded-mode code paths must take the real
+  /// MutexLock + SerialGuard instead.
+  void assert_serialized() const
+      SCAP_ASSERT_CAPABILITY(kernel_mutex_, kernel_->serial()) {}
+
+  void dispatch_event(kernel::Event& ev, int core)
+      SCAP_REQUIRES(kernel_mutex_, kernel_->serial());
+  void drain_core_inline(int core)
+      SCAP_REQUIRES(kernel_mutex_, kernel_->serial());
+  /// Counter snapshot under the capability; takes the kernel's SerialGuard
+  /// internally once it knows kernel_ is non-null.
+  CaptureStats stats_locked() const SCAP_REQUIRES(kernel_mutex_);
+  void worker_main(int core, std::stop_token st)
+      SCAP_EXCLUDES(kernel_mutex_);
   void wake_worker(int core);
 
   std::string device_;
   kernel::KernelConfig config_;
-  int worker_threads_ = 0;
-  bool started_ = false;
+  int worker_threads_ = 0;   // immutable once start() ran (branch selector)
+  bool started_ = false;     // driver-thread only
   Timestamp last_ts_;
 
   StreamHandler on_created_;
@@ -227,17 +284,21 @@ class Capture {
   StreamHandler on_terminated_;
   std::vector<AppHandlers> apps_;
 
-  std::unique_ptr<nic::Nic> nic_;
-  std::unique_ptr<kernel::ScapKernel> kernel_;
-  std::unique_ptr<trace::Tracer> tracer_;
+  // The pointees are shared with workers; the pointers themselves are
+  // written once in start() (before any worker exists) and cleared only
+  // after they are joined, so reading the pointer is always safe while
+  // every dereference needs kernel_mutex_.
+  std::unique_ptr<nic::Nic> nic_ SCAP_PT_GUARDED_BY(kernel_mutex_);
+  std::unique_ptr<kernel::ScapKernel> kernel_ SCAP_PT_GUARDED_BY(kernel_mutex_);
+  std::unique_ptr<trace::Tracer> tracer_ SCAP_PT_GUARDED_BY(kernel_mutex_);
   std::size_t trace_capacity_ = 0;  // 0 = tracing off
   std::vector<std::vector<Packet>> batch_buckets_;  // per-queue RSS buckets
 
   // Threaded mode machinery.
-  mutable std::mutex kernel_mutex_;
+  mutable base::Mutex kernel_mutex_;
   std::vector<std::jthread> workers_;
-  std::vector<std::unique_ptr<std::condition_variable_any>> wakeups_;
-  std::uint64_t events_dispatched_ = 0;
+  std::vector<std::unique_ptr<base::CondVar>> wakeups_;
+  std::uint64_t events_dispatched_ SCAP_GUARDED_BY(kernel_mutex_) = 0;
 };
 
 }  // namespace scap

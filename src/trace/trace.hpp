@@ -113,9 +113,13 @@ struct TraceConfig {
 };
 
 /// Per-core rings + the metrics registry, attached to the kernel, NIC, PPL
-/// controller and Capture behind a nullable pointer. All recording in the
-/// capture pipeline happens under the capture's serialization domain (inline
-/// calls or kernel_mutex_), so the tracer itself carries no locks.
+/// controller and Capture behind a nullable pointer. The tracer itself
+/// carries no locks: every pointer that reaches it in the capture pipeline
+/// is SCAP_PT_GUARDED_BY a capability — Capture::tracer_ by kernel_mutex_,
+/// ScapKernel::tracer_ by the kernel's SerialDomain — so the thread-safety
+/// analysis proves each record() call is serialized instead of a comment
+/// promising it (DESIGN.md §11). Single-threaded owners (tools, tests)
+/// hold those capabilities structurally.
 class Tracer {
  public:
   explicit Tracer(const TraceConfig& config);

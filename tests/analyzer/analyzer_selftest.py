@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Meta-test for tools/scap_analyzer.py over tests/analyzer/fixtures/.
+
+Every fixture encodes its own expected findings:
+
+    foo();  // expect: <rule>           finding on this line
+    // expect-next-line: <rule>         finding on the next line
+                                        (for lines whose trailing comment
+                                        position is already taken, e.g. a
+                                        waiver under test)
+
+The analyzer is run once in --fixtures mode and its JSON findings are
+compared against the union of all expectations as an exact set of
+(file, line, rule) triples — a missing finding, a spurious finding, a
+finding on the wrong line, or a finding under the wrong rule all fail.
+Two structural invariants are checked on top: every *_bad.cpp fixture
+must yield at least one finding, and every *_good.cpp twin must yield
+none (good twins must be clean across ALL rules, not just their own).
+
+Exit status: 0 pass, 1 fail, 77 libclang unavailable (skip, matching
+the analyzer's own skip code so ctest reports SKIP_RETURN_CODE).
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+EXIT_SKIP = 77
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+EXPECT_NEXT_RE = re.compile(r"//\s*expect-next-line:\s*([a-z-]+)")
+
+
+def collect_expectations(fixtures_dir):
+    """Set of (file, line, rule) parsed from the fixtures themselves."""
+    expected = set()
+    for name in sorted(os.listdir(fixtures_dir)):
+        if not name.endswith(".cpp"):
+            continue
+        path = os.path.join(fixtures_dir, name)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for m in EXPECT_RE.finditer(line):
+                    expected.add((name, lineno, m.group(1)))
+                for m in EXPECT_NEXT_RE.finditer(line):
+                    expected.add((name, lineno + 1, m.group(1)))
+    return expected
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(here))
+    analyzer = os.path.join(root, "tools", "scap_analyzer.py")
+    fixtures = os.path.join(here, "fixtures")
+
+    proc = subprocess.run(
+        [sys.executable, analyzer, "--fixtures", fixtures, "--json"],
+        capture_output=True, text=True)
+    if proc.returncode == EXIT_SKIP:
+        print("analyzer_selftest: libclang unavailable, skipping")
+        print(proc.stderr, file=sys.stderr, end="")
+        return EXIT_SKIP
+    if proc.returncode not in (0, 1):
+        print(f"analyzer_selftest: analyzer exited {proc.returncode}",
+              file=sys.stderr)
+        print(proc.stderr, file=sys.stderr, end="")
+        return 1
+
+    try:
+        findings = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(f"analyzer_selftest: bad JSON from analyzer: {e}",
+              file=sys.stderr)
+        print(proc.stdout, file=sys.stderr)
+        return 1
+
+    actual = {(f["file"], f["line"], f["rule"]) for f in findings}
+    expected = collect_expectations(fixtures)
+
+    ok = True
+    for miss in sorted(expected - actual):
+        print(f"MISSING  {miss[0]}:{miss[1]}: expected finding "
+              f"[{miss[2]}] was not reported")
+        ok = False
+    for extra in sorted(actual - expected):
+        print(f"SPURIOUS {extra[0]}:{extra[1]}: unexpected finding "
+              f"[{extra[2]}]")
+        ok = False
+
+    # Structural invariants over the fixture naming convention.
+    flagged_files = {f for f, _, _ in actual}
+    for name in sorted(os.listdir(fixtures)):
+        if name.endswith("_bad.cpp") and name not in flagged_files:
+            print(f"INVARIANT {name}: bad fixture produced no findings")
+            ok = False
+        if name.endswith("_good.cpp") and name in flagged_files:
+            print(f"INVARIANT {name}: good twin produced findings")
+            ok = False
+
+    if not expected:
+        print("analyzer_selftest: no expectations found in fixtures "
+              "(broken harness)", file=sys.stderr)
+        ok = False
+
+    if ok:
+        print(f"analyzer_selftest: {len(expected)} expected finding(s) "
+              "matched exactly")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

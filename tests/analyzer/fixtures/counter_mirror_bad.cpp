@@ -1,0 +1,23 @@
+// Bad twin for rule counter-mirror: KernelStats grows a counter that the
+// mirror function never touches — the exact bug class where a counter is
+// added on the hot path but silently vanishes from every report. In
+// fixture mode the rule checks member references within this file.
+namespace scap::kernel {
+
+struct KernelStats {
+  unsigned long pkts_seen = 0;
+  unsigned long bytes_seen = 0;
+  unsigned long orphan_counter = 0;  // expect: counter-mirror
+};
+
+struct ApiStats {
+  unsigned long pkts_seen;
+  unsigned long bytes_seen;
+};
+
+void mirror(const KernelStats& k, ApiStats& out) {
+  out.pkts_seen = k.pkts_seen;
+  out.bytes_seen = k.bytes_seen;
+}
+
+}  // namespace scap::kernel

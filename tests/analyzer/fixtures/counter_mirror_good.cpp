@@ -1,0 +1,19 @@
+// Good twin for rule counter-mirror: every KernelStats field is mirrored.
+namespace scap::kernel {
+
+struct KernelStats {
+  unsigned long pkts_seen = 0;
+  unsigned long bytes_seen = 0;
+};
+
+struct ApiStats {
+  unsigned long pkts_seen;
+  unsigned long bytes_seen;
+};
+
+void mirror(const KernelStats& k, ApiStats& out) {
+  out.pkts_seen = k.pkts_seen;
+  out.bytes_seen = k.bytes_seen;
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,29 @@
+// Bad twin for rule guard-coverage: two fields from the pinned capability
+// table (DESIGN.md §11) lost their annotations — exactly what happens when
+// someone deletes a SCAP_GUARDED_BY to silence a thread-safety error
+// instead of fixing the locking.
+#define SCAP_CAPABILITY(x) __attribute__((capability(x)))
+#define SCAP_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define SCAP_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+
+namespace scap {
+
+namespace kernel {
+class ScapKernel {
+ private:
+  class SCAP_CAPABILITY("serial domain") SerialDomain {} serial_;
+  int* nic_ SCAP_PT_GUARDED_BY(serial_) = nullptr;
+  int* tracer_ = nullptr;  // expect: guard-coverage
+};
+}  // namespace kernel
+
+class Capture {
+ private:
+  class SCAP_CAPABILITY("mutex") Mutex {} kernel_mutex_;
+  int* nic_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
+  int* kernel_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
+  int* tracer_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
+  unsigned long events_dispatched_ = 0;  // expect: guard-coverage
+};
+
+}  // namespace scap

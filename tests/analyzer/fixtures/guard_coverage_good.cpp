@@ -1,0 +1,27 @@
+// Good twin for rule guard-coverage: every field in the pinned capability
+// table carries its annotation. Zero findings.
+#define SCAP_CAPABILITY(x) __attribute__((capability(x)))
+#define SCAP_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define SCAP_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+
+namespace scap {
+
+namespace kernel {
+class ScapKernel {
+ private:
+  class SCAP_CAPABILITY("serial domain") SerialDomain {} serial_;
+  int* nic_ SCAP_PT_GUARDED_BY(serial_) = nullptr;
+  int* tracer_ SCAP_PT_GUARDED_BY(serial_) = nullptr;
+};
+}  // namespace kernel
+
+class Capture {
+ private:
+  class SCAP_CAPABILITY("mutex") Mutex {} kernel_mutex_;
+  int* nic_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
+  int* kernel_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
+  int* tracer_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
+  unsigned long events_dispatched_ SCAP_GUARDED_BY(kernel_mutex_) = 0;
+};
+
+}  // namespace scap

@@ -1,0 +1,32 @@
+// Bad twin for rule hot-path-alloc. Every allocation here is one the old
+// token-regex lint could not see: the container hides behind a type alias
+// and an auto-deduced local, and the operator new sits in plain code the
+// AST walks regardless of formatting. Fixture files are hermetic (fake std
+// declarations, no includes) and are all treated as hot-path files.
+namespace std {
+template <class K, class V>
+class unordered_map {
+ public:
+  unordered_map() {}
+};
+}  // namespace std
+
+namespace scap::kernel {
+
+using FlowMap = std::unordered_map<int, int>;  // the alias itself is fine
+
+struct HotPath {
+  FlowMap flows;  // expect: hot-path-alloc
+};
+
+int sum_lookup() {
+  auto scratch = FlowMap();  // expect: hot-path-alloc
+  (void)scratch;
+  return 0;
+}
+
+int* grow_table() {
+  return new int[64];  // expect: hot-path-alloc
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,23 @@
+// Good twin for rule hot-path-alloc: fixed-size storage and indices only —
+// the shapes RecordPool / ChunkAllocator / the open-addressing FlowTable
+// use on the real hot path. Must produce zero findings.
+namespace scap::kernel {
+
+struct FlowSlot {
+  unsigned long key = 0;
+  int value = 0;
+};
+
+struct HotPath {
+  FlowSlot slots[64];
+  int used = 0;
+};
+
+int lookup(const HotPath& h, unsigned long key) {
+  for (int i = 0; i < h.used; ++i) {
+    if (h.slots[i].key == key) return h.slots[i].value;
+  }
+  return -1;
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,34 @@
+// Bad twin for rule mutex-discipline: a raw std::mutex smuggled behind a
+// type alias plus a std::lock_guard local. Raw primitives are invisible to
+// the clang thread-safety analysis — nothing can be SCAP_GUARDED_BY them —
+// so only the annotated wrappers in src/base/mutex.hpp are allowed.
+namespace std {
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+template <class M>
+class lock_guard {
+ public:
+  explicit lock_guard(M& m);
+};
+}  // namespace std
+
+namespace scap {
+
+using Lock = std::mutex;  // the alias does not hide it from the AST
+
+class Registry {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> hold(mu_);  // expect: mutex-discipline
+    ++epoch_;
+  }
+
+ private:
+  Lock mu_;  // expect: mutex-discipline
+  unsigned long epoch_ = 0;
+};
+
+}  // namespace scap

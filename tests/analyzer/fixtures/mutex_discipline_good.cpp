@@ -1,0 +1,34 @@
+// Good twin for rule mutex-discipline: annotated wrapper types (modelled
+// on base::Mutex / base::MutexLock) carry the capability annotations the
+// analysis needs. Zero findings.
+namespace scap::base {
+
+class __attribute__((capability("mutex"))) Mutex {
+ public:
+  void lock() __attribute__((acquire_capability()));
+  void unlock() __attribute__((release_capability()));
+};
+
+class __attribute__((scoped_lockable)) MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) __attribute__((acquire_capability(mu)));
+  ~MutexLock() __attribute__((release_capability()));
+};
+
+}  // namespace scap::base
+
+namespace scap {
+
+class Registry {
+ public:
+  void touch() {
+    base::MutexLock hold(mu_);
+    ++epoch_;
+  }
+
+ private:
+  base::Mutex mu_;
+  unsigned long epoch_ __attribute__((guarded_by(mu_))) = 0;
+};
+
+}  // namespace scap

@@ -1,0 +1,30 @@
+// Bad twin for rule nondeterminism: libc rand(), a wall-clock read and a
+// std::random_device declaration — each resolved through the AST, so a
+// using-declaration or alias would not hide them either.
+extern "C" int rand(void);
+extern "C" long time(long*);
+
+namespace std {
+class random_device {
+ public:
+  unsigned operator()();
+};
+}  // namespace std
+
+namespace scap {
+
+int jitter() {
+  return rand();  // expect: nondeterminism
+}
+
+long wall_now() {
+  return time(nullptr);  // expect: nondeterminism
+}
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // expect: nondeterminism
+  (void)rd;
+  return 0;
+}
+
+}  // namespace scap

@@ -1,0 +1,26 @@
+// Good twin for rule nondeterminism: all randomness flows from a seeded
+// generator and all time from an injected virtual timestamp — the shapes
+// scap::Rng and scap::Timestamp give the real code. Zero findings.
+namespace scap {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long seed) : state_(seed) {}
+  unsigned long next() {
+    state_ = state_ * 6364136223846793005UL + 1442695040888963407UL;
+    return state_;
+  }
+
+ private:
+  unsigned long state_;
+};
+
+struct Timestamp {
+  long ns = 0;
+};
+
+unsigned long jitter(Rng& rng) { return rng.next(); }
+
+long virtual_now(const Timestamp& ts) { return ts.ns; }
+
+}  // namespace scap

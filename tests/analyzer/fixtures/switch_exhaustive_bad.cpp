@@ -1,0 +1,30 @@
+// Bad twin for rule switch-exhaustive: one switch hides future enumerators
+// behind default:, the other silently misses a case (and -Wswitch would
+// not fire in a build that forgot the flag; the analyzer always does).
+namespace scap::kernel {
+
+enum class Verdict { kStored, kDropped, kIgnored };
+
+int with_default(Verdict v) {
+  switch (v) {
+    case Verdict::kStored:
+      return 1;
+    case Verdict::kDropped:
+      return 2;
+    default:  // expect: switch-exhaustive
+      return 0;
+  }
+}
+
+int missing_case(Verdict v) {
+  // expect-next-line: switch-exhaustive
+  switch (v) {
+    case Verdict::kStored:
+      return 1;
+    case Verdict::kDropped:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace scap::kernel

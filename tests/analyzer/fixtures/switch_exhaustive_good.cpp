@@ -1,0 +1,30 @@
+// Good twin for rule switch-exhaustive: the watched enum is fully
+// enumerated with no default, and an unwatched enum may use default freely
+// (the rule is scoped to Verdict / TraceEventType / DecodeError).
+namespace scap::kernel {
+
+enum class Verdict { kStored, kDropped, kIgnored };
+enum class LocalPhase { kWarmup, kSteady, kDrain };
+
+int exhaustive(Verdict v) {
+  switch (v) {
+    case Verdict::kStored:
+      return 1;
+    case Verdict::kDropped:
+      return 2;
+    case Verdict::kIgnored:
+      return 3;
+  }
+  return 0;
+}
+
+int unwatched(LocalPhase p) {
+  switch (p) {
+    case LocalPhase::kSteady:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,15 @@
+// Good twin for the waiver discipline: a waiver that says why is honored
+// and silences the mutex-discipline finding. Zero findings.
+namespace std {
+class mutex {};
+}  // namespace std
+
+namespace scap {
+
+class Registry {
+ private:
+  // scap-lint: allow(mutex-discipline) interop shim for a third-party lock
+  std::mutex mu_;
+};
+
+}  // namespace scap

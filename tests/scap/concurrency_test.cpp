@@ -164,5 +164,53 @@ TEST(ConcurrencySmoke, TracedWorkersKeepPerCoreRingsConsistent) {
 #endif
 }
 
+// Regression test for the inline-mode half of Capture::stats(): a
+// monitoring callback may call stats() from inside a dispatch callback
+// (same thread, serialization capability already asserted). stats() must
+// take the lock-free inline branch — if it ever tried to acquire
+// kernel_mutex_ here it would self-deadlock in threaded builds of the same
+// code path, and the old `workers_.empty()` branch selector this replaced
+// was a racy read. Also drives a StreamView control call from the same
+// context, which asserts the identical capabilities.
+TEST(ConcurrencySmoke, StatsInsideInlineCallback) {
+  Capture cap("inline0", 512 * 1024, kernel::ReassemblyMode::kTcpFast,
+              /*need_pkts=*/false);
+  cap.set_cutoff(64 * 1024);
+
+  std::uint64_t data_events = 0;
+  std::uint64_t last_pkts_seen = 0;
+  cap.dispatch_data([&](StreamView& sv) {
+    ++data_events;
+    const CaptureStats s = cap.stats();  // re-entrant: must not lock
+    EXPECT_GE(s.kernel.pkts_seen, last_pkts_seen);
+    last_pkts_seen = s.kernel.pkts_seen;
+    EXPECT_LE(s.kernel.pkts_stored, s.kernel.pkts_seen);
+    sv.set_cutoff(32 * 1024);  // control call from dispatch context
+  });
+  cap.dispatch_termination([&](StreamView&) {
+    const CaptureStats s = cap.stats();
+    EXPECT_LE(s.events_dispatched, s.kernel.events_emitted);
+  });
+
+  cap.start();
+
+  constexpr std::uint64_t kPackets = 4000;
+  faultinject::AdversaryConfig acfg;
+  acfg.seed = 55;
+  acfg.packets = kPackets;
+  faultinject::AdversaryGen gen(acfg);
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    cap.inject(gen.next());
+  }
+  cap.stop();
+
+  EXPECT_GT(data_events, 0u);
+  EXPECT_GT(last_pkts_seen, 0u);
+  EXPECT_EQ(cap.kernel().check_invariants(), "");
+  const CaptureStats s = cap.stats();
+  EXPECT_EQ(s.events_dispatched, s.kernel.events_emitted);
+  EXPECT_EQ(s.kernel.pkts_seen + s.nic_dropped_by_filter, kPackets);
+}
+
 }  // namespace
 }  // namespace scap

@@ -1,0 +1,566 @@
+#!/usr/bin/env python3
+"""scap_analyzer — libclang AST analysis for Scap (DESIGN.md §11).
+
+Supersedes the regex heuristics of scap_lint.py where regex is blind: these
+rules see through typedefs, `auto`, macros and comments because they walk
+the clang AST of every translation unit under src/.
+
+Rules
+-----
+hot-path-alloc
+    No operator new, C heap calls, or std::unordered_map-typed declarations
+    in kernel hot-path files (scap_lint.HOT_PATH_FILES) — including through
+    typedefs, type aliases and `auto`, which the old regex rule could not
+    see. Fast-path memory goes through RecordPool, ChunkAllocator or the
+    open-addressing FlowTable.
+
+switch-exhaustive
+    Every `switch` over Verdict, TraceEventType or DecodeError must cover
+    every enumerator and carry no `default:` — a default silently swallows
+    enumerators added later, defeating -Wswitch. (Sentinels like
+    DecodeError::kCount are enumerators too and must appear.)
+
+nondeterminism
+    No rand()/srand(), std::random_device, std <random> engines, wall-clock
+    reads (chrono system/steady/high_resolution clocks, time(),
+    gettimeofday(), clock_gettime()) anywhere in src/ outside the seeded
+    scap::Rng (src/base/rng.hpp). Checked on the AST: calls resolved
+    through using-declarations or aliases are still found.
+
+counter-mirror
+    Every field of kernel::KernelStats (AST field decls, not regex) must be
+    (a) referenced by kernel code, (b) mirrored in src/scap/capi.cpp
+    (member references in scap_get_stats), and (c) dumped by
+    tools/chaos_run.cpp. A counter added but not mirrored silently
+    vanishes from every report that matters.
+
+mutex-discipline
+    No raw std::mutex / std::lock_guard / std::unique_lock /
+    std::scoped_lock / std::condition_variable declarations in src/ outside
+    the annotated wrappers in src/base/mutex.hpp. A raw mutex is invisible
+    to the clang thread-safety analysis: nothing can be SCAP_GUARDED_BY it.
+
+guard-coverage
+    The pinned capability table below must hold: the named fields of
+    Capture and ScapKernel carry their SCAP_GUARDED_BY /
+    SCAP_PT_GUARDED_BY annotations. Deleting a single annotation (or
+    renaming a guarded field without updating the table) is a finding.
+
+Waivers share scap_lint.py syntax: `// scap-lint: allow(<rule>) <reason>`
+on the offending line or the line above. In --fixtures mode, waivers
+without a reason are findings (rule `waiver`); in repo mode scap_lint.py
+already reports those, so this tool stays silent to keep every violation
+reported exactly once.
+
+Usage: scap_analyzer.py [--root DIR | --fixtures DIR] [--json] [--list-rules]
+Exit status: 0 clean, 1 findings, 2 error, 77 libclang unavailable (skip).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import scap_lint  # shared helpers + waiver syntax
+
+EXIT_SKIP = 77
+
+RULES = [
+    "hot-path-alloc",
+    "switch-exhaustive",
+    "nondeterminism",
+    "counter-mirror",
+    "mutex-discipline",
+    "guard-coverage",
+]
+
+# Enums whose switches must stay exhaustive (qualified names).
+WATCHED_ENUMS = (
+    "scap::kernel::Verdict",
+    "scap::trace::TraceEventType",
+    "scap::DecodeError",
+)
+
+# The pinned capability table (DESIGN.md §11): class -> field -> annotation
+# macro that must appear in the field's declaration.
+REQUIRED_GUARDS = {
+    "scap::Capture": {
+        "nic_": "SCAP_PT_GUARDED_BY",
+        "kernel_": "SCAP_PT_GUARDED_BY",
+        "tracer_": "SCAP_PT_GUARDED_BY",
+        "events_dispatched_": "SCAP_GUARDED_BY",
+    },
+    "scap::kernel::ScapKernel": {
+        "nic_": "SCAP_PT_GUARDED_BY",
+        "tracer_": "SCAP_PT_GUARDED_BY",
+    },
+}
+
+# Functions whose very mention is nondeterminism (global/C scope only).
+NONDET_FUNCS = {"rand", "srand", "gettimeofday", "clock_gettime", "time"}
+
+# Type spellings (canonical, so typedefs/auto are seen through).
+import re
+
+NONDET_TYPE_RE = re.compile(
+    r"\bstd::(random_device|mt19937(_64)?|default_random_engine)\b"
+    r"|\bstd::chrono::(system_clock|steady_clock|high_resolution_clock)\b")
+MUTEX_TYPE_RE = re.compile(
+    r"\bstd::(recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd::condition_variable(_any)?\b"
+    r"|\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)<")
+UNORDERED_MAP_RE = re.compile(r"\bstd::unordered_map<")
+
+
+def load_cindex():
+    """Import clang.cindex and make sure libclang actually loads.
+
+    Returns the module or None. Honors SCAP_LIBCLANG (path to libclang.so),
+    then falls back to common versioned sonames.
+    """
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    override = os.environ.get("SCAP_LIBCLANG")
+    if override:
+        cindex.Config.set_library_file(override)
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        if override:
+            return None
+    candidates = []
+    for ver in range(21, 13, -1):
+        candidates += [
+            f"/usr/lib/llvm-{ver}/lib/libclang.so.1",
+            f"/usr/lib/llvm-{ver}/lib/libclang-{ver}.so.1",
+            f"/usr/lib/x86_64-linux-gnu/libclang-{ver}.so.1",
+        ]
+    candidates.append("libclang.so")
+    for path in candidates:
+        if path.startswith("/") and not os.path.exists(path):
+            continue
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(path)
+            cindex.Index.create()
+            return cindex
+        except Exception:
+            continue
+    return None
+
+
+class Analyzer:
+    def __init__(self, cindex, root, fixture_mode):
+        self.cindex = cindex
+        self.ck = cindex.CursorKind
+        self.root = root
+        self.fixture_mode = fixture_mode
+        self.findings = []
+        self._seen = set()
+        self._lines = {}
+        self._text = {}
+        # counter-mirror state, filled during the walk.
+        self.stats_fields = []       # (name, rel, line)
+        self.kernel_refs = set()     # member spellings referenced in kernel
+        self.capi_refs = set()       # member spellings referenced in capi.cpp
+        self.mirror_refs = set()     # fixture mode: refs anywhere in file
+
+    # --- plumbing ----------------------------------------------------------
+
+    def rel(self, path):
+        return os.path.relpath(path, self.root).replace(os.sep, "/")
+
+    def lines(self, abspath):
+        if abspath not in self._lines:
+            self._lines[abspath] = scap_lint.read_lines(abspath)
+        return self._lines[abspath]
+
+    def text(self, abspath):
+        if abspath not in self._text:
+            with open(abspath, encoding="utf-8") as f:
+                self._text[abspath] = f.read()
+        return self._text[abspath]
+
+    def add(self, abspath, line, rule, message):
+        rel = self.rel(abspath)
+        key = (rel, line, rule, message)
+        if key in self._seen:
+            return
+        if line > 0 and scap_lint.waivers_for(self.lines(abspath),
+                                              line - 1, rule):
+            return
+        self._seen.add(key)
+        self.findings.append(scap_lint.Finding(rel, line, rule, message))
+
+    def in_scope(self, cursor):
+        """abspath of the cursor's file if it is ours to analyze."""
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        path = os.path.abspath(loc.file.name)
+        if self.fixture_mode:
+            return path if path.startswith(self.root + os.sep) else None
+        rel = self.rel(path)
+        if rel.startswith("src/"):
+            return path
+        return None
+
+    def qualified_name(self, cursor):
+        parts = []
+        c = cursor
+        while c is not None and c.kind != self.ck.TRANSLATION_UNIT:
+            if c.kind not in (self.ck.LINKAGE_SPEC, self.ck.UNEXPOSED_DECL):
+                if c.spelling:
+                    parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def decl_snippet(self, cursor, abspath):
+        """Raw source of a declaration, from its extent start through the
+        terminating ';' — annotation macros included, whichever side of the
+        extent clang put them on."""
+        text = self.text(abspath)
+        start = cursor.extent.start.offset
+        end = cursor.extent.end.offset
+        semi = text.find(";", end)
+        return text[start:semi + 1 if semi >= 0 else end]
+
+    # --- rules -------------------------------------------------------------
+
+    def hot_path_file(self, abspath):
+        if self.fixture_mode:
+            return True
+        return self.rel(abspath) in scap_lint.HOT_PATH_FILES
+
+    def check_alloc(self, cursor, abspath):
+        if not self.hot_path_file(abspath):
+            return
+        line = cursor.location.line
+        if cursor.kind == self.ck.CXX_NEW_EXPR:
+            self.add(abspath, line, "hot-path-alloc",
+                     "operator new on the hot path — use RecordPool/"
+                     "ChunkAllocator")
+        elif cursor.kind == self.ck.CALL_EXPR:
+            ref = cursor.referenced
+            if (ref is not None and ref.spelling in ("malloc", "calloc",
+                                                     "realloc")
+                    and self.is_global(ref)):
+                self.add(abspath, line, "hot-path-alloc",
+                         f"C heap allocation ({ref.spelling}) on the hot "
+                         "path")
+        elif cursor.kind in (self.ck.VAR_DECL, self.ck.FIELD_DECL):
+            canon = cursor.type.get_canonical().spelling
+            if UNORDERED_MAP_RE.search(canon):
+                self.add(abspath, line, "hot-path-alloc",
+                         "std::unordered_map on the hot path (declared type "
+                         f"resolves to `{canon}`) — use the open-addressing "
+                         "FlowTable")
+
+    def is_global(self, decl):
+        p = decl.semantic_parent
+        while p is not None and p.kind in (self.ck.LINKAGE_SPEC,
+                                           self.ck.UNEXPOSED_DECL):
+            p = p.semantic_parent
+        return p is None or p.kind == self.ck.TRANSLATION_UNIT
+
+    def check_nondet(self, cursor, abspath):
+        if not self.fixture_mode and \
+                self.rel(abspath) in scap_lint.NONDET_EXEMPT:
+            return
+        line = cursor.location.line
+        if cursor.kind in (self.ck.DECL_REF_EXPR, self.ck.CALL_EXPR):
+            ref = cursor.referenced
+            if ref is not None:
+                if ref.spelling in NONDET_FUNCS and self.is_global(ref):
+                    self.add(abspath, line, "nondeterminism",
+                             f"call to {ref.spelling}() — all time comes "
+                             "from scap::Timestamp, all randomness from the "
+                             "seeded scap::Rng")
+                    return
+                qual = self.qualified_name(ref)
+                if NONDET_TYPE_RE.search(qual):
+                    self.add(abspath, line, "nondeterminism",
+                             f"use of {qual} — nondeterministic source")
+                    return
+        if cursor.kind in (self.ck.VAR_DECL, self.ck.FIELD_DECL,
+                           self.ck.TYPE_REF):
+            canon = cursor.type.get_canonical().spelling
+            if NONDET_TYPE_RE.search(canon):
+                self.add(abspath, line, "nondeterminism",
+                         f"declaration of nondeterministic type `{canon}`")
+
+    def check_mutex(self, cursor, abspath):
+        if not self.fixture_mode and \
+                self.rel(abspath) == "src/base/mutex.hpp":
+            return
+        if cursor.kind not in (self.ck.VAR_DECL, self.ck.FIELD_DECL):
+            return
+        canon = cursor.type.get_canonical().spelling
+        m = MUTEX_TYPE_RE.search(canon)
+        if m:
+            self.add(abspath, cursor.location.line, "mutex-discipline",
+                     f"raw `{m.group(0).rstrip('<')}` declaration — use the "
+                     "annotated base::Mutex/base::MutexLock/base::CondVar "
+                     "(src/base/mutex.hpp) so fields can be "
+                     "SCAP_GUARDED_BY it")
+
+    def check_switch(self, cursor, abspath):
+        children = list(cursor.get_children())
+        if not children:
+            return
+        enum_decl = self._find_enum_decl(children[0])
+        if enum_decl is None:
+            return
+        qual = self.qualified_name(enum_decl)
+        if qual not in WATCHED_ENUMS:
+            return
+        enumerators = {c.spelling for c in enum_decl.get_children()
+                       if c.kind == self.ck.ENUM_CONSTANT_DECL}
+        covered = set()
+        default_lines = []
+        self._collect_cases(children[-1], covered, default_lines)
+        for line in default_lines:
+            self.add(abspath, line, "switch-exhaustive",
+                     f"`default:` in a switch over {qual} swallows future "
+                     "enumerators — enumerate every case instead")
+        if not default_lines:
+            missing = sorted(enumerators - covered)
+            if missing:
+                self.add(abspath, cursor.location.line, "switch-exhaustive",
+                         f"switch over {qual} misses enumerator(s): "
+                         + ", ".join(missing))
+
+    def _find_enum_decl(self, cursor):
+        t = cursor.type
+        if t is not None and t.kind != self.cindex.TypeKind.INVALID:
+            decl = t.get_canonical().get_declaration()
+            if decl is not None and decl.kind == self.ck.ENUM_DECL:
+                return decl
+        for ch in cursor.get_children():
+            found = self._find_enum_decl(ch)
+            if found is not None:
+                return found
+        return None
+
+    def _collect_cases(self, stmt, covered, default_lines):
+        for ch in stmt.get_children():
+            if ch.kind == self.ck.SWITCH_STMT:
+                continue  # nested switch owns its own cases
+            if ch.kind == self.ck.CASE_STMT:
+                kids = list(ch.get_children())
+                if kids:
+                    self._case_label_enums(kids[0], covered)
+            elif ch.kind == self.ck.DEFAULT_STMT:
+                default_lines.append(ch.location.line)
+            self._collect_cases(ch, covered, default_lines)
+
+    def _case_label_enums(self, label_expr, covered):
+        ref = label_expr.referenced
+        if ref is not None and ref.kind == self.ck.ENUM_CONSTANT_DECL:
+            covered.add(ref.spelling)
+            return
+        for ch in label_expr.get_children():
+            self._case_label_enums(ch, covered)
+
+    def note_counter_decls(self, cursor, abspath):
+        if cursor.kind != self.ck.STRUCT_DECL or \
+                cursor.spelling != "KernelStats":
+            return
+        if not cursor.is_definition():
+            return
+        for ch in cursor.get_children():
+            if ch.kind == self.ck.FIELD_DECL:
+                self.stats_fields.append(
+                    (ch.spelling, os.path.abspath(ch.location.file.name),
+                     ch.location.line))
+
+    def note_member_refs(self, cursor, abspath):
+        if cursor.kind != self.ck.MEMBER_REF_EXPR:
+            return
+        rel = self.rel(abspath)
+        if self.fixture_mode:
+            self.mirror_refs.add(cursor.spelling)
+        elif rel.startswith("src/kernel/"):
+            self.kernel_refs.add(cursor.spelling)
+        elif rel == "src/scap/capi.cpp":
+            self.capi_refs.add(cursor.spelling)
+
+    def check_guards(self, cursor, abspath):
+        if cursor.kind not in (self.ck.CLASS_DECL, self.ck.STRUCT_DECL):
+            return
+        if not cursor.is_definition():
+            return
+        table = REQUIRED_GUARDS.get(self.qualified_name(cursor))
+        if table is None:
+            return
+        fields = {c.spelling: c for c in cursor.get_children()
+                  if c.kind == self.ck.FIELD_DECL}
+        for name, macro in table.items():
+            fld = fields.get(name)
+            if fld is None:
+                self.add(abspath, cursor.location.line, "guard-coverage",
+                         f"expected guarded field `{name}` not found in "
+                         f"{cursor.spelling} — if it was renamed, update "
+                         "the pinned table in tools/scap_analyzer.py")
+                continue
+            fpath = os.path.abspath(fld.location.file.name)
+            if macro not in self.decl_snippet(fld, fpath):
+                self.add(fpath, fld.location.line, "guard-coverage",
+                         f"{cursor.spelling}::{name} must be declared "
+                         f"{macro}(...) — see the capability table in "
+                         "DESIGN.md §11")
+
+    # --- driver ------------------------------------------------------------
+
+    def walk(self, cursor):
+        abspath = self.in_scope(cursor)
+        if abspath is not None:
+            self.check_alloc(cursor, abspath)
+            self.check_nondet(cursor, abspath)
+            self.check_mutex(cursor, abspath)
+            if cursor.kind == self.ck.SWITCH_STMT:
+                self.check_switch(cursor, abspath)
+            self.note_counter_decls(cursor, abspath)
+            self.note_member_refs(cursor, abspath)
+            self.check_guards(cursor, abspath)
+        for ch in cursor.get_children():
+            self.walk(ch)
+
+    def finish_counter_mirror(self):
+        """Cross-file half of counter-mirror, after every TU was walked."""
+        seen = set()
+        for name, abspath, line in self.stats_fields:
+            if (name, line) in seen:
+                continue
+            seen.add((name, line))
+            if self.fixture_mode:
+                if name not in self.mirror_refs:
+                    self.add(abspath, line, "counter-mirror",
+                             f"KernelStats::{name} is never mirrored "
+                             "(no member reference found)")
+                continue
+            if name not in self.kernel_refs:
+                self.add(abspath, line, "counter-mirror",
+                         f"KernelStats::{name} is never referenced by "
+                         "kernel code — dead counter")
+            if name not in self.capi_refs:
+                self.add(abspath, line, "counter-mirror",
+                         f"KernelStats::{name} is not mirrored into "
+                         "scap_stats_t in src/scap/capi.cpp")
+            if not scap_lint.word_in_file(self.root, "tools/chaos_run.cpp",
+                                          name):
+                self.add(abspath, line, "counter-mirror",
+                         f"KernelStats::{name} is not dumped by "
+                         "tools/chaos_run.cpp — invisible to the "
+                         "reproducibility gate")
+
+    def check_fixture_waivers(self, files):
+        """Fixture mode only: a waiver must say why (rule `waiver`).
+        Repo mode leaves this to scap_lint.py so each violation is
+        reported exactly once."""
+        for abspath in files:
+            for i, line in enumerate(self.lines(abspath)):
+                m = scap_lint.WAIVER_RE.search(line)
+                if m and not m.group(2).strip():
+                    rel = self.rel(abspath)
+                    self.findings.append(scap_lint.Finding(
+                        rel, i + 1, "waiver", "waiver without a reason"))
+
+
+def parse_tu(cindex, index, path, args):
+    try:
+        tu = index.parse(path, args=args)
+    except cindex.TranslationUnitLoadError as e:
+        print(f"scap_analyzer: failed to parse {path}: {e}", file=sys.stderr)
+        return None
+    fatal = [d for d in tu.diagnostics if d.severity >= d.Fatal]
+    if fatal:
+        for d in fatal:
+            print(f"scap_analyzer: {path}: {d.spelling}", file=sys.stderr)
+        return None
+    return tu
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--fixtures", metavar="DIR",
+                        help="analyze self-test fixtures in DIR instead of "
+                             "the repository")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+
+    cindex = load_cindex()
+    if cindex is None:
+        print("scap_analyzer: libclang not available "
+              "(pip-less environments: install python3-clang + libclang, or "
+              "set SCAP_LIBCLANG); skipping", file=sys.stderr)
+        return EXIT_SKIP
+
+    index = cindex.Index.create()
+    if args.fixtures:
+        root = os.path.abspath(args.fixtures)
+        if not os.path.isdir(root):
+            print(f"scap_analyzer: no such fixture dir: {root}",
+                  file=sys.stderr)
+            return 2
+        files = [os.path.join(root, n) for n in sorted(os.listdir(root))
+                 if n.endswith(".cpp")]
+        analyzer = Analyzer(cindex, root, fixture_mode=True)
+        # Hermetic fixtures: no includes, no stdlib.
+        parse_args = ["-x", "c++", "-std=c++17", "-nostdinc++"]
+        for path in files:
+            tu = parse_tu(cindex, index, path, parse_args)
+            if tu is None:
+                return 2
+            analyzer.walk(tu.cursor)
+        analyzer.finish_counter_mirror()
+        analyzer.check_fixture_waivers(files)
+    else:
+        root = os.path.abspath(args.root)
+        if not os.path.isdir(os.path.join(root, "src")):
+            print(f"scap_analyzer: {root} does not look like the scap repo",
+                  file=sys.stderr)
+            return 2
+        analyzer = Analyzer(cindex, root, fixture_mode=False)
+        parse_args = ["-x", "c++", "-std=c++20", "-I",
+                      os.path.join(root, "src"), "-DSCAP_ENABLE_TRACE"]
+        tus = [rel for rel in scap_lint.iter_source_files(root, "src")
+               if rel.endswith(".cpp")]
+        for rel in tus:
+            tu = parse_tu(cindex, index, os.path.join(root, rel), parse_args)
+            if tu is None:
+                return 2
+            analyzer.walk(tu.cursor)
+        analyzer.finish_counter_mirror()
+
+    findings = sorted(analyzer.findings,
+                      key=lambda f: (f.path, f.line, f.rule))
+    if args.json:
+        print(json.dumps([{"file": f.path, "line": f.line, "rule": f.rule,
+                           "message": f.message} for f in findings],
+                         indent=2))
+    else:
+        for f in findings:
+            print(f)
+    if findings:
+        print(f"scap_analyzer: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if not args.json:
+        print("scap_analyzer: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,28 +3,6 @@
 
 Rules
 -----
-heap-hot-path
-    No raw `new`/`new[]`, `malloc`/`calloc`/`realloc`, or
-    `std::unordered_map` in kernel hot-path files. Fast-path memory must go
-    through RecordPool (stream records), ChunkAllocator (chunk blocks) or
-    the open-addressing FlowTable; ad-hoc heap traffic on the packet path
-    is exactly what the PR-1 fast-path overhaul removed.
-
-nondeterminism
-    No `rand()`, `std::random_device`, `std::mt19937`, wall-clock reads
-    (`system_clock` / `steady_clock` / `gettimeofday` / `time(nullptr)`)
-    anywhere in src/. All randomness flows from the seeded scap::Rng and
-    all time from the virtual scap::Timestamp, or bit-reproducible chaos
-    runs are impossible.
-
-counter-conservation
-    Every counter declared in KernelStats (src/kernel/module.hpp) must be
-    (a) written somewhere in src/kernel/ (incremented on the hot path or
-    mirrored in stats()), (b) mirrored into the C API's scap_stats_t in
-    src/scap/capi.cpp, and (c) dumped by tools/chaos_run.cpp. A counter
-    added but not mirrored is the bug class the conservation checker
-    exists for: it silently vanishes from every report that matters.
-
 api-stats-mirror
     Every field of scap_stats_t (src/scap/scap.h) must be assigned in
     scap_get_stats (src/scap/capi.cpp) — the reverse direction of the
@@ -41,6 +19,14 @@ Waivers: append `// scap-lint: allow(<rule>) <reason>` to the offending
 line (or the line directly above it). Waivers without a reason are
 themselves findings.
 
+The former regex rules heap-hot-path, nondeterminism and
+counter-conservation were promoted to tools/scap_analyzer.py, which checks
+the same invariants on the clang AST (rules hot-path-alloc, nondeterminism,
+counter-mirror) and therefore sees through typedefs, `auto` and macros that
+regex cannot. This file keeps only the rules where line-oriented text is
+the natural representation, plus the helpers and waiver syntax both tools
+share.
+
 Usage: scap_lint.py [--root DIR] [--list-rules]
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -53,7 +39,8 @@ import sys
 # Kernel hot-path files: everything a packet touches between handle_packet
 # and event emission. Cold-path kernel files (defrag holds fragments across
 # packets, events are queue plumbing) still obey nondeterminism rules but
-# may use standard containers.
+# may use standard containers. Consumed by tools/scap_analyzer.py
+# (hot-path-alloc), which owns the allocation rule since it moved to the AST.
 HOT_PATH_FILES = [
     "src/kernel/module.hpp",
     "src/kernel/module.cpp",
@@ -72,27 +59,9 @@ HOT_PATH_FILES = [
     "src/kernel/stream.hpp",
 ]
 
-HEAP_PATTERNS = [
-    (re.compile(r"\bnew\b(?!\s*\()"), "raw operator new"),
-    (re.compile(r"\bnew\s*\("), "placement/raw operator new"),
-    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "C heap allocation"),
-    (re.compile(r"std::unordered_map\b"), "std::unordered_map"),
-]
-
-NONDET_PATTERNS = [
-    (re.compile(r"\b(?:srand|rand)\s*\("), "libc rand()"),
-    (re.compile(r"std::random_device\b"), "std::random_device"),
-    (re.compile(r"std::(?:mt19937|mt19937_64|default_random_engine)\b"),
-     "unseeded-by-policy std <random> engine"),
-    (re.compile(
-        r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"),
-     "wall-clock read"),
-    (re.compile(r"\b(?:gettimeofday|clock_gettime)\s*\("), "wall-clock read"),
-    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "wall-clock read"),
-]
-
 # Files allowed to talk about randomness sources (the seeded generator and
-# its documentation live here).
+# its documentation live here). Consumed by tools/scap_analyzer.py
+# (nondeterminism), which owns the rule since it moved to the AST.
 NONDET_EXEMPT = ["src/base/rng.hpp"]
 
 WAIVER_RE = re.compile(r"//\s*scap-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
@@ -155,39 +124,6 @@ def waivers_for(lines, idx, rule):
     return False
 
 
-def scan_patterns(root, rel, patterns, rule, findings):
-    path = os.path.join(root, rel)
-    if not os.path.exists(path):
-        findings.append(Finding(rel, 0, rule, "file missing (rule expects it)"))
-        return
-    lines = read_lines(path)
-    in_block_comment = False
-    for i, raw in enumerate(lines):
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        # Strip /* ... */ spans that open (and possibly close) on this line.
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block_comment = True
-                break
-            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
-        code = strip_comments_and_strings(line)
-        for pattern, what in patterns:
-            if pattern.search(code) and not waivers_for(lines, i, rule):
-                findings.append(Finding(rel, i + 1, rule,
-                                        f"{what} (forbidden here)"))
-
-
 FIELD_RE = re.compile(
     r"^\s*std::u?int64_t\s+([a-z_][a-z0-9_]*)(?:\s*\[[^\]]*\])?\s*=?")
 
@@ -225,63 +161,6 @@ def word_in_file(root, rel, word):
         if pattern.search(strip_comments_and_strings(line)):
             return True
     return False
-
-
-def check_counter_conservation(root, findings):
-    module_hpp = "src/kernel/module.hpp"
-    path = os.path.join(root, module_hpp)
-    if not os.path.exists(path):
-        findings.append(Finding(module_hpp, 0, "counter-conservation",
-                                "module.hpp not found"))
-        return
-    lines = read_lines(path)
-    counters = parse_struct_fields(lines, "KernelStats")
-    if not counters:
-        findings.append(Finding(module_hpp, 0, "counter-conservation",
-                                "could not parse KernelStats counters"))
-        return
-
-    kernel_sources = ["src/kernel/module.cpp", "src/kernel/module.hpp"]
-    write_re_cache = {}
-    for name, line_no, decl in counters:
-        if waivers_for(lines, line_no - 1, "counter-conservation"):
-            continue
-        # (a) written somewhere in the kernel: ++x / x++ / x += / x = / x[.
-        wrote = False
-        write_re = write_re_cache.setdefault(
-            name,
-            re.compile(r"(\+\+\s*(?:stats_?\s*\.\s*)?" + re.escape(name) +
-                       r"\b)|(\b" + re.escape(name) +
-                       r"(?:\s*\[[^\]]*\])?\s*(?:\+\+|\+=|-=|=[^=]))"))
-        for rel in kernel_sources:
-            src_path = os.path.join(root, rel)
-            if not os.path.exists(src_path):
-                continue
-            for i, src_line in enumerate(read_lines(src_path)):
-                if rel == module_hpp and i + 1 == line_no:
-                    continue  # the declaration itself
-                if write_re.search(strip_comments_and_strings(src_line)):
-                    wrote = True
-                    break
-            if wrote:
-                break
-        if not wrote:
-            findings.append(Finding(
-                module_hpp, line_no, "counter-conservation",
-                f"KernelStats::{name} is declared but never written in "
-                "src/kernel/ — dead counter or missing increment"))
-        # (b) mirrored into the C API.
-        if not word_in_file(root, "src/scap/capi.cpp", name):
-            findings.append(Finding(
-                module_hpp, line_no, "counter-conservation",
-                f"KernelStats::{name} is not mirrored into scap_stats_t in "
-                "src/scap/capi.cpp"))
-        # (c) dumped by the chaos harness.
-        if not word_in_file(root, "tools/chaos_run.cpp", name):
-            findings.append(Finding(
-                module_hpp, line_no, "counter-conservation",
-                f"KernelStats::{name} is not dumped by tools/chaos_run.cpp — "
-                "invisible to the reproducibility gate"))
 
 
 def check_api_stats_mirror(root, findings):
@@ -380,8 +259,7 @@ def main():
     args = parser.parse_args()
 
     if args.list_rules:
-        print("heap-hot-path\nnondeterminism\ncounter-conservation\n"
-              "api-stats-mirror\ntrace-coverage")
+        print("api-stats-mirror\ntrace-coverage")
         return 0
 
     root = os.path.abspath(args.root)
@@ -391,13 +269,9 @@ def main():
         return 2
 
     findings = []
-    for rel in HOT_PATH_FILES:
-        scan_patterns(root, rel, HEAP_PATTERNS, "heap-hot-path", findings)
-    for rel in iter_source_files(root, "src"):
-        if rel.replace(os.sep, "/") in NONDET_EXEMPT:
-            continue
-        scan_patterns(root, rel, NONDET_PATTERNS, "nondeterminism", findings)
-    check_counter_conservation(root, findings)
+    # heap-hot-path, nondeterminism and counter-conservation moved to
+    # tools/scap_analyzer.py (AST rules hot-path-alloc / nondeterminism /
+    # counter-mirror) so each violation is reported by exactly one tool.
     check_api_stats_mirror(root, findings)
     check_trace_coverage(root, findings)
 
