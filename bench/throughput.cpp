@@ -38,6 +38,9 @@
 #include "kernel/module.hpp"
 #include "packet/craft.hpp"
 #ifndef SCAP_SEED_BASELINE
+#include "base/mutex.hpp"
+#include "kernel/shard.hpp"
+#include "scap/capture.hpp"
 #include "trace/trace.hpp"
 #endif
 
@@ -98,9 +101,14 @@ struct WorkloadResult {
   double seconds = 0.0;
   std::uint64_t allocs = 0;
   std::uint64_t pool_recycled = 0;
+  int workers = 0;          // 0 = single-threaded (inline) workload
+  double efficiency = 0.0;  // pps / (workers * pps@1worker); 0 when n/a
 
   double pps() const {
     return seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+  double per_worker_pps() const {
+    return workers > 0 ? pps() / workers : pps();
   }
   double ns_per_pkt() const {
     return packets ? seconds * 1e9 / static_cast<double>(packets) : 0.0;
@@ -274,6 +282,154 @@ WorkloadResult run_pipeline(const flowgen::Trace& trace) {
   return r;
 }
 
+#ifndef SCAP_SEED_BASELINE
+
+// --- flow_lookup_mc ----------------------------------------------------------
+// The flow-lookup workload through the sharded datapath: one producer
+// steers pre-bucketed packets onto per-shard SPSC rings, N worker threads
+// run find/touch/discard on their private kernels. The 1-worker point
+// prices the ring handoff against the inline flow_lookup number; the
+// 2/4/8-worker points measure scaling (meaningful only with enough
+// hardware cores — compare_bench.py gates the 4-worker speedup when the
+// machine has them).
+
+WorkloadResult run_flow_lookup_mc(int workers) {
+  constexpr std::size_t kFlows = 4096;
+  constexpr std::size_t kRounds = 8;
+  constexpr int kReps = 16;
+
+  kernel::KernelConfig cfg;
+  cfg.max_streams = kFlows * 4;  // headroom: RSS spreads flows unevenly
+  cfg.defaults.cutoff_bytes = 64;
+  kernel::KernelShards::Options sopts;
+  sopts.ring_capacity = 4096;
+  sopts.batch_size = kBatch;
+  kernel::KernelShards shards(cfg, workers, sopts);
+
+  base::SerialGuard prod(shards.producer());
+  shards.start({});  // self-drain: discard verdicts emit no events anyway
+
+  std::vector<std::uint8_t> payload(512, 0xab);
+  const Timestamp t0(0);
+  std::vector<FiveTuple> tuples(kFlows);
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    FiveTuple& tup = tuples[i];
+    tup.src_ip = 0x0a000000u + static_cast<std::uint32_t>(i);
+    tup.dst_ip = 0xc0a80001u;
+    tup.src_port = 40000;
+    tup.dst_port = 80;
+    tup.protocol = kProtoTcp;
+    TcpSegmentSpec syn{.tuple = tup, .seq = 0, .flags = kTcpSyn};
+    shards.submit(make_tcp_packet(syn, t0));
+    TcpSegmentSpec d0{.tuple = tup, .seq = 1, .payload = payload};
+    shards.submit(make_tcp_packet(d0, t0));
+    TcpSegmentSpec d1{.tuple = tup, .seq = 513, .payload = payload};
+    shards.submit(make_tcp_packet(d1, t0));  // past cutoff now
+  }
+  shards.flush();
+
+  // Steady-state packets, pre-bucketed by shard so the timed region pays
+  // only the ring push (the Toeplitz steer is priced by pipeline_mc).
+  TcpSegmentSpec steady{.tuple = tuples[0], .seq = 4096, .payload = payload};
+  const Packet tmpl = make_tcp_packet(steady, t0);
+  std::vector<std::vector<Packet>> buckets(
+      static_cast<std::size_t>(workers));
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t i = 0; i < kFlows; ++i) {
+      const Packet pkt = tmpl.with_flow(tuples[i], 4096, t0);
+      buckets[static_cast<std::size_t>(shards.shard_for(pkt))].push_back(pkt);
+    }
+  }
+  std::size_t per_rep = 0;
+  std::size_t max_len = 0;
+  for (const auto& b : buckets) {
+    per_rep += b.size();
+    max_len = std::max(max_len, b.size());
+  }
+
+  // Warmup pass, then timed reps. Submissions interleave round-robin over
+  // the shards so every ring stays busy; flush() inside the timed region
+  // charges the drain to the measurement.
+  for (std::size_t pos = 0; pos < max_len; ++pos) {
+    for (std::size_t s = 0; s < buckets.size(); ++s) {
+      if (pos < buckets[s].size()) {
+        shards.submit_to(static_cast<int>(s), buckets[s][pos]);
+      }
+    }
+  }
+  shards.flush();
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  const double start = now_sec();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t pos = 0; pos < max_len; ++pos) {
+      for (std::size_t s = 0; s < buckets.size(); ++s) {
+        if (pos < buckets[s].size()) {
+          shards.submit_to(static_cast<int>(s), buckets[s][pos]);
+        }
+      }
+    }
+  }
+  shards.flush();
+  const double elapsed = now_sec() - start;
+  const std::uint64_t allocs = g_allocs.load() - allocs_before;
+  shards.stop(t0);
+
+  WorkloadResult r;
+  r.name = "flow_lookup_mc_w" + std::to_string(workers);
+  r.workers = workers;
+  r.packets = static_cast<std::uint64_t>(per_rep) * kReps;
+  r.seconds = elapsed;
+  r.allocs = allocs;
+  return r;
+}
+
+// --- pipeline_mc -------------------------------------------------------------
+// The full capture path end to end with worker threads: NIC classification
+// and RSS steering on the producer, reassembly + event dispatch on the
+// shard workers. This is the configuration the paper's Figure 10 models.
+
+WorkloadResult run_pipeline_mc(const flowgen::Trace& trace, int workers) {
+  constexpr int kLoops = 2;
+  Capture cap("bench-mc", 256ull << 20, kernel::ReassemblyMode::kTcpFast,
+              /*need_pkts=*/false);
+  cap.set_worker_threads(workers);
+  std::atomic<std::uint64_t> bytes{0};
+  cap.dispatch_data([&bytes](StreamView& sd) {
+    bytes.fetch_add(sd.data_len(), std::memory_order_relaxed);
+  });
+  cap.start();
+
+  // Warmup loop grows slabs and event deques to steady state.
+  for (std::size_t i = 0; i < trace.packets.size(); i += kBatch) {
+    cap.inject_batch(std::span<const Packet>(trace.packets)
+                         .subspan(i, std::min(kBatch,
+                                              trace.packets.size() - i)));
+  }
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  const double start = now_sec();
+  for (int loop = 0; loop < kLoops; ++loop) {
+    for (std::size_t i = 0; i < trace.packets.size(); i += kBatch) {
+      cap.inject_batch(std::span<const Packet>(trace.packets)
+                           .subspan(i, std::min(kBatch,
+                                                trace.packets.size() - i)));
+    }
+  }
+  cap.stop();  // flush + worker join belong to the measured interval
+  const double elapsed = now_sec() - start;
+
+  WorkloadResult r;
+  r.name = "pipeline_mc_w" + std::to_string(workers);
+  r.workers = workers;
+  r.packets = static_cast<std::uint64_t>(trace.packets.size()) * kLoops;
+  r.seconds = elapsed;
+  r.allocs = g_allocs.load() - allocs_before;
+  return r;
+}
+
+#endif  // !SCAP_SEED_BASELINE
+
 // --- output ------------------------------------------------------------------
 
 void write_json(const std::string& path, std::uint64_t seed,
@@ -291,10 +447,13 @@ void write_json(const std::string& path, std::uint64_t seed,
         f,
         "    {\"name\": \"%s\", \"packets\": %llu, \"seconds\": %.6f, "
         "\"pps\": %.1f, \"ns_per_pkt\": %.2f, \"allocs\": %llu, "
-        "\"allocs_per_pkt\": %.6f, \"pool_recycled\": %llu}%s\n",
+        "\"allocs_per_pkt\": %.6f, \"pool_recycled\": %llu, "
+        "\"workers\": %d, \"pps_per_worker\": %.1f, "
+        "\"efficiency\": %.4f}%s\n",
         r.name.c_str(), static_cast<unsigned long long>(r.packets), r.seconds,
         r.pps(), r.ns_per_pkt(), static_cast<unsigned long long>(r.allocs),
         r.allocs_per_pkt(), static_cast<unsigned long long>(r.pool_recycled),
+        r.workers, r.per_worker_pps(), r.efficiency,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -337,11 +496,41 @@ int main(int argc, char** argv) {
 #endif
   results.push_back(run_pipeline(trace));
 
+#ifndef SCAP_SEED_BASELINE
+  // Multi-core sweep: each worker count re-runs the workload on a fresh
+  // sharded datapath; efficiency is pps relative to perfect scaling of the
+  // family's own 1-worker point.
+  static constexpr int kWorkerSweep[] = {1, 2, 4, 8};
+  auto sweep = [&results](const char* family, auto&& run) {
+    double base_pps = 0.0;
+    for (int workers : kWorkerSweep) {
+      WorkloadResult r = run(workers);
+      if (workers == 1) base_pps = r.pps();
+      if (base_pps > 0) r.efficiency = r.pps() / (workers * base_pps);
+      results.push_back(std::move(r));
+      (void)family;
+    }
+  };
+  sweep("flow_lookup_mc", [](int w) { return run_flow_lookup_mc(w); });
+  sweep("pipeline_mc",
+        [&trace](int w) { return run_pipeline_mc(trace, w); });
+#endif
+
   std::printf("workload,packets,seconds,pps,ns_per_pkt,allocs_per_pkt\n");
   for (const WorkloadResult& r : results) {
+    if (r.workers > 0) continue;
     std::printf("%s,%llu,%.4f,%.0f,%.2f,%.6f\n", r.name.c_str(),
                 static_cast<unsigned long long>(r.packets), r.seconds, r.pps(),
                 r.ns_per_pkt(), r.allocs_per_pkt());
+  }
+  std::printf(
+      "\nmc_workload,workers,packets,seconds,total_pps,per_worker_pps,"
+      "efficiency\n");
+  for (const WorkloadResult& r : results) {
+    if (r.workers == 0) continue;
+    std::printf("%s,%d,%llu,%.4f,%.0f,%.0f,%.3f\n", r.name.c_str(), r.workers,
+                static_cast<unsigned long long>(r.packets), r.seconds, r.pps(),
+                r.per_worker_pps(), r.efficiency);
   }
   write_json(out_path, seed, results);
 

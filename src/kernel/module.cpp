@@ -399,7 +399,7 @@ void ScapKernel::flush_chunks(StreamRecord& rec, std::uint32_t error_bits) {
 
 void ScapKernel::install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
                               PacketOutcome& outcome) {
-  if (!config_.use_fdir || nic_ == nullptr) return;
+  if (!config_.use_fdir || (nic_ == nullptr && fdir_queue_ == nullptr)) return;
   if (rec.tuple.protocol != kProtoTcp) return;
   if (reinstall) {
     // Doubled timeout: long-lived flows are evicted only O(log) times.
@@ -410,16 +410,33 @@ void ScapKernel::install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
     ++stats_.fdir_installs;
   }
   bool any_installed = false;
-  for (const auto& f :
-       nic::make_cutoff_filters(rec.tuple, now + rec.fdir_timeout)) {
-    if (nic_->fdir().add(f) == 0) {
-      // Hardware rejected the filter: enforcement stays in software (the
-      // kernel-level cutoff still discards), and a later packet retries.
+  if (fdir_queue_ != nullptr) {
+    // Sharded mode: enqueue the install for the NIC-owning producer to
+    // apply between batches. No shared lock, no NIC dereference here.
+    FdirCommand cmd;
+    cmd.kind = FdirCommand::Kind::kInstallCutoff;
+    cmd.tuple = rec.tuple;
+    cmd.expires = now + rec.fdir_timeout;
+    if (fdir_queue_->try_push(cmd)) {
+      any_installed = true;
+      ++outcome.fdir_updates;
+    } else {
+      // Command queue full: enforcement stays in software, like a
+      // hardware-rejected filter on the direct path.
       ++stats_.fdir_install_failures;
-      continue;
     }
-    any_installed = true;
-    ++outcome.fdir_updates;
+  } else {
+    for (const auto& f :
+         nic::make_cutoff_filters(rec.tuple, now + rec.fdir_timeout)) {
+      if (nic_->fdir().add(f) == 0) {
+        // Hardware rejected the filter: enforcement stays in software (the
+        // kernel-level cutoff still discards), and a later packet retries.
+        ++stats_.fdir_install_failures;
+        continue;
+      }
+      any_installed = true;
+      ++outcome.fdir_updates;
+    }
   }
   rec.fdir_installed = any_installed;
   SCAP_TRACE_EVENT(
@@ -456,12 +473,20 @@ void ScapKernel::terminate(StreamRecord& rec, StreamStatus status,
     allocator_.release(0, rec.kept_alloc);
     rec.kept_alloc = 0;
   }
-  if (rec.fdir_installed && nic_ != nullptr) {
-    stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
-    // Steering filters are installed for both directions; if no opposite
-    // record exists to clean up the reverse one, do it here.
-    if (rec.opposite == kInvalidStreamId) {
-      stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple.reversed());
+  if (rec.fdir_installed && (nic_ != nullptr || fdir_queue_ != nullptr)) {
+    if (fdir_queue_ != nullptr) {
+      FdirCommand cmd;
+      cmd.kind = FdirCommand::Kind::kRemove;
+      cmd.tuple = rec.tuple;
+      cmd.also_reversed = rec.opposite == kInvalidStreamId;
+      if (fdir_queue_->try_push(cmd)) ++stats_.fdir_removals;
+    } else {
+      stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
+      // Steering filters are installed for both directions; if no opposite
+      // record exists to clean up the reverse one, do it here.
+      if (rec.opposite == kInvalidStreamId) {
+        stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple.reversed());
+      }
     }
     rec.fdir_installed = false;
     SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kFdirEvict, rec.core,
@@ -912,8 +937,15 @@ void ScapKernel::run_maintenance(Timestamp now) {
       allocator_.release(0, rec.kept_alloc);
       rec.kept_alloc = 0;
     }
-    if (rec.fdir_installed && nic_ != nullptr) {
-      stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
+    if (rec.fdir_installed && (nic_ != nullptr || fdir_queue_ != nullptr)) {
+      if (fdir_queue_ != nullptr) {
+        FdirCommand cmd;
+        cmd.kind = FdirCommand::Kind::kRemove;
+        cmd.tuple = rec.tuple;
+        if (fdir_queue_->try_push(cmd)) ++stats_.fdir_removals;
+      } else {
+        stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
+      }
       rec.fdir_installed = false;
       SCAP_TRACE_EVENT(tracer_, trace::TraceEventType::kFdirEvict, rec.core,
                        now, rec.id, 0);

@@ -21,6 +21,7 @@
 #include "base/assert.hpp"
 #include "base/clock.hpp"
 #include "base/mutex.hpp"
+#include "base/ring.hpp"
 #include "kernel/defrag.hpp"
 #include "kernel/events.hpp"
 #include "kernel/flow_table.hpp"
@@ -222,6 +223,27 @@ struct KernelStats {
   friend bool operator==(const KernelStats&, const KernelStats&) = default;
 };
 
+/// A deferred NIC-programming request from a sharded worker (DESIGN.md
+/// §12). In the sharded datapath the NIC belongs to the producer thread;
+/// worker shards must never touch it, so cutoff installs and filter
+/// removals travel through a bounded MPSC queue instead of a shared lock.
+/// The queue is lossy by design: FDIR offload is an optimization (the
+/// kernel-level cutoff still discards in software), so a full queue counts
+/// an install failure and the stream carries on unoffloaded.
+struct FdirCommand {
+  enum class Kind : std::uint8_t { kInstallCutoff, kRemove };
+  Kind kind = Kind::kInstallCutoff;
+  FiveTuple tuple{};
+  /// kInstallCutoff: absolute filter expiry (now + the stream's
+  /// doubling fdir_timeout).
+  Timestamp expires{};
+  /// kRemove: also drop the reverse-direction filter (set when no
+  /// opposite-direction stream record remains to clean it up).
+  bool also_reversed = false;
+};
+
+using FdirCommandQueue = MpscQueue<FdirCommand>;
+
 class ScapKernel {
  public:
   explicit ScapKernel(KernelConfig config, nic::Nic* nic = nullptr);
@@ -310,6 +332,20 @@ class ScapKernel {
   }
   trace::Tracer* tracer() const { return tracer_; }
 
+  /// Route FDIR programming through a command queue instead of a direct
+  /// NIC pointer (sharded mode: the kernel is a worker shard and must not
+  /// touch the producer-owned NIC). Like set_tracer, wire before the first
+  /// packet. With a queue attached the kernel enqueues install/remove
+  /// commands (counting a full queue as fdir_install_failures) and never
+  /// dereferences nic_ for filter work; hardware-side filter expiry is then
+  /// the queue consumer's job, so the doubling-timeout *reinstall* path is
+  /// inert in this mode — a deliberate simplification, see DESIGN.md §12.
+  void set_fdir_queue(FdirCommandQueue* queue) SCAP_REQUIRES(serial_) {
+    SCAP_ASSERT(stats_.pkts_seen == 0,
+                "FDIR queue must attach before the first packet");
+    fdir_queue_ = queue;
+  }
+
   const KernelStats& stats() const SCAP_REQUIRES(serial_) {
     // Pool occupancy is owned by the flow table; mirror it on read so the
     // hot path never maintains these counters. Same for the adaptive
@@ -393,6 +429,10 @@ class ScapKernel {
   /// Per-core trace rings are recorded into from the serial domain only;
   /// the pointer is set once (set_tracer) before the first packet.
   trace::Tracer* tracer_ SCAP_PT_GUARDED_BY(serial_) = nullptr;
+  /// Sharded-mode FDIR command channel (set_fdir_queue). The queue itself
+  /// is MPSC-safe on the push side, so no guard beyond serial_ for the
+  /// pointer; set once before the first packet.
+  FdirCommandQueue* fdir_queue_ SCAP_PT_GUARDED_BY(serial_) = nullptr;
 };
 
 }  // namespace scap::kernel

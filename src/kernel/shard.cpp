@@ -1,0 +1,383 @@
+#include "kernel/shard.hpp"
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "base/assert.hpp"
+#include "nic/fdir.hpp"
+
+namespace scap::kernel {
+namespace {
+
+/// Derive one shard's config from the capture-wide config: private slabs
+/// sized at an even split, single event queue, no cross-shard steering.
+KernelConfig shard_config(const KernelConfig& base, int num_shards) {
+  KernelConfig c = base;
+  const auto n = static_cast<std::uint64_t>(num_shards);
+  c.memory_size = std::max<std::uint64_t>(base.memory_size / n, 1);
+  if (c.max_streams > 0) {
+    c.max_streams = (c.max_streams + static_cast<std::size_t>(n) - 1) /
+                    static_cast<std::size_t>(n);
+  }
+  c.num_cores = 1;
+  // RSS flow affinity *is* the balance policy in sharded mode (paper §4.2);
+  // FDIR-based steering to another core would move a flow off its shard.
+  c.dynamic_load_balance = false;
+  return c;
+}
+
+/// Shard-sum of KernelStats. Every conservation law over these counters is
+/// linear, so the sum satisfies check_conservation whenever each addend
+/// does. The two non-counter PPL fields combine instead: the aggregate
+/// cutoff is the tightest active shard cutoff, and the aggregate is
+/// overloaded when any shard is.
+void accumulate(KernelStats& into, const KernelStats& s) {
+  into.pkts_seen += s.pkts_seen;
+  into.bytes_seen += s.bytes_seen;
+  into.pkts_stored += s.pkts_stored;
+  into.bytes_stored += s.bytes_stored;
+  into.pkts_control += s.pkts_control;
+  into.pkts_filtered += s.pkts_filtered;
+  into.pkts_invalid += s.pkts_invalid;
+  into.pkts_cutoff += s.pkts_cutoff;
+  into.bytes_cutoff += s.bytes_cutoff;
+  into.pkts_dup += s.pkts_dup;
+  into.bytes_dup += s.bytes_dup;
+  into.pkts_ppl_dropped += s.pkts_ppl_dropped;
+  into.bytes_ppl_dropped += s.bytes_ppl_dropped;
+  into.pkts_nomem_dropped += s.pkts_nomem_dropped;
+  into.bytes_nomem_dropped += s.bytes_nomem_dropped;
+  into.pkts_norec_dropped += s.pkts_norec_dropped;
+  into.pkts_bad_checksum += s.pkts_bad_checksum;
+  into.pkts_ignored += s.pkts_ignored;
+  into.pkts_frag_held += s.pkts_frag_held;
+  into.pkts_buffered += s.pkts_buffered;
+  into.reasm_alloc_failures += s.reasm_alloc_failures;
+  into.fdir_install_failures += s.fdir_install_failures;
+  into.streams_created += s.streams_created;
+  into.streams_terminated += s.streams_terminated;
+  into.streams_evicted += s.streams_evicted;
+  into.events_emitted += s.events_emitted;
+  into.chunks_delivered += s.chunks_delivered;
+  into.fdir_installs += s.fdir_installs;
+  into.fdir_reinstalls += s.fdir_reinstalls;
+  into.fdir_removals += s.fdir_removals;
+  into.streams_rebalanced += s.streams_rebalanced;
+  for (std::size_t i = 0; i < kNumDecodeErrors; ++i) {
+    into.parse_errors[i] += s.parse_errors[i];
+  }
+  for (std::size_t i = 0; i < kNumVerdicts; ++i) {
+    into.verdicts[i] += s.verdicts[i];
+  }
+  into.streams_active += s.streams_active;
+  into.pool_capacity += s.pool_capacity;
+  into.pool_free += s.pool_free;
+  into.pool_slabs += s.pool_slabs;
+  into.pool_recycled += s.pool_recycled;
+  into.ppl_overload_entries += s.ppl_overload_entries;
+  into.ppl_overload_exits += s.ppl_overload_exits;
+  into.ppl_tightenings += s.ppl_tightenings;
+  into.ppl_relaxations += s.ppl_relaxations;
+  if (s.ppl_overload_active != 0) into.ppl_overload_active = 1;
+  if (s.ppl_effective_cutoff >= 0 &&
+      (into.ppl_effective_cutoff < 0 ||
+       s.ppl_effective_cutoff < into.ppl_effective_cutoff)) {
+    into.ppl_effective_cutoff = s.ppl_effective_cutoff;
+  }
+}
+
+}  // namespace
+
+KernelShards::Shard::Shard(const KernelConfig& cfg, std::size_t ring_capacity)
+    : kernel(cfg, /*nic=*/nullptr), ring(ring_capacity) {}
+
+KernelShards::KernelShards(const KernelConfig& config, int num_shards)
+    : KernelShards(config, num_shards, Options()) {}
+
+KernelShards::KernelShards(const KernelConfig& config, int num_shards,
+                           Options opts)
+    : opts_(opts),
+      rss_(symmetric_rss_key(), num_shards > 0 ? num_shards : 1) {
+  const int n = rss_.num_queues();
+  if (config.use_fdir) {
+    fdir_queue_ =
+        std::make_unique<FdirCommandQueue>(opts_.fdir_queue_capacity);
+  }
+  const KernelConfig cfg = shard_config(config, n);
+  shards_.reserve(static_cast<std::size_t>(n));
+  pushed_.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(cfg, opts_.ring_capacity));
+    Shard& s = *shards_.back();
+    if (opts_.trace.has_value()) {
+      trace::TraceConfig tc = *opts_.trace;
+      tc.cores = 1;  // the shard kernel records everything on its core 0
+      s.tracer = std::make_unique<trace::Tracer>(tc);
+    }
+    base::MutexLock lock(s.mu);
+    base::SerialGuard serial(s.kernel.serial());
+    if (s.tracer != nullptr) s.kernel.set_tracer(s.tracer.get());
+    if (fdir_queue_ != nullptr) s.kernel.set_fdir_queue(fdir_queue_.get());
+    refresh_snapshot(s);
+  }
+}
+
+KernelShards::~KernelShards() = default;
+
+void KernelShards::wake(Shard& s) {
+  // Empty critical section before notify: the worker either has not yet
+  // evaluated its wait predicate (and will see the new ring state), or is
+  // inside wait() and receives the notification — no missed-wakeup window.
+  { base::MutexLock lock(s.wake_mu); }
+  s.wake_cv.notify_one();
+}
+
+void KernelShards::submit_to(int shard, Packet pkt) {
+  ShardItem item;
+  item.kind = ShardItem::Kind::kPacket;
+  item.pkt = std::move(pkt);
+  push_item(idx(shard), std::move(item));
+}
+
+void KernelShards::tick_all(Timestamp now) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardItem item;
+    item.kind = ShardItem::Kind::kMaintenance;
+    item.ts = now;
+    push_item(i, std::move(item));
+  }
+}
+
+void KernelShards::push_item(std::size_t shard, ShardItem item) {
+  Shard& s = *shards_[shard];
+  base::SerialGuard prod(s.ring.producer());
+  while (!s.ring.try_push(std::move(item))) {
+    // Ring full: backpressure the producer (kick the worker, then yield)
+    // rather than drop — loss must happen inside the kernels, where the
+    // paper's verdict accounting can see it.
+    wake(s);
+    std::this_thread::yield();
+  }
+  ++pushed_[shard];
+  if (s.sleeping.load(std::memory_order_relaxed)) wake(s);
+}
+
+void KernelShards::start(DrainFn drain) {
+  SCAP_ASSERT(workers_.empty(), "shards already started");
+  SCAP_ASSERT(!stopped_, "shards already stopped");
+  drain_ = std::move(drain);
+  workers_.reserve(shards_.size());
+  for (int i = 0; i < num_shards(); ++i) {
+    workers_.emplace_back(
+        [this, i](std::stop_token st) { worker_main(st, i); });
+  }
+}
+
+void KernelShards::flush() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    if (workers_.empty()) {
+      // No workers (pre-start or post-stop): the calling thread is the one
+      // consumer and drains inline.
+      base::SerialGuard consumer(s.ring.consumer());
+      std::vector<ShardItem> buf(opts_.batch_size);
+      std::vector<Packet> scratch;
+      scratch.reserve(opts_.batch_size);
+      for (;;) {
+        const std::size_t n = s.ring.pop_batch(std::span<ShardItem>(buf));
+        if (n == 0) break;
+        process_items(s, static_cast<int>(i), {buf.data(), n}, scratch);
+        s.processed.fetch_add(n, std::memory_order_release);
+      }
+    } else {
+      while (s.processed.load(std::memory_order_acquire) < pushed_[i]) {
+        wake(s);
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+void KernelShards::service_fdir(nic::Nic& nic, Timestamp now) {
+  if (fdir_queue_ == nullptr) return;
+  base::SerialGuard consumer(fdir_queue_->consumer());
+  while (auto cmd = fdir_queue_->try_pop()) {
+    switch (cmd->kind) {
+      case FdirCommand::Kind::kInstallCutoff:
+        // The enqueuing shard already counted the install (and counts a
+        // full queue as an install failure); a hardware rejection here is
+        // invisible to it — the software cutoff still enforces, so the
+        // only skew is an optimistic fdir_installs counter.
+        for (const auto& f :
+             nic::make_cutoff_filters(cmd->tuple, cmd->expires)) {
+          nic.fdir().add(f);
+        }
+        break;
+      case FdirCommand::Kind::kRemove:
+        nic.fdir().remove_tuple(cmd->tuple);
+        if (cmd->also_reversed) {
+          nic.fdir().remove_tuple(cmd->tuple.reversed());
+        }
+        break;
+    }
+  }
+  // Hardware filter timers: shard kernels cannot see the FDIR table, so
+  // expiry is serviced here. The doubling-timeout reinstall path is inert
+  // in queue mode (the shard's rec.fdir_installed stays set) — a
+  // deliberate simplification, DESIGN.md §12.
+  (void)nic.fdir().expire(now);
+}
+
+void KernelShards::stop(Timestamp now) {
+  if (stopped_) return;
+  stopped_ = true;
+  if (!workers_.empty()) {
+    flush();
+    // jthread destruction requests stop and joins; the stop_token wakes
+    // any worker parked in wait().
+    workers_.clear();
+  }
+  for (int i = 0; i < num_shards(); ++i) {
+    Shard& s = *shards_[idx(i)];
+    base::MutexLock lock(s.mu);
+    base::SerialGuard serial(s.kernel.serial());
+    s.kernel.terminate_all(now);
+    drain_shard(i, s.kernel);
+    refresh_snapshot(s);
+  }
+}
+
+void KernelShards::worker_main(std::stop_token st, int shard) {
+  Shard& s = *shards_[idx(shard)];
+  // This thread is the ring's one consumer for its whole lifetime.
+  base::SerialGuard consumer(s.ring.consumer());
+  std::vector<ShardItem> buf(opts_.batch_size);
+  std::vector<Packet> scratch;
+  scratch.reserve(opts_.batch_size);
+  for (;;) {
+    const std::size_t n = s.ring.pop_batch(std::span<ShardItem>(buf));
+    if (n == 0) {
+      if (st.stop_requested()) break;  // ring drained + stop => done
+      base::MutexLock lock(s.wake_mu);
+      s.sleeping.store(true, std::memory_order_relaxed);
+      s.wake_cv.wait(lock, st, [&s] { return !s.ring.empty_approx(); });
+      s.sleeping.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    process_items(s, shard, {buf.data(), n}, scratch);
+    s.processed.fetch_add(n, std::memory_order_release);
+  }
+}
+
+void KernelShards::process_items(Shard& s, int shard,
+                                 std::span<ShardItem> items,
+                                 std::vector<Packet>& scratch) {
+  // One lock + one serial-domain entry per *batch* — the per-packet path
+  // below is lock-free shard-private state.
+  base::MutexLock lock(s.mu);
+  base::SerialGuard serial(s.kernel.serial());
+  std::size_t i = 0;
+  while (i < items.size()) {
+    if (items[i].kind == ShardItem::Kind::kMaintenance) {
+      s.kernel.run_maintenance(items[i].ts);
+      ++i;
+      continue;
+    }
+    scratch.clear();
+    while (i < items.size() && items[i].kind == ShardItem::Kind::kPacket) {
+      scratch.push_back(std::move(items[i].pkt));
+      ++i;
+    }
+    s.kernel.handle_batch(std::span<const Packet>(scratch),
+                          scratch.back().timestamp(), /*core=*/0);
+  }
+  drain_shard(shard, s.kernel);
+  refresh_snapshot(s);
+}
+
+void KernelShards::refresh_snapshot(Shard& s) {
+  base::MutexLock snap(s.snap_mu);
+  s.snapshot = s.kernel.stats();
+  if (s.tracer != nullptr) {
+    s.snap_trace_recorded = s.tracer->recorded();
+    s.snap_trace_dropped = s.tracer->dropped();
+    s.snap_metrics = s.tracer->metrics();
+  }
+}
+
+void KernelShards::drain_shard(int shard, ScapKernel& k) {
+  if (drain_) {
+    drain_(shard, k);
+    return;
+  }
+  // Self-drain (benches, chaos_run): consume the events and release their
+  // chunk accounting so the allocator balances.
+  EventQueue& q = k.events(0);
+  while (!q.empty()) {
+    Event ev = q.pop();
+    k.release_chunk(ev);
+  }
+}
+
+KernelStats KernelShards::stats() const {
+  KernelStats total;
+  for (const auto& sp : shards_) {
+    base::MutexLock lock(sp->snap_mu);
+    accumulate(total, sp->snapshot);
+  }
+  return total;
+}
+
+KernelStats KernelShards::shard_stats(int shard) const {
+  Shard& s = *shards_[idx(shard)];
+  base::MutexLock lock(s.snap_mu);
+  return s.snapshot;
+}
+
+std::string KernelShards::check_invariants() const {
+  KernelStats total;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    base::MutexLock lock(s.mu);
+    base::SerialGuard serial(s.kernel.serial());
+    std::string err = s.kernel.check_invariants();
+    if (!err.empty()) {
+      return "shard " + std::to_string(i) + ": " + err;
+    }
+    accumulate(total, s.kernel.stats());
+  }
+  std::string err = total.check_conservation();
+  if (!err.empty()) return "shard aggregate: " + err;
+  return {};
+}
+
+std::uint64_t KernelShards::trace_recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    base::MutexLock lock(sp->snap_mu);
+    total += sp->snap_trace_recorded;
+  }
+  return total;
+}
+
+std::uint64_t KernelShards::trace_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    base::MutexLock lock(sp->snap_mu);
+    total += sp->snap_trace_dropped;
+  }
+  return total;
+}
+
+trace::MetricsRegistry KernelShards::trace_metrics() const {
+  trace::MetricsRegistry total;
+  for (const auto& sp : shards_) {
+    base::MutexLock lock(sp->snap_mu);
+    total.merge(sp->snap_metrics);
+  }
+  return total;
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,235 @@
+// Multi-core sharded kernel datapath (paper §4, DESIGN.md §12).
+//
+// The paper parallelizes Scap by steering flows to cores with symmetric RSS
+// and running an independent stream-reassembly context per core. This layer
+// is that structure: N worker shards, each owning a complete ScapKernel —
+// its own flow-table slab pool, chunk allocator, PPL controller, event
+// queue, and trace ring — fed from a single producer through per-shard
+// lock-free SPSC rings. A flow's two directions hash to the same shard
+// (RssEngine canonicalizes the 4-tuple), so no flow state is ever shared:
+// the per-packet worker path takes no shared lock at all.
+//
+// Locking model (every lock here is per-shard and batch-granular):
+//   * ring producer/consumer SerialDomains — structural single-writer
+//     discipline on the SPSC handoff (spsc-discipline analyzer rule);
+//   * Shard::mu — serializes entry into the shard kernel between the worker
+//     (once per popped batch, never per packet) and quiescent-state callers
+//     (stop(), check_invariants(), tests);
+//   * Shard::snap_mu — guards a per-batch KernelStats snapshot so stats()
+//     aggregation never touches a kernel mutex (callable from event
+//     handlers without deadlock);
+//   * FDIR programming crosses back to the NIC-owning producer through a
+//     bounded MPSC command queue (FdirCommand), never a lock.
+//
+// Aggregation: every KernelStats conservation law is linear, so the
+// shard-sum satisfies check_conservation whenever each shard does; stats()
+// returns that sum (PPL cutoff/overload are combined, not summed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/mutex.hpp"
+#include "base/ring.hpp"
+#include "base/thread_annotations.hpp"
+#include "kernel/module.hpp"
+#include "nic/rss.hpp"
+#include "trace/trace.hpp"
+
+namespace scap::kernel {
+
+/// One slot on a shard's ingest ring: a packet, or an in-band maintenance
+/// marker. Markers ride the same ring as packets so each shard observes
+/// "tick at time T" at exactly the right point in its packet sequence —
+/// that ordering is what makes shard-aggregated expiry accounting equal a
+/// single-core replay (the shard-conservation tests assert it bit-for-bit).
+struct ShardItem {
+  enum class Kind : std::uint8_t { kPacket, kMaintenance };
+  Kind kind = Kind::kPacket;
+  Packet pkt;      // kPacket
+  Timestamp ts{};  // kMaintenance: the tick's simulated time
+};
+
+/// N per-core ScapKernel instances behind SPSC ingest rings.
+///
+/// Thread roles: exactly one producer thread drives submit()/tick_all()/
+/// flush()/service_fdir() (annotated SCAP_REQUIRES(producer())); start()
+/// spawns one worker thread per shard; stats() may be called from any
+/// thread, including event handlers running on workers.
+class KernelShards {
+ public:
+  struct Options {
+    /// Per-shard SPSC ring slots (rounded up to a power of two). The
+    /// producer spins when a ring fills, so capacity trades producer
+    /// stalls against memory — it never loses packets.
+    std::size_t ring_capacity = 4096;
+    /// Worker pop batch (feeds ScapKernel::handle_batch's prefetch loop).
+    std::size_t batch_size = 32;
+    /// Per-shard tracer config (single-ring; the shard kernel records on
+    /// core 0 of its own tracer). Disabled when unset.
+    std::optional<trace::TraceConfig> trace;
+    /// FDIR command queue slots (created only when config.use_fdir).
+    std::size_t fdir_queue_capacity = 1024;
+  };
+
+  /// Event-drain hook: called on the worker thread after every processed
+  /// batch, and from stop() after terminate_all — always with the shard's
+  /// kernel serialized (take a fresh SerialGuard on kernel.serial() inside
+  /// the callback; it is a zero-cost re-assertion the analysis needs).
+  /// When no hook is installed the shards drain their own event queues and
+  /// release chunk accounting (benches, chaos_run).
+  using DrainFn = std::function<void(int shard, ScapKernel& kernel)>;
+
+  /// The shard configs are derived from `config`: memory_size and a
+  /// nonzero max_streams are divided across shards, num_cores forced to 1,
+  /// dynamic_load_balance off (cross-shard steering would break flow
+  /// affinity — RSS affinity *is* the balance policy, paper §4.2).
+  KernelShards(const KernelConfig& config, int num_shards);
+  KernelShards(const KernelConfig& config, int num_shards, Options opts);
+  ~KernelShards();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Direct shard access for quiescent callers (tests after flush()/stop(),
+  /// or under lock_shard()). The kernel's own serial() capability governs
+  /// entry as usual.
+  ScapKernel& kernel(int shard) { return shards_[idx(shard)]->kernel; }
+  base::Mutex& shard_mutex(int shard) { return shards_[idx(shard)]->mu; }
+  trace::Tracer* tracer(int shard) {
+    return shards_[idx(shard)]->tracer.get();
+  }
+  FdirCommandQueue* fdir_queue() { return fdir_queue_.get(); }
+
+  // --- producer side ------------------------------------------------------
+  /// The single-producer capability: whoever holds it is the one thread
+  /// feeding the rings (Capture backs it with its producer lock).
+  base::SerialDomain& producer() const SCAP_RETURN_CAPABILITY(producer_) {
+    return producer_;
+  }
+
+  /// Symmetric-RSS shard for this packet (both flow directions agree).
+  int shard_for(const Packet& pkt) const { return rss_.queue_for(pkt); }
+
+  /// Steer the packet to its flow's shard. Spins (never drops) when the
+  /// ring is full — loss placement stays inside the kernels where the
+  /// paper's accounting can see it.
+  void submit(Packet pkt) SCAP_REQUIRES(producer_) {
+    submit_to(shard_for(pkt), std::move(pkt));
+  }
+  void submit_to(int shard, Packet pkt) SCAP_REQUIRES(producer_);
+
+  /// Push an in-band maintenance marker at simulated time `now` onto every
+  /// shard. Call at a fixed cadence (and before submitting packets with
+  /// timestamps >= now) to keep expiry deterministic across shard counts.
+  void tick_all(Timestamp now) SCAP_REQUIRES(producer_);
+
+  /// Block until every submitted item has been fully processed (rings
+  /// empty and the in-flight worker batches retired).
+  void flush() SCAP_REQUIRES(producer_);
+
+  /// Apply queued FDIR commands to the producer-owned NIC and service
+  /// hardware filter expiry. Workers only enqueue; this is the single
+  /// consumer of the command queue.
+  void service_fdir(nic::Nic& nic, Timestamp now) SCAP_REQUIRES(producer_);
+
+  // --- lifecycle ----------------------------------------------------------
+  /// Spawn one worker thread per shard. `drain` may be empty (self-drain).
+  void start(DrainFn drain) SCAP_REQUIRES(producer_);
+
+  /// Flush the rings, join the workers, then terminate_all() on every
+  /// shard (on the calling thread) and run the final event drain. The
+  /// producer must not submit afterwards. Idempotent.
+  void stop(Timestamp now) SCAP_REQUIRES(producer_);
+  bool running() const { return !workers_.empty(); }
+
+  // --- aggregate views ----------------------------------------------------
+  /// Shard-summed KernelStats, built from the per-batch snapshots (never
+  /// blocks on a worker; safe from event handlers). Counters and
+  /// histograms sum; ppl_effective_cutoff is the tightest active shard
+  /// cutoff and ppl_overload_active is set when any shard is overloaded.
+  KernelStats stats() const;
+
+  /// Per-shard stats snapshot (same source as stats()).
+  KernelStats shard_stats(int shard) const;
+
+  /// Every shard's check_invariants() plus check_conservation on the
+  /// aggregate. Quiescent callers only (locks each shard's kernel; do not
+  /// call from an event handler). Returns "" when every law holds.
+  std::string check_invariants() const;
+
+  /// Sum of trace events recorded/dropped across the per-shard tracers,
+  /// and the merge of their metric registries. Snapshot-based (updated
+  /// once per worker batch), so reading them never races a recording
+  /// worker.
+  std::uint64_t trace_recorded() const;
+  std::uint64_t trace_dropped() const;
+  trace::MetricsRegistry trace_metrics() const;
+
+ private:
+  struct Shard {
+    Shard(const KernelConfig& cfg, std::size_t ring_capacity);
+
+    ScapKernel kernel;  // enter under mu + kernel.serial()
+    SpscRing<ShardItem> ring;
+    std::unique_ptr<trace::Tracer> tracer;
+
+    /// Serializes kernel entry: the worker takes it once per batch; stop()
+    /// and check_invariants() take it from other threads.
+    base::Mutex mu;
+
+    /// Post-batch snapshots (kernel counters + trace totals), so
+    /// aggregation never waits on a batch and never reads state the
+    /// worker is mutating.
+    mutable base::Mutex snap_mu;
+    KernelStats snapshot SCAP_GUARDED_BY(snap_mu);
+    std::uint64_t snap_trace_recorded SCAP_GUARDED_BY(snap_mu) = 0;
+    std::uint64_t snap_trace_dropped SCAP_GUARDED_BY(snap_mu) = 0;
+    trace::MetricsRegistry snap_metrics SCAP_GUARDED_BY(snap_mu);
+
+    /// Worker parking: the worker only sleeps on an empty ring; the
+    /// producer takes wake_mu solely to publish the wakeup (never on the
+    /// fast path while the worker is awake).
+    base::Mutex wake_mu;
+    base::CondVar wake_cv;
+    std::atomic<bool> sleeping{false};
+
+    /// Retired-item count (worker side); flush() compares against the
+    /// producer's local pushed count.
+    std::atomic<std::uint64_t> processed{0};
+  };
+
+  std::size_t idx(int shard) const {
+    return static_cast<std::size_t>(shard);
+  }
+  void worker_main(std::stop_token st, int shard);
+  /// One mutex + serial-domain entry per batch; scratch is the caller's
+  /// reusable packet buffer (no per-batch allocation).
+  void process_items(Shard& s, int shard, std::span<ShardItem> items,
+                     std::vector<Packet>& scratch);
+  void push_item(std::size_t shard, ShardItem item) SCAP_REQUIRES(producer_);
+  /// Re-publish the shard's post-batch snapshot (kernel stats + trace
+  /// totals) under snap_mu.
+  void refresh_snapshot(Shard& s) SCAP_REQUIRES(s.kernel.serial());
+  void drain_shard(int shard, ScapKernel& k) SCAP_REQUIRES(k.serial());
+  void wake(Shard& s);
+
+  Options opts_;
+  nic::RssEngine rss_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<FdirCommandQueue> fdir_queue_;
+  DrainFn drain_;
+  std::vector<std::jthread> workers_;
+  mutable base::SerialDomain producer_;
+  /// Producer-local push counts per shard (single producer, no atomics).
+  std::vector<std::uint64_t> pushed_ SCAP_GUARDED_BY(producer_);
+  bool stopped_ SCAP_GUARDED_BY(producer_) = false;
+};
+
+}  // namespace scap::kernel

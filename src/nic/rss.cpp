@@ -3,19 +3,33 @@
 namespace scap::nic {
 
 int RssEngine::queue_for(const FiveTuple& tuple) const {
+  // Canonicalize the 4-tuple before hashing: order the two endpoints so
+  // both directions of a flow produce the same Toeplitz input. With the
+  // symmetric key this was already direction-independent; canonicalizing
+  // makes it so for *any* key, which is what the sharded kernel's flow
+  // affinity rests on — a flow's packets must never cross shards
+  // (DESIGN.md §12). Endpoints are ordered by (ip, port) lexicographically.
+  std::uint32_t lo_ip = tuple.src_ip, hi_ip = tuple.dst_ip;
+  std::uint16_t lo_port = tuple.src_port, hi_port = tuple.dst_port;
+  if (hi_ip < lo_ip || (hi_ip == lo_ip && hi_port < lo_port)) {
+    lo_ip = tuple.dst_ip;
+    hi_ip = tuple.src_ip;
+    lo_port = tuple.dst_port;
+    hi_port = tuple.src_port;
+  }
   std::uint8_t input[12];
-  input[0] = static_cast<std::uint8_t>(tuple.src_ip >> 24);
-  input[1] = static_cast<std::uint8_t>(tuple.src_ip >> 16);
-  input[2] = static_cast<std::uint8_t>(tuple.src_ip >> 8);
-  input[3] = static_cast<std::uint8_t>(tuple.src_ip);
-  input[4] = static_cast<std::uint8_t>(tuple.dst_ip >> 24);
-  input[5] = static_cast<std::uint8_t>(tuple.dst_ip >> 16);
-  input[6] = static_cast<std::uint8_t>(tuple.dst_ip >> 8);
-  input[7] = static_cast<std::uint8_t>(tuple.dst_ip);
-  input[8] = static_cast<std::uint8_t>(tuple.src_port >> 8);
-  input[9] = static_cast<std::uint8_t>(tuple.src_port);
-  input[10] = static_cast<std::uint8_t>(tuple.dst_port >> 8);
-  input[11] = static_cast<std::uint8_t>(tuple.dst_port);
+  input[0] = static_cast<std::uint8_t>(lo_ip >> 24);
+  input[1] = static_cast<std::uint8_t>(lo_ip >> 16);
+  input[2] = static_cast<std::uint8_t>(lo_ip >> 8);
+  input[3] = static_cast<std::uint8_t>(lo_ip);
+  input[4] = static_cast<std::uint8_t>(hi_ip >> 24);
+  input[5] = static_cast<std::uint8_t>(hi_ip >> 16);
+  input[6] = static_cast<std::uint8_t>(hi_ip >> 8);
+  input[7] = static_cast<std::uint8_t>(hi_ip);
+  input[8] = static_cast<std::uint8_t>(lo_port >> 8);
+  input[9] = static_cast<std::uint8_t>(lo_port);
+  input[10] = static_cast<std::uint8_t>(hi_port >> 8);
+  input[11] = static_cast<std::uint8_t>(hi_port);
   const std::uint32_t hash = toeplitz_hash(key_, input);
   return static_cast<int>(hash % static_cast<std::uint32_t>(num_queues_));
 }

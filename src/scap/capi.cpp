@@ -28,6 +28,9 @@ scap::Parameter param_of(int p) {
     case SCAP_PARAM_ADAPTIVE_CUTOFF: return scap::Parameter::kAdaptiveCutoff;
     case SCAP_PARAM_ADAPTIVE_MIN_CUTOFF:
       return scap::Parameter::kAdaptiveMinCutoff;
+    case SCAP_PARAM_WORKERS: return scap::Parameter::kWorkerThreads;
+    case SCAP_PARAM_RING_CAPACITY:
+      return scap::Parameter::kShardRingCapacity;
     default: return scap::Parameter::kInactivityTimeoutMs;
   }
 }

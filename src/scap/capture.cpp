@@ -1,6 +1,7 @@
 #include "scap/capture.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "base/assert.hpp"
 #include "packet/pcap.hpp"
@@ -9,28 +10,28 @@ namespace scap {
 
 // --- StreamView --------------------------------------------------------------
 //
-// Control methods run inside dispatch callbacks, which always hold
-// kernel_mutex_ and the kernel's serial domain (see class comment in the
-// header); cap_.assert_serialized() states that to the analysis.
+// Control methods run inside dispatch callbacks, which always hold the
+// owning kernel's serial domain (see class comment in the header);
+// assert_serial() states that to the analysis.
 
 void StreamView::discard() {
-  cap_.assert_serialized();
-  cap_.kernel_->discard_stream(id());
+  assert_serial();
+  k_.discard_stream(id());
 }
 
 void StreamView::set_cutoff(std::int64_t bytes) {
-  cap_.assert_serialized();
-  cap_.kernel_->set_stream_cutoff(id(), bytes);
+  assert_serial();
+  k_.set_stream_cutoff(id(), bytes);
 }
 
 void StreamView::set_priority(int priority) {
-  cap_.assert_serialized();
-  cap_.kernel_->set_stream_priority(id(), priority);
+  assert_serial();
+  k_.set_stream_priority(id(), priority);
 }
 
 bool StreamView::set_parameter(Parameter p, std::int64_t value) {
-  cap_.assert_serialized();
-  kernel::StreamRecord* rec = cap_.kernel_->find_stream(id());
+  assert_serial();
+  kernel::StreamRecord* rec = k_.find_stream(id());
   if (rec == nullptr) return false;
   switch (p) {
     case Parameter::kInactivityTimeoutMs:
@@ -143,6 +144,14 @@ bool Capture::set_parameter(Parameter p, std::int64_t value) {
       if (value <= 0) return false;
       config_.ppl.min_cutoff = value;
       return true;
+    case Parameter::kWorkerThreads:
+      if (started_ || value < 0) return false;
+      set_worker_threads(static_cast<int>(value));
+      return true;
+    case Parameter::kShardRingCapacity:
+      if (started_ || value <= 0) return false;
+      set_shard_ring_capacity(static_cast<std::size_t>(value));
+      return true;
   }
   return false;
 }
@@ -173,11 +182,53 @@ void Capture::enable_tracing(std::size_t ring_capacity) {
 
 void Capture::start() {
   if (started_) throw std::logic_error("scap: capture already started");
+  if (worker_threads_ > 0) {
+    {
+      // The NIC (and its tracer) stay producer-owned: one RSS queue per
+      // shard, same symmetric key as the shards' own steering, so a
+      // packet's RX queue *is* its shard index.
+      base::MutexLock lock(kernel_mutex_);
+      nic_ = std::make_unique<nic::Nic>(worker_threads_);
+      if (trace_capacity_ > 0) {
+        trace::TraceConfig tc;
+        tc.ring_capacity = trace_capacity_;
+        tc.cores = worker_threads_;
+        tracer_ = std::make_unique<trace::Tracer>(tc);
+        nic_->set_tracer(tracer_.get());
+      }
+    }
+    kernel::KernelShards::Options opts;
+    opts.ring_capacity = ring_capacity_;
+    if (trace_capacity_ > 0) {
+      trace::TraceConfig tc;
+      tc.ring_capacity = trace_capacity_;
+      opts.trace = tc;
+    }
+    shards_ = std::make_unique<kernel::KernelShards>(config_, worker_threads_,
+                                                     opts);
+    {
+      base::MutexLock plock(producer_mutex_);
+      base::SerialGuard prod(shards_->producer());
+      shards_->start([this](int shard, kernel::ScapKernel& k) {
+        // Worker-side event drain: the shard kernel is serialized by the
+        // caller (batch lock); re-assert it for the analysis and dispatch
+        // onto the shard's own tracer ring.
+        base::SerialGuard serial(k.serial());
+        auto& q = k.events(0);
+        while (!q.empty()) {
+          kernel::Event ev = q.pop();
+          dispatch_event_on(k, shards_->tracer(shard), 0, ev);
+        }
+      });
+    }
+    started_ = true;
+    return;
+  }
   const int cores = config_.num_cores;
   {
-    // No worker exists yet, but construction dereferences the guarded
-    // pointers (tracer attach); taking the uncontended lock once per
-    // capture keeps the capability story uniform.
+    // No other thread exists in inline mode, but construction dereferences
+    // the guarded pointers (tracer attach); taking the uncontended lock
+    // once per capture keeps the capability story uniform.
     base::MutexLock lock(kernel_mutex_);
     nic_ = std::make_unique<nic::Nic>(cores);
     kernel_ = std::make_unique<kernel::ScapKernel>(config_, nic_.get());
@@ -192,21 +243,12 @@ void Capture::start() {
     }
   }
   started_ = true;
-  if (worker_threads_ > 0) {
-    wakeups_.clear();
-    for (int i = 0; i < worker_threads_; ++i) {
-      wakeups_.push_back(std::make_unique<base::CondVar>());
-    }
-    for (int i = 0; i < worker_threads_; ++i) {
-      workers_.emplace_back(
-          [this, i](std::stop_token st) { worker_main(i, st); });
-    }
-  }
 }
 
-void Capture::dispatch_event(kernel::Event& ev, int core) {
+void Capture::dispatch_event_on(kernel::ScapKernel& k, trace::Tracer* tracer,
+                                int trace_core, kernel::Event& ev) {
 #if defined(SCAP_ENABLE_TRACE)
-  if (tracer_ != nullptr) {
+  if (tracer != nullptr) {
     // Dispatch is traced at the stream's last packet time — the simulated
     // clock of the event's cause — so the trace stays a pure function of
     // the input, independent of worker scheduling.
@@ -214,14 +256,15 @@ void Capture::dispatch_event(kernel::Event& ev, int core) {
         ev.stream.stats.last_packet.ns() >= ev.stream.stats.first_packet.ns()
             ? ev.stream.stats.last_packet
             : ev.stream.stats.first_packet;
-    tracer_->record(trace::TraceEventType::kEventDispatched, core, ts,
-                    ev.stream.id, static_cast<std::uint16_t>(ev.type),
-                    static_cast<std::uint32_t>(ev.chunk.data.size()));
+    tracer->record(trace::TraceEventType::kEventDispatched, trace_core, ts,
+                   ev.stream.id, static_cast<std::uint16_t>(ev.type),
+                   static_cast<std::uint32_t>(ev.chunk.data.size()));
   }
 #else
-  (void)core;
+  (void)tracer;
+  (void)trace_core;
 #endif
-  StreamView view(*this, ev);
+  StreamView view(k, ev);
   if (apps_.empty()) {
     StreamHandler* handler = nullptr;
     switch (ev.type) {
@@ -251,86 +294,87 @@ void Capture::dispatch_event(kernel::Event& ev, int core) {
       if (handler && *handler) (*handler)(view);
     }
   }
-  ++events_dispatched_;
+  events_dispatched_.fetch_add(1, std::memory_order_relaxed);
   if (ev.type == kernel::EventType::kData) {
     if (view.keep_requested_) {
       // scap_keep_stream_chunk: hand the chunk (and its accounting) back.
       const std::uint32_t alloc = ev.chunk_alloc;
-      if (!kernel_->keep_stream_chunk(ev.stream.id, std::move(ev.chunk),
-                                      alloc)) {
-        kernel_->release_chunk(ev);  // stream vanished: just release
+      if (!k.keep_stream_chunk(ev.stream.id, std::move(ev.chunk), alloc)) {
+        k.release_chunk(ev);  // stream vanished: just release
       }
       return;
     }
   }
-  kernel_->release_chunk(ev);
+  k.release_chunk(ev);
 }
 
 void Capture::drain_core_inline(int core) {
   auto& q = kernel_->events(core);
   while (!q.empty()) {
     kernel::Event ev = q.pop();
-    dispatch_event(ev, core);
+    dispatch_event_on(*kernel_, tracer_.get(), core, ev);
   }
 }
 
 std::size_t Capture::poll() {
-  // In threaded mode the workers own dispatch; polling from outside would
-  // race them. stop() polls only after the workers are joined and cleared.
-  SCAP_ASSERT(workers_.empty(), "poll() is inline-mode only");
+  // In sharded mode the workers own dispatch; polling from outside would
+  // race them (stop() drains the final events itself).
+  SCAP_ASSERT(worker_threads_ == 0, "poll() is inline-mode only");
   assert_serialized();
-  const std::uint64_t before = events_dispatched_;
+  const std::uint64_t before =
+      events_dispatched_.load(std::memory_order_relaxed);
   for (int c = 0; c < config_.num_cores; ++c) drain_core_inline(c);
-  return static_cast<std::size_t>(events_dispatched_ - before);
+  return static_cast<std::size_t>(
+      events_dispatched_.load(std::memory_order_relaxed) - before);
 }
 
-void Capture::wake_worker(int core) {
-  if (core < static_cast<int>(wakeups_.size())) wakeups_[core]->notify_one();
-}
-
-void Capture::worker_main(int core, std::stop_token st) {
-  base::MutexLock lock(kernel_mutex_);
-  // Holding kernel_mutex_ is what grants the serial domain in threaded
-  // mode: every producer-side kernel call takes the same pair.
-  base::SerialGuard serial(kernel_->serial());
-  auto& q = kernel_->events(core);
-  while (!st.stop_requested() || !q.empty()) {
-    if (q.empty()) {
-      wakeups_[static_cast<std::size_t>(core)]->wait(
-          lock, st, [&] { return !q.empty(); });
-      if (q.empty()) continue;  // stop requested with empty queue
-    }
-    kernel::Event ev = q.pop();
-    // Run the user callback outside the kernel lock unless it needs to call
-    // back in — setters re-lock via recursive pattern is complex; keep the
-    // lock (the paper serializes per core; we serialize per capture).
-    dispatch_event(ev, core);
+void Capture::advance_ticks(Timestamp now) {
+  bool ticked = false;
+  if (!ticks_started_) {
+    // Anchor the tick grid at the first packet's timestamp and push the
+    // first marker immediately: every shard's last-maintenance clock is
+    // then a pure function of the input timestamps, whatever the shard
+    // count — the property the bit-for-bit conservation tests rely on.
+    ticks_started_ = true;
+    last_tick_ = now;
+    shards_->tick_all(now);
+    ticked = true;
+  }
+  const Duration interval = config_.expiry_interval;
+  while (interval.ns() > 0 && now.ns() - last_tick_.ns() >= interval.ns()) {
+    last_tick_ = last_tick_ + interval;
+    shards_->tick_all(last_tick_);
+    ticked = true;
+  }
+  if (ticked) {
+    // Same cadence for the FDIR crossing: drain worker-enqueued commands
+    // into the NIC and expire hardware filters.
+    base::MutexLock lock(kernel_mutex_);
+    shards_->service_fdir(*nic_, last_tick_);
   }
 }
 
 kernel::PacketOutcome Capture::inject(const Packet& pkt) {
   if (!started_) throw std::logic_error("scap: capture not started");
-  last_ts_ = pkt.timestamp();
   if (worker_threads_ > 0) {
-    // The NIC is shared state in threaded mode: the kernel installs FDIR
-    // filters into it under kernel_mutex_ (from worker callbacks), so the
-    // producer's receive path must hold the same lock.
-    kernel::PacketOutcome out;
-    int queue;
+    base::MutexLock plock(producer_mutex_);
+    base::SerialGuard prod(shards_->producer());
+    last_ts_ = pkt.timestamp();
+    advance_ticks(pkt.timestamp());
+    nic::RxResult rx;
     {
       base::MutexLock lock(kernel_mutex_);
-      base::SerialGuard serial(kernel_->serial());
-      const nic::RxResult rx = nic_->receive(pkt);
-      if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
-        return kernel::PacketOutcome{};  // subzero: never reached the host
-      }
-      out = kernel_->handle_packet(pkt, pkt.timestamp(), rx.queue);
-      queue = rx.queue;
+      rx = nic_->receive(pkt);
     }
-    wake_worker(queue);
-    return out;
+    if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
+      return kernel::PacketOutcome{};  // subzero: never reached the host
+    }
+    // RX queue == shard index (same symmetric RSS on both sides).
+    shards_->submit_to(rx.queue, pkt);
+    return kernel::PacketOutcome{};  // async: outcome lands in stats()
   }
   assert_serialized();
+  last_ts_ = pkt.timestamp();
   const nic::RxResult rx = nic_->receive(pkt);
   if (rx.disposition == nic::RxDisposition::kDroppedByFilter) {
     return kernel::PacketOutcome{};  // subzero: never reached the host
@@ -357,6 +401,34 @@ kernel::PacketOutcome Capture::inject_batch(std::span<const Packet> pkts) {
   if (!started_) throw std::logic_error("scap: capture not started");
   kernel::PacketOutcome total;
   if (pkts.empty()) return total;
+  if (worker_threads_ > 0) {
+    base::MutexLock plock(producer_mutex_);
+    base::SerialGuard prod(shards_->producer());
+    last_ts_ = pkts.back().timestamp();
+    // Classify the whole batch under one bounded NIC critical section,
+    // then hand off ring-side — never holding kernel_mutex_ across a
+    // possible spin on a full shard ring.
+    rx_queues_.clear();
+    {
+      base::MutexLock lock(kernel_mutex_);
+      for (const Packet& pkt : pkts) {
+        const nic::RxResult rx = nic_->receive(pkt);
+        rx_queues_.push_back(
+            rx.disposition == nic::RxDisposition::kDroppedByFilter
+                ? -1
+                : rx.queue);
+      }
+    }
+    // Submit in arrival order (ticks interleave at the exact timestamp
+    // boundaries); per-shard batching happens on the ring's consumer side.
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      if (rx_queues_[i] < 0) continue;
+      advance_ticks(pkts[i].timestamp());
+      shards_->submit_to(rx_queues_[i], pkts[i]);
+    }
+    return total;  // async: outcome lands in stats()
+  }
+  assert_serialized();
   last_ts_ = pkts.back().timestamp();
   // The NIC receives every packet, in order, before the kernel runs; the
   // RSS/FDIR verdict buckets each packet to its queue so the kernel sees one
@@ -364,33 +436,6 @@ kernel::PacketOutcome Capture::inject_batch(std::span<const Packet> pkts) {
   if (batch_buckets_.size() < static_cast<std::size_t>(config_.num_cores)) {
     batch_buckets_.resize(static_cast<std::size_t>(config_.num_cores));
   }
-  if (worker_threads_ > 0) {
-    {
-      // Same shared-NIC rule as inject(): classification must not race with
-      // worker-driven FDIR updates.
-      base::MutexLock lock(kernel_mutex_);
-      for (const Packet& pkt : pkts) {
-        const nic::RxResult rx = nic_->receive(pkt);
-        if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
-        batch_buckets_[static_cast<std::size_t>(rx.queue)].push_back(pkt);
-      }
-    }
-    for (std::size_t q = 0; q < batch_buckets_.size(); ++q) {
-      auto& bucket = batch_buckets_[q];
-      if (bucket.empty()) continue;
-      const int core = static_cast<int>(q);
-      {
-        base::MutexLock lock(kernel_mutex_);
-        base::SerialGuard serial(kernel_->serial());
-        accumulate(total, kernel_->handle_batch(
-                              bucket, bucket.front().timestamp(), core));
-      }
-      wake_worker(core);
-      bucket.clear();
-    }
-    return total;
-  }
-  assert_serialized();
   for (const Packet& pkt : pkts) {
     const nic::RxResult rx = nic_->receive(pkt);
     if (rx.disposition == nic::RxDisposition::kDroppedByFilter) continue;
@@ -429,18 +474,16 @@ std::uint64_t Capture::replay_pcap(const std::string& path) {
 void Capture::stop() {
   if (!started_) return;
   if (worker_threads_ > 0) {
+    base::MutexLock plock(producer_mutex_);
+    base::SerialGuard prod(shards_->producer());
+    // Flush + join workers, terminate every shard's remaining streams and
+    // run the final event drain (on this thread, via the drain hook).
+    shards_->stop(last_ts_);
     {
+      // Apply the termination-time FDIR removals the shards enqueued.
       base::MutexLock lock(kernel_mutex_);
-      base::SerialGuard serial(kernel_->serial());
-      kernel_->terminate_all(last_ts_);
+      shards_->service_fdir(*nic_, last_ts_);
     }
-    for (auto& w : workers_) w.request_stop();
-    for (auto& cv : wakeups_) cv->notify_all();
-    workers_.clear();  // joins
-    wakeups_.clear();
-    // Drain anything the workers left behind (they are joined: poll's
-    // inline-only assertion holds).
-    poll();
     started_ = false;
     return;
   }
@@ -450,15 +493,41 @@ void Capture::stop() {
   started_ = false;
 }
 
+std::string Capture::check_invariants() {
+  if (worker_threads_ > 0) {
+    return shards_ != nullptr ? shards_->check_invariants() : std::string();
+  }
+  assert_serialized();
+  return kernel_ != nullptr ? kernel_->check_invariants() : std::string();
+}
+
 CaptureStats Capture::stats() const {
   // Branch on worker_threads_, which is immutable once the capture runs —
-  // the previous workers_.empty() check read the vector unsynchronized
-  // while stop() mutated it (caught by the thread-safety analysis during
-  // annotation; ConcurrencySmoke.StatsInsideInlineCallback covers the
-  // inline side).
+  // a racy branch selector here (the old workers_.empty() read) was caught
+  // by the thread-safety analysis during annotation;
+  // ConcurrencySmoke.StatsInsideInlineCallback covers the inline side.
   if (worker_threads_ > 0) {
+    CaptureStats s;
+    if (shards_ != nullptr) {
+      s.kernel = shards_->stats();
+      if (trace_capacity_ > 0) {
+        s.traced = true;
+        s.trace_events_recorded = shards_->trace_recorded();
+        s.trace_events_dropped = shards_->trace_dropped();
+        s.metrics = shards_->trace_metrics();
+      }
+    }
+    s.events_dispatched = events_dispatched_.load(std::memory_order_relaxed);
     base::MutexLock lock(kernel_mutex_);
-    return stats_locked();
+    if (nic_) s.nic_dropped_by_filter = nic_->stats().dropped_by_filter;
+    if (tracer_) {
+      // Producer-side NIC events ride the capture-level tracer; fold them
+      // into the merged view.
+      s.trace_events_recorded += tracer_->recorded();
+      s.trace_events_dropped += tracer_->dropped();
+      s.metrics.merge(tracer_->metrics());
+    }
+    return s;
   }
   assert_serialized();
   return stats_locked();
@@ -471,7 +540,7 @@ CaptureStats Capture::stats_locked() const {
     s.kernel = kernel_->stats();
   }
   if (nic_) s.nic_dropped_by_filter = nic_->stats().dropped_by_filter;
-  s.events_dispatched = events_dispatched_;
+  s.events_dispatched = events_dispatched_.load(std::memory_order_relaxed);
   if (tracer_) {
     s.traced = true;
     s.trace_events_recorded = tracer_->recorded();

@@ -1,43 +1,49 @@
 // scap::Capture — the user-level core of the Scap API (paper §3, Table 1).
 //
-// A Capture owns a ScapKernel instance (the simulated kernel module) and a
-// simulated-or-real NIC, and dispatches creation/data/termination events to
-// user callbacks, mirroring the Scap stub of Figure 1.
+// A Capture owns a simulated-or-real NIC and the Scap kernel datapath, and
+// dispatches creation/data/termination events to user callbacks, mirroring
+// the Scap stub of Figure 1.
 //
 // Two dispatch modes:
-//   * inline (worker_threads == 0, the default): inject() processes the
-//     packet and synchronously runs every pending callback on the calling
-//     thread. Fully deterministic — the mode benches and tests use.
-//   * threaded (worker_threads >= 1): start() spawns one worker per core;
-//     the kernel enqueues events to the worker owning the stream's core and
-//     wakes it, as the paper's per-core kernel/worker pairs do.
+//   * inline (worker_threads == 0, the default): a single ScapKernel;
+//     inject() processes the packet and synchronously runs every pending
+//     callback on the calling thread. Fully deterministic — the mode benches
+//     and tests use.
+//   * sharded (worker_threads >= 1): start() builds a KernelShards layer —
+//     one ScapKernel per worker core, each with private flow-table slabs,
+//     chunk allocator, PPL state and trace ring — and feeds it through
+//     lock-free SPSC rings. Symmetric RSS keeps both directions of a flow
+//     on one shard, so the per-packet worker path takes no shared lock
+//     (paper §4, DESIGN.md §12).
 //
-// Concurrency model (DESIGN.md §11): kernel_mutex_ is the capability that
-// guards everything the workers and the producer share — the kernel (and
-// through it the flow table, event queues and per-core trace rings), the
-// NIC (workers install FDIR filters into it), and events_dispatched_. The
-// kernel's own entry points additionally require its SerialDomain; in
-// threaded mode a SerialGuard is taken right after the MutexLock, in inline
-// mode assert_serialized() claims both capabilities structurally (a single
-// thread is trivially serialized). The clang thread-safety analysis checks
-// all of this on every clang build (-Wthread-safety, errors under
-// SCAP_WERROR).
+// Concurrency model in sharded mode (DESIGN.md §12): producer_mutex_ is the
+// outer capability backing the shards' single-producer domain — it
+// serializes inject()/inject_batch()/stop() end to end, including any spin
+// on a full shard ring. kernel_mutex_ is the inner lock guarding only the
+// producer-owned NIC and its tracer; its critical sections are bounded (RSS
+// classification, FDIR servicing, stats snapshot), so a worker callback may
+// call stats() — which takes kernel_mutex_ alone — without deadlocking
+// against a producer waiting out a full ring. Inline mode claims both
+// capabilities structurally (a single thread is trivially serialized). The
+// clang thread-safety analysis checks all of this on every clang build
+// (-Wthread-safety, errors under SCAP_WERROR).
 //
 // Packet sources: inject() for programmatic feeds, replay_pcap() for traces.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 #include "kernel/module.hpp"
+#include "kernel/shard.hpp"
 #include "nic/nic.hpp"
 #include "packet/packet.hpp"
 #include "trace/trace.hpp"
@@ -55,23 +61,27 @@ enum class Parameter {
   kPriorityLevels,
   kAdaptiveCutoff,     // adaptive overload control: start cutoff (0 = off)
   kAdaptiveMinCutoff,  // adaptive overload control: tightening floor
+  kWorkerThreads,      // sharded-mode worker count (0 = inline), pre-start
+  kShardRingCapacity,  // per-shard SPSC ring slots, pre-start
 };
 
 class Capture;
 
 /// The application's view of a stream inside a callback — the paper's
 /// stream_t as handed to handlers. Wraps the event's immutable snapshot and
-/// forwards per-stream control calls to the kernel.
+/// forwards per-stream control calls to the kernel that emitted the event
+/// (in sharded mode that is the stream's shard kernel — flow affinity means
+/// the stream lives there and nowhere else).
 ///
 /// A StreamView only exists inside a dispatch callback, which always runs
-/// with the capture's kernel_mutex_ and the kernel's serial domain held
-/// (worker threads take both; inline mode holds them structurally). The
-/// control methods assert exactly that (Capture::assert_serialized) before
-/// re-entering the kernel — the C API wrappers in capi.cpp cannot carry
-/// capability annotations across extern "C".
+/// with the owning kernel's serial domain held (a worker holds its shard's
+/// batch lock; inline mode holds the capability structurally). The control
+/// methods assert exactly that before re-entering the kernel — the C API
+/// wrappers in capi.cpp cannot carry capability annotations across
+/// extern "C".
 class StreamView {
  public:
-  StreamView(Capture& cap, kernel::Event& ev) : cap_(cap), ev_(ev) {}
+  StreamView(kernel::ScapKernel& k, kernel::Event& ev) : k_(k), ev_(ev) {}
 
   // --- identity (sd->hdr) --------------------------------------------------
   kernel::StreamId id() const { return ev_.stream.id; }
@@ -116,10 +126,12 @@ class StreamView {
  private:
   friend class Capture;
 
-  // Dispatch callbacks run with both capabilities held (see class comment);
-  // the control methods carry that structural fact into the analysis by
-  // calling cap_.assert_serialized() before re-entering the kernel.
-  Capture& cap_;
+  /// Dispatch callbacks run with the kernel's serial domain held (see class
+  /// comment); the control methods carry that structural fact into the
+  /// analysis before re-entering the kernel.
+  void assert_serial() const SCAP_ASSERT_CAPABILITY(k_.serial()) {}
+
+  kernel::ScapKernel& k_;
   kernel::Event& ev_;
   std::size_t pkt_cursor_ = 0;
   bool keep_requested_ = false;
@@ -162,19 +174,28 @@ class Capture {
     config_.defaults.policy = p;
   }
   void set_defragment(bool on) { config_.defragment_ip = on; }
+  /// Per-shard SPSC ring slots (sharded mode; rounded up to a power of
+  /// two). Also reachable as Parameter::kShardRingCapacity.
+  void set_shard_ring_capacity(std::size_t slots) {
+    ring_capacity_ = slots > 0 ? slots : 1;
+  }
 
   /// Turn on event tracing (DESIGN.md §10) with one fixed-capacity ring per
   /// core. Must be called before start(): the trace's conservation laws
-  /// require the tracer to see every packet. With SCAP_TRACE=OFF builds the
-  /// tracer still exists but the instrumentation sites compile to nothing,
-  /// so the rings stay empty.
+  /// require the tracer to see every packet. In sharded mode each shard
+  /// kernel gets its own single-ring tracer and the capture-level tracer
+  /// (tracer()) carries only the producer-side NIC events; stats() presents
+  /// the merged totals. With SCAP_TRACE=OFF builds the tracers still exist
+  /// but the instrumentation sites compile to nothing, so the rings stay
+  /// empty.
   void enable_tracing(std::size_t ring_capacity = 1 << 16);
 
-  /// The attached tracer, or nullptr. The pointee is SCAP_PT_GUARDED_BY
-  /// (kernel_mutex_): workers append to the per-core rings holding that
-  /// mutex, so in threaded mode dereference only after stop() has joined
-  /// them. The raw pointer returned here escapes the analysis — treat it
-  /// as borrowed under the same rule.
+  /// The capture-level tracer, or nullptr: the full per-core trace in
+  /// inline mode, the NIC-event trace in sharded mode (per-shard kernel
+  /// traces live on shards()->tracer(i)). The pointee is SCAP_PT_GUARDED_BY
+  /// (kernel_mutex_): the producer records NIC events holding that mutex,
+  /// so dereference only after stop(). The raw pointer returned here
+  /// escapes the analysis — treat it as borrowed under the same rule.
   trace::Tracer* tracer() const { return tracer_.get(); }
 
   // --- handlers --------------------------------------------------------------
@@ -198,51 +219,65 @@ class Capture {
   int add_application(const std::string& bpf_filter, AppHandlers handlers);
 
   // --- capture lifecycle ------------------------------------------------------
-  /// Instantiate NIC + kernel and (in threaded mode) start workers.
-  void start() SCAP_EXCLUDES(kernel_mutex_);
+  /// Instantiate NIC + kernel datapath and (in sharded mode) start the
+  /// per-shard workers.
+  void start() SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
-  /// Feed one packet (timestamp taken from the packet). Returns the NIC/
-  /// kernel outcome for instrumentation.
+  /// Feed one packet (timestamp taken from the packet). Inline mode returns
+  /// the NIC/kernel outcome for instrumentation; sharded mode hands the
+  /// packet to its shard's ring and returns a default outcome (processing
+  /// is asynchronous — totals land in stats()).
   kernel::PacketOutcome inject(const Packet& pkt)
-      SCAP_EXCLUDES(kernel_mutex_);
+      SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
-  /// Feed a batch of packets: each is received by the NIC in order, then the
-  /// kernel processes them per RSS queue through handle_batch (amortized
-  /// maintenance check + flow-lookup prefetch). Event callbacks run after
-  /// the whole batch in inline mode; FDIR filters installed while processing
-  /// a batch take effect from the next batch. Returns the aggregate outcome
-  /// (counters summed, verdict = last packet's).
+  /// Feed a batch of packets: each is received by the NIC in order, then
+  /// processed per RSS queue through handle_batch (amortized maintenance
+  /// check + flow-lookup prefetch) — inline mode batches per queue itself,
+  /// sharded mode lets each shard's ring/pop_batch do it. Event callbacks
+  /// run after the whole batch in inline mode; FDIR filters installed while
+  /// processing a batch take effect from a later batch. Returns the
+  /// aggregate outcome (inline; default-constructed when sharded).
   kernel::PacketOutcome inject_batch(std::span<const Packet> pkts)
-      SCAP_EXCLUDES(kernel_mutex_);
+      SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
   /// Replay a pcap file through the capture in inject_batch-sized batches.
   /// Returns packets injected.
   std::uint64_t replay_pcap(const std::string& path)
-      SCAP_EXCLUDES(kernel_mutex_);
+      SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
   /// Dispatch pending events on the calling thread. Inline mode only (in
-  /// threaded mode the workers dispatch; calling poll() while workers are
-  /// live is a hard error, asserted). Returns events dispatched.
+  /// sharded mode the workers dispatch as packets arrive; asserted).
+  /// Returns events dispatched.
   std::size_t poll() SCAP_EXCLUDES(kernel_mutex_);
 
   /// Flush all remaining streams, dispatch final events, join workers.
-  void stop() SCAP_EXCLUDES(kernel_mutex_);
+  void stop() SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
   /// Snapshot of kernel + NIC + dispatch counters. Safe to call from a
-  /// monitoring thread while workers are live (takes kernel_mutex_ in
-  /// threaded mode). Do not call from inside a dispatch callback in
-  /// threaded mode: the worker already holds the mutex, and the
-  /// SCAP_EXCLUDES annotation makes clang reject such a call path.
+  /// monitoring thread — and, in sharded mode, from inside a dispatch
+  /// callback on a worker — while the capture runs: the sharded path reads
+  /// the shards' post-batch snapshots and takes only kernel_mutex_ (bounded
+  /// producer critical sections) for the NIC counters.
   CaptureStats stats() const SCAP_EXCLUDES(kernel_mutex_);
+
+  /// Conservation suite over the whole datapath: the single kernel inline,
+  /// or every shard plus the shard-aggregated stats in sharded mode.
+  /// Returns "" when every law holds.
+  std::string check_invariants() SCAP_EXCLUDES(kernel_mutex_);
 
   /// Direct kernel/NIC access for single-threaded drivers (tests, benches,
   /// chaos_run). These assert the serialization capabilities rather than
-  /// take the lock — never call them while workers are live.
+  /// take the lock — never call them while workers are live. kernel() is
+  /// inline-mode only (sharded captures have one kernel per shard: use
+  /// shards()).
   kernel::ScapKernel& kernel() {
     assert_serialized();
     return *kernel_;
   }
   bool has_kernel() const { return kernel_ != nullptr; }
+  /// The sharded datapath, or nullptr in inline mode / before start().
+  /// KernelShards is internally synchronized; see its own locking notes.
+  kernel::KernelShards* shards() { return shards_.get(); }
   nic::Nic& nic() {
     assert_serialized();
     return *nic_;
@@ -254,51 +289,66 @@ class Capture {
  private:
   friend class StreamView;
 
-  /// Claim kernel_mutex_ and the kernel's serial domain structurally: in
-  /// inline mode a single thread does all processing, and after stop() the
-  /// workers are joined. Zero runtime cost — the assertion exists for the
-  /// thread-safety analysis. Threaded-mode code paths must take the real
-  /// MutexLock + SerialGuard instead.
+  /// Claim kernel_mutex_ and the inline kernel's serial domain
+  /// structurally: in inline mode a single thread does all processing.
+  /// Zero runtime cost — the assertion exists for the thread-safety
+  /// analysis. Sharded-mode code paths take the real locks instead.
   void assert_serialized() const
       SCAP_ASSERT_CAPABILITY(kernel_mutex_, kernel_->serial()) {}
 
-  void dispatch_event(kernel::Event& ev, int core)
-      SCAP_REQUIRES(kernel_mutex_, kernel_->serial());
+  /// Dispatch one event from kernel `k`, recording kEventDispatched on
+  /// `tracer` ring `trace_core` when tracing. Runs the user handlers, then
+  /// returns the chunk accounting to `k`. Inline mode passes the capture
+  /// kernel and tracer; the sharded drain hook passes the shard's.
+  void dispatch_event_on(kernel::ScapKernel& k, trace::Tracer* tracer,
+                         int trace_core, kernel::Event& ev)
+      SCAP_REQUIRES(k.serial());
   void drain_core_inline(int core)
       SCAP_REQUIRES(kernel_mutex_, kernel_->serial());
   /// Counter snapshot under the capability; takes the kernel's SerialGuard
-  /// internally once it knows kernel_ is non-null.
+  /// internally once it knows kernel_ is non-null. Inline mode only.
   CaptureStats stats_locked() const SCAP_REQUIRES(kernel_mutex_);
-  void worker_main(int core, std::stop_token st)
-      SCAP_EXCLUDES(kernel_mutex_);
-  void wake_worker(int core);
+  /// Sharded producer: push in-band maintenance markers for every
+  /// expiry_interval boundary crossed up to `now` (before the packets that
+  /// carry those timestamps — the ordering that makes shard expiry equal a
+  /// single-core replay), and service the FDIR command queue + hardware
+  /// filter expiry at the same cadence.
+  void advance_ticks(Timestamp now)
+      SCAP_REQUIRES(producer_mutex_, shards_->producer());
 
   std::string device_;
   kernel::KernelConfig config_;
   int worker_threads_ = 0;   // immutable once start() ran (branch selector)
   bool started_ = false;     // driver-thread only
-  Timestamp last_ts_;
+  Timestamp last_ts_;        // driver/producer thread only
 
   StreamHandler on_created_;
   StreamHandler on_data_;
   StreamHandler on_terminated_;
   std::vector<AppHandlers> apps_;
 
-  // The pointees are shared with workers; the pointers themselves are
-  // written once in start() (before any worker exists) and cleared only
-  // after they are joined, so reading the pointer is always safe while
-  // every dereference needs kernel_mutex_.
+  // The pointees are shared across threads in sharded mode; the pointers
+  // themselves are written once in start() (before any worker exists) and
+  // cleared never, so reading the pointer is always safe while every
+  // dereference needs kernel_mutex_.
   std::unique_ptr<nic::Nic> nic_ SCAP_PT_GUARDED_BY(kernel_mutex_);
   std::unique_ptr<kernel::ScapKernel> kernel_ SCAP_PT_GUARDED_BY(kernel_mutex_);
   std::unique_ptr<trace::Tracer> tracer_ SCAP_PT_GUARDED_BY(kernel_mutex_);
   std::size_t trace_capacity_ = 0;  // 0 = tracing off
-  std::vector<std::vector<Packet>> batch_buckets_;  // per-queue RSS buckets
+  std::size_t ring_capacity_ = 4096;  // per-shard SPSC ring slots
+  std::vector<std::vector<Packet>> batch_buckets_;  // inline per-queue buckets
 
-  // Threaded mode machinery.
-  mutable base::Mutex kernel_mutex_;
-  std::vector<std::jthread> workers_;
-  std::vector<std::unique_ptr<base::CondVar>> wakeups_;
-  std::uint64_t events_dispatched_ SCAP_GUARDED_BY(kernel_mutex_) = 0;
+  // Sharded-mode machinery. shards_ is written once in start() and is
+  // internally synchronized (per-shard locks + snapshots), so it carries no
+  // guard annotation; the producer-only entry points require its
+  // SerialDomain, which producer_mutex_ backs.
+  std::unique_ptr<kernel::KernelShards> shards_;
+  mutable base::Mutex producer_mutex_;  // outer; never taken under kernel_mutex_
+  mutable base::Mutex kernel_mutex_;    // inner; NIC + capture tracer
+  Timestamp last_tick_ SCAP_GUARDED_BY(producer_mutex_);
+  bool ticks_started_ SCAP_GUARDED_BY(producer_mutex_) = false;
+  std::vector<int> rx_queues_ SCAP_GUARDED_BY(producer_mutex_);
+  std::atomic<std::uint64_t> events_dispatched_{0};
 };
 
 }  // namespace scap

@@ -54,6 +54,10 @@ constexpr int SCAP_PARAM_PRIORITY_LEVELS = 6;
 // the EWMA/hysteresis controller with that starting cutoff; 0 disables.
 constexpr int SCAP_PARAM_ADAPTIVE_CUTOFF = 7;
 constexpr int SCAP_PARAM_ADAPTIVE_MIN_CUTOFF = 8;
+// Multi-core sharded datapath (DESIGN.md §12), pre-start only: worker
+// count (0 = inline dispatch) and per-shard SPSC ring slots.
+constexpr int SCAP_PARAM_WORKERS = 9;
+constexpr int SCAP_PARAM_RING_CAPACITY = 10;
 
 // Stream status values (scap_stream_status).
 constexpr int SCAP_STREAM_ACTIVE = 0;

@@ -1,0 +1,92 @@
+// Good twin for rule spsc-discipline: every single-threaded queue end is
+// reached either from a function annotated with the owning SerialDomain
+// capability or after entering the domain with a SerialGuard. Zero
+// findings.
+#define SCAP_CAPABILITY(x) __attribute__((capability(x)))
+#define SCAP_REQUIRES(...) \
+  __attribute__((requires_capability(__VA_ARGS__)))
+#define SCAP_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+
+namespace scap {
+
+class SCAP_CAPABILITY("serial domain") SerialDomain {};
+
+class SCAP_SCOPED_CAPABILITY SerialGuard {
+ public:
+  explicit SerialGuard(SerialDomain&) {}
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  bool try_push(const T& v) SCAP_REQUIRES(producer_) {
+    slot_ = v;
+    return true;
+  }
+  bool try_pop(T& out) SCAP_REQUIRES(consumer_) {
+    out = slot_;
+    return true;
+  }
+  int pop_batch(T* out, int n) SCAP_REQUIRES(consumer_) {
+    out[0] = slot_;
+    return n > 0 ? 1 : 0;
+  }
+  SerialDomain& producer() { return producer_; }
+  SerialDomain& consumer() { return consumer_; }
+
+ private:
+  SerialDomain producer_;
+  SerialDomain consumer_;
+  T slot_{};
+};
+
+template <typename T>
+class MpscQueue {
+ public:
+  bool try_push(const T& v) {  // multi-producer: any thread may call
+    slot_ = v;
+    return true;
+  }
+  bool try_pop(T& out) SCAP_REQUIRES(consumer_) {
+    out = slot_;
+    return true;
+  }
+  SerialDomain& consumer() { return consumer_; }
+
+ private:
+  SerialDomain consumer_;
+  T slot_{};
+};
+
+// Evidence form 1: the function itself declares the capability.
+void annotated_produce(SpscRing<int>& ring, SerialDomain& producer)
+    SCAP_REQUIRES(producer) {
+  ring.try_push(42);
+}
+
+// Evidence form 2: the function enters the domain with a SerialGuard.
+void guarded_consume(SpscRing<int>& ring) {
+  SerialGuard serial(ring.consumer());
+  int v;
+  ring.try_pop(v);
+}
+
+class Worker {
+ public:
+  void drain(SpscRing<int>& ring) {
+    SerialGuard serial(ring.consumer());
+    int buf[8];
+    ring.pop_batch(buf, 8);
+  }
+  void service(MpscQueue<int>& q) {
+    SerialGuard serial(q.consumer());
+    int v;
+    q.try_pop(v);
+  }
+};
+
+void enqueue_command(MpscQueue<int>& q) {
+  q.try_push(7);  // MPSC producer side needs no domain
+}
+
+}  // namespace scap

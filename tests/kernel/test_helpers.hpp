@@ -51,12 +51,17 @@ class KernelInvariantGuard {
 
 /// Same for capture-level tests (templated so this kernel-layer header
 /// does not depend on scap/capture.hpp). Declare after cap.start() — the
-/// capture owns its kernel only once started.
+/// capture owns its kernel(s) only once started. Uses the capture's own
+/// check_invariants() so the same guard covers inline captures and
+/// sharded ones (every shard plus the aggregate).
 template <typename CaptureT>
 class CaptureInvariantGuard {
  public:
   explicit CaptureInvariantGuard(CaptureT& cap) : cap_(cap) {}
-  ~CaptureInvariantGuard() { expect_invariants_hold(cap_.kernel()); }
+  ~CaptureInvariantGuard() {
+    EXPECT_EQ(cap_.check_invariants(), "")
+        << "conservation violated at teardown";
+  }
   CaptureInvariantGuard(const CaptureInvariantGuard&) = delete;
   CaptureInvariantGuard& operator=(const CaptureInvariantGuard&) = delete;
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "packet/craft.hpp"
 
 namespace scap::nic {
@@ -15,6 +17,35 @@ TEST(RssEngine, SymmetricKeyMapsBothDirectionsToSameQueue) {
                   static_cast<std::uint16_t>(80 + (i % 3)), kProtoTcp};
     EXPECT_EQ(rss.queue_for(fwd), rss.queue_for(fwd.reversed()))
         << "asymmetric mapping at i=" << i;
+  }
+}
+
+// Property test for the canonicalized 4-tuple: both directions of 10k
+// random flows map to the same queue for every queue count 1-8, and with
+// an arbitrary (non-symmetric) key — the symmetry must come from the
+// canonicalization, not from a specially crafted key. This is the flow
+// affinity the sharded kernel relies on: a flow's two directions must
+// never land on different shards.
+TEST(RssEngine, BothDirectionsSameQueueForEveryQueueCount) {
+  std::mt19937 rng(0x5ca9u);
+  std::uniform_int_distribution<std::uint32_t> ip;
+  std::uniform_int_distribution<std::uint16_t> port;
+  std::vector<FiveTuple> flows;
+  flows.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    flows.push_back({ip(rng), ip(rng), port(rng), port(rng),
+                     (i % 2) ? kProtoTcp : kProtoUdp});
+  }
+  for (int queues = 1; queues <= 8; ++queues) {
+    RssEngine symmetric(symmetric_rss_key(), queues);
+    RssEngine arbitrary(default_rss_key(), queues);
+    for (const FiveTuple& fwd : flows) {
+      const FiveTuple rev = fwd.reversed();
+      ASSERT_EQ(symmetric.queue_for(fwd), symmetric.queue_for(rev))
+          << "symmetric key, queues=" << queues;
+      ASSERT_EQ(arbitrary.queue_for(fwd), arbitrary.queue_for(rev))
+          << "arbitrary key, queues=" << queues;
+    }
   }
 }
 

@@ -159,6 +159,11 @@ TEST_F(CApiTest, ParameterAndFilterValidation) {
   EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_CHUNK_SIZE, 4096), 0);
   EXPECT_EQ(scap_set_worker_threads(sc, -1), -1);
   EXPECT_EQ(scap_set_worker_threads(sc, 4), 0);
+  EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_WORKERS, 2), 0);
+  EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_WORKERS, -1), -1);
+  EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_RING_CAPACITY, 1024), 0);
+  EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_RING_CAPACITY, 0), -1);
+  EXPECT_EQ(scap_set_parameter(sc, SCAP_PARAM_WORKERS, 0), 0);
   EXPECT_EQ(scap_add_cutoff_direction(sc, 100, SCAP_DIR_ORIG), 0);
   EXPECT_EQ(scap_add_cutoff_direction(sc, 100, 7), -1);
   EXPECT_EQ(scap_add_cutoff_class(sc, 100, "port 80"), 0);

@@ -168,7 +168,12 @@ TEST(CaptureFeatures, ThreadedStressDeliversAllBytes) {
 
   EXPECT_EQ(bytes.load(), trace.total_payload_bytes);
   EXPECT_GT(closed.load(), 0);
-  EXPECT_EQ(cap.kernel().allocator().used(), 0u);
+  // Workers are joined after stop(): every shard's allocator must balance.
+  kernel::KernelShards& shards = *cap.shards();
+  for (int i = 0; i < shards.num_shards(); ++i) {
+    base::SerialGuard serial(shards.kernel(i).serial());
+    EXPECT_EQ(shards.kernel(i).allocator().used(), 0u);
+  }
 }
 
 }  // namespace

@@ -78,17 +78,20 @@ TEST(ConcurrencySmoke, ProducerWorkersAndStatsPoller) {
   EXPECT_GT(terminated.load(), 0u);
 
   // Nothing raced its way out of the books: the conservation suite still
-  // balances and every emitted event was dispatched exactly once.
-  EXPECT_EQ(cap.kernel().check_invariants(), "");
+  // balances on every shard and on the aggregate, and every emitted event
+  // was dispatched exactly once.
+  EXPECT_EQ(cap.check_invariants(), "");
   const CaptureStats s = cap.stats();
   EXPECT_EQ(s.events_dispatched, s.kernel.events_emitted);
   EXPECT_EQ(s.kernel.pkts_seen + s.nic_dropped_by_filter, kPackets);
 }
 
-// Same producer/worker storm with tracing attached: all recording happens
-// under kernel_mutex_, so the per-core rings must come out of the run
-// uncorrupted (TSan checks the locking; this checks the contents).
-TEST(ConcurrencySmoke, TracedWorkersKeepPerCoreRingsConsistent) {
+// Same producer/worker storm with tracing attached: each shard kernel
+// records into its own single-ring tracer on its worker thread, the
+// producer records NIC events into the capture-level tracer, and stats()
+// presents the merged totals (TSan checks the locking; this checks the
+// contents).
+TEST(ConcurrencySmoke, TracedWorkersKeepPerShardRingsConsistent) {
   Capture cap("tsan1", 512 * 1024, kernel::ReassemblyMode::kTcpFast,
               /*need_pkts=*/false);
   cap.set_worker_threads(2);
@@ -119,47 +122,59 @@ TEST(ConcurrencySmoke, TracedWorkersKeepPerCoreRingsConsistent) {
   producer.join();
   cap.stop();
 
-  EXPECT_EQ(cap.kernel().check_invariants(), "");
-  const trace::Tracer& tracer = *cap.tracer();
+  EXPECT_EQ(cap.check_invariants(), "");
   const CaptureStats s = cap.stats();
+  kernel::KernelShards& shards = *cap.shards();
 
 #if defined(SCAP_ENABLE_TRACE)
-  // Events landed in the ring of the core that recorded them, with sane
-  // types, and per-ring packet-verdict timestamps never run backwards
-  // (each queue's packets are processed in capture order).
+  // Workers are joined: direct shard-tracer access is safe. Events landed
+  // in the ring of the shard kernel that recorded them (each records as
+  // its own core 0), with sane types, and per-ring packet-verdict
+  // timestamps never run backwards (each shard's packets are processed in
+  // capture order).
+  using trace::TraceEventType;
   std::uint64_t retained = 0;
-  for (std::size_t core = 0; core < tracer.cores(); ++core) {
-    const trace::TraceRing& ring = tracer.ring(core);
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t verdicts = 0, created = 0, terminated_ev = 0, chunks = 0;
+  std::uint64_t dispatched = 0;
+  for (int shard = 0; shard < shards.num_shards(); ++shard) {
+    const trace::Tracer& tracer = *shards.tracer(shard);
+    ASSERT_EQ(tracer.cores(), 1u);
+    const trace::TraceRing& ring = tracer.ring(0);
     retained += ring.size();
+    recorded += tracer.recorded();
+    dropped += tracer.dropped();
+    verdicts += tracer.recorded_of(TraceEventType::kPacketVerdict);
+    created += tracer.recorded_of(TraceEventType::kStreamCreated);
+    terminated_ev += tracer.recorded_of(TraceEventType::kStreamTerminated);
+    chunks += tracer.recorded_of(TraceEventType::kChunkDelivered);
+    dispatched += tracer.recorded_of(TraceEventType::kEventDispatched);
     std::int64_t last_verdict_ts = -1;
     for (std::size_t i = 0; i < ring.size(); ++i) {
       const trace::TraceEvent& ev = ring.at(i);
       ASSERT_LT(static_cast<std::size_t>(ev.type),
                 trace::kNumTraceEventTypes);
-      EXPECT_EQ(ev.core, core);
-      if (ev.type == trace::TraceEventType::kPacketVerdict) {
+      EXPECT_EQ(ev.core, 0u);
+      if (ev.type == TraceEventType::kPacketVerdict) {
         EXPECT_GE(ev.ts_ns, last_verdict_ts);
         last_verdict_ts = ev.ts_ns;
       }
     }
   }
-  EXPECT_EQ(retained + tracer.dropped(), tracer.recorded());
-  EXPECT_EQ(s.trace_events_recorded, tracer.recorded());
+  EXPECT_EQ(retained + dropped, recorded);
+  // The merged stats view = shard tracers + the producer's NIC tracer.
+  const trace::Tracer& nic_tracer = *cap.tracer();
+  EXPECT_EQ(s.trace_events_recorded, recorded + nic_tracer.recorded());
 
   // Count laws survive the thundering herd (wrap-independent counters).
-  using trace::TraceEventType;
-  EXPECT_EQ(tracer.recorded_of(TraceEventType::kPacketVerdict),
-            s.kernel.pkts_seen);
-  EXPECT_EQ(tracer.recorded_of(TraceEventType::kStreamCreated),
-            s.kernel.streams_created);
-  EXPECT_EQ(tracer.recorded_of(TraceEventType::kStreamTerminated),
-            s.kernel.streams_terminated);
-  EXPECT_EQ(tracer.recorded_of(TraceEventType::kChunkDelivered),
-            s.kernel.chunks_delivered);
-  EXPECT_EQ(tracer.recorded_of(TraceEventType::kEventDispatched),
-            s.events_dispatched);
+  EXPECT_EQ(verdicts, s.kernel.pkts_seen);
+  EXPECT_EQ(created, s.kernel.streams_created);
+  EXPECT_EQ(terminated_ev, s.kernel.streams_terminated);
+  EXPECT_EQ(chunks, s.kernel.chunks_delivered);
+  EXPECT_EQ(dispatched, s.events_dispatched);
 #else
-  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(cap.tracer()->recorded(), 0u);
   EXPECT_EQ(s.trace_events_recorded, 0u);
 #endif
 }

@@ -15,14 +15,28 @@
 //     balance, PPL monotonicity) is evaluated every 1000 packets and after
 //     the final flush; any violation fails the run
 //
-// Usage: chaos_run [--seed S] [--packets N] [--check-reproducible]
-//                  [--check-invariants] [--trace-out FILE]
+// With --workers N the same storm runs through the sharded datapath
+// (KernelShards, DESIGN.md §12): conservation is then checked per shard and
+// on the shard-aggregated stats. Fault injection stays off in that mode —
+// the FaultScope global is not worker-safe — so sharded runs exercise
+// concurrency, not allocator faults. Note that sharded runs with FDIR are
+// not bit-reproducible: a worker's install command reaches the NIC when
+// the producer next services the queue, so the set of hardware-dropped
+// packets races the packet stream exactly as on real hardware.
+// --check-reproducible is therefore an inline-mode gate (the sharded
+// equivalent — scheduling-independence with FDIR off — is proved by
+// tests/scap/shard_conservation_test.cpp).
+//
+// Usage: chaos_run [--seed S] [--packets N] [--workers N]
+//                  [--check-reproducible] [--check-invariants]
+//                  [--trace-out FILE]
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "faultinject/adversary.hpp"
@@ -47,6 +61,7 @@ using scap::kernel::KernelStats;
 struct Options {
   std::uint64_t seed = 1;
   std::uint64_t packets = 20000;
+  int workers = 0;  // 0 = inline; N = sharded datapath with N workers
   bool check_reproducible = false;
   bool check_invariants = false;
   std::string trace_out;  // write the binary trace here (empty = don't)
@@ -69,6 +84,7 @@ std::string run_once(const Options& opt, bool& ok) {
   Capture cap("chaos0", 80 * 1024,
               scap::kernel::ReassemblyMode::kTcpStrict,
               /*need_pkts=*/false);
+  cap.set_worker_threads(opt.workers);
   cap.set_use_fdir(true);
   cap.set_defragment(true);
   // Cutoffs trip after two chunks -> FDIR installs (and their injected
@@ -115,11 +131,16 @@ std::string run_once(const Options& opt, bool& ok) {
   cap.enable_tracing(1 << 14);
   cap.start();
   {
-    FaultScope scope(injector);
+    // Fault injection only in inline mode: the FaultScope global is not
+    // worker-safe (see header comment).
+    std::optional<FaultScope> scope;
+    if (opt.workers == 0) scope.emplace(injector);
     for (std::uint64_t i = 0; i < opt.packets; ++i) {
       cap.inject(gen.next());
       if (opt.check_invariants && (i + 1) % 1000 == 0) {
-        const std::string v = cap.kernel().check_invariants();
+        // In sharded mode this locks each shard at a batch boundary and
+        // additionally checks conservation on the aggregated stats.
+        const std::string v = cap.check_invariants();
         if (!v.empty()) {
           std::fprintf(stderr,
                        "INVARIANT VIOLATION after %" PRIu64 " packets: %s\n",
@@ -131,7 +152,7 @@ std::string run_once(const Options& opt, bool& ok) {
     cap.stop();  // flush inside the scope: teardown paths get faults too
   }
   if (opt.check_invariants) {
-    const std::string v = cap.kernel().check_invariants();
+    const std::string v = cap.check_invariants();
     if (!v.empty()) {
       std::fprintf(stderr, "INVARIANT VIOLATION after flush: %s\n", v.c_str());
       ok = false;
@@ -232,12 +253,24 @@ std::string run_once(const Options& opt, bool& ok) {
   const scap::trace::Tracer* tracer = cap.tracer();
   append(report, "trace_events_recorded", stats.trace_events_recorded);
   append(report, "trace_events_dropped", stats.trace_events_dropped);
+  // Per-type counts across every tracer: the capture-level one plus, in
+  // sharded mode, each shard kernel's (workers are joined after stop(), so
+  // direct access is safe).
+  const auto recorded_of = [&cap, tracer](scap::trace::TraceEventType t) {
+    std::uint64_t n = tracer != nullptr ? tracer->recorded_of(t) : 0;
+    if (cap.shards() != nullptr) {
+      for (int i = 0; i < cap.shards()->num_shards(); ++i) {
+        const scap::trace::Tracer* st = cap.shards()->tracer(i);
+        if (st != nullptr) n += st->recorded_of(t);
+      }
+    }
+    return n;
+  };
   for (std::size_t i = 0; i < scap::trace::kNumTraceEventTypes; ++i) {
     const auto t = static_cast<scap::trace::TraceEventType>(i);
     std::string key = "trace.";
     key += scap::trace::to_string(t);
-    append(report, key.c_str(),
-           tracer != nullptr ? tracer->recorded_of(t) : 0);
+    append(report, key.c_str(), recorded_of(t));
   }
   const struct {
     const char* name;
@@ -306,6 +339,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
       opt.packets = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      opt.workers = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
     } else if (std::strcmp(argv[i], "--check-reproducible") == 0) {
       opt.check_reproducible = true;
     } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
@@ -314,7 +349,7 @@ int main(int argc, char** argv) {
       opt.trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: chaos_run [--seed S] [--packets N] "
+                   "usage: chaos_run [--seed S] [--packets N] [--workers N] "
                    "[--check-reproducible] [--check-invariants] "
                    "[--trace-out FILE]\n");
       return 2;

@@ -42,9 +42,21 @@ mutex-discipline
 
 guard-coverage
     The pinned capability table below must hold: the named fields of
-    Capture and ScapKernel carry their SCAP_GUARDED_BY /
+    Capture, ScapKernel and KernelShards carry their SCAP_GUARDED_BY /
     SCAP_PT_GUARDED_BY annotations. Deleting a single annotation (or
     renaming a guarded field without updating the table) is a finding.
+
+spsc-discipline
+    Calls to the single-threaded ends of the lock-free queues —
+    SpscRing::try_push (producer), SpscRing::try_pop / pop_batch
+    (consumer), MpscQueue::try_pop (consumer) — are only legal from code
+    that provably holds the corresponding SerialDomain: the enclosing
+    function must either declare SCAP_REQUIRES / SCAP_ASSERT_CAPABILITY
+    on a serial domain or enter one with a base::SerialGuard in its body.
+    MpscQueue::try_push is exempt (multi-producer by design). Structural,
+    not flow-sensitive: it pins the discipline the thread-safety analysis
+    enforces precisely, so a raw call from unannotated code is caught
+    even in builds without -Wthread-safety.
 
 Waivers share scap_lint.py syntax: `// scap-lint: allow(<rule>) <reason>`
 on the offending line or the line above. In --fixtures mode, waivers
@@ -59,6 +71,7 @@ Exit status: 0 clean, 1 findings, 2 error, 77 libclang unavailable (skip).
 import argparse
 import json
 import os
+import re
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -73,6 +86,7 @@ RULES = [
     "counter-mirror",
     "mutex-discipline",
     "guard-coverage",
+    "spsc-discipline",
 ]
 
 # Enums whose switches must stay exhaustive (qualified names).
@@ -89,20 +103,41 @@ REQUIRED_GUARDS = {
         "nic_": "SCAP_PT_GUARDED_BY",
         "kernel_": "SCAP_PT_GUARDED_BY",
         "tracer_": "SCAP_PT_GUARDED_BY",
-        "events_dispatched_": "SCAP_GUARDED_BY",
+        # events_dispatched_ became a plain atomic in the sharded rework
+        # (workers bump it outside any lock); the producer-side tick state
+        # is pinned to the producer mutex instead.
+        "last_tick_": "SCAP_GUARDED_BY",
+        "rx_queues_": "SCAP_GUARDED_BY",
     },
     "scap::kernel::ScapKernel": {
         "nic_": "SCAP_PT_GUARDED_BY",
         "tracer_": "SCAP_PT_GUARDED_BY",
     },
+    "scap::kernel::KernelShards": {
+        "pushed_": "SCAP_GUARDED_BY",
+    },
+    "scap::kernel::KernelShards::Shard": {
+        "snapshot": "SCAP_GUARDED_BY",
+    },
 }
+
+# spsc-discipline: method -> which end of the queue it is. MpscQueue's
+# try_push is deliberately absent (any thread may produce into an MPSC
+# queue); everything listed requires serial-domain evidence.
+SPSC_METHODS = {
+    ("SpscRing", "try_push"),
+    ("SpscRing", "try_pop"),
+    ("SpscRing", "pop_batch"),
+    ("MpscQueue", "try_pop"),
+}
+SPSC_EVIDENCE_RE = re.compile(
+    r"\bSCAP_REQUIRES\b|\bSCAP_ASSERT_CAPABILITY\b"
+    r"|\brequires_capability\b|\bassert_capability\b")
 
 # Functions whose very mention is nondeterminism (global/C scope only).
 NONDET_FUNCS = {"rand", "srand", "gettimeofday", "clock_gettime", "time"}
 
 # Type spellings (canonical, so typedefs/auto are seen through).
-import re
-
 NONDET_TYPE_RE = re.compile(
     r"\bstd::(random_device|mt19937(_64)?|default_random_engine)\b"
     r"|\bstd::chrono::(system_clock|steady_clock|high_resolution_clock)\b")
@@ -414,9 +449,61 @@ class Analyzer:
                          f"{macro}(...) — see the capability table in "
                          "DESIGN.md §11")
 
+    def check_spsc(self, cursor, abspath, enclosing_fn):
+        if cursor.kind != self.ck.CALL_EXPR:
+            return
+        ref = cursor.referenced
+        if ref is None:
+            return
+        cls = ref.semantic_parent
+        if cls is None or (cls.spelling, ref.spelling) not in SPSC_METHODS:
+            return
+        if not self.fixture_mode and \
+                self.rel(abspath) == "src/base/ring.hpp":
+            return  # the queue implementation is its own serial context
+        end = "producer" if ref.spelling == "try_push" else "consumer"
+        line = cursor.location.line
+        if enclosing_fn is None:
+            self.add(abspath, line, "spsc-discipline",
+                     f"{cls.spelling}::{ref.spelling}() outside any "
+                     "function — the SPSC " + end + " end needs a "
+                     "SerialDomain")
+            return
+        if not self._fn_has_serial_evidence(enclosing_fn):
+            self.add(abspath, line, "spsc-discipline",
+                     f"{cls.spelling}::{ref.spelling}() from a function "
+                     "with no serial-domain evidence — annotate it "
+                     "SCAP_REQUIRES(<" + end + " domain>) or enter the "
+                     "domain with a base::SerialGuard in its body")
+
+    def _fn_has_serial_evidence(self, fn):
+        """True when `fn` declares a serial-domain capability (SCAP_REQUIRES
+        / SCAP_ASSERT_CAPABILITY, or the raw clang attributes) or takes a
+        base::SerialGuard somewhere in its body."""
+        loc = fn.location
+        if loc.file is None:
+            return False
+        text = self.text(os.path.abspath(loc.file.name))
+        start = fn.extent.start.offset
+        end = fn.extent.end.offset
+        body_start = end
+        for ch in fn.get_children():
+            if ch.kind == self.ck.COMPOUND_STMT:
+                body_start = ch.extent.start.offset
+        if SPSC_EVIDENCE_RE.search(text[start:body_start]):
+            return True
+        return "SerialGuard" in text[body_start:end]
+
     # --- driver ------------------------------------------------------------
 
-    def walk(self, cursor):
+    def _is_function(self, cursor):
+        return cursor.kind in (self.ck.FUNCTION_DECL, self.ck.CXX_METHOD,
+                               self.ck.CONSTRUCTOR, self.ck.DESTRUCTOR,
+                               self.ck.CONVERSION_FUNCTION,
+                               self.ck.FUNCTION_TEMPLATE,
+                               self.ck.LAMBDA_EXPR)
+
+    def walk(self, cursor, enclosing_fn=None):
         abspath = self.in_scope(cursor)
         if abspath is not None:
             self.check_alloc(cursor, abspath)
@@ -427,8 +514,11 @@ class Analyzer:
             self.note_counter_decls(cursor, abspath)
             self.note_member_refs(cursor, abspath)
             self.check_guards(cursor, abspath)
+            self.check_spsc(cursor, abspath, enclosing_fn)
+        if self._is_function(cursor):
+            enclosing_fn = cursor
         for ch in cursor.get_children():
-            self.walk(ch)
+            self.walk(ch, enclosing_fn)
 
     def finish_counter_mirror(self):
         """Cross-file half of counter-mirror, after every TU was walked."""
