@@ -171,6 +171,17 @@ class SpscRing {
     return n;
   }
 
+  /// Producer-exact occupancy: refreshes the producer's cached head so the
+  /// result is never an overestimate from the producer's point of view (the
+  /// consumer can only shrink it concurrently). This is what watermark
+  /// admission keys on — a stale-high reading would shed packets the ring
+  /// could in fact hold.
+  std::size_t size_from_producer() SCAP_REQUIRES(producer_) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    cached_head_ = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - cached_head_);
+  }
+
   /// Racy size estimate (monitoring only; exact from either endpoint's own
   /// side of the queue).
   std::size_t size_approx() const {

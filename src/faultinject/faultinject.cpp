@@ -12,6 +12,8 @@ const char* to_string(FaultPoint p) {
     case FaultPoint::kChunkAlloc: return "chunk_alloc";
     case FaultPoint::kSegmentStoreInsert: return "segment_store_insert";
     case FaultPoint::kFdirAdd: return "fdir_add";
+    case FaultPoint::kRingPush: return "ring_push";
+    case FaultPoint::kWorkerStall: return "worker_stall";
     case FaultPoint::kCount: break;
   }
   return "unknown";
@@ -35,13 +37,48 @@ FaultInjector::FaultInjector(const InjectionPlan& plan) : plan_(plan) {
 bool FaultInjector::roll(FaultPoint p) {
   PointState& st = state_[static_cast<std::size_t>(p)];
   const InjectionPlan::Point& cfg = plan_.at(p);
-  ++st.calls;
+  const std::uint64_t call =
+      st.calls.fetch_add(1, std::memory_order_relaxed) + 1;
   bool fail = false;
-  if (cfg.every_n != 0 && st.calls % cfg.every_n == 0) fail = true;
+  if (cfg.every_n != 0 && call % cfg.every_n == 0) fail = true;
   // Always draw when a probability is configured so the decision for call k
   // does not depend on every_n hits before it.
   if (cfg.probability > 0.0 && st.rng.chance(cfg.probability)) fail = true;
-  if (fail) ++st.injected;
+  if (fail) st.injected.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+namespace {
+// splitmix64 finalizer: keyed decisions hash (seed, point, key, ordinal)
+// so they are independent of call interleaving across threads.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+bool FaultInjector::roll_keyed(FaultPoint p, std::uint64_t key,
+                               std::uint64_t ordinal) {
+  PointState& st = state_[static_cast<std::size_t>(p)];
+  const InjectionPlan::Point& cfg = plan_.at(p);
+  st.calls.fetch_add(1, std::memory_order_relaxed);
+  if (cfg.only_key >= 0 && key != static_cast<std::uint64_t>(cfg.only_key)) {
+    return false;
+  }
+  bool fail = false;
+  if (cfg.every_n != 0 && ordinal % cfg.every_n == 0) fail = true;
+  if (cfg.probability > 0.0) {
+    std::uint64_t h = mix64(plan_.seed);
+    h = mix64(h ^ (static_cast<std::uint64_t>(p) + 1));
+    h = mix64(h ^ key);
+    h = mix64(h ^ ordinal);
+    const double draw =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+    if (draw < cfg.probability) fail = true;
+  }
+  if (fail) st.injected.fetch_add(1, std::memory_order_relaxed);
   return fail;
 }
 

@@ -11,6 +11,8 @@
 //   kChunkAlloc         — chunk-buffer block reservation (kernel/memory)
 //   kSegmentStoreInsert — out-of-order/fragment buffering (reassembly, defrag)
 //   kFdirAdd            — NIC filter-table installation (nic/fdir)
+//   kRingPush           — sharded-ring admission (kernel/shard, forces a shed)
+//   kWorkerStall        — shard worker parks before consuming (watchdog prey)
 //
 // Sites consult `should_fail(point)`; with no injector installed that is a
 // single predictable-branch null check, so production paths pay nothing.
@@ -24,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "base/rng.hpp"
@@ -35,6 +38,8 @@ enum class FaultPoint : std::uint8_t {
   kChunkAlloc,
   kSegmentStoreInsert,
   kFdirAdd,
+  kRingPush,
+  kWorkerStall,
   kCount,
 };
 
@@ -49,8 +54,11 @@ struct InjectionPlan {
     /// Independent per-call failure probability (0 disables).
     double probability = 0.0;
     /// Fail every Nth call to the point, 1-based (0 disables). Combines
-    /// with `probability` by OR.
+    /// with `probability` by OR. Keyed sites count per-key ordinals.
     std::uint64_t every_n = 0;
+    /// Keyed sites only: restrict injection to one key (e.g. one shard).
+    /// -1 (the default) injects at any key. Unkeyed `roll` ignores this.
+    std::int64_t only_key = -1;
   };
 
   std::uint64_t seed = 1;
@@ -70,14 +78,25 @@ class FaultInjector {
   explicit FaultInjector(const InjectionPlan& plan);
 
   /// Decide whether the `calls()`-th invocation of `p` fails. Deterministic
-  /// in (plan.seed, point, per-point call ordinal).
+  /// in (plan.seed, point, per-point call ordinal). Single-threaded sites
+  /// only: the per-point rng stream is not synchronized.
   bool roll(FaultPoint p);
 
+  /// Stateless keyed decision for sites reached from multiple threads
+  /// (sharded-datapath points). The verdict is a pure function of
+  /// (plan.seed, point, key, ordinal) — typically (shard, per-shard call
+  /// ordinal, 1-based) — so it is identical no matter how producer and
+  /// worker calls interleave. `every_n` matches ordinal % every_n == 0;
+  /// `probability` hashes (seed, point, key, ordinal) into [0,1).
+  bool roll_keyed(FaultPoint p, std::uint64_t key, std::uint64_t ordinal);
+
   std::uint64_t calls(FaultPoint p) const {
-    return state_[static_cast<std::size_t>(p)].calls;
+    return state_[static_cast<std::size_t>(p)].calls.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t injected(FaultPoint p) const {
-    return state_[static_cast<std::size_t>(p)].injected;
+    return state_[static_cast<std::size_t>(p)].injected.load(
+        std::memory_order_relaxed);
   }
   std::uint64_t injected_total() const;
 
@@ -86,8 +105,10 @@ class FaultInjector {
  private:
   struct PointState {
     Rng rng;
-    std::uint64_t calls = 0;
-    std::uint64_t injected = 0;
+    // Atomic so keyed (multi-thread) sites can count alongside the
+    // single-threaded rng path; plain relaxed tallies, no ordering implied.
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> injected{0};
   };
 
   InjectionPlan plan_;
@@ -102,6 +123,13 @@ FaultInjector* installed();
 inline bool should_fail(FaultPoint p) {
   FaultInjector* inj = installed();
   return inj != nullptr && inj->roll(p);
+}
+
+/// Keyed hook for multi-threaded sites (see roll_keyed).
+inline bool should_fail_keyed(FaultPoint p, std::uint64_t key,
+                              std::uint64_t ordinal) {
+  FaultInjector* inj = installed();
+  return inj != nullptr && inj->roll_keyed(p, key, ordinal);
 }
 
 /// RAII installation. Nested scopes restore the previous injector, so a

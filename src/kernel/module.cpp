@@ -122,6 +122,28 @@ std::string KernelStats::check_conservation() const {
   if (bytes_stored > bytes_seen) {
     return violation("bytes_stored <= bytes_seen", bytes_stored, bytes_seen);
   }
+
+  // Law 7: FDIR removals never outrun installs — every removed (or
+  // expired) hardware filter was placed by a counted install, and each
+  // counted install/reinstall places at most two filters (one per cutoff
+  // flag combination, or both rebalance directions). Queue-mode apply-time
+  // counting preserves this: a removal is only counted when a physically
+  // present filter comes out of the table.
+  if (fdir_removals > 2 * (fdir_installs + fdir_reinstalls)) {
+    return violation("fdir_removals <= 2*(fdir_installs + fdir_reinstalls)",
+                     fdir_removals, 2 * (fdir_installs + fdir_reinstalls));
+  }
+
+  // Law 8: stall sheds are a subset of ring sheds (ring_shed_* counts every
+  // packet shed at admission, whatever the reason).
+  if (ring_stall_shed_pkts > ring_shed_pkts) {
+    return violation("ring_stall_shed_pkts <= ring_shed_pkts",
+                     ring_stall_shed_pkts, ring_shed_pkts);
+  }
+  if (ring_stall_shed_bytes > ring_shed_bytes) {
+    return violation("ring_stall_shed_bytes <= ring_shed_bytes",
+                     ring_stall_shed_bytes, ring_shed_bytes);
+  }
   return {};
 }
 
@@ -404,19 +426,23 @@ void ScapKernel::install_fdir(StreamRecord& rec, Timestamp now, bool reinstall,
   if (reinstall) {
     // Doubled timeout: long-lived flows are evicted only O(log) times.
     rec.fdir_timeout = rec.fdir_timeout + rec.fdir_timeout;
-    ++stats_.fdir_reinstalls;
+    if (fdir_queue_ == nullptr) ++stats_.fdir_reinstalls;
   } else {
     rec.fdir_timeout = config_.fdir_base_timeout;
-    ++stats_.fdir_installs;
+    if (fdir_queue_ == nullptr) ++stats_.fdir_installs;
   }
   bool any_installed = false;
   if (fdir_queue_ != nullptr) {
     // Sharded mode: enqueue the install for the NIC-owning producer to
-    // apply between batches. No shared lock, no NIC dereference here.
+    // apply between batches. No shared lock, no NIC dereference here. The
+    // install is counted at apply time by KernelShards::service_fdir —
+    // counting here would overstate fdir_installs whenever the hardware
+    // rejects the filter (the optimistic-count skew).
     FdirCommand cmd;
     cmd.kind = FdirCommand::Kind::kInstallCutoff;
     cmd.tuple = rec.tuple;
     cmd.expires = now + rec.fdir_timeout;
+    cmd.reinstall = reinstall;
     if (fdir_queue_->try_push(cmd)) {
       any_installed = true;
       ++outcome.fdir_updates;
@@ -479,7 +505,9 @@ void ScapKernel::terminate(StreamRecord& rec, StreamStatus status,
       cmd.kind = FdirCommand::Kind::kRemove;
       cmd.tuple = rec.tuple;
       cmd.also_reversed = rec.opposite == kInvalidStreamId;
-      if (fdir_queue_->try_push(cmd)) ++stats_.fdir_removals;
+      // Removals are counted at apply time (service_fdir), when filters
+      // actually come out of the table — not on enqueue.
+      (void)fdir_queue_->try_push(cmd);
     } else {
       stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
       // Steering filters are installed for both directions; if no opposite
@@ -942,7 +970,9 @@ void ScapKernel::run_maintenance(Timestamp now) {
         FdirCommand cmd;
         cmd.kind = FdirCommand::Kind::kRemove;
         cmd.tuple = rec.tuple;
-        if (fdir_queue_->try_push(cmd)) ++stats_.fdir_removals;
+        // Counted at apply time by service_fdir, like every queue-mode
+        // FDIR mutation.
+        (void)fdir_queue_->try_push(cmd);
       } else {
         stats_.fdir_removals += nic_->fdir().remove_tuple(rec.tuple);
       }

@@ -180,6 +180,15 @@ struct KernelStats {
   std::uint64_t fdir_removals = 0;
   std::uint64_t streams_rebalanced = 0;
 
+  // Sharded-datapath ring admission + watchdog (DESIGN.md §13). Zero on a
+  // single ScapKernel; KernelShards folds the producer-side tallies in.
+  std::uint64_t ring_shed_pkts = 0;    // shed at ring admission (watermarks)
+  std::uint64_t ring_shed_bytes = 0;   // wire bytes of those packets
+  std::uint64_t ring_stall_shed_pkts = 0;   // subset shed for a dead shard
+  std::uint64_t ring_stall_shed_bytes = 0;
+  std::uint64_t ring_occupancy_peak = 0;  // max producer-observed ring depth
+  std::uint64_t worker_stalls = 0;        // watchdog stall declarations
+
   // Per-reason decode failures (parse-error taxonomy, DESIGN.md §8),
   // indexed by DecodeError. Sums to pkts_invalid.
   std::uint64_t parse_errors[kNumDecodeErrors] = {};
@@ -237,6 +246,9 @@ struct FdirCommand {
   /// kInstallCutoff: absolute filter expiry (now + the stream's
   /// doubling fdir_timeout).
   Timestamp expires{};
+  /// kInstallCutoff: re-install after a filter timeout (doubled timeout),
+  /// so apply-time counting lands in fdir_reinstalls, not fdir_installs.
+  bool reinstall = false;
   /// kRemove: also drop the reverse-direction filter (set when no
   /// opposite-direction stream record remains to clean it up).
   bool also_reversed = false;

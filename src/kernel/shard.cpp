@@ -6,10 +6,17 @@
 #include <utility>
 
 #include "base/assert.hpp"
+#include "faultinject/faultinject.hpp"
 #include "nic/fdir.hpp"
 
 namespace scap::kernel {
 namespace {
+
+std::string law_violation(const char* law, std::uint64_t lhs,
+                          std::uint64_t rhs) {
+  return std::string(law) + " violated: " + std::to_string(lhs) + " vs " +
+         std::to_string(rhs);
+}
 
 /// Derive one shard's config from the capture-wide config: private slabs
 /// sized at an even split, single event queue, no cross-shard steering.
@@ -80,6 +87,14 @@ void accumulate(KernelStats& into, const KernelStats& s) {
   into.ppl_overload_exits += s.ppl_overload_exits;
   into.ppl_tightenings += s.ppl_tightenings;
   into.ppl_relaxations += s.ppl_relaxations;
+  into.ring_shed_pkts += s.ring_shed_pkts;
+  into.ring_shed_bytes += s.ring_shed_bytes;
+  into.ring_stall_shed_pkts += s.ring_stall_shed_pkts;
+  into.ring_stall_shed_bytes += s.ring_stall_shed_bytes;
+  into.worker_stalls += s.worker_stalls;
+  if (s.ring_occupancy_peak > into.ring_occupancy_peak) {
+    into.ring_occupancy_peak = s.ring_occupancy_peak;
+  }
   if (s.ppl_overload_active != 0) into.ppl_overload_active = 1;
   if (s.ppl_effective_cutoff >= 0 &&
       (into.ppl_effective_cutoff < 0 ||
@@ -108,6 +123,17 @@ KernelShards::KernelShards(const KernelConfig& config, int num_shards,
   const KernelConfig cfg = shard_config(config, n);
   shards_.reserve(static_cast<std::size_t>(n));
   pushed_.assign(static_cast<std::size_t>(n), 0);
+  watchdog_.assign(static_cast<std::size_t>(n), WatchdogState{});
+  // Ring admission mirrors the kernel's PPL ladder, so it needs the same
+  // priority inputs the per-shard kernels use.
+  priority_classes_ = config.priority_classes;
+  default_priority_ = config.defaults.priority;
+  ppl_levels_ = config.ppl.priority_levels < 1 ? 1 : config.ppl.priority_levels;
+  if (opts_.trace.has_value()) {
+    trace::TraceConfig ptc = *opts_.trace;
+    ptc.cores = 1;
+    producer_tracer_ = std::make_unique<trace::Tracer>(ptc);
+  }
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(cfg, opts_.ring_capacity));
     Shard& s = *shards_.back();
@@ -142,6 +168,9 @@ void KernelShards::submit_to(int shard, Packet pkt) {
 }
 
 void KernelShards::tick_all(Timestamp now) {
+  // The tick cadence doubles as the watchdog heartbeat check: a shard that
+  // stopped consuming is detected here, before more work is queued on it.
+  check_watchdog(now);
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     ShardItem item;
     item.kind = ShardItem::Kind::kMaintenance;
@@ -150,17 +179,188 @@ void KernelShards::tick_all(Timestamp now) {
   }
 }
 
+int KernelShards::packet_priority(const Packet& pkt) const {
+  for (const auto& cls : priority_classes_) {
+    if (cls.filter.matches(pkt.tuple())) return cls.priority;
+  }
+  return default_priority_;
+}
+
+bool KernelShards::admission_sheds(std::size_t shard, const Packet& pkt,
+                                   std::size_t occ) {
+  WatchdogState& w = watchdog_[shard];
+  const std::size_t high = opts_.ring_high_watermark;
+  const std::size_t low = std::min(opts_.ring_low_watermark, high);
+  if (w.shedding) {
+    // Hysteresis, mirroring the adaptive controller's enter/exit band:
+    // once high is crossed the shard sheds everything until occupancy has
+    // drained back to the low watermark.
+    if (occ > low) return true;
+    w.shedding = false;
+  }
+  if (occ >= high) {
+    w.shedding = true;
+    return true;
+  }
+  if (occ < low) return false;
+  // PPL-mirroring ladder over [low, high): priority p is shed once
+  // occupancy reaches low + (p+1)*(high-low)/levels, so the lowest
+  // priority goes first and the highest survives until high itself —
+  // the paper's invariant, transplanted to ring slots.
+  const auto levels = static_cast<std::size_t>(ppl_levels_);
+  int prio = packet_priority(pkt);
+  if (prio < 0) prio = 0;
+  if (prio >= ppl_levels_) prio = ppl_levels_ - 1;
+  const std::size_t wm =
+      low + (static_cast<std::size_t>(prio) + 1) * (high - low) / levels;
+  return occ >= wm;
+}
+
+void KernelShards::shed_packet(std::size_t shard, const Packet& pkt,
+                               bool stall, std::size_t occ) {
+  Shard& s = *shards_[shard];
+  const std::uint64_t bytes = pkt.wire_len();
+  s.shed_pkts.fetch_add(1, std::memory_order_relaxed);
+  s.shed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (stall) {
+    s.stall_shed_pkts.fetch_add(1, std::memory_order_relaxed);
+    s.stall_shed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (producer_tracer_ != nullptr) {
+    int prio = packet_priority(pkt);
+    if (prio < 0) prio = 0;
+    SCAP_TRACE_EVENT(producer_tracer_.get(), trace::TraceEventType::kRingShed,
+                     static_cast<int>(shard), pkt.timestamp(), 0,
+                     static_cast<std::uint16_t>(prio),
+                     static_cast<std::uint32_t>(bytes),
+                     static_cast<std::uint64_t>(occ));
+    producer_trace_recorded_.store(producer_tracer_->recorded(),
+                                   std::memory_order_relaxed);
+    producer_trace_dropped_.store(producer_tracer_->dropped(),
+                                  std::memory_order_relaxed);
+  }
+}
+
+void KernelShards::declare_stall(std::size_t shard, Timestamp now) {
+  WatchdogState& w = watchdog_[shard];
+  if (w.degraded) return;
+  worker_stalls_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t done =
+      shards_[shard]->processed.load(std::memory_order_acquire);
+  const std::uint64_t outstanding =
+      pushed_[shard] > done ? pushed_[shard] - done : 0;
+  if (producer_tracer_ != nullptr) {
+    SCAP_TRACE_EVENT(
+        producer_tracer_.get(), trace::TraceEventType::kWorkerStall,
+        static_cast<int>(shard), now, 0,
+        static_cast<std::uint16_t>(opts_.stall_policy),
+        static_cast<std::uint32_t>(outstanding));
+    producer_trace_recorded_.store(producer_tracer_->recorded(),
+                                   std::memory_order_relaxed);
+    producer_trace_dropped_.store(producer_tracer_->dropped(),
+                                  std::memory_order_relaxed);
+  }
+  if (opts_.stall_policy == StallPolicy::kFatal) {
+    SCAP_ASSERT(false,
+                "shard worker stalled past the watchdog deadline "
+                "(StallPolicy::kFatal)");
+  }
+  // kDegrade — or a Release-build kFatal, where the assert is compiled
+  // out: isolate the dead shard; the others keep capturing, and its
+  // traffic is shed into ring_stall_shed_* from now on.
+  w.degraded = true;
+}
+
+void KernelShards::check_watchdog(Timestamp now) {
+  if (opts_.stall_timeout.ns() <= 0 || workers_.empty()) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    WatchdogState& w = watchdog_[i];
+    if (w.degraded) continue;
+    Shard& s = *shards_[i];
+    const std::uint64_t items = s.processed.load(std::memory_order_acquire);
+    const bool idle = items >= pushed_[i];
+    if (!w.armed || items != w.heartbeat || idle) {
+      // Progress (or nothing outstanding): reset the heartbeat baseline.
+      // The first check only seeds it — tick timestamps are anchored at
+      // the first packet's (arbitrary-epoch) time, so a zero-initialized
+      // baseline must never count as elapsed time.
+      w.armed = true;
+      w.heartbeat = items;
+      w.last_progress = now;
+      continue;
+    }
+    if (now - w.last_progress < opts_.stall_timeout) continue;
+    // Deadline passed with outstanding items and no progress. Grant a
+    // bounded real-time grace: a starved-but-healthy worker advances as
+    // soon as the producer yields the CPU; a parked one never does, which
+    // keeps the verdict deterministic in simulated time.
+    bool progressed = false;
+    for (std::size_t spin = 0; spin < opts_.stall_spin_limit; ++spin) {
+      wake(s);
+      std::this_thread::yield();
+      if (s.processed.load(std::memory_order_acquire) != items) {
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) {
+      w.heartbeat = s.processed.load(std::memory_order_acquire);
+      w.last_progress = now;
+      continue;
+    }
+    declare_stall(i, now);
+  }
+}
+
 void KernelShards::push_item(std::size_t shard, ShardItem item) {
   Shard& s = *shards_[shard];
+  WatchdogState& w = watchdog_[shard];
+  const bool is_packet = item.kind == ShardItem::Kind::kPacket;
+  if (w.degraded) {
+    // Degraded shard: its worker is gone. Packets are shed (counted, so
+    // conservation still balances); maintenance markers are dropped
+    // silently — the dead shard's kernel is no longer ticked.
+    if (is_packet) shed_packet(shard, item.pkt, /*stall=*/true, 0);
+    return;
+  }
   base::SerialGuard prod(s.ring.producer());
+  const std::size_t occ = s.ring.size_from_producer();
+  if (occ > s.occupancy_peak.load(std::memory_order_relaxed)) {
+    s.occupancy_peak.store(occ, std::memory_order_relaxed);  // single writer
+  }
+  if (is_packet) {
+    // Injected admission fault first (keyed on (shard, per-shard push
+    // ordinal), so the decision is interleaving-independent): a forced
+    // shed, exactly as if a watermark had been crossed. Consulted even
+    // with admission disabled, so chaos runs can force deterministic
+    // sheds without enabling the occupancy ladder.
+    ++w.admission_rolls;
+    if (faultinject::should_fail_keyed(faultinject::FaultPoint::kRingPush,
+                                       shard, w.admission_rolls) ||
+        (opts_.ring_high_watermark > 0 &&
+         admission_sheds(shard, item.pkt, occ))) {
+      shed_packet(shard, item.pkt, /*stall=*/false, occ);
+      return;
+    }
+  }
+  std::size_t spins = 0;
+  const bool bounded = opts_.stall_timeout.ns() > 0 && !workers_.empty();
   while (!s.ring.try_push(std::move(item))) {
     // Ring full: backpressure the producer (kick the worker, then yield)
-    // rather than drop — loss must happen inside the kernels, where the
-    // paper's verdict accounting can see it.
+    // rather than drop — with admission off, loss must happen inside the
+    // kernels, where the paper's verdict accounting can see it. When the
+    // watchdog is armed the wait is bounded: a dead worker trips the stall
+    // policy instead of livelocking the producer.
     wake(s);
     std::this_thread::yield();
+    if (bounded && ++spins >= opts_.stall_spin_limit) {
+      declare_stall(shard, is_packet ? item.pkt.timestamp() : item.ts);
+      if (is_packet) shed_packet(shard, item.pkt, /*stall=*/true, occ);
+      return;
+    }
   }
   ++pushed_[shard];
+  if (is_packet) s.submitted_pkts.fetch_add(1, std::memory_order_relaxed);
   if (s.sleeping.load(std::memory_order_relaxed)) wake(s);
 }
 
@@ -192,9 +392,18 @@ void KernelShards::flush() {
         s.processed.fetch_add(n, std::memory_order_release);
       }
     } else {
-      while (s.processed.load(std::memory_order_acquire) < pushed_[i]) {
+      // Bounded when the watchdog is armed: a dead worker trips the stall
+      // policy (degraded shards are skipped — their residue is drained
+      // inline by stop() once the workers are joined).
+      std::size_t spins = 0;
+      const bool bounded = opts_.stall_timeout.ns() > 0;
+      while (!watchdog_[i].degraded &&
+             s.processed.load(std::memory_order_acquire) < pushed_[i]) {
         wake(s);
         std::this_thread::yield();
+        if (bounded && ++spins >= opts_.stall_spin_limit) {
+          declare_stall(i, watchdog_[i].last_progress);
+        }
       }
     }
   }
@@ -205,29 +414,42 @@ void KernelShards::service_fdir(nic::Nic& nic, Timestamp now) {
   base::SerialGuard consumer(fdir_queue_->consumer());
   while (auto cmd = fdir_queue_->try_pop()) {
     switch (cmd->kind) {
-      case FdirCommand::Kind::kInstallCutoff:
-        // The enqueuing shard already counted the install (and counts a
-        // full queue as an install failure); a hardware rejection here is
-        // invisible to it — the software cutoff still enforces, so the
-        // only skew is an optimistic fdir_installs counter.
+      case FdirCommand::Kind::kInstallCutoff: {
+        // Apply-time counting: the install is counted only when the
+        // hardware actually accepts a filter, so a rejection lands in
+        // fdir_install_failures instead of overstating fdir_installs (the
+        // shard kernels no longer count at enqueue). The software cutoff
+        // still enforces either way.
+        int installed = 0;
         for (const auto& f :
              nic::make_cutoff_filters(cmd->tuple, cmd->expires)) {
-          nic.fdir().add(f);
+          if (nic.fdir().add(f) != 0) ++installed;
+        }
+        if (installed > 0) {
+          (cmd->reinstall ? fdir_applied_reinstalls_ : fdir_applied_installs_)
+              .fetch_add(1, std::memory_order_relaxed);
+        } else {
+          fdir_apply_failures_.fetch_add(1, std::memory_order_relaxed);
         }
         break;
-      case FdirCommand::Kind::kRemove:
-        nic.fdir().remove_tuple(cmd->tuple);
+      }
+      case FdirCommand::Kind::kRemove: {
+        std::uint64_t removed = nic.fdir().remove_tuple(cmd->tuple);
         if (cmd->also_reversed) {
-          nic.fdir().remove_tuple(cmd->tuple.reversed());
+          removed += nic.fdir().remove_tuple(cmd->tuple.reversed());
         }
+        fdir_applied_removals_.fetch_add(removed, std::memory_order_relaxed);
         break;
+      }
     }
   }
   // Hardware filter timers: shard kernels cannot see the FDIR table, so
-  // expiry is serviced here. The doubling-timeout reinstall path is inert
-  // in queue mode (the shard's rec.fdir_installed stays set) — a
-  // deliberate simplification, DESIGN.md §12.
-  (void)nic.fdir().expire(now);
+  // expiry is serviced here; expired filters count as removals so the
+  // removal-conservation law stays exact. The doubling-timeout reinstall
+  // path is inert in queue mode (the shard's rec.fdir_installed stays
+  // set) — a deliberate simplification, DESIGN.md §12.
+  fdir_applied_removals_.fetch_add(nic.fdir().expire(now).size(),
+                                   std::memory_order_relaxed);
 }
 
 void KernelShards::stop(Timestamp now) {
@@ -236,8 +458,16 @@ void KernelShards::stop(Timestamp now) {
   if (!workers_.empty()) {
     flush();
     // jthread destruction requests stop and joins; the stop_token wakes
-    // any worker parked in wait().
+    // any worker parked in wait() — including a fault-stalled one, which
+    // parks interruptibly — so the join is bounded.
     workers_.clear();
+    // A degraded shard's ring may still hold items its dead worker never
+    // consumed; this thread is now the one consumer, so drain them inline
+    // (flush() takes the inline path once workers_ is empty). The shard
+    // kernel is consistent — stalls land between batches, never inside
+    // one — so the residue is processed normally and the in-flight
+    // accounting closes.
+    flush();
   }
   for (int i = 0; i < num_shards(); ++i) {
     Shard& s = *shards_[idx(i)];
@@ -247,10 +477,29 @@ void KernelShards::stop(Timestamp now) {
     drain_shard(i, s.kernel);
     refresh_snapshot(s);
   }
+  // Bounded-drain postcondition: every packet handed to submit_to() was
+  // either pushed and consumed, or shed and counted — nothing is in
+  // flight after stop().
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    SCAP_INVARIANT(s.submitted_pkts.load(std::memory_order_relaxed) ==
+                       s.consumed_pkts.load(std::memory_order_relaxed),
+                   "ring in-flight accounting did not close at stop()");
+  }
 }
 
 void KernelShards::worker_main(std::stop_token st, int shard) {
   Shard& s = *shards_[idx(shard)];
+  if (faultinject::should_fail_keyed(faultinject::FaultPoint::kWorkerStall,
+                                     static_cast<std::uint64_t>(shard), 1)) {
+    // Injected dead worker (consulted once per worker, keyed by shard so
+    // the victim set is deterministic): park until stop, consuming
+    // nothing. The wait is stop_token-interruptible, so stop()'s join
+    // stays bounded; the watchdog sees the flat heartbeat and fires.
+    base::MutexLock lock(s.wake_mu);
+    s.wake_cv.wait(lock, st, [] { return false; });
+    return;
+  }
   // This thread is the ring's one consumer for its whole lifetime.
   base::SerialGuard consumer(s.ring.consumer());
   std::vector<ShardItem> buf(opts_.batch_size);
@@ -279,6 +528,7 @@ void KernelShards::process_items(Shard& s, int shard,
   base::MutexLock lock(s.mu);
   base::SerialGuard serial(s.kernel.serial());
   std::size_t i = 0;
+  std::uint64_t pkts = 0;
   while (i < items.size()) {
     if (items[i].kind == ShardItem::Kind::kMaintenance) {
       s.kernel.run_maintenance(items[i].ts);
@@ -292,7 +542,12 @@ void KernelShards::process_items(Shard& s, int shard,
     }
     s.kernel.handle_batch(std::span<const Packet>(scratch),
                           scratch.back().timestamp(), /*core=*/0);
+    pkts += scratch.size();
   }
+  // Consumed-packet tally for the in-flight accounting (updated inside the
+  // batch's mu section, so invariant checks that hold mu see a consistent
+  // pair with the kernel's pkts_seen).
+  if (pkts > 0) s.consumed_pkts.fetch_add(pkts, std::memory_order_relaxed);
   drain_shard(shard, s.kernel);
   refresh_snapshot(s);
 }
@@ -321,23 +576,56 @@ void KernelShards::drain_shard(int shard, ScapKernel& k) {
   }
 }
 
+void KernelShards::fold_shard_shed(KernelStats& into, const Shard& s) {
+  into.ring_shed_pkts += s.shed_pkts.load(std::memory_order_relaxed);
+  into.ring_shed_bytes += s.shed_bytes.load(std::memory_order_relaxed);
+  into.ring_stall_shed_pkts +=
+      s.stall_shed_pkts.load(std::memory_order_relaxed);
+  into.ring_stall_shed_bytes +=
+      s.stall_shed_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t peak = s.occupancy_peak.load(std::memory_order_relaxed);
+  if (peak > into.ring_occupancy_peak) into.ring_occupancy_peak = peak;
+}
+
+void KernelShards::fold_producer_counters(KernelStats& into) const {
+  for (const auto& sp : shards_) fold_shard_shed(into, *sp);
+  into.worker_stalls += worker_stalls_.load(std::memory_order_relaxed);
+  // Apply-time FDIR accounting (service_fdir): in queue mode the per-shard
+  // kernels no longer count installs/removals, these producer-side tallies
+  // are the authoritative ones.
+  into.fdir_installs += fdir_applied_installs_.load(std::memory_order_relaxed);
+  into.fdir_reinstalls +=
+      fdir_applied_reinstalls_.load(std::memory_order_relaxed);
+  into.fdir_removals += fdir_applied_removals_.load(std::memory_order_relaxed);
+  into.fdir_install_failures +=
+      fdir_apply_failures_.load(std::memory_order_relaxed);
+}
+
 KernelStats KernelShards::stats() const {
   KernelStats total;
   for (const auto& sp : shards_) {
     base::MutexLock lock(sp->snap_mu);
     accumulate(total, sp->snapshot);
   }
+  fold_producer_counters(total);
   return total;
 }
 
 KernelStats KernelShards::shard_stats(int shard) const {
   Shard& s = *shards_[idx(shard)];
-  base::MutexLock lock(s.snap_mu);
-  return s.snapshot;
+  KernelStats out;
+  {
+    base::MutexLock lock(s.snap_mu);
+    out = s.snapshot;
+  }
+  fold_shard_shed(out, s);
+  return out;
 }
 
 std::string KernelShards::check_invariants() const {
   KernelStats total;
+  std::uint64_t submitted = 0;
+  std::uint64_t consumed = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = *shards_[i];
     base::MutexLock lock(s.mu);
@@ -347,14 +635,58 @@ std::string KernelShards::check_invariants() const {
       return "shard " + std::to_string(i) + ": " + err;
     }
     accumulate(total, s.kernel.stats());
+    // Per-shard ring conservation: the packets this kernel has seen are
+    // exactly the ones its consumer retired (both read under s.mu, so the
+    // pair is batch-consistent), and the consumer can never be ahead of
+    // the producer.
+    const std::uint64_t sub = s.submitted_pkts.load(std::memory_order_relaxed);
+    const std::uint64_t con = s.consumed_pkts.load(std::memory_order_relaxed);
+    if (s.kernel.stats().pkts_seen != con) {
+      return "shard " + std::to_string(i) + ": " +
+             law_violation("pkts_seen == ring consumed_pkts",
+                           s.kernel.stats().pkts_seen, con);
+    }
+    if (con > sub) {
+      return "shard " + std::to_string(i) + ": " +
+             law_violation("ring consumed_pkts <= submitted_pkts", con, sub);
+    }
+    submitted += sub;
+    consumed += con;
+  }
+  fold_producer_counters(total);
+  // Aggregate ring conservation: in-flight items are non-negative — at
+  // quiescence stop() asserts exact equality per shard.
+  if (consumed > submitted) {
+    return "shard aggregate: " +
+           law_violation("ring consumed <= submitted", consumed, submitted);
   }
   std::string err = total.check_conservation();
   if (!err.empty()) return "shard aggregate: " + err;
+#if defined(SCAP_ENABLE_TRACE)
+  // Producer trace conservation: every shed packet and every declared
+  // stall has exactly one event on the producer tracer.
+  if (producer_tracer_ != nullptr) {
+    const std::uint64_t shed_events =
+        producer_tracer_->recorded_of(trace::TraceEventType::kRingShed);
+    if (shed_events != total.ring_shed_pkts) {
+      return "shard aggregate: " +
+             law_violation("trace(ring_shed) == ring_shed_pkts", shed_events,
+                           total.ring_shed_pkts);
+    }
+    const std::uint64_t stall_events =
+        producer_tracer_->recorded_of(trace::TraceEventType::kWorkerStall);
+    if (stall_events != total.worker_stalls) {
+      return "shard aggregate: " +
+             law_violation("trace(worker_stall) == worker_stalls",
+                           stall_events, total.worker_stalls);
+    }
+  }
+#endif
   return {};
 }
 
 std::uint64_t KernelShards::trace_recorded() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = producer_trace_recorded_.load(std::memory_order_relaxed);
   for (const auto& sp : shards_) {
     base::MutexLock lock(sp->snap_mu);
     total += sp->snap_trace_recorded;
@@ -363,7 +695,7 @@ std::uint64_t KernelShards::trace_recorded() const {
 }
 
 std::uint64_t KernelShards::trace_dropped() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = producer_trace_dropped_.load(std::memory_order_relaxed);
   for (const auto& sp : shards_) {
     base::MutexLock lock(sp->snap_mu);
     total += sp->snap_trace_dropped;

@@ -45,6 +45,13 @@
 
 namespace scap::kernel {
 
+/// What the worker-stall watchdog does when a shard stops consuming
+/// (DESIGN.md §13): fail fast, or isolate the dead shard and keep capturing.
+enum class StallPolicy : std::uint8_t {
+  kFatal,    // SCAP_ASSERT: abort within the deadline instead of hanging
+  kDegrade,  // shed the shard's traffic (counted), others keep running
+};
+
 /// One slot on a shard's ingest ring: a packet, or an in-band maintenance
 /// marker. Markers ride the same ring as packets so each shard observes
 /// "tick at time T" at exactly the right point in its packet sequence —
@@ -77,6 +84,33 @@ class KernelShards {
     std::optional<trace::TraceConfig> trace;
     /// FDIR command queue slots (created only when config.use_fdir).
     std::size_t fdir_queue_capacity = 1024;
+
+    /// Watermark-based ring admission (DESIGN.md §13). 0 (the default)
+    /// disables admission: the producer backpressures on a full ring and
+    /// never sheds, the lossless PR-6 handoff. When high > 0 the producer
+    /// sheds instead of blocking: occupancy at/above `ring_high_watermark`
+    /// slots sheds every data packet for that shard; between low and high
+    /// a ladder mirroring the PPL watermarks sheds by packet priority,
+    /// lowest first (priority p is shed at occupancy >=
+    /// low + (p+1)*(high-low)/levels). Hysteresis mirrors the adaptive
+    /// controller: once high is crossed the shard sheds everything until
+    /// occupancy falls back to `ring_low_watermark`.
+    std::size_t ring_high_watermark = 0;
+    std::size_t ring_low_watermark = 0;
+
+    /// Worker-stall watchdog deadline in simulated time, checked from the
+    /// producer's tick cadence: a shard with outstanding items whose
+    /// consumption counter has not advanced for this long (and still does
+    /// not advance within a bounded real-time grace of `stall_spin_limit`
+    /// yields) is declared stalled. Zero (the default) disables.
+    Duration stall_timeout = Duration(0);
+    StallPolicy stall_policy = StallPolicy::kDegrade;
+    /// Bounded real-time grace (yield iterations) granted to a suspect
+    /// worker — and to full-ring backpressure when the watchdog is armed —
+    /// before the stall policy fires. A healthy-but-starved worker makes
+    /// progress as soon as the producer yields the CPU; a parked one never
+    /// does, which keeps the verdict deterministic.
+    std::size_t stall_spin_limit = std::size_t{1} << 20;
   };
 
   /// Event-drain hook: called on the worker thread after every processed
@@ -105,6 +139,9 @@ class KernelShards {
   trace::Tracer* tracer(int shard) {
     return shards_[idx(shard)]->tracer.get();
   }
+  /// Producer-side tracer carrying kRingShed/kWorkerStall events (null when
+  /// tracing is disabled). Quiescent readers only, like tracer(int).
+  trace::Tracer* producer_tracer() { return producer_tracer_.get(); }
   FdirCommandQueue* fdir_queue() { return fdir_queue_.get(); }
 
   // --- producer side ------------------------------------------------------
@@ -117,9 +154,11 @@ class KernelShards {
   /// Symmetric-RSS shard for this packet (both flow directions agree).
   int shard_for(const Packet& pkt) const { return rss_.queue_for(pkt); }
 
-  /// Steer the packet to its flow's shard. Spins (never drops) when the
-  /// ring is full — loss placement stays inside the kernels where the
-  /// paper's accounting can see it.
+  /// Steer the packet to its flow's shard. With admission disabled
+  /// (ring_high_watermark == 0) a full ring backpressures the producer and
+  /// no packet is ever lost to the handoff; with admission enabled the
+  /// producer sheds by PPL priority instead of blocking, and the shed is
+  /// counted (ring_shed_*) so packet conservation stays exact.
   void submit(Packet pkt) SCAP_REQUIRES(producer_) {
     submit_to(shard_for(pkt), std::move(pkt));
   }
@@ -128,6 +167,8 @@ class KernelShards {
   /// Push an in-band maintenance marker at simulated time `now` onto every
   /// shard. Call at a fixed cadence (and before submitting packets with
   /// timestamps >= now) to keep expiry deterministic across shard counts.
+  /// This is also the watchdog heartbeat check: shards that stopped
+  /// consuming are detected here (Options::stall_timeout).
   void tick_all(Timestamp now) SCAP_REQUIRES(producer_);
 
   /// Block until every submitted item has been fully processed (rings
@@ -145,9 +186,20 @@ class KernelShards {
 
   /// Flush the rings, join the workers, then terminate_all() on every
   /// shard (on the calling thread) and run the final event drain. The
-  /// producer must not submit afterwards. Idempotent.
+  /// producer must not submit afterwards. Idempotent. Bounded even when a
+  /// worker is dead: the flush wait is capped by the watchdog (when armed),
+  /// join is bounded because a stalled worker parks on an interruptible
+  /// wait, and any items its ring still holds are drained inline on the
+  /// calling thread afterwards, so the in-flight accounting closes exactly
+  /// (submitted == consumed + shed is asserted per shard).
   void stop(Timestamp now) SCAP_REQUIRES(producer_);
   bool running() const { return !workers_.empty(); }
+
+  /// True once the watchdog declared this shard stalled under policy
+  /// kDegrade; its subsequent traffic is shed into ring_stall_shed_*.
+  bool degraded(int shard) const SCAP_REQUIRES(producer_) {
+    return watchdog_[idx(shard)].degraded;
+  }
 
   // --- aggregate views ----------------------------------------------------
   /// Shard-summed KernelStats, built from the per-batch snapshots (never
@@ -201,8 +253,32 @@ class KernelShards {
     std::atomic<bool> sleeping{false};
 
     /// Retired-item count (worker side); flush() compares against the
-    /// producer's local pushed count.
+    /// producer's local pushed count and the watchdog reads it as the
+    /// shard's heartbeat.
     std::atomic<std::uint64_t> processed{0};
+
+    /// In-flight packet accounting + admission counters. Single writer
+    /// each (producer or consumer as noted), relaxed tallies so stats()
+    /// and invariant checks can fold them in from any thread.
+    std::atomic<std::uint64_t> submitted_pkts{0};   // producer: ring pushes
+    std::atomic<std::uint64_t> consumed_pkts{0};    // consumer: kernel entries
+    std::atomic<std::uint64_t> shed_pkts{0};        // producer: admission shed
+    std::atomic<std::uint64_t> shed_bytes{0};       // producer: wire bytes
+    std::atomic<std::uint64_t> stall_shed_pkts{0};  // producer: degraded shed
+    std::atomic<std::uint64_t> stall_shed_bytes{0};
+    std::atomic<std::uint64_t> occupancy_peak{0};   // producer-observed max
+  };
+
+  /// Producer-private per-shard watchdog + admission state. `heartbeat` is
+  /// the shard's `processed` value at the last observed progress (or idle)
+  /// point, `last_progress` the simulated time of that observation.
+  struct WatchdogState {
+    std::uint64_t heartbeat = 0;
+    Timestamp last_progress{};
+    bool armed = false;     // first tick seeds the baseline instead of firing
+    bool degraded = false;  // stall declared under StallPolicy::kDegrade
+    bool shedding = false;  // admission hysteresis: high crossed, low not yet
+    std::uint64_t admission_rolls = 0;  // kRingPush fault ordinal (1-based)
   };
 
   std::size_t idx(int shard) const {
@@ -214,6 +290,29 @@ class KernelShards {
   void process_items(Shard& s, int shard, std::span<ShardItem> items,
                      std::vector<Packet>& scratch);
   void push_item(std::size_t shard, ShardItem item) SCAP_REQUIRES(producer_);
+  /// Watermark-ladder admission for a data packet at ring occupancy `occ`.
+  /// Returns true when the packet must be shed (does not count it).
+  bool admission_sheds(std::size_t shard, const Packet& pkt, std::size_t occ)
+      SCAP_REQUIRES(producer_);
+  /// Count (and trace) one shed packet; `stall` routes it into the
+  /// ring_stall_shed_* sub-counters as well.
+  void shed_packet(std::size_t shard, const Packet& pkt, bool stall,
+                   std::size_t occ) SCAP_REQUIRES(producer_);
+  /// Heartbeat check over every shard, run from tick_all at simulated time
+  /// `now`. Declares a stall per Options::stall_policy after the deadline
+  /// plus a bounded real-time grace.
+  void check_watchdog(Timestamp now) SCAP_REQUIRES(producer_);
+  /// Fire the stall policy for one shard (SCAP_ASSERT or degraded mode).
+  void declare_stall(std::size_t shard, Timestamp now)
+      SCAP_REQUIRES(producer_);
+  /// 0-based PPL priority of a packet, from config priority classes (first
+  /// match wins) falling back to the stream default.
+  int packet_priority(const Packet& pkt) const;
+  /// Fold one shard's shed/occupancy tallies into a stats snapshot.
+  static void fold_shard_shed(KernelStats& into, const Shard& s);
+  /// Fold every producer-side counter (shed, stalls, apply-time FDIR) into
+  /// an aggregate snapshot.
+  void fold_producer_counters(KernelStats& into) const;
   /// Re-publish the shard's post-batch snapshot (kernel stats + trace
   /// totals) under snap_mu.
   void refresh_snapshot(Shard& s) SCAP_REQUIRES(s.kernel.serial());
@@ -230,6 +329,35 @@ class KernelShards {
   /// Producer-local push counts per shard (single producer, no atomics).
   std::vector<std::uint64_t> pushed_ SCAP_GUARDED_BY(producer_);
   bool stopped_ SCAP_GUARDED_BY(producer_) = false;
+
+  /// Per-shard watchdog heartbeats + admission hysteresis (producer-only).
+  std::vector<WatchdogState> watchdog_ SCAP_GUARDED_BY(producer_);
+
+  /// Admission priority inputs, copied from the capture config: the PPL
+  /// ladder the ring watermarks mirror.
+  std::vector<PriorityClass> priority_classes_;
+  int default_priority_ = 0;
+  int ppl_levels_ = 1;
+
+  /// Producer-side tracer for admission/watchdog events (kRingShed,
+  /// kWorkerStall) — shed packets never reach a shard kernel, so their
+  /// events cannot ride the per-shard rings. Producer-only writes; the
+  /// recorded/dropped totals are mirrored into the atomics below after
+  /// each emit so aggregate readers never touch the ring.
+  std::unique_ptr<trace::Tracer> producer_tracer_;
+  std::atomic<std::uint64_t> producer_trace_recorded_{0};
+  std::atomic<std::uint64_t> producer_trace_dropped_{0};
+
+  /// Watchdog + apply-time FDIR accounting (single writer: the producer;
+  /// folded into stats()/check_invariants from any thread). service_fdir
+  /// counts installs/removals when they are actually applied to the NIC,
+  /// so a hardware rejection can no longer overstate fdir_installs
+  /// (the queue-mode counting-skew fix).
+  std::atomic<std::uint64_t> worker_stalls_{0};
+  std::atomic<std::uint64_t> fdir_applied_installs_{0};
+  std::atomic<std::uint64_t> fdir_applied_reinstalls_{0};
+  std::atomic<std::uint64_t> fdir_applied_removals_{0};
+  std::atomic<std::uint64_t> fdir_apply_failures_{0};
 };
 
 }  // namespace scap::kernel

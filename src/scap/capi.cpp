@@ -31,6 +31,14 @@ scap::Parameter param_of(int p) {
     case SCAP_PARAM_WORKERS: return scap::Parameter::kWorkerThreads;
     case SCAP_PARAM_RING_CAPACITY:
       return scap::Parameter::kShardRingCapacity;
+    case SCAP_PARAM_RING_HIGH_WM:
+      return scap::Parameter::kRingHighWatermarkPct;
+    case SCAP_PARAM_RING_LOW_WM:
+      return scap::Parameter::kRingLowWatermarkPct;
+    case SCAP_PARAM_STALL_TIMEOUT:
+      return scap::Parameter::kStallTimeoutMs;
+    case SCAP_PARAM_STALL_POLICY:
+      return scap::Parameter::kStallPolicy;
     default: return scap::Parameter::kInactivityTimeoutMs;
   }
 }
@@ -277,6 +285,12 @@ int scap_get_stats(scap_t* sc, scap_stats_t* stats) {
   stats->fdir_removals = s.kernel.fdir_removals;
   stats->fdir_install_failures = s.kernel.fdir_install_failures;
   stats->streams_rebalanced = s.kernel.streams_rebalanced;
+  stats->ring_shed_pkts = s.kernel.ring_shed_pkts;
+  stats->ring_shed_bytes = s.kernel.ring_shed_bytes;
+  stats->ring_stall_shed_pkts = s.kernel.ring_stall_shed_pkts;
+  stats->ring_stall_shed_bytes = s.kernel.ring_stall_shed_bytes;
+  stats->ring_occupancy_peak = s.kernel.ring_occupancy_peak;
+  stats->worker_stalls = s.kernel.worker_stalls;
   stats->streams_active = s.kernel.streams_active;
   stats->events_emitted = s.kernel.events_emitted;
   stats->chunks_delivered = s.kernel.chunks_delivered;

@@ -152,6 +152,35 @@ bool Capture::set_parameter(Parameter p, std::int64_t value) {
       if (started_ || value <= 0) return false;
       set_shard_ring_capacity(static_cast<std::size_t>(value));
       return true;
+    case Parameter::kRingHighWatermarkPct:
+      if (started_ || value < 0 || value > 100) return false;
+      {
+        base::MutexLock lock(producer_mutex_);
+        ring_policy_.high_watermark_pct = static_cast<int>(value);
+      }
+      return true;
+    case Parameter::kRingLowWatermarkPct:
+      if (started_ || value < 0 || value > 100) return false;
+      {
+        base::MutexLock lock(producer_mutex_);
+        ring_policy_.low_watermark_pct = static_cast<int>(value);
+      }
+      return true;
+    case Parameter::kStallTimeoutMs:
+      if (started_ || value < 0) return false;
+      {
+        base::MutexLock lock(producer_mutex_);
+        ring_policy_.stall_timeout_ms = value;
+      }
+      return true;
+    case Parameter::kStallPolicy:
+      if (started_ || (value != 0 && value != 1)) return false;
+      {
+        base::MutexLock lock(producer_mutex_);
+        ring_policy_.stall_policy = value == 0 ? kernel::StallPolicy::kFatal
+                                               : kernel::StallPolicy::kDegrade;
+      }
+      return true;
   }
   return false;
 }
@@ -199,6 +228,28 @@ void Capture::start() {
     }
     kernel::KernelShards::Options opts;
     opts.ring_capacity = ring_capacity_;
+    {
+      // Translate the staged percentages into slots of the ring's real
+      // (power-of-two-rounded) capacity, so "high = 100%" means exactly
+      // full and the hysteresis band is what the caller asked for.
+      base::MutexLock plock(producer_mutex_);
+      if (ring_policy_.high_watermark_pct > 0) {
+        std::size_t cap = 1;
+        while (cap < ring_capacity_) cap <<= 1;
+        std::size_t high =
+            cap * static_cast<std::size_t>(ring_policy_.high_watermark_pct) /
+            100;
+        if (high == 0) high = 1;
+        std::size_t low =
+            cap * static_cast<std::size_t>(ring_policy_.low_watermark_pct) /
+            100;
+        if (low > high) low = high;
+        opts.ring_high_watermark = high;
+        opts.ring_low_watermark = low;
+      }
+      opts.stall_timeout = Duration::from_msec(ring_policy_.stall_timeout_ms);
+      opts.stall_policy = ring_policy_.stall_policy;
+    }
     if (trace_capacity_ > 0) {
       trace::TraceConfig tc;
       tc.ring_capacity = trace_capacity_;

@@ -63,6 +63,13 @@ enum class Parameter {
   kAdaptiveMinCutoff,  // adaptive overload control: tightening floor
   kWorkerThreads,      // sharded-mode worker count (0 = inline), pre-start
   kShardRingCapacity,  // per-shard SPSC ring slots, pre-start
+  // Sharded-datapath robustness knobs (DESIGN.md §13), all pre-start:
+  kRingHighWatermarkPct,  // ring admission high watermark, % of ring capacity
+                          // (0 = watermark admission off, spin on full ring)
+  kRingLowWatermarkPct,   // ring admission low watermark (hysteresis exit +
+                          // PPL ladder base), % of ring capacity
+  kStallTimeoutMs,        // worker watchdog deadline, simulated ms (0 = off)
+  kStallPolicy,           // on stall: 0 = fatal (assert), 1 = degrade (shed)
 };
 
 class Capture;
@@ -343,6 +350,19 @@ class Capture {
   // guard annotation; the producer-only entry points require its
   // SerialDomain, which producer_mutex_ backs.
   std::unique_ptr<kernel::KernelShards> shards_;
+
+  /// Sharded-datapath robustness policy (DESIGN.md §13), staged by
+  /// set_parameter and translated into KernelShards::Options at start()
+  /// (percentages become ring slots once the ring capacity is final).
+  /// Guarded by producer_mutex_ — the same capability that orders every
+  /// producer-side decision these knobs feed.
+  struct RingPolicy {
+    int high_watermark_pct = 0;  // 0 = watermark admission disabled
+    int low_watermark_pct = 0;
+    std::int64_t stall_timeout_ms = 0;  // 0 = watchdog disabled
+    kernel::StallPolicy stall_policy = kernel::StallPolicy::kDegrade;
+  };
+  RingPolicy ring_policy_ SCAP_GUARDED_BY(producer_mutex_);
   mutable base::Mutex producer_mutex_;  // outer; never taken under kernel_mutex_
   mutable base::Mutex kernel_mutex_;    // inner; NIC + capture tracer
   Timestamp last_tick_ SCAP_GUARDED_BY(producer_mutex_);

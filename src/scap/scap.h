@@ -58,6 +58,16 @@ constexpr int SCAP_PARAM_ADAPTIVE_MIN_CUTOFF = 8;
 // count (0 = inline dispatch) and per-shard SPSC ring slots.
 constexpr int SCAP_PARAM_WORKERS = 9;
 constexpr int SCAP_PARAM_RING_CAPACITY = 10;
+// Overload/failure robustness of the sharded datapath (DESIGN.md §13),
+// pre-start only: watermark ring admission as a percentage of ring capacity
+// (high = 0 disables admission shedding; low is the hysteresis exit and the
+// base of the per-priority shed ladder), the worker-stall watchdog deadline
+// in simulated milliseconds (0 disables), and the stall policy (0 = fatal
+// assert, 1 = degrade: shed the stalled shard's traffic, keep the rest).
+constexpr int SCAP_PARAM_RING_HIGH_WM = 11;
+constexpr int SCAP_PARAM_RING_LOW_WM = 12;
+constexpr int SCAP_PARAM_STALL_TIMEOUT = 13;
+constexpr int SCAP_PARAM_STALL_POLICY = 14;
 
 // Stream status values (scap_stream_status).
 constexpr int SCAP_STREAM_ACTIVE = 0;
@@ -139,6 +149,15 @@ struct scap_stats_t {
   std::uint64_t fdir_removals;
   std::uint64_t fdir_install_failures;
   std::uint64_t streams_rebalanced;
+  // Sharded datapath ring admission + worker watchdog (DESIGN.md §13); zero
+  // in inline mode. ring_stall_shed_* is the subset of ring_shed_* caused
+  // by a stalled (degraded) shard rather than watermark overload.
+  std::uint64_t ring_shed_pkts;
+  std::uint64_t ring_shed_bytes;
+  std::uint64_t ring_stall_shed_pkts;
+  std::uint64_t ring_stall_shed_bytes;
+  std::uint64_t ring_occupancy_peak;
+  std::uint64_t worker_stalls;
   std::uint64_t streams_active;
   std::uint64_t events_emitted;
   std::uint64_t chunks_delivered;  // data events carrying a chunk

@@ -114,6 +114,19 @@ std::string format_event(const TraceEvent& ev, const Schema& schema) {
       line += " bytes=";
       line += std::to_string(ev.a32);
       break;
+    case TraceEventType::kRingShed:
+      line += " priority=";
+      line += std::to_string(ev.a16);
+      line += " wire_bytes=";
+      line += std::to_string(ev.a32);
+      line += " occupancy=";
+      line += std::to_string(ev.a64);
+      break;
+    case TraceEventType::kWorkerStall:
+      line += ev.a16 == 0 ? " policy=fatal" : " policy=degrade";
+      line += " outstanding=";
+      line += std::to_string(ev.a32);
+      break;
   }
   return line;
 }

@@ -30,6 +30,10 @@ const char* to_string(TraceEventType t) {
       return "maintenance_tick";
     case TraceEventType::kEventDispatched:
       return "event_dispatched";
+    case TraceEventType::kRingShed:
+      return "ring_shed";
+    case TraceEventType::kWorkerStall:
+      return "worker_stall";
   }
   return "unknown";
 }

@@ -40,10 +40,14 @@ enum class TraceEventType : std::uint8_t {
   kNicDrop,           // a32 = wire bytes (dropped at the NIC, subzero path)
   kMaintenanceTick,   // a32 = active streams, a64 = chunk bytes in use
   kEventDispatched,   // a16 = kernel EventType, a32 = chunk bytes
+  kRingShed,          // core = shard; a16 = PPL priority, a32 = wire bytes,
+                      // a64 = ring occupancy at the shed decision
+  kWorkerStall,       // core = shard; a16 = StallPolicy, a32 = items
+                      // outstanding in the shard ring at declaration
 };
 
 inline constexpr std::size_t kNumTraceEventTypes =
-    static_cast<std::size_t>(TraceEventType::kEventDispatched) + 1;
+    static_cast<std::size_t>(TraceEventType::kWorkerStall) + 1;
 
 /// Stable lowercase name (text serialization, scap_trace, Chrome export).
 const char* to_string(TraceEventType t);

@@ -26,6 +26,8 @@ class KernelShards {
   };
   class SCAP_CAPABILITY("serial domain") SerialDomain {} producer_;
   unsigned long pushed_ = 0;  // expect: guard-coverage
+  struct WatchdogState {};
+  WatchdogState watchdog_;  // expect: guard-coverage
 };
 }  // namespace kernel
 
@@ -38,6 +40,8 @@ class Capture {
   int* tracer_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
   long last_tick_ = 0;  // expect: guard-coverage
   int* rx_queues_ SCAP_GUARDED_BY(producer_mutex_) = nullptr;
+  struct RingPolicy {};
+  RingPolicy ring_policy_;  // expect: guard-coverage
   unsigned long events_dispatched_ = 0;  // unannotated atomic: fine now
 };
 

@@ -24,6 +24,8 @@ class KernelShards {
   };
   class SCAP_CAPABILITY("serial domain") SerialDomain {} producer_;
   unsigned long pushed_ SCAP_GUARDED_BY(producer_) = 0;
+  struct WatchdogState {};
+  WatchdogState watchdog_ SCAP_GUARDED_BY(producer_);
 };
 }  // namespace kernel
 
@@ -36,6 +38,8 @@ class Capture {
   int* tracer_ SCAP_PT_GUARDED_BY(kernel_mutex_) = nullptr;
   long last_tick_ SCAP_GUARDED_BY(producer_mutex_) = 0;
   int* rx_queues_ SCAP_GUARDED_BY(producer_mutex_) = nullptr;
+  struct RingPolicy {};
+  RingPolicy ring_policy_ SCAP_GUARDED_BY(producer_mutex_);
   unsigned long events_dispatched_ = 0;  // unannotated atomic: fine
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -123,6 +124,79 @@ TEST(SpscRing, MoveOnlyTypes) {
   auto v = r.try_pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 7);
+}
+
+// Watermark admission keys off exact occupancy (size_from_producer), so the
+// full/empty boundary must be exact at every wrap: push to exactly full,
+// pop one, push one, repeated across several capacities' worth of traffic
+// so both index counters cross the capacity and 2x-capacity wrap points.
+TEST(SpscRing, ExactFullBoundaryAcrossWraps) {
+  constexpr std::size_t kCap = 8;
+  SpscRing<std::uint64_t> r(kCap);
+  ASSERT_EQ(r.capacity(), kCap);
+  base::SerialGuard prod(r.producer());
+  base::SerialGuard cons(r.consumer());
+
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (; next_push < kCap; ++next_push) ASSERT_TRUE(r.try_push(next_push));
+  EXPECT_FALSE(r.try_push(next_push));  // exactly full
+  EXPECT_EQ(r.size_from_producer(), kCap);
+
+  // 3x capacity lockstep steps: the head/tail indices cross kCap after the
+  // first lap and 2*kCap after the second, so a masking bug at either wrap
+  // would surface as a lost/duplicated slot or a wrong size.
+  for (std::size_t step = 0; step < 3 * kCap; ++step) {
+    auto v = r.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, next_pop++);
+    EXPECT_EQ(r.size_from_producer(), kCap - 1);
+    ASSERT_TRUE(r.try_push(next_push++));
+    EXPECT_FALSE(r.try_push(next_push));  // back to exactly full
+    EXPECT_EQ(r.size_from_producer(), kCap);
+  }
+
+  while (next_pop < next_push) {
+    auto v = r.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, next_pop++);
+  }
+  EXPECT_FALSE(r.try_pop().has_value());
+  EXPECT_EQ(r.size_from_producer(), 0u);
+}
+
+// A producer spinning on a full ring must exit as soon as stop is
+// requested even though the consumer never drains another item — the
+// bounded-teardown guarantee KernelShards::stop() builds on. A hang here
+// fails via the test timeout.
+TEST(SpscRing, StopRequestWhileProducerBackpressured) {
+  SpscRing<int> r(4);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> blocked{false};
+
+  std::thread producer([&] {
+    base::SerialGuard prod(r.producer());
+    for (int i = 0;; ++i) {
+      while (!r.try_push(i)) {
+        blocked.store(true, std::memory_order_release);
+        if (stop.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  while (!blocked.load(std::memory_order_acquire)) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  producer.join();
+
+  // The ring still holds exactly the four items that fit, in order.
+  base::SerialGuard cons(r.consumer());
+  for (int i = 0; i < 4; ++i) {
+    auto v = r.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(r.try_pop().has_value());
 }
 
 // Cross-thread stress: one producer pushes a counting sequence through a

@@ -30,11 +30,15 @@ namespace {
 
 /// Zero the slab-geometry fields: how many records each shard's pool grew
 /// is a private allocation detail, not part of the aggregate contract.
+/// Ring occupancy peak is likewise monitoring-only: it measures how far the
+/// consumer lagged the producer, which depends on worker scheduling, not on
+/// the input trace.
 kernel::KernelStats normalized(kernel::KernelStats s) {
   s.pool_capacity = 0;
   s.pool_free = 0;
   s.pool_slabs = 0;
   s.pool_recycled = 0;
+  s.ring_occupancy_peak = 0;
   return s;
 }
 

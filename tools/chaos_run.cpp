@@ -17,17 +17,24 @@
 //
 // With --workers N the same storm runs through the sharded datapath
 // (KernelShards, DESIGN.md §12): conservation is then checked per shard and
-// on the shard-aggregated stats. Fault injection stays off in that mode —
-// the FaultScope global is not worker-safe — so sharded runs exercise
-// concurrency, not allocator faults. Note that sharded runs with FDIR are
-// not bit-reproducible: a worker's install command reaches the NIC when
-// the producer next services the queue, so the set of hardware-dropped
-// packets races the packet stream exactly as on real hardware.
-// --check-reproducible is therefore an inline-mode gate (the sharded
-// equivalent — scheduling-independence with FDIR off — is proved by
-// tests/scap/shard_conservation_test.cpp).
+// on the shard-aggregated stats. The single-threaded allocator fault points
+// stay off in that mode (the per-point rng stream is not worker-safe), but
+// --mc-faults arms the *keyed* sharded-datapath points (DESIGN.md §13):
+// kRingPush forces admission sheds on a deterministic schedule, and
+// kWorkerStall parks one shard's worker (shard seed % workers) so the
+// watchdog must detect it and the degrade policy must shed its traffic
+// while the other shards keep capturing. Keyed decisions are pure functions
+// of (seed, point, shard, ordinal), so an --mc-faults run with FDIR off is
+// bit-reproducible — with --check-reproducible, FDIR is disabled
+// automatically in sharded mode (a worker's install command reaches the
+// NIC when the producer next services the queue, so hardware drops race
+// the packet stream exactly as on real hardware). --ring-high-wm /
+// --ring-low-wm additionally enable watermark ring admission; occupancy is
+// scheduling-dependent, so those runs gate on invariants, not on
+// bit-reproducibility.
 //
-// Usage: chaos_run [--seed S] [--packets N] [--workers N]
+// Usage: chaos_run [--seed S] [--packets N] [--workers N] [--mc-faults]
+//                  [--ring-high-wm PCT] [--ring-low-wm PCT]
 //                  [--check-reproducible] [--check-invariants]
 //                  [--trace-out FILE]
 #include <cinttypes>
@@ -62,6 +69,9 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint64_t packets = 20000;
   int workers = 0;  // 0 = inline; N = sharded datapath with N workers
+  bool mc_faults = false;   // arm keyed ring/stall faults (sharded mode)
+  int ring_high_wm = 0;     // watermark admission, % of ring capacity
+  int ring_low_wm = 0;
   bool check_reproducible = false;
   bool check_invariants = false;
   std::string trace_out;  // write the binary trace here (empty = don't)
@@ -80,12 +90,35 @@ std::string run_once(const Options& opt, bool& ok) {
   ok = true;
 
   // Small memory so the adversarial load actually reaches the overload and
-  // exhaustion paths it is meant to exercise.
-  Capture cap("chaos0", 80 * 1024,
+  // exhaustion paths it is meant to exercise. Exception: the sharded
+  // bit-reproducibility gate runs unstarved — chunk memory is released on
+  // worker batch boundaries, so under pressure the nomem/PPL-adaptive
+  // verdicts depend on scheduling, not on the input trace (the same edge
+  // the shard-conservation Exact suite removes). The starved sharded paths
+  // stay covered by the watermark variant, which gates on the conservation
+  // suite instead.
+  const bool mc_repro = opt.workers > 0 && opt.check_reproducible;
+  Capture cap("chaos0", mc_repro ? (64ull << 20) : 80 * 1024,
               scap::kernel::ReassemblyMode::kTcpStrict,
               /*need_pkts=*/false);
   cap.set_worker_threads(opt.workers);
-  cap.set_use_fdir(true);
+  // Sharded FDIR commands drain through the MPSC queue on the producer's
+  // schedule, so the hardware-dropped set races the packet stream; the
+  // reproducibility gate needs it off in sharded mode.
+  cap.set_use_fdir(!(opt.workers > 0 && opt.check_reproducible));
+  if (opt.workers > 0) {
+    if (opt.ring_high_wm > 0) {
+      cap.set_parameter(Parameter::kRingHighWatermarkPct, opt.ring_high_wm);
+      cap.set_parameter(Parameter::kRingLowWatermarkPct, opt.ring_low_wm);
+    }
+    if (opt.mc_faults) {
+      // A parked worker must be detected within this (simulated) deadline
+      // and degraded — the other shards keep capturing, its traffic lands
+      // in ring_stall_shed_*.
+      cap.set_parameter(Parameter::kStallTimeoutMs, 5);
+      cap.set_parameter(Parameter::kStallPolicy, 1);  // degrade
+    }
+  }
   cap.set_defragment(true);
   // Cutoffs trip after two chunks -> FDIR installs (and their injected
   // faults), while streams still hold blocks long enough that memory
@@ -110,10 +143,20 @@ std::string run_once(const Options& opt, bool& ok) {
 
   InjectionPlan plan;
   plan.seed = opt.seed;
-  plan.at(FaultPoint::kRecordPoolAcquire).probability = 0.01;
-  plan.at(FaultPoint::kChunkAlloc).probability = 0.02;
-  plan.at(FaultPoint::kSegmentStoreInsert).probability = 0.02;
-  plan.at(FaultPoint::kFdirAdd).probability = 0.05;
+  if (opt.workers == 0) {
+    plan.at(FaultPoint::kRecordPoolAcquire).probability = 0.01;
+    plan.at(FaultPoint::kChunkAlloc).probability = 0.02;
+    plan.at(FaultPoint::kSegmentStoreInsert).probability = 0.02;
+    plan.at(FaultPoint::kFdirAdd).probability = 0.05;
+  } else if (opt.mc_faults) {
+    // Keyed points only: their verdicts hash (seed, point, shard, ordinal),
+    // so they are safe — and deterministic — under worker concurrency.
+    plan.at(FaultPoint::kRingPush).probability = 0.01;
+    plan.at(FaultPoint::kWorkerStall).every_n = 1;
+    plan.at(FaultPoint::kWorkerStall).only_key =
+        static_cast<std::int64_t>(opt.seed % static_cast<std::uint64_t>(
+                                                 opt.workers));
+  }
   FaultInjector injector(plan);
 
   AdversaryConfig acfg;
@@ -129,12 +172,16 @@ std::string run_once(const Options& opt, bool& ok) {
   // below feed the reproducibility gate and the trace conservation laws
   // checked by --check-invariants.
   cap.enable_tracing(1 << 14);
-  cap.start();
   {
-    // Fault injection only in inline mode: the FaultScope global is not
-    // worker-safe (see header comment).
+    // Inline mode arms the allocator points; sharded mode installs the
+    // scope only for the keyed ring/stall points (--mc-faults), whose
+    // decisions are interleaving-independent (see header comment). The
+    // scope must be installed before start(): sharded workers consult
+    // kWorkerStall at thread entry, and racing the installation would make
+    // the victim set nondeterministic.
     std::optional<FaultScope> scope;
-    if (opt.workers == 0) scope.emplace(injector);
+    if (opt.workers == 0 || opt.mc_faults) scope.emplace(injector);
+    cap.start();
     for (std::uint64_t i = 0; i < opt.packets; ++i) {
       cap.inject(gen.next());
       if (opt.check_invariants && (i + 1) % 1000 == 0) {
@@ -198,6 +245,17 @@ std::string run_once(const Options& opt, bool& ok) {
   append(report, "streams_terminated", k.streams_terminated);
   append(report, "streams_evicted", k.streams_evicted);
   append(report, "streams_rebalanced", k.streams_rebalanced);
+  // Sharded-datapath robustness counters (all zero inline). The occupancy
+  // peak measures how far the consumers lagged — a scheduling artifact, so
+  // it is reported only outside the bit-reproducibility comparison.
+  append(report, "ring_shed_pkts", k.ring_shed_pkts);
+  append(report, "ring_shed_bytes", k.ring_shed_bytes);
+  append(report, "ring_stall_shed_pkts", k.ring_stall_shed_pkts);
+  append(report, "ring_stall_shed_bytes", k.ring_stall_shed_bytes);
+  append(report, "worker_stalls", k.worker_stalls);
+  if (!opt.check_reproducible) {
+    append(report, "ring_occupancy_peak", k.ring_occupancy_peak);
+  }
   append(report, "streams_active", k.streams_active);
   append(report, "events_emitted", k.events_emitted);
   append(report, "chunks_delivered", k.chunks_delivered);
@@ -263,6 +321,10 @@ std::string run_once(const Options& opt, bool& ok) {
         const scap::trace::Tracer* st = cap.shards()->tracer(i);
         if (st != nullptr) n += st->recorded_of(t);
       }
+      // Ring sheds and stall declarations are producer-side events; they
+      // live on the shards' producer tracer, not on any shard kernel's.
+      const scap::trace::Tracer* pt = cap.shards()->producer_tracer();
+      if (pt != nullptr) n += pt->recorded_of(t);
     }
     return n;
   };
@@ -284,6 +346,15 @@ std::string run_once(const Options& opt, bool& ok) {
   for (const auto& h : hists) {
     const std::string key = std::string("hist.") + h.name;
     append(report, (key + ".total").c_str(), h.hist->total());
+    // Sharded mode: the queue-occupancy samples measure how many events
+    // piled up since the worker's last batch drain, i.e. consumer lag —
+    // a scheduling artifact like ring_occupancy_peak. The sample *count*
+    // stays deterministic (one per queue per tick), so only the bucket
+    // distribution is kept out of the bit-reproducibility comparison.
+    if (opt.workers > 0 && opt.check_reproducible &&
+        std::strcmp(h.name, "queue_occupancy") == 0) {
+      continue;
+    }
     for (std::size_t b = 0; b < scap::trace::Log2Histogram::kBuckets; ++b) {
       if (h.hist->count(b) == 0) continue;
       append(report, (key + ".b" + std::to_string(b)).c_str(),
@@ -327,6 +398,32 @@ std::string run_once(const Options& opt, bool& ok) {
                  k.fdir_install_failures);
     ok = false;
   }
+  // Every forced admission fault must surface as a counted shed, and every
+  // injected worker stall must have been detected by the watchdog.
+  if (injector.injected(FaultPoint::kRingPush) > k.ring_shed_pkts) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION: %" PRIu64
+                 " ring-push faults injected but only %" PRIu64
+                 " packets shed\n",
+                 injector.injected(FaultPoint::kRingPush), k.ring_shed_pkts);
+    ok = false;
+  }
+  if (injector.injected(FaultPoint::kWorkerStall) > k.worker_stalls) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION: %" PRIu64
+                 " worker stalls injected but only %" PRIu64
+                 " detected by the watchdog\n",
+                 injector.injected(FaultPoint::kWorkerStall),
+                 k.worker_stalls);
+    ok = false;
+  }
+  if (injector.injected(FaultPoint::kWorkerStall) > 0 &&
+      k.ring_stall_shed_pkts == 0) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATION: a worker stalled but no traffic was "
+                 "shed into ring_stall_shed_*\n");
+    ok = false;
+  }
   return report;
 }
 
@@ -341,6 +438,12 @@ int main(int argc, char** argv) {
       opt.packets = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       opt.workers = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+    } else if (std::strcmp(argv[i], "--mc-faults") == 0) {
+      opt.mc_faults = true;
+    } else if (std::strcmp(argv[i], "--ring-high-wm") == 0 && i + 1 < argc) {
+      opt.ring_high_wm = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+    } else if (std::strcmp(argv[i], "--ring-low-wm") == 0 && i + 1 < argc) {
+      opt.ring_low_wm = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
     } else if (std::strcmp(argv[i], "--check-reproducible") == 0) {
       opt.check_reproducible = true;
     } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
@@ -350,6 +453,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: chaos_run [--seed S] [--packets N] [--workers N] "
+                   "[--mc-faults] [--ring-high-wm PCT] [--ring-low-wm PCT] "
                    "[--check-reproducible] [--check-invariants] "
                    "[--trace-out FILE]\n");
       return 2;

@@ -108,6 +108,9 @@ REQUIRED_GUARDS = {
         # is pinned to the producer mutex instead.
         "last_tick_": "SCAP_GUARDED_BY",
         "rx_queues_": "SCAP_GUARDED_BY",
+        # Ring admission / watchdog knobs: written by set_parameter before
+        # start(), read when start() translates them to shard options.
+        "ring_policy_": "SCAP_GUARDED_BY",
     },
     "scap::kernel::ScapKernel": {
         "nic_": "SCAP_PT_GUARDED_BY",
@@ -115,6 +118,9 @@ REQUIRED_GUARDS = {
     },
     "scap::kernel::KernelShards": {
         "pushed_": "SCAP_GUARDED_BY",
+        # Watchdog heartbeats + admission hysteresis are producer-private
+        # state, pinned to the producer serial domain like the push counts.
+        "watchdog_": "SCAP_GUARDED_BY",
     },
     "scap::kernel::KernelShards::Shard": {
         "snapshot": "SCAP_GUARDED_BY",
