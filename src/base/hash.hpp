@@ -14,11 +14,13 @@
 #include <cstdint>
 #include <span>
 
+#include "base/hotpath.hpp"
+
 namespace scap {
 
 /// Seeded FNV-1a over arbitrary bytes.
-std::uint64_t fnv1a(std::span<const std::byte> data,
-                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+SCAP_HOT std::uint64_t fnv1a(std::span<const std::byte> data,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL);
 
 /// Convenience overload for trivially-copyable keys.
 template <typename T>
@@ -40,7 +42,8 @@ RssKey symmetric_rss_key(std::uint16_t lane = 0x6d5a);
 
 /// Toeplitz hash over `input` with the given key. Input is at most 36 bytes
 /// for the IPv4 4-tuple case; we support any input that fits the key window.
-std::uint32_t toeplitz_hash(const RssKey& key, std::span<const std::uint8_t> input);
+SCAP_HOT std::uint32_t toeplitz_hash(const RssKey& key,
+                                     std::span<const std::uint8_t> input);
 
 /// Mix a 64-bit value (splitmix64 finalizer); used to derive per-run seeds.
 constexpr std::uint64_t mix64(std::uint64_t z) {

@@ -1,0 +1,37 @@
+// SCAP_HOT / SCAP_COLD — the datapath purity lattice (DESIGN.md §14).
+//
+// SCAP_HOT marks a function as a *root of the per-packet path*: everything
+// transitively reachable from it must be allocation-, lock-, syscall-,
+// throw- and recursion-free. SCAP_COLD marks a function as explicitly off
+// that path: the analyzer never descends into it, and a call from the hot
+// closure into a SCAP_COLD function is itself a finding (rule
+// hot-cold-call) unless the call edge carries a reasoned waiver — which is
+// how amortized work (maintenance ticks, per-batch snapshot publishes) is
+// admitted deliberately instead of leaking in silently.
+//
+// The whole-program checker is tools/scap_callgraph.py: it extracts the
+// intra-project call graph (member calls, FunctionRef/std::function
+// callback registration, lambdas charged to their lexical owner), computes
+// the transitive closure from every SCAP_HOT root, and reports each
+// reachable forbidden operation with its full witness call chain, e.g.
+//
+//   handle_batch -> SegmentStore::insert -> std::map::emplace
+//
+// Placement: either side works, but put the macro at the FRONT of the
+// declaration (attribute position), on the declaration the callers see:
+//
+//   SCAP_HOT PacketOutcome handle_packet(const Packet&, Timestamp, int);
+//
+// On clang the macro carries a [[clang::annotate]] attribute the libclang
+// frontend reads; on other compilers it expands to nothing and the
+// analyzer's text frontend finds the token itself, so the gate does not
+// depend on which compiler built the tree.
+#pragma once
+
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif

@@ -12,8 +12,8 @@
 // in inline mode where single-threadedness is the serialization.
 #pragma once
 
-#include <condition_variable>  // scap-lint: allow(mutex-discipline) the one
-                               // place raw primitives may live (the wrappers)
+#include <condition_variable>  // the one place raw primitives may live (the
+                               // wrappers); mutex-discipline exempts this file
 #include <mutex>
 
 #include "base/thread_annotations.hpp"

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/hotpath.hpp"
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 
@@ -125,7 +126,7 @@ class SpscRing {
   /// the shard producer spins so no packet is ever lost to the handoff).
   /// On failure the value is NOT consumed: a retry loop can keep the same
   /// object and move it in once space frees up.
-  bool try_push(T&& value) SCAP_REQUIRES(producer_) {
+  SCAP_HOT bool try_push(T&& value) SCAP_REQUIRES(producer_) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ > mask_) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -135,12 +136,13 @@ class SpscRing {
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
-  bool try_push(const T& value) SCAP_REQUIRES(producer_) {
+  SCAP_HOT bool try_push(const T& value) SCAP_REQUIRES(producer_) {
+    // scap-lint: allow(hot-recursion) overload delegation (callgraph merges overloads by name)
     return try_push(T(value));
   }
 
   /// Consumer: pop one element.
-  std::optional<T> try_pop() SCAP_REQUIRES(consumer_) {
+  SCAP_HOT std::optional<T> try_pop() SCAP_REQUIRES(consumer_) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -154,7 +156,7 @@ class SpscRing {
   /// Consumer: pop up to out.size() elements in one acquire (the batched
   /// ingest handoff — one cross-core synchronization per batch, feeding
   /// ScapKernel::handle_batch's prefetching loop). Returns elements popped.
-  std::size_t pop_batch(std::span<T> out) SCAP_REQUIRES(consumer_) {
+  SCAP_HOT std::size_t pop_batch(std::span<T> out) SCAP_REQUIRES(consumer_) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     std::uint64_t avail = cached_tail_ - head;
     if (avail == 0) {
@@ -176,7 +178,7 @@ class SpscRing {
   /// consumer can only shrink it concurrently). This is what watermark
   /// admission keys on — a stale-high reading would shed packets the ring
   /// could in fact hold.
-  std::size_t size_from_producer() SCAP_REQUIRES(producer_) {
+  SCAP_HOT std::size_t size_from_producer() SCAP_REQUIRES(producer_) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     cached_head_ = head_.load(std::memory_order_acquire);
     return static_cast<std::size_t>(tail - cached_head_);
@@ -233,7 +235,7 @@ class MpscQueue {
 
   /// Any thread. Returns false when the queue is full (the value is not
   /// consumed on failure).
-  bool try_push(T&& value) {
+  SCAP_HOT bool try_push(T&& value) {
     std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& slot = slots_[static_cast<std::size_t>(tail) & mask_];
@@ -254,7 +256,10 @@ class MpscQueue {
       }
     }
   }
-  bool try_push(const T& value) { return try_push(T(value)); }
+  SCAP_HOT bool try_push(const T& value) {
+    // scap-lint: allow(hot-recursion) overload delegation (callgraph merges overloads by name)
+    return try_push(T(value));
+  }
 
   /// Single consumer only (holds the consumer SerialDomain).
   std::optional<T> try_pop() SCAP_REQUIRES(consumer_) {

@@ -80,11 +80,13 @@ std::optional<Packet> IpDefragmenter::feed(const Packet& pkt, Timestamp now) {
   }
 
   const Key key{ip->src_ip, ip->dst_ip, ip->id, ip->protocol};
+  // scap-lint: allow(hot-alloc) fragment buffering allocates by design, bounded by max_buffered_bytes (DESIGN.md §14 inventory)
   PendingDatagram& dg = pending_[key];
   if (dg.store.empty() && !dg.total_len.has_value()) {
     dg.first_seen = now;
   }
   if (frag_off == 0) {
+    // scap-lint: allow(hot-alloc) copies the offset-0 IP header once per datagram, <= 60 bytes (DESIGN.md §14 inventory)
     dg.ip_header.assign(frame.begin() + kEthHeaderLen,
                         frame.begin() + static_cast<std::ptrdiff_t>(
                                             kEthHeaderLen + ip_hlen));

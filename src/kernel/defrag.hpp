@@ -18,6 +18,7 @@
 
 #include "base/clock.hpp"
 #include "base/hash.hpp"
+#include "base/hotpath.hpp"
 #include "kernel/segment_store.hpp"
 #include "packet/packet.hpp"
 
@@ -48,7 +49,7 @@ class IpDefragmenter {
   /// For a fragment: nullopt until the datagram completes, then a packet
   /// carrying the fully reassembled IP payload (rebuilt as an unfragmented
   /// frame with the original headers).
-  std::optional<Packet> feed(const Packet& pkt, Timestamp now);
+  SCAP_HOT std::optional<Packet> feed(const Packet& pkt, Timestamp now);
 
   /// Expire incomplete datagrams older than the timeout.
   void expire(Timestamp now);

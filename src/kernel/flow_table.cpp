@@ -61,6 +61,7 @@ void FlowTable::insert_slot(StreamRecord* rec, std::uint64_t hash) {
 void FlowTable::grow_tuple_table() {
   std::vector<Slot> old = std::move(slots_);
   const std::size_t cap = (mask_ + 1) * 2;
+  // scap-lint: allow(hot-alloc) doubling table growth, amortized O(1) per create and absent at steady-state flow counts (DESIGN.md §14 inventory)
   slots_.assign(cap, Slot{});
   mask_ = cap - 1;
   for (const Slot& s : old) {
@@ -96,6 +97,7 @@ void FlowTable::insert_id(StreamRecord* rec) {
 void FlowTable::grow_id_table() {
   std::vector<StreamRecord*> old = std::move(id_slots_);
   const std::size_t cap = (id_mask_ + 1) * 2;
+  // scap-lint: allow(hot-alloc) doubling table growth, amortized O(1) per create and absent at steady-state flow counts (DESIGN.md §14 inventory)
   id_slots_.assign(cap, nullptr);
   id_mask_ = cap - 1;
   for (StreamRecord* rec : old) {

@@ -29,6 +29,7 @@
 
 #include "base/function_ref.hpp"
 #include "base/hash.hpp"
+#include "base/hotpath.hpp"
 #include "kernel/reassembly.hpp"
 #include "kernel/stream.hpp"
 
@@ -99,7 +100,7 @@ class FlowTable {
   ~FlowTable();
 
   /// Find the record for a directional tuple, or nullptr.
-  StreamRecord* find(const FiveTuple& tuple);
+  SCAP_HOT StreamRecord* find(const FiveTuple& tuple);
 
   /// Create a record for a tuple. If the budget is exhausted, the least
   /// recently used record is evicted first and handed to `on_evict`.
@@ -114,7 +115,7 @@ class FlowTable {
   StreamRecord* by_id(StreamId id);
 
   /// Move to the front of the access list and update last_access.
-  void touch(StreamRecord& rec, Timestamp now);
+  SCAP_HOT void touch(StreamRecord& rec, Timestamp now);
 
   /// Remove a record (termination). Invalidates the pointer.
   void remove(StreamRecord& rec);
@@ -131,7 +132,7 @@ class FlowTable {
   StreamRecord* oldest() { return lru_tail_; }
 
   /// Seeded hash of a tuple — the value cached in slots and records.
-  std::uint64_t hash_of(const FiveTuple& t) const {
+  SCAP_HOT std::uint64_t hash_of(const FiveTuple& t) const {
     // Field-wise hashing: hashing the struct's raw bytes would include
     // indeterminate padding.
     std::uint64_t h = mix64(seed_ ^ t.src_ip);
@@ -143,7 +144,7 @@ class FlowTable {
 
   /// Prefetch the probe window for a tuple hash (batched ingest runs this
   /// a couple of packets ahead of the lookup).
-  void prefetch(std::uint64_t hash) const {
+  SCAP_HOT void prefetch(std::uint64_t hash) const {
 #if defined(__GNUC__) || defined(__clang__)
     __builtin_prefetch(&slots_[hash & mask_]);
 #else

@@ -11,6 +11,7 @@ std::vector<std::uint64_t>& ChunkAllocator::free_list(std::uint32_t size) {
       free_lists_.begin(), free_lists_.end(), size,
       [](const auto& entry, std::uint32_t s) { return entry.first < s; });
   if (it == free_lists_.end() || it->first != size) {
+    // scap-lint: allow(hot-alloc) one free-list entry per distinct chunk size ever seen (a handful per config), never per packet (DESIGN.md §14 inventory)
     it = free_lists_.emplace(it, size, std::vector<std::uint64_t>{});
   }
   return it->second;

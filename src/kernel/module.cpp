@@ -577,9 +577,11 @@ StreamRecord* ScapKernel::lookup_or_create(const Packet& pkt, Timestamp now,
   if (rec->reasm) {
     rec->reasm->reset(rec->params, config_.need_pkts);
   } else {
-    rec->reasm =
-        std::make_unique<TcpReassembler>(rec->params, config_.need_pkts);
+    // scap-lint: allow(hot-alloc) one reassembler per record slot, first use only — recycled records reset in place (ROADMAP item 2: move into the record pool slab)
+    rec->reasm = std::make_unique<TcpReassembler>(
+        rec->params, config_.need_pkts);
   }
+  // scap-lint: allow(hot-alloc) flush-watch set grows only for streams configured with flush timeouts (DESIGN.md §14 inventory)
   if (rec->params.flush_timeout > Duration(0)) flush_watch_.insert(rec->id);
 
   maybe_rebalance(*rec, now);
@@ -740,6 +742,7 @@ void ScapKernel::handle_payload(StreamRecord& rec, const Packet& pkt,
 PacketOutcome ScapKernel::handle_packet(const Packet& pkt, Timestamp now,
                                         int core) {
   if (now - last_maintenance_ >= config_.expiry_interval) {
+    // scap-lint: allow(hot-cold-call) amortized maintenance tick: at most once per expiry_interval, not per packet
     run_maintenance(now);
   }
   const PacketOutcome out = handle_one(pkt, now, core);
@@ -755,6 +758,7 @@ PacketOutcome ScapKernel::handle_batch(std::span<const Packet> pkts,
                                        std::span<PacketOutcome> outcomes) {
   // One maintenance-timer check per batch instead of per packet.
   if (now - last_maintenance_ >= config_.expiry_interval) {
+    // scap-lint: allow(hot-cold-call) amortized maintenance tick: at most once per expiry_interval, not per batch element
     run_maintenance(now);
   }
   PacketOutcome total;

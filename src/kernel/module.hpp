@@ -20,6 +20,7 @@
 
 #include "base/assert.hpp"
 #include "base/clock.hpp"
+#include "base/hotpath.hpp"
 #include "base/mutex.hpp"
 #include "base/ring.hpp"
 #include "kernel/defrag.hpp"
@@ -271,8 +272,8 @@ class ScapKernel {
   }
 
   /// Process one packet in softirq context on `core`.
-  PacketOutcome handle_packet(const Packet& pkt, Timestamp now, int core = 0)
-      SCAP_REQUIRES(serial_);
+  SCAP_HOT PacketOutcome handle_packet(const Packet& pkt, Timestamp now,
+                                       int core = 0) SCAP_REQUIRES(serial_);
 
   /// Batched ingest: process `pkts` on `core`, amortizing the maintenance
   /// check (run once, at `now`) and prefetching each packet's flow-table
@@ -282,18 +283,18 @@ class ScapKernel {
   /// aggregates the batch (verdict = last packet's, counters summed).
   /// handle_batch({&pkt, 1}, now, core) is behaviourally identical to
   /// handle_packet(pkt, now, core) when now == pkt.timestamp().
-  PacketOutcome handle_batch(std::span<const Packet> pkts, Timestamp now,
-                             int core = 0,
-                             std::span<PacketOutcome> outcomes = {})
+  SCAP_HOT PacketOutcome handle_batch(std::span<const Packet> pkts,
+                                      Timestamp now, int core = 0,
+                                      std::span<PacketOutcome> outcomes = {})
       SCAP_REQUIRES(serial_);
 
   /// Run the periodic maintenance pass (inactivity expiry, FDIR timeout
   /// service, flush timeouts). Called automatically from handle_packet every
   /// expiry_interval; exposed for drivers that need explicit control.
-  void run_maintenance(Timestamp now) SCAP_REQUIRES(serial_);
+  SCAP_COLD void run_maintenance(Timestamp now) SCAP_REQUIRES(serial_);
 
   /// Flush + terminate every remaining stream (end of capture).
-  void terminate_all(Timestamp now) SCAP_REQUIRES(serial_);
+  SCAP_COLD void terminate_all(Timestamp now) SCAP_REQUIRES(serial_);
 
   /// Event access (per core). The queues are the worker handoff point: in
   /// threaded mode workers pop them under the same serialization the
@@ -328,7 +329,7 @@ class ScapKernel {
   /// hold, else the first violation. Always compiled; the SCAP_INVARIANT
   /// wiring in run_maintenance()/terminate_all() makes it fatal in
   /// Debug/test builds and a no-op in Release.
-  std::string check_invariants() const SCAP_REQUIRES(serial_);
+  SCAP_COLD std::string check_invariants() const SCAP_REQUIRES(serial_);
 
   /// Attach the event tracer (DESIGN.md §10). Must happen before the first
   /// packet: the tracer's event counts double as conservation counters

@@ -37,6 +37,7 @@
 #include <cstdint>
 
 #include "base/clock.hpp"
+#include "base/hotpath.hpp"
 #include "trace/trace.hpp"
 
 namespace scap::kernel {
@@ -83,8 +84,8 @@ class Ppl {
   /// `priority`: 0-based level, 0 = lowest (mapped to the 1-based levels of
   ///             the analysis).
   /// `stream_offset`: byte offset of this packet's payload in its stream.
-  PplVerdict admit(double used_fraction, int priority,
-                   std::uint64_t stream_offset) const;
+  SCAP_HOT PplVerdict admit(double used_fraction, int priority,
+                            std::uint64_t stream_offset) const;
 
   /// Feed one memory-pressure sample to the adaptive controller (no-op when
   /// `adaptive` is off, except for watermark-crossing trace events). Called

@@ -41,11 +41,12 @@ Chunk ChunkBuilder::take_current() {
     Chunk merged = std::move(*retained_);
     retained_.reset();
     merged.errors |= out.errors;
+    // scap-lint: allow(hot-alloc) kept-chunk merge (scap_keep_stream_chunk) copies into the retained buffer; ROADMAP item 2 worklist (DESIGN.md §14 inventory)
     merged.data.insert(merged.data.end(), out.data.begin(), out.data.end());
     const std::uint32_t shift =
         static_cast<std::uint32_t>(merged.data.size() - out.data.size());
     for (auto& rec : out.packets) {
-      rec.chunk_offset += shift;
+      // scap-lint: allow(hot-alloc) per-packet records of a kept chunk, only when need_pkts is on (DESIGN.md §14 inventory)
       merged.packets.push_back(rec);
     }
     return merged;
@@ -59,6 +60,7 @@ void ChunkBuilder::start_next(const Chunk& completed) {
   const std::uint32_t tail =
       std::min<std::uint32_t>(overlap_size_,
                               static_cast<std::uint32_t>(completed.data.size()));
+  // scap-lint: allow(hot-alloc) overlap carry into the next chunk's buffer, whose capacity is retained across chunks (DESIGN.md §14 inventory)
   current_.data.assign(completed.data.end() - tail, completed.data.end());
   current_.overlap_len = tail;
   current_.stream_offset =
@@ -95,8 +97,10 @@ std::vector<Chunk> ChunkBuilder::append(std::span<const std::uint8_t> data,
         rec.wirelen = meta.wire_payload;
         rec.seq = meta.seq_raw + static_cast<std::uint32_t>(consumed);
         rec.tcp_flags = meta.tcp_flags;
+        // scap-lint: allow(hot-alloc) per-packet record append (need_pkts); capacity retained across chunks, ROADMAP item 2 worklist (DESIGN.md §14 inventory)
         current_.packets.push_back(rec);
       }
+      // scap-lint: allow(hot-alloc) THE chunk-payload copy (0.56-0.64 allocs/pkt on reassembly/pipeline): vector growth until chunk_size capacity is reached, then reused; ROADMAP item 2 worklist (DESIGN.md §14 inventory)
       current_.data.insert(current_.data.end(), data.begin() + consumed,
                            data.begin() + consumed + take);
       consumed += take;
@@ -104,6 +108,7 @@ std::vector<Chunk> ChunkBuilder::append(std::span<const std::uint8_t> data,
     if (current_.data.size() >= chunk_size_) {
       Chunk done = take_current();
       start_next(done);
+      // scap-lint: allow(hot-alloc) completed-chunk handoff vector, one element per chunk_size bytes of payload (DESIGN.md §14 inventory)
       completed.push_back(std::move(done));
     }
   }
@@ -170,6 +175,7 @@ void TcpReassembler::deliver(std::span<const std::uint8_t> data,
   auto done = builder_.append(data, meta, next_off_);
   result.accepted_bytes += data.size();
   next_off_ += data.size();
+  // scap-lint: allow(hot-alloc) completed-chunk handoff, one element per finished chunk (DESIGN.md §14 inventory)
   for (auto& c : done) result.completed.push_back(std::move(c));
 }
 
@@ -177,6 +183,7 @@ void TcpReassembler::drain_ooo(const SegmentMeta& meta, Result& result) {
   while (auto run = ooo_.pop_contiguous(next_off_)) {
     auto done = builder_.append(*run, meta, next_off_);
     next_off_ += run->size();
+    // scap-lint: allow(hot-alloc) completed-chunk handoff when a hole fills (strict mode), per chunk not per packet (DESIGN.md §14 inventory)
     for (auto& c : done) result.completed.push_back(std::move(c));
   }
 }
@@ -200,6 +207,7 @@ void TcpReassembler::force_deliver_ooo(const SegmentMeta& meta,
     }
     auto done = builder_.append(bytes, meta, next_off_);
     next_off_ += bytes.size();
+    // scap-lint: allow(hot-alloc) completed-chunk handoff on OOO-buffer overflow degrade, per chunk not per packet (DESIGN.md §14 inventory)
     for (auto& c : done) result.completed.push_back(std::move(c));
   }
 }
@@ -314,10 +322,12 @@ std::vector<Chunk> TcpReassembler::flush(std::uint32_t error_bits) {
       }
       auto done = builder_.append(bytes, meta, next_off_);
       next_off_ += bytes.size();
+      // scap-lint: allow(hot-alloc) flush path: completed-chunk handoff, runs at termination/flush-timeout not per packet (DESIGN.md §14 inventory)
       for (auto& c : done) out.push_back(std::move(c));
     }
   }
   if (error_bits) builder_.flag_error(error_bits);
+  // scap-lint: allow(hot-alloc) flush path: final partial chunk handoff (DESIGN.md §14 inventory)
   if (auto last = builder_.flush()) out.push_back(std::move(*last));
   return out;
 }

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "base/hotpath.hpp"
 #include "kernel/segment_store.hpp"
 #include "kernel/stream.hpp"
 
@@ -122,12 +123,13 @@ class TcpReassembler {
   void on_syn(std::uint32_t isn);
 
   /// Process one data segment (TCP path).
-  Result on_data(std::uint32_t seq, std::span<const std::uint8_t> payload,
-                 const SegmentMeta& meta);
+  SCAP_HOT Result on_data(std::uint32_t seq,
+                          std::span<const std::uint8_t> payload,
+                          const SegmentMeta& meta);
 
   /// Process sequenced-less data (UDP path): straight append.
-  Result on_datagram(std::span<const std::uint8_t> payload,
-                     const SegmentMeta& meta);
+  SCAP_HOT Result on_datagram(std::span<const std::uint8_t> payload,
+                              const SegmentMeta& meta);
 
   /// Flush buffered out-of-order data (strict mode) and the partial chunk.
   /// `error_bits` is OR-ed into the final chunk (e.g. at termination).

@@ -57,6 +57,7 @@ SegmentStore::InsertResult SegmentStore::insert(
     if (prev->first + prev->second.size() > off) it = prev;
   }
   while (it != segments_.end() && it->first < end) {
+    // scap-lint: allow(hot-alloc) OOO overlap resolution buffers segments, bounded by max_ooo_bytes / max_buffered_bytes (DESIGN.md §14 inventory)
     overlapping.push_back({it->first, std::move(it->second)});
     bytes_ -= overlapping.back().bytes.size();
     it = segments_.erase(it);
@@ -65,6 +66,7 @@ SegmentStore::InsertResult SegmentStore::insert(
   if (overlapping.empty()) {
     bytes_ += data.size();
     result.new_bytes = data.size();
+    // scap-lint: allow(hot-alloc) OOO segment buffering is the strict-mode trade-off, bounded by max_ooo_bytes; ROADMAP item 2 worklist (DESIGN.md §14 inventory)
     segments_.emplace(off, std::vector<std::uint8_t>(data.begin(), data.end()));
     return result;
   }
@@ -113,6 +115,7 @@ SegmentStore::InsertResult SegmentStore::insert(
   }
 
   bytes_ += merged.size();
+  // scap-lint: allow(hot-alloc) re-inserting the merged overlap run, bounded by max_ooo_bytes (DESIGN.md §14 inventory)
   segments_.emplace(lo, std::move(merged));
   return result;
 }
@@ -127,6 +130,7 @@ std::optional<std::vector<std::uint8_t>> SegmentStore::pop_contiguous(
   // Absorb directly adjacent successors.
   while (it != segments_.end() && it->first == off + run.size()) {
     bytes_ -= it->second.size();
+    // scap-lint: allow(hot-alloc) coalescing adjacent OOO runs on hole fill, bounded by max_ooo_bytes (DESIGN.md §14 inventory)
     run.insert(run.end(), it->second.begin(), it->second.end());
     it = segments_.erase(it);
   }

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/hotpath.hpp"
 #include "base/mutex.hpp"
 #include "base/ring.hpp"
 #include "base/thread_annotations.hpp"
@@ -159,10 +160,10 @@ class KernelShards {
   /// no packet is ever lost to the handoff; with admission enabled the
   /// producer sheds by PPL priority instead of blocking, and the shed is
   /// counted (ring_shed_*) so packet conservation stays exact.
-  void submit(Packet pkt) SCAP_REQUIRES(producer_) {
+  SCAP_HOT void submit(Packet pkt) SCAP_REQUIRES(producer_) {
     submit_to(shard_for(pkt), std::move(pkt));
   }
-  void submit_to(int shard, Packet pkt) SCAP_REQUIRES(producer_);
+  SCAP_HOT void submit_to(int shard, Packet pkt) SCAP_REQUIRES(producer_);
 
   /// Push an in-band maintenance marker at simulated time `now` onto every
   /// shard. Call at a fixed cadence (and before submitting packets with
@@ -173,12 +174,13 @@ class KernelShards {
 
   /// Block until every submitted item has been fully processed (rings
   /// empty and the in-flight worker batches retired).
-  void flush() SCAP_REQUIRES(producer_);
+  SCAP_COLD void flush() SCAP_REQUIRES(producer_);
 
   /// Apply queued FDIR commands to the producer-owned NIC and service
   /// hardware filter expiry. Workers only enqueue; this is the single
   /// consumer of the command queue.
-  void service_fdir(nic::Nic& nic, Timestamp now) SCAP_REQUIRES(producer_);
+  SCAP_COLD void service_fdir(nic::Nic& nic, Timestamp now)
+      SCAP_REQUIRES(producer_);
 
   // --- lifecycle ----------------------------------------------------------
   /// Spawn one worker thread per shard. `drain` may be empty (self-drain).
@@ -192,7 +194,7 @@ class KernelShards {
   /// wait, and any items its ring still holds are drained inline on the
   /// calling thread afterwards, so the in-flight accounting closes exactly
   /// (submitted == consumed + shed is asserted per shard).
-  void stop(Timestamp now) SCAP_REQUIRES(producer_);
+  SCAP_COLD void stop(Timestamp now) SCAP_REQUIRES(producer_);
   bool running() const { return !workers_.empty(); }
 
   /// True once the watchdog declared this shard stalled under policy
@@ -214,7 +216,7 @@ class KernelShards {
   /// Every shard's check_invariants() plus check_conservation on the
   /// aggregate. Quiescent callers only (locks each shard's kernel; do not
   /// call from an event handler). Returns "" when every law holds.
-  std::string check_invariants() const;
+  SCAP_COLD std::string check_invariants() const;
 
   /// Sum of trace events recorded/dropped across the per-shard tracers,
   /// and the merge of their metric registries. Snapshot-based (updated
@@ -287,9 +289,10 @@ class KernelShards {
   void worker_main(std::stop_token st, int shard);
   /// One mutex + serial-domain entry per batch; scratch is the caller's
   /// reusable packet buffer (no per-batch allocation).
-  void process_items(Shard& s, int shard, std::span<ShardItem> items,
-                     std::vector<Packet>& scratch);
-  void push_item(std::size_t shard, ShardItem item) SCAP_REQUIRES(producer_);
+  SCAP_HOT void process_items(Shard& s, int shard, std::span<ShardItem> items,
+                              std::vector<Packet>& scratch);
+  SCAP_HOT void push_item(std::size_t shard, ShardItem item)
+      SCAP_REQUIRES(producer_);
   /// Watermark-ladder admission for a data packet at ring occupancy `occ`.
   /// Returns true when the packet must be shed (does not count it).
   bool admission_sheds(std::size_t shard, const Packet& pkt, std::size_t occ)
@@ -303,7 +306,7 @@ class KernelShards {
   /// plus a bounded real-time grace.
   void check_watchdog(Timestamp now) SCAP_REQUIRES(producer_);
   /// Fire the stall policy for one shard (SCAP_ASSERT or degraded mode).
-  void declare_stall(std::size_t shard, Timestamp now)
+  SCAP_COLD void declare_stall(std::size_t shard, Timestamp now)
       SCAP_REQUIRES(producer_);
   /// 0-based PPL priority of a packet, from config priority classes (first
   /// match wins) falling back to the stream default.
@@ -315,7 +318,7 @@ class KernelShards {
   void fold_producer_counters(KernelStats& into) const;
   /// Re-publish the shard's post-batch snapshot (kernel stats + trace
   /// totals) under snap_mu.
-  void refresh_snapshot(Shard& s) SCAP_REQUIRES(s.kernel.serial());
+  SCAP_COLD void refresh_snapshot(Shard& s) SCAP_REQUIRES(s.kernel.serial());
   void drain_shard(int shard, ScapKernel& k) SCAP_REQUIRES(k.serial());
   void wake(Shard& s);
 

@@ -126,6 +126,7 @@ std::vector<FdirFilter> make_cutoff_filters(const FiveTuple& tuple,
     f.flex_value = flags;
     f.flex_mask = 0x003f;  // the six flag bits
     f.expires = expires;
+    // scap-lint: allow(hot-alloc) per-stream filter install (four filters per cutoff decision), not per packet (DESIGN.md §14 inventory)
     filters.push_back(f);
   }
   return filters;

@@ -35,6 +35,7 @@ int RssEngine::queue_for(const FiveTuple& tuple) const {
 }
 
 int RssEngine::queue_for(const Packet& pkt) const {
+  // scap-lint: allow(hot-recursion) overload delegation (callgraph merges overloads by name)
   return queue_for(pkt.tuple());
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "base/hash.hpp"
+#include "base/hotpath.hpp"
 #include "packet/packet.hpp"
 
 namespace scap::nic {
@@ -16,10 +17,10 @@ class RssEngine {
 
   /// Queue index for this packet. Non-IP / port-less packets hash on the
   /// address pair only (ports zero), as real hardware does for non-TCP/UDP.
-  int queue_for(const Packet& pkt) const;
+  SCAP_HOT int queue_for(const Packet& pkt) const;
 
   /// Queue index for an explicit tuple (used when installing filters).
-  int queue_for(const FiveTuple& tuple) const;
+  SCAP_HOT int queue_for(const FiveTuple& tuple) const;
 
   int num_queues() const { return num_queues_; }
 

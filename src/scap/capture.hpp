@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "base/hotpath.hpp"
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 #include "kernel/module.hpp"
@@ -248,8 +249,12 @@ class Capture {
       SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
   /// Replay a pcap file through the capture in inject_batch-sized batches.
-  /// Returns packets injected.
-  std::uint64_t replay_pcap(const std::string& path)
+  /// Returns packets injected. (inject()/inject_batch() are the *user-API*
+  /// boundary, deliberately outside the SCAP_HOT closure: they throw on
+  /// misuse and take the documented producer/kernel locks. The purity
+  /// lattice anchors kernel-side — ScapKernel::handle_packet/handle_batch
+  /// and the KernelShards submit/worker path, DESIGN.md §14.)
+  SCAP_COLD std::uint64_t replay_pcap(const std::string& path)
       SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
   /// Dispatch pending events on the calling thread. Inline mode only (in
@@ -258,7 +263,7 @@ class Capture {
   std::size_t poll() SCAP_EXCLUDES(kernel_mutex_);
 
   /// Flush all remaining streams, dispatch final events, join workers.
-  void stop() SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
+  SCAP_COLD void stop() SCAP_EXCLUDES(kernel_mutex_, producer_mutex_);
 
   /// Snapshot of kernel + NIC + dispatch counters. Safe to call from a
   /// monitoring thread — and, in sharded mode, from inside a dispatch

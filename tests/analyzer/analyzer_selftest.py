@@ -49,11 +49,39 @@ def collect_expectations(fixtures_dir):
     return expected
 
 
+def validate_expectations(expected, scap_rules):
+    """Harness sanity from the shared registry: an expectation naming an
+    unknown rule would silently never match, and an analyzer rule with no
+    fixture coverage is a rule the self-test cannot catch regressing."""
+    ok = True
+    owned = scap_rules.rules_for("analyzer")
+    valid = set(owned) | {scap_rules.WAIVER_RULE,
+                          scap_rules.STALE_WAIVER_RULE}
+    for name, line, rule in sorted(expected):
+        if rule not in valid:
+            print(f"HARNESS  {name}:{line}: expectation names unknown "
+                  f"rule [{rule}] (see tools/scap_rules.py)")
+            ok = False
+    covered = {rule for _, _, rule in expected}
+    for rule in owned:
+        if rule not in covered:
+            print(f"HARNESS  rule [{rule}] has no fixture expectation — "
+                  "the self-test cannot catch it regressing")
+            ok = False
+    return ok
+
+
 def main():
     here = os.path.dirname(os.path.abspath(__file__))
     root = os.path.dirname(os.path.dirname(here))
     analyzer = os.path.join(root, "tools", "scap_analyzer.py")
     fixtures = os.path.join(here, "fixtures")
+
+    sys.path.insert(0, os.path.join(root, "tools"))
+    import scap_rules
+    expected = collect_expectations(fixtures)
+    if not validate_expectations(expected, scap_rules):
+        return 1
 
     proc = subprocess.run(
         [sys.executable, analyzer, "--fixtures", fixtures, "--json"],
@@ -77,7 +105,6 @@ def main():
         return 1
 
     actual = {(f["file"], f["line"], f["rule"]) for f in findings}
-    expected = collect_expectations(fixtures)
 
     ok = True
     for miss in sorted(expected - actual):

@@ -1,0 +1,46 @@
+// Bad twin for callback-edge tracking: the hot dispatcher invokes a
+// FunctionRef field, and a named handler's address is taken at
+// registration time. The analyzer must fan the indirect call out to the
+// registered-callable pool and keep walking — the allocation hides inside
+// the handler, two indirections away from the SCAP_HOT root.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class A>
+class FunctionRef<R(A)> {
+ public:
+  R operator()(A arg) const;
+};
+
+struct Event {
+  unsigned long id;
+};
+
+inline void log_event(const Event& ev) {
+  unsigned char* copy = new unsigned char[ev.id];  // expect-chain: hot-alloc: Dispatcher::deliver -> log_event -> operator new
+  copy[0] = 1;
+}
+
+class Dispatcher {
+ public:
+  void set_handler(FunctionRef<void(const Event&)> h);
+
+  SCAP_HOT void deliver(const Event& ev) { handler_(ev); }
+
+ private:
+  FunctionRef<void(const Event&)> handler_;
+};
+
+inline void wire(Dispatcher& d) { d.set_handler(&log_event); }
+
+}  // namespace scap

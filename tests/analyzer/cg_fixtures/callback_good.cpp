@@ -1,0 +1,43 @@
+// Good twin for callback-edge tracking: same registration and indirect
+// invocation, but the handler only folds the event into a counter — the
+// pool is walked and found pure, so the closure stays clean.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class A>
+class FunctionRef<R(A)> {
+ public:
+  R operator()(A arg) const;
+};
+
+struct Event {
+  unsigned long id;
+};
+
+inline unsigned long g_event_total = 0;
+
+inline void count_event(const Event& ev) { g_event_total += ev.id; }
+
+class Dispatcher {
+ public:
+  void set_handler(FunctionRef<void(const Event&)> h);
+
+  SCAP_HOT void deliver(const Event& ev) { handler_(ev); }
+
+ private:
+  FunctionRef<void(const Event&)> handler_;
+};
+
+inline void wire(Dispatcher& d) { d.set_handler(&count_event); }
+
+}  // namespace scap

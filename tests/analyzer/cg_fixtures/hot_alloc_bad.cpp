@@ -1,0 +1,45 @@
+// Bad twin for rule hot-alloc: the allocation is three calls below the
+// SCAP_HOT root, invisible to any single-function lint — only the
+// transitive closure walk sees it. Mirrors the real shape that motivated
+// the analyzer: handle_batch -> SegmentStore::insert ->
+// ChunkAllocator::allocate -> operator new. Fixtures are hermetic (no
+// includes) and parsed standalone by both frontends.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap::kernel {
+
+class ChunkAllocator {
+ public:
+  unsigned char* allocate(unsigned long size) {
+    return new unsigned char[size];  // expect-chain: hot-alloc: kernel::Ingest::handle_batch -> kernel::SegmentStore::insert -> kernel::ChunkAllocator::allocate -> operator new
+  }
+};
+
+class SegmentStore {
+ public:
+  void insert(const unsigned char* data, unsigned long len) {
+    unsigned char* chunk = alloc_.allocate(len);
+    for (unsigned long i = 0; i < len; ++i) chunk[i] = data[i];
+  }
+
+ private:
+  ChunkAllocator alloc_;
+};
+
+class Ingest {
+ public:
+  SCAP_HOT void handle_batch(const unsigned char* data, unsigned long len) {
+    store_.insert(data, len);
+  }
+
+ private:
+  SegmentStore store_;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,50 @@
+// Good twin for rule hot-alloc: the same three-level call shape, but the
+// leaf carves chunks out of a preallocated arena with pointer arithmetic —
+// nothing on the path allocates, so the closure walk stays silent.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap::kernel {
+
+class ChunkAllocator {
+ public:
+  unsigned char* allocate(unsigned long size) {
+    if (used_ + size > sizeof(arena_)) return nullptr;
+    unsigned char* chunk = arena_ + used_;
+    used_ += size;
+    return chunk;
+  }
+
+ private:
+  unsigned char arena_[4096];
+  unsigned long used_ = 0;
+};
+
+class SegmentStore {
+ public:
+  void insert(const unsigned char* data, unsigned long len) {
+    unsigned char* chunk = alloc_.allocate(len);
+    if (chunk == nullptr) return;
+    for (unsigned long i = 0; i < len; ++i) chunk[i] = data[i];
+  }
+
+ private:
+  ChunkAllocator alloc_;
+};
+
+class Ingest {
+ public:
+  SCAP_HOT void handle_batch(const unsigned char* data, unsigned long len) {
+    store_.insert(data, len);
+  }
+
+ private:
+  SegmentStore store_;
+};
+
+}  // namespace scap::kernel

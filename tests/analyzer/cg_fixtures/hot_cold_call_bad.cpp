@@ -1,0 +1,35 @@
+// Bad twin for rule hot-cold-call: the SCAP_HOT ingest path calls into a
+// function explicitly annotated SCAP_COLD. Cold functions are traversal
+// barriers — the edge itself is the finding, and crossing it needs an
+// explicit amortization waiver, never silence.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap::kernel {
+
+class Engine {
+ public:
+  SCAP_HOT void handle_packet(unsigned long now) {
+    if (now - last_maintenance_ > 1000) {
+      run_maintenance(now);  // expect-chain: hot-cold-call: kernel::Engine::handle_packet -> kernel::Engine::run_maintenance
+    }
+    ++pkts_seen_;
+  }
+
+  SCAP_COLD void run_maintenance(unsigned long now) {
+    last_maintenance_ = now;
+    expired_ = 0;
+  }
+
+ private:
+  unsigned long pkts_seen_ = 0;
+  unsigned long last_maintenance_ = 0;
+  unsigned long expired_ = 0;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,36 @@
+// Good twin for rule hot-cold-call: the same hot-to-cold edge, made
+// legitimate by a reasoned waiver on the call line — this is exactly how
+// amortized maintenance ticks are blessed in the real tree. The waiver is
+// *used* (it suppresses a live finding), so it is not stale either.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap::kernel {
+
+class Engine {
+ public:
+  SCAP_HOT void handle_packet(unsigned long now) {
+    if (now - last_maintenance_ > 1000) {
+      // scap-lint: allow(hot-cold-call) amortized maintenance tick: at most once per interval, not per packet
+      run_maintenance(now);
+    }
+    ++pkts_seen_;
+  }
+
+  SCAP_COLD void run_maintenance(unsigned long now) {
+    last_maintenance_ = now;
+    expired_ = 0;
+  }
+
+ private:
+  unsigned long pkts_seen_ = 0;
+  unsigned long last_maintenance_ = 0;
+  unsigned long expired_ = 0;
+};
+
+}  // namespace scap::kernel

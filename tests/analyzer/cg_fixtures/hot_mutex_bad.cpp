@@ -1,0 +1,56 @@
+// Bad twin for rule hot-mutex: the hot worker takes a scoped guard whose
+// constructor bottoms out in std::mutex::lock — two project frames deep.
+// The witness chain must thread through the guard constructor, not just
+// flag the lock() wrapper in isolation.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace std {
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+}  // namespace std
+
+namespace scap {
+namespace base {
+
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }  // expect-chain: hot-mutex: Worker::process -> base::MutexLock::MutexLock -> base::Mutex::lock -> std::mutex::lock
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace base
+
+class Worker {
+ public:
+  SCAP_HOT void process(unsigned long item) {
+    base::MutexLock lock(mu_);
+    total_ += item;
+  }
+
+ private:
+  base::Mutex mu_;
+  unsigned long total_ = 0;
+};
+
+}  // namespace scap

@@ -1,0 +1,61 @@
+// Good twin for rule hot-mutex: the mutex and guard still exist, but only
+// the (unannotated) control-plane path takes them — the SCAP_HOT worker
+// touches nothing but its own fields, so the closure from the root never
+// reaches std::mutex::lock.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace std {
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+}  // namespace std
+
+namespace scap {
+namespace base {
+
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace base
+
+class Worker {
+ public:
+  SCAP_HOT void process(unsigned long item) { total_ += item; }
+
+  // Control plane: quiescent callers only, never on the packet path.
+  unsigned long drain() {
+    base::MutexLock lock(mu_);
+    const unsigned long out = total_;
+    total_ = 0;
+    return out;
+  }
+
+ private:
+  base::Mutex mu_;
+  unsigned long total_ = 0;
+};
+
+}  // namespace scap

@@ -1,0 +1,27 @@
+// Bad twin for rule hot-recursion: mutual recursion between two members of
+// the hot closure. Unbounded stack depth is as fatal to the datapath as an
+// allocation; the finding anchors on the back edge that closes the cycle.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+class Walker {
+ public:
+  SCAP_HOT unsigned long descend(const unsigned char* p, unsigned long depth) {
+    if (depth == 0) return 0;
+    return visit(p, depth - 1);
+  }
+
+  unsigned long visit(const unsigned char* p, unsigned long depth) {
+    if (p[0] == 0) return depth;
+    return descend(p + 1, depth);  // expect-chain: hot-recursion: Walker::descend -> Walker::visit -> Walker::descend
+  }
+};
+
+}  // namespace scap

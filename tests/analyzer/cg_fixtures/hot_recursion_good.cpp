@@ -1,0 +1,24 @@
+// Good twin for rule hot-recursion: the same traversal expressed as a
+// bounded loop — constant stack depth, no cycle in the call graph.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+class Walker {
+ public:
+  SCAP_HOT unsigned long descend(const unsigned char* p, unsigned long depth) {
+    while (depth > 0 && p[0] != 0) {
+      ++p;
+      --depth;
+    }
+    return depth;
+  }
+};
+
+}  // namespace scap

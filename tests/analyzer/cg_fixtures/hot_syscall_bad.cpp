@@ -1,0 +1,30 @@
+// Bad twin for rule hot-syscall: a libc sleep buried in a helper the hot
+// root calls. Fixtures may *declare* libc symbols locally; the analyzer
+// must still classify them as external syscalls, not project edges.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+extern "C" int usleep(unsigned usec);
+
+namespace scap {
+
+inline void backoff(unsigned attempt) {
+  if (attempt > 3) {
+    usleep(10);  // expect-chain: hot-syscall: push_item -> backoff -> usleep
+  }
+}
+
+SCAP_HOT inline bool push_item(unsigned long item, unsigned attempt) {
+  if (item == 0) {
+    backoff(attempt);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace scap

@@ -1,0 +1,29 @@
+// Good twin for rule hot-syscall: the backoff spins on a counter the
+// compiler must keep (volatile), never entering the kernel — the closure
+// from the hot root contains no syscall.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+inline void backoff(unsigned attempt) {
+  volatile unsigned spin = 0;
+  for (unsigned i = 0; i < attempt * 64u; ++i) {
+    spin = spin + 1;
+  }
+}
+
+SCAP_HOT inline bool push_item(unsigned long item, unsigned attempt) {
+  if (item == 0) {
+    backoff(attempt);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace scap

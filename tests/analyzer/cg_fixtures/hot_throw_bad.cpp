@@ -1,0 +1,26 @@
+// Bad twin for rule hot-throw: a parse failure raised as an exception on
+// the decode path — stack unwind on the per-packet path is forbidden; the
+// kernel reports malformed packets through verdicts, never throws.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+struct ParseError {};
+
+class Decoder {
+ public:
+  SCAP_HOT int decode(const unsigned char* p, unsigned long len) {
+    if (len < 14) {
+      throw ParseError{};  // expect-chain: hot-throw: Decoder::decode -> throw
+    }
+    return p[12] << 8 | p[13];
+  }
+};
+
+}  // namespace scap

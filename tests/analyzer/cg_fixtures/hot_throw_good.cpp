@@ -1,0 +1,24 @@
+// Good twin for rule hot-throw: the malformed-packet case comes back as a
+// sentinel value the caller folds into a verdict counter — no unwind
+// machinery anywhere in the hot closure.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+class Decoder {
+ public:
+  SCAP_HOT int decode(const unsigned char* p, unsigned long len) {
+    if (len < 14) {
+      return -1;  // malformed: caller counts it under verdicts[invalid]
+    }
+    return p[12] << 8 | p[13];
+  }
+};
+
+}  // namespace scap

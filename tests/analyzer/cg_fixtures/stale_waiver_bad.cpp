@@ -1,0 +1,24 @@
+// Bad twin for rule stale-waiver: the hot-alloc this waiver once excused
+// was rewritten away (the loop sums in place now), but the waiver line
+// survived the refactor. A waiver that suppresses nothing is dead weight
+// that would silently bless a future regression — it must be removed.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+SCAP_HOT inline unsigned long checksum(const unsigned char* p,
+                                       unsigned long n) {
+  unsigned long total = 0;
+  // expect-chain-next-line: stale-waiver: -
+  // scap-lint: allow(hot-alloc) summing used to stage bytes in a scratch vector
+  for (unsigned long i = 0; i < n; ++i) total += p[i];
+  return total;
+}
+
+}  // namespace scap

@@ -1,0 +1,19 @@
+// Good twin for rule stale-waiver: the waiver sits directly above a live
+// hot-alloc finding and suppresses it, so it is *used* — neither the
+// allocation nor the waiver is reported.
+#if defined(__clang__)
+#define SCAP_HOT [[clang::annotate("scap_hot")]]
+#define SCAP_COLD [[clang::annotate("scap_cold")]]
+#else
+#define SCAP_HOT
+#define SCAP_COLD
+#endif
+
+namespace scap {
+
+SCAP_HOT inline unsigned char* stage_bytes(unsigned long n) {
+  // scap-lint: allow(hot-alloc) one-time staging buffer, recycled by the caller for the connection lifetime
+  return new unsigned char[n];
+}
+
+}  // namespace scap

@@ -1,0 +1,20 @@
+// Bad twin for rule stale-waiver: the hot-path allocation this waiver
+// once excused was refactored into plain arithmetic, but the waiver line
+// outlived it. A waiver that suppresses nothing would silently bless the
+// next allocation someone writes on this line — it must be removed.
+namespace scap {
+
+class Counters {
+ public:
+  int bump(int v) {
+    // expect-next-line: stale-waiver
+    // scap-lint: allow(hot-path-alloc) the bump used to stage into a scratch map
+    total_ += v;
+    return total_;
+  }
+
+ private:
+  int total_ = 0;
+};
+
+}  // namespace scap

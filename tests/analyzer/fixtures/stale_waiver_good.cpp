@@ -1,0 +1,14 @@
+// Good twin for rule stale-waiver: the waiver sits on a live hot-path
+// allocation and suppresses it — used waivers are honored, and neither
+// the allocation nor the waiver is reported.
+namespace scap {
+
+class Staging {
+ public:
+  int* grow() {
+    // scap-lint: allow(hot-path-alloc) one-time staging buffer, recycled for the stream lifetime
+    return new int[64];
+  }
+};
+
+}  // namespace scap

@@ -62,7 +62,11 @@ Waivers share scap_lint.py syntax: `// scap-lint: allow(<rule>) <reason>`
 on the offending line or the line above. In --fixtures mode, waivers
 without a reason are findings (rule `waiver`); in repo mode scap_lint.py
 already reports those, so this tool stays silent to keep every violation
-reported exactly once.
+reported exactly once. A waiver naming an analyzer-owned rule (see
+tools/scap_rules.py) that no longer suppresses any finding is reported as
+`stale-waiver` in both modes: dead waivers would silently bless the next
+regression at that line, so they must be deleted when the code they
+excused goes away.
 
 Usage: scap_analyzer.py [--root DIR | --fixtures DIR] [--json] [--list-rules]
 Exit status: 0 clean, 1 findings, 2 error, 77 libclang unavailable (skip).
@@ -76,18 +80,11 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import scap_lint  # shared helpers + waiver syntax
+import scap_rules  # the shared rule registry (ownership + --list-rules)
 
 EXIT_SKIP = 77
 
-RULES = [
-    "hot-path-alloc",
-    "switch-exhaustive",
-    "nondeterminism",
-    "counter-mirror",
-    "mutex-discipline",
-    "guard-coverage",
-    "spsc-discipline",
-]
+RULES = scap_rules.rules_for("analyzer")
 
 # Enums whose switches must stay exhaustive (qualified names).
 WATCHED_ENUMS = (
@@ -204,6 +201,7 @@ class Analyzer:
         self._seen = set()
         self._lines = {}
         self._text = {}
+        self.used_waivers = set()    # (rel, waiver line, rule) that fired
         # counter-mirror state, filled during the walk.
         self.stats_fields = []       # (name, rel, line)
         self.kernel_refs = set()     # member spellings referenced in kernel
@@ -231,9 +229,12 @@ class Analyzer:
         key = (rel, line, rule, message)
         if key in self._seen:
             return
-        if line > 0 and scap_lint.waivers_for(self.lines(abspath),
-                                              line - 1, rule):
-            return
+        if line > 0:
+            wline = scap_lint.waiver_line_for(self.lines(abspath),
+                                              line - 1, rule)
+            if wline is not None:
+                self.used_waivers.add((rel, wline, rule))
+                return
         self._seen.add(key)
         self.findings.append(scap_lint.Finding(rel, line, rule, message))
 
@@ -566,6 +567,26 @@ class Analyzer:
                     self.findings.append(scap_lint.Finding(
                         rel, i + 1, "waiver", "waiver without a reason"))
 
+    def check_stale_waivers(self, files):
+        """A waiver naming an analyzer-owned rule must still suppress a
+        finding. add() records the (file, line, rule) of every waiver
+        that fires; whatever is left over after the walk excuses nothing
+        and must be deleted before it blesses an unrelated regression."""
+        for abspath in files:
+            rel = self.rel(abspath)
+            for i, line in enumerate(self.lines(abspath)):
+                m = scap_lint.WAIVER_RE.search(line)
+                if not m:
+                    continue
+                rule = m.group(1)
+                if scap_rules.owner_of(rule) != "analyzer":
+                    continue  # audited by the tool that owns the rule
+                if (rel, i + 1, rule) not in self.used_waivers:
+                    self.findings.append(scap_lint.Finding(
+                        rel, i + 1, "stale-waiver",
+                        f"waiver for '{rule}' suppresses nothing — the "
+                        "finding it excused is gone; remove the waiver"))
+
 
 def parse_tu(cindex, index, path, args):
     try:
@@ -623,6 +644,7 @@ def main():
             analyzer.walk(tu.cursor)
         analyzer.finish_counter_mirror()
         analyzer.check_fixture_waivers(files)
+        analyzer.check_stale_waivers(files)
     else:
         root = os.path.abspath(args.root)
         if not os.path.isdir(os.path.join(root, "src")):
@@ -640,6 +662,9 @@ def main():
                 return 2
             analyzer.walk(tu.cursor)
         analyzer.finish_counter_mirror()
+        analyzer.check_stale_waivers(
+            [os.path.join(root, rel)
+             for rel in scap_lint.iter_source_files(root, "src")])
 
     findings = sorted(analyzer.findings,
                       key=lambda f: (f.path, f.line, f.rule))

@@ -112,16 +112,24 @@ def read_lines(path):
         return f.read().splitlines()
 
 
-def waivers_for(lines, idx, rule):
-    """True if line idx (0-based) or the line above carries a waiver for
-    `rule`."""
+def waiver_line_for(lines, idx, rule):
+    """1-based line number of the waiver covering line idx (0-based) — on
+    the line itself or the line above — or None. The line number feeds
+    stale-waiver auditing: a waiver that never gets looked up this way
+    suppresses nothing."""
     for j in (idx, idx - 1):
         if j < 0:
             continue
         m = WAIVER_RE.search(lines[j])
         if m and m.group(1) == rule:
-            return True
-    return False
+            return j + 1
+    return None
+
+
+def waivers_for(lines, idx, rule):
+    """True if line idx (0-based) or the line above carries a waiver for
+    `rule`."""
+    return waiver_line_for(lines, idx, rule) is not None
 
 
 FIELD_RE = re.compile(
@@ -259,7 +267,9 @@ def main():
     args = parser.parse_args()
 
     if args.list_rules:
-        print("api-stats-mirror\ntrace-coverage")
+        import scap_rules
+        print("\n".join(scap_rules.rules_for("lint") +
+                        [scap_rules.WAIVER_RULE]))
         return 0
 
     root = os.path.abspath(args.root)
