@@ -46,6 +46,7 @@ Chunk ChunkBuilder::take_current() {
     const std::uint32_t shift =
         static_cast<std::uint32_t>(merged.data.size() - out.data.size());
     for (auto& rec : out.packets) {
+      rec.chunk_offset += shift;
       // scap-lint: allow(hot-alloc) per-packet records of a kept chunk, only when need_pkts is on (DESIGN.md §14 inventory)
       merged.packets.push_back(rec);
     }

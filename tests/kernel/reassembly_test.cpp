@@ -124,6 +124,31 @@ TEST(ChunkBuilder, RetainMergesKeptChunkWithNext) {
   EXPECT_EQ(str_of(done[0].data), "abcdefgh");
 }
 
+TEST(ChunkBuilder, RetainMergeShiftsPacketRecordOffsets) {
+  ChunkBuilder b(4, 0, true);
+  SegmentMeta m1 = meta_at(10, 1000);
+  m1.wire_payload = 4;
+  auto done = b.append(bytes_of("abcd"), m1, 0);
+  ASSERT_EQ(done.size(), 1u);
+  b.retain(std::move(done[0]));
+  // The next chunk completes from two segments; its packet records are
+  // relative to that chunk and must be shifted by the retained prefix.
+  SegmentMeta m2 = meta_at(20, 1004);
+  m2.wire_payload = 2;
+  b.append(bytes_of("ef"), m2, 4);
+  SegmentMeta m3 = meta_at(30, 1006);
+  m3.wire_payload = 2;
+  done = b.append(bytes_of("gh"), m3, 6);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(str_of(done[0].data), "abcdefgh");
+  ASSERT_EQ(done[0].packets.size(), 3u);
+  EXPECT_EQ(done[0].packets[0].chunk_offset, 0u);  // retained chunk's record
+  EXPECT_EQ(done[0].packets[1].chunk_offset, 4u);  // "ef", shifted by prefix
+  EXPECT_EQ(done[0].packets[2].chunk_offset, 6u);  // "gh", shifted by prefix
+  EXPECT_EQ(done[0].packets[1].seq, 1004u);
+  EXPECT_EQ(done[0].packets[2].seq, 1006u);
+}
+
 // --- TcpReassembler: fast mode ----------------------------------------------
 
 TEST(TcpReassemblerFast, InOrderDelivery) {

@@ -97,12 +97,17 @@ TEST(CaptureTest, BpfFilterLimitsStreams) {
 }
 
 TEST(CaptureTest, KeepChunkMergesDeliveries) {
-  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, false);
+  Capture cap("sim0", 1 << 20, ReassemblyMode::kTcpFast, true);
   cap.set_parameter(Parameter::kChunkSize, 8);
   std::vector<std::string> deliveries;
+  std::vector<std::string> payloads;
   bool first = true;
   cap.dispatch_data([&](StreamView& sd) {
     deliveries.emplace_back(sd.data().begin(), sd.data().end());
+    while (const auto* rec = sd.next_packet()) {
+      auto p = sd.packet_payload(*rec);
+      payloads.emplace_back(p.begin(), p.end());
+    }
     if (first) {
       sd.keep_chunk();
       first = false;
@@ -120,6 +125,12 @@ TEST(CaptureTest, KeepChunkMergesDeliveries) {
   ASSERT_GE(deliveries.size(), 2u);
   EXPECT_EQ(deliveries[0], "AAAAAAAA");
   EXPECT_EQ(deliveries[1], "AAAAAAAABBBBBBBB");
+  // Packet records of the merged delivery must resolve to the right bytes:
+  // the second chunk's records are shifted past the retained prefix.
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "AAAAAAAA");  // first delivery (kept chunk)
+  EXPECT_EQ(payloads[1], "AAAAAAAA");  // merged: retained chunk's record
+  EXPECT_EQ(payloads[2], "BBBBBBBB");  // merged: shifted completed-chunk record
   EXPECT_EQ(cap.kernel().allocator().used(), 0u);
 }
 
