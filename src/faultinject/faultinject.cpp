@@ -14,6 +14,7 @@ const char* to_string(FaultPoint p) {
     case FaultPoint::kFdirAdd: return "fdir_add";
     case FaultPoint::kRingPush: return "ring_push";
     case FaultPoint::kWorkerStall: return "worker_stall";
+    case FaultPoint::kWorkerDelay: return "worker_delay";
     case FaultPoint::kCount: break;
   }
   return "unknown";

@@ -13,6 +13,8 @@
 //   kFdirAdd            — NIC filter-table installation (nic/fdir)
 //   kRingPush           — sharded-ring admission (kernel/shard, forces a shed)
 //   kWorkerStall        — shard worker parks before consuming (watchdog prey)
+//   kWorkerDelay        — shard worker naps before a batch (schedule
+//                         perturbation; output must stay bit-identical)
 //
 // Sites consult `should_fail(point)`; with no injector installed that is a
 // single predictable-branch null check, so production paths pay nothing.
@@ -40,6 +42,7 @@ enum class FaultPoint : std::uint8_t {
   kFdirAdd,
   kRingPush,
   kWorkerStall,
+  kWorkerDelay,
   kCount,
 };
 
@@ -130,6 +133,18 @@ inline bool should_fail_keyed(FaultPoint p, std::uint64_t key,
                               std::uint64_t ordinal) {
   FaultInjector* inj = installed();
   return inj != nullptr && inj->roll_keyed(p, key, ordinal);
+}
+
+/// Whether an installed plan can ever fire `p`. Sites whose consult
+/// cadence is itself scheduling-dependent (the per-batch kWorkerDelay
+/// perturbation: batch count varies between correct runs) gate on this so
+/// the per-point `calls` counters in an unarmed run stay reproducible —
+/// chaos_run --check-reproducible bit-compares them.
+inline bool armed(FaultPoint p) {
+  FaultInjector* inj = installed();
+  if (inj == nullptr) return false;
+  const InjectionPlan::Point& cfg = inj->plan().at(p);
+  return cfg.probability > 0.0 || cfg.every_n != 0;
 }
 
 /// RAII installation. Nested scopes restore the previous injector, so a

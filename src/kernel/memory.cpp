@@ -6,15 +6,21 @@
 
 namespace scap::kernel {
 
-std::vector<std::uint64_t>& ChunkAllocator::free_list(std::uint32_t size) {
-  auto it = std::lower_bound(
-      free_lists_.begin(), free_lists_.end(), size,
-      [](const auto& entry, std::uint32_t s) { return entry.first < s; });
-  if (it == free_lists_.end() || it->first != size) {
-    // scap-lint: allow(hot-alloc) one free-list entry per distinct chunk size ever seen (a handful per config), never per packet (DESIGN.md §14 inventory)
-    it = free_lists_.emplace(it, size, std::vector<std::uint64_t>{});
-  }
-  return it->second;
+ChunkAllocator::SizeClass* ChunkAllocator::free_list(std::uint32_t size) {
+  SizeClass* first = free_lists_.data();
+  SizeClass* last = first + num_size_classes_;
+  SizeClass* it = std::lower_bound(
+      first, last, size,
+      [](const SizeClass& entry, std::uint32_t s) { return entry.size < s; });
+  if (it != last && it->size == size) return it;
+  if (num_size_classes_ == kMaxSizeClasses) return nullptr;
+  // Open a new size class by shifting the sorted tail up one fixed-table
+  // slot — element moves within the fixed array, no table growth.
+  std::move_backward(it, last, last + 1);
+  it->size = size;
+  it->naddrs = 0;
+  ++num_size_classes_;
+  return it;
 }
 
 std::optional<std::uint64_t> ChunkAllocator::allocate(std::uint32_t size) {
@@ -31,12 +37,8 @@ std::optional<std::uint64_t> ChunkAllocator::allocate(std::uint32_t size) {
   used_ += size;
   if (used_ > high_water_) high_water_ = used_;
   ++allocations_;
-  auto& fl = free_list(size);
-  if (!fl.empty()) {
-    const std::uint64_t addr = fl.back();
-    fl.pop_back();
-    return addr;
-  }
+  SizeClass* sc = free_list(size);
+  if (sc != nullptr && sc->naddrs > 0) return sc->addrs[--sc->naddrs];
   const std::uint64_t addr = bump_;
   bump_ += size;
   return addr;
@@ -46,12 +48,8 @@ std::uint64_t ChunkAllocator::allocate_forced(std::uint32_t size) {
   used_ += size;
   if (used_ > high_water_) high_water_ = used_;
   ++allocations_;
-  auto& fl = free_list(size);
-  if (!fl.empty()) {
-    const std::uint64_t addr = fl.back();
-    fl.pop_back();
-    return addr;
-  }
+  SizeClass* sc = free_list(size);
+  if (sc != nullptr && sc->naddrs > 0) return sc->addrs[--sc->naddrs];
   const std::uint64_t addr = bump_;
   bump_ += size;
   return addr;
@@ -60,7 +58,10 @@ std::uint64_t ChunkAllocator::allocate_forced(std::uint32_t size) {
 void ChunkAllocator::release(std::uint64_t addr, std::uint32_t size) {
   if (size == 0) return;
   used_ = used_ >= size ? used_ - size : 0;
-  free_list(size).push_back(addr);
+  SizeClass* sc = free_list(size);
+  if (sc != nullptr && sc->naddrs < kRecycleDepth) {
+    sc->addrs[sc->naddrs++] = addr;
+  }
 }
 
 }  // namespace scap::kernel

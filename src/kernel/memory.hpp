@@ -10,10 +10,10 @@
 // behaviour of a real slab-style allocator.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <utility>
-#include <vector>
 
 namespace scap::kernel {
 
@@ -46,11 +46,31 @@ class ChunkAllocator {
   std::uint64_t high_water() const { return high_water_; }
 
  private:
-  /// Free list for one block size, or a fresh one. The segregated lists
-  /// live in a size-sorted flat vector (binary search): allocation is a
-  /// per-chunk operation, and a flat array beats hashing both in lookup
-  /// cost and in determinism (no bucket-order dependence).
-  std::vector<std::uint64_t>& free_list(std::uint32_t size);
+  /// Distinct block sizes a run can recycle. Sizes are config-derived
+  /// (chunk size plus the handful of partial-chunk tails PPL permits), so
+  /// a small fixed table covers every real workload; past it, addresses of
+  /// that size are simply not recycled (bump allocation still serves them)
+  /// rather than growing the table on the per-chunk path.
+  static constexpr std::size_t kMaxSizeClasses = 32;
+
+  /// Recycled addresses retained per size class. Past this depth a
+  /// released address is simply dropped and the size is served from the
+  /// bump cursor again — addresses are virtual, so the only cost is a
+  /// sparser layout for the cache-locality model, never real memory.
+  static constexpr std::size_t kRecycleDepth = 128;
+
+  struct SizeClass {
+    std::uint32_t size = 0;
+    std::size_t naddrs = 0;  // live entries in addrs (LIFO stack)
+    std::array<std::uint64_t, kRecycleDepth> addrs;
+  };
+
+  /// Size class for `size`, creating it in the fixed table if room
+  /// remains; nullptr once the table is full (no recycling then). The
+  /// segregated classes live in a size-sorted flat array (binary search):
+  /// allocation is a per-chunk operation, and a flat array beats hashing
+  /// both in lookup cost and in determinism (no bucket-order dependence).
+  SizeClass* free_list(std::uint32_t size);
 
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
@@ -58,8 +78,8 @@ class ChunkAllocator {
   std::uint64_t allocations_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t high_water_ = 0;
-  std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>>
-      free_lists_;  // sorted by block size
+  std::array<SizeClass, kMaxSizeClasses> free_lists_;  // sorted by size
+  std::size_t num_size_classes_ = 0;
 };
 
 }  // namespace scap::kernel

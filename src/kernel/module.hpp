@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <span>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "base/assert.hpp"
@@ -436,7 +436,10 @@ class ScapKernel {
   // mutable: stats() mirrors pool occupancy into the struct on read.
   mutable KernelStats stats_;
   Timestamp last_maintenance_;
-  std::unordered_set<StreamId> flush_watch_;  // streams with flush timeouts
+  // Ordered by StreamId on purpose: run_maintenance walks this set and the
+  // resulting flush order is observable (chunk events, traces), so it must
+  // be a function of stream identity, not of hash-bucket layout.
+  std::set<StreamId> flush_watch_;  // streams with flush timeouts
   std::vector<std::int64_t> core_streams_;    // active streams per core
   IpDefragmenter defrag_;
   /// Per-core trace rings are recorded into from the serial domain only;

@@ -12,14 +12,14 @@ RecordPool::RecordPool(std::size_t slab_records)
 void RecordPool::grow() {
   // scap-lint: allow(hot-alloc) slab growth: one allocation per slab_records new streams, zero once the pool covers the working set (DESIGN.md §14 inventory)
   auto slab = std::make_unique<StreamRecord[]>(slab_records_);
-  // Reserve for the full pool so release() never reallocates the freelist,
-  // even if every record comes back at once.
-  // scap-lint: allow(hot-alloc) freelist reserve rides the amortized slab growth above
-  free_.reserve((slabs_.size() + 1) * slab_records_);
-  // Hand out low addresses first (freelist is popped from the back).
+  // Size the freelist backing store for the full pool up front, so the
+  // refill below and release() are plain index assignments — the freelist
+  // itself never performs a growth call on the per-stream path.
+  // scap-lint: allow(hot-alloc) freelist resize rides the amortized slab growth above
+  free_.resize((slabs_.size() + 1) * slab_records_);
+  // Hand out low addresses first (the live stack is popped from the top).
   for (std::size_t i = slab_records_; i-- > 0;) {
-    // scap-lint: allow(hot-alloc) within reserved capacity (the reserve above covers the full pool)
-    free_.push_back(&slab[i]);
+    free_[free_count_++] = &slab[i];
   }
   // scap-lint: allow(hot-alloc) slab bookkeeping rides the amortized slab growth
   slabs_.push_back(std::move(slab));
@@ -32,9 +32,8 @@ StreamRecord* RecordPool::acquire() {
     ++acquire_failures_;
     return nullptr;
   }
-  if (free_.empty()) grow();
-  StreamRecord* rec = free_.back();
-  free_.pop_back();
+  if (free_count_ == 0) grow();
+  StreamRecord* rec = free_[--free_count_];
   ++acquired_total_;
   if (rec->reasm) ++recycled_total_;
   // Reset every field to its default, but keep the recycled reassembler
@@ -45,13 +44,14 @@ StreamRecord* RecordPool::acquire() {
   return rec;
 }
 
-// scap-lint: allow(hot-alloc) push_back within reserved capacity: grow() reserves the full pool size up front
-void RecordPool::release(StreamRecord* rec) { free_.push_back(rec); }
+// Index assignment into storage grow() already sized for the full pool:
+// a release can never outrun the capacity it was acquired from.
+void RecordPool::release(StreamRecord* rec) { free_[free_count_++] = rec; }
 
 RecordPoolStats RecordPool::stats() const {
   RecordPoolStats s;
   s.capacity = slabs_.size() * slab_records_;
-  s.free = free_.size();
+  s.free = free_count_;
   s.slabs = slabs_.size();
   s.acquired_total = acquired_total_;
   s.recycled_total = recycled_total_;

@@ -48,7 +48,12 @@ class RecordPool {
 
   std::size_t slab_records_;
   std::vector<std::unique_ptr<StreamRecord[]>> slabs_;
+  /// Freelist as an explicit stack over pre-sized storage: grow() resizes
+  /// `free_` to the full pool, `free_count_` marks the live top. Pushes
+  /// and pops are index assignments, so the per-stream path never grows a
+  /// container.
   std::vector<StreamRecord*> free_;
+  std::size_t free_count_ = 0;
   std::uint64_t acquired_total_ = 0;
   std::uint64_t recycled_total_ = 0;
   std::uint64_t acquire_failures_ = 0;  // injected allocation failures

@@ -1,6 +1,7 @@
 #include "kernel/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
 #include <string>
 #include <utility>
@@ -250,6 +251,7 @@ void KernelShards::declare_stall(std::size_t shard, Timestamp now) {
   const std::uint64_t outstanding =
       pushed_[shard] > done ? pushed_[shard] - done : 0;
   if (producer_tracer_ != nullptr) {
+    // scap-lint: allow(taint-sched) intentional telemetry: the stall event reports worker liveness, which IS schedule state; keyed-stall runs stay reproducible (chaos_smoke_mc)
     SCAP_TRACE_EVENT(
         producer_tracer_.get(), trace::TraceEventType::kWorkerStall,
         static_cast<int>(shard), now, 0,
@@ -385,8 +387,7 @@ void KernelShards::flush() {
       // consumer and drains inline.
       base::SerialGuard consumer(s.ring.consumer());
       std::vector<ShardItem> buf(opts_.batch_size);
-      std::vector<Packet> scratch;
-      scratch.reserve(opts_.batch_size);
+      std::vector<Packet> scratch(opts_.batch_size);
       for (;;) {
         const std::size_t n = s.ring.pop_batch(std::span<ShardItem>(buf));
         if (n == 0) break;
@@ -505,8 +506,10 @@ void KernelShards::worker_main(std::stop_token st, int shard) {
   // This thread is the ring's one consumer for its whole lifetime.
   base::SerialGuard consumer(s.ring.consumer());
   std::vector<ShardItem> buf(opts_.batch_size);
-  std::vector<Packet> scratch;
-  scratch.reserve(opts_.batch_size);
+  // Sized like buf and reused for every batch: process_items() writes
+  // packet runs into it by index, so the worker loop never grows it.
+  std::vector<Packet> scratch(opts_.batch_size);
+  std::uint64_t batches = 0;
   for (;;) {
     const std::size_t n = s.ring.pop_batch(std::span<ShardItem>(buf));
     if (n == 0) {
@@ -516,6 +519,20 @@ void KernelShards::worker_main(std::stop_token st, int shard) {
       s.wake_cv.wait(lock, st, [&s] { return !s.ring.empty_approx(); });
       s.sleeping.store(false, std::memory_order_relaxed);
       continue;
+    }
+    // armed() gate first: this consult runs once per *batch*, and batch
+    // count is scheduling-dependent, so an unconditional roll would leak
+    // schedule state into the injector's `calls` counter (which chaos_run
+    // --check-reproducible bit-compares when the point is unarmed).
+    if (faultinject::armed(faultinject::FaultPoint::kWorkerDelay) &&
+        faultinject::should_fail_keyed(faultinject::FaultPoint::kWorkerDelay,
+                                       static_cast<std::uint64_t>(shard),
+                                       ++batches)) {
+      // Injected scheduling perturbation: nap with the batch already popped
+      // so producer-side occupancy, wakeups and batch boundaries all shift.
+      // The determinism contract says none of that may change normalized
+      // stats or golden traces (tests/scap/schedule_perturbation_test).
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     process_items(s, shard, {buf.data(), n}, scratch);
     s.processed.fetch_add(n, std::memory_order_release);
@@ -534,20 +551,28 @@ void KernelShards::process_items(Shard& s, int shard,
   std::uint64_t pkts = 0;
   while (i < items.size()) {
     if (items[i].kind == ShardItem::Kind::kMaintenance) {
+      // Settle the event queue before the tick so everything it observes —
+      // the maintenance_tick trace event's chunk_bytes, the PPL pressure
+      // sample — is a pure function of the ring prefix, not of where the
+      // scheduler happened to place the batch boundary
+      // (tests/scap/schedule_perturbation_test pins this bit-for-bit).
+      drain_shard(shard, s.kernel);
       // scap-lint: allow(hot-cold-call) in-band maintenance marker: one tick per maintenance interval rides the ring so expiry stays ordered with traffic
       s.kernel.run_maintenance(items[i].ts);
       ++i;
       continue;
     }
-    scratch.clear();
+    // Move the packet run into the preconstructed scratch slots by index
+    // (never a growth call): items fits one pop_batch, which is capped at
+    // batch_size == scratch.size().
+    std::size_t run = 0;
     while (i < items.size() && items[i].kind == ShardItem::Kind::kPacket) {
-      // scap-lint: allow(hot-alloc) reused scratch buffer owned by the worker loop; growth amortizes to zero after the first full batch
-      scratch.push_back(std::move(items[i].pkt));
+      scratch[run++] = std::move(items[i].pkt);
       ++i;
     }
-    s.kernel.handle_batch(std::span<const Packet>(scratch),
-                          scratch.back().timestamp(), /*core=*/0);
-    pkts += scratch.size();
+    s.kernel.handle_batch(std::span<const Packet>(scratch.data(), run),
+                          scratch[run - 1].timestamp(), /*core=*/0);
+    pkts += run;
   }
   // Consumed-packet tally for the in-flight accounting (updated inside the
   // batch's mu section, so invariant checks that hold mu see a consistent
@@ -589,12 +614,22 @@ void KernelShards::fold_shard_shed(KernelStats& into, const Shard& s) {
       s.stall_shed_pkts.load(std::memory_order_relaxed);
   into.ring_stall_shed_bytes +=
       s.stall_shed_bytes.load(std::memory_order_relaxed);
+}
+
+void KernelShards::fold_occupancy_peak(KernelStats& into, const Shard& s) {
+  // The taint witness chain stats_determinism.inc's ring_occupancy_peak
+  // row requires starts at this load: a scheduling-dependent value,
+  // folded into the one field classified kSchedulingDependent.
   const std::uint64_t peak = s.occupancy_peak.load(std::memory_order_relaxed);
   if (peak > into.ring_occupancy_peak) into.ring_occupancy_peak = peak;
 }
 
 void KernelShards::fold_producer_counters(KernelStats& into) const {
-  for (const auto& sp : shards_) fold_shard_shed(into, *sp);
+  for (const auto& sp : shards_) {
+    fold_shard_shed(into, *sp);
+    // scap-lint: allow(taint-sched) discharged: fold_occupancy_peak drains only into ring_occupancy_peak, registry-classified kSchedulingDependent
+    fold_occupancy_peak(into, *sp);
+  }
   into.worker_stalls += worker_stalls_.load(std::memory_order_relaxed);
   // Apply-time FDIR accounting (service_fdir): in queue mode the per-shard
   // kernels no longer count installs/removals, these producer-side tallies
@@ -625,6 +660,8 @@ KernelStats KernelShards::shard_stats(int shard) const {
     out = s.snapshot;
   }
   fold_shard_shed(out, s);
+  // scap-lint: allow(taint-sched) discharged: fold_occupancy_peak drains only into ring_occupancy_peak, registry-classified kSchedulingDependent
+  fold_occupancy_peak(out, s);
   return out;
 }
 

@@ -115,7 +115,9 @@ class KernelShards {
   };
 
   /// Event-drain hook: called on the worker thread after every processed
-  /// batch, and from stop() after terminate_all — always with the shard's
+  /// batch and before every in-band maintenance tick (so the tick observes
+  /// settled chunk accounting — a pure function of the ring prefix, never
+  /// of batch boundaries), and from stop() after terminate_all — always with the shard's
   /// kernel serialized (take a fresh SerialGuard on kernel.serial() inside
   /// the callback; it is a zero-cost re-assertion the analysis needs).
   /// When no hook is installed the shards drain their own event queues and
@@ -311,8 +313,15 @@ class KernelShards {
   /// 0-based PPL priority of a packet, from config priority classes (first
   /// match wins) falling back to the stream default.
   int packet_priority(const Packet& pkt) const;
-  /// Fold one shard's shed/occupancy tallies into a stats snapshot.
+  /// Fold one shard's shed tallies into a stats snapshot. The shed
+  /// decisions are keyed and interleaving-independent (chaos_smoke_mc
+  /// gates that dynamically), so these folds are determinism-clean.
   static void fold_shard_shed(KernelStats& into, const Shard& s);
+  /// Fold the producer-observed ring-depth peak — the one snapshot number
+  /// that is genuinely scheduling-dependent. Kept separate from
+  /// fold_shard_shed so the taint pass (tools/scap_taint.py) sees the
+  /// schedule coupling drain into exactly one registry-classified field.
+  static void fold_occupancy_peak(KernelStats& into, const Shard& s);
   /// Fold every producer-side counter (shed, stalls, apply-time FDIR) into
   /// an aggregate snapshot.
   void fold_producer_counters(KernelStats& into) const;

@@ -1,0 +1,37 @@
+// Runtime/constexpr views over the KernelStats determinism registry
+// (stats_determinism.inc, DESIGN.md §15). Callers that hold a field or
+// histogram *name* — chaos_run's reproducibility report, test harnesses —
+// look its class up here instead of maintaining their own exclusion lists.
+#pragma once
+
+#include <string_view>
+
+namespace scap::kernel {
+
+enum class StatDeterminism {
+  kDeterministic,        // pure function of the input trace + config
+  kShardGeometry,        // worker-count/allocation-pattern dependent
+  kSchedulingDependent,  // thread-interleaving dependent at fixed config
+};
+
+/// Determinism class of a KernelStats field (scalar or array) by name.
+/// Unknown names read as deterministic: a new field that never reaches the
+/// registry is caught by the scap_taint.py stats-registry gate, not here.
+constexpr StatDeterminism stats_field_class(std::string_view name) {
+#define SCAP_STATS_FIELD(field, determinism) \
+  if (name == #field) return StatDeterminism::determinism;
+#define SCAP_STATS_ARRAY(field, determinism) \
+  if (name == #field) return StatDeterminism::determinism;
+#include "kernel/stats_determinism.inc"
+  return StatDeterminism::kDeterministic;
+}
+
+/// Determinism class of a trace::MetricsRegistry histogram by name.
+constexpr StatDeterminism metric_hist_class(std::string_view name) {
+#define SCAP_METRIC_HIST(hist, determinism) \
+  if (name == #hist) return StatDeterminism::determinism;
+#include "kernel/stats_determinism.inc"
+  return StatDeterminism::kDeterministic;
+}
+
+}  // namespace scap::kernel

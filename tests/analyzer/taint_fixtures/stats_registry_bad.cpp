@@ -1,0 +1,27 @@
+// Bad twin for stats-registry: every way the registry can drift from the
+// structs it classifies. The sibling .inc carries the row-level
+// expectations; this file carries the unclassified-member ones.
+typedef unsigned long uint64_t;
+
+namespace scap::kernel {
+
+struct KernelStats {
+  uint64_t seen = 0;
+  uint64_t dropped = 0;  // expect-chain: stats-registry: -
+  uint64_t held[4] = {};
+  uint64_t peak = 0;
+};
+
+struct Log2Histogram {
+  void add(uint64_t) {}
+};
+
+struct MetricsRegistry {
+  Log2Histogram latency;  // expect-chain: stats-registry: -
+};
+
+inline void touch(KernelStats& k) {
+  k.seen += 1;
+}
+
+}  // namespace scap::kernel

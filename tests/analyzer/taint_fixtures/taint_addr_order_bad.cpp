@@ -1,0 +1,46 @@
+// Bad twin for taint-addr-order: both source shapes — a pointer->integer
+// cast and std::unordered_* iteration — reaching Verdict production. The
+// std stub keeps the fixture hermetic for the clang frontend.
+typedef unsigned long uint64_t;
+
+namespace std {
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  value_type* begin() { return &item; }
+  value_type* end() { return &item; }
+  value_type item;
+};
+}  // namespace std
+
+namespace scap::kernel {
+
+enum class Verdict { kStored, kDropped };
+
+class FlowCache {
+ public:
+  uint64_t key_of(const void* p) {
+    return reinterpret_cast<uint64_t>(p);
+  }
+  Verdict classify(const void* p) {
+    if (key_of(p) & 1) return Verdict::kDropped;  // expect-chain: taint-addr-order: src:reinterpret_cast<uint64_t> -> kernel::FlowCache::key_of -> kernel::FlowCache::classify -> sink:Verdict
+    return Verdict::kStored;  // expect-chain: taint-addr-order: src:reinterpret_cast<uint64_t> -> kernel::FlowCache::key_of -> kernel::FlowCache::classify -> sink:Verdict
+  }
+  int pending() {
+    int n = 0;
+    for (auto& kv : table_) n += kv.second;
+    return n;
+  }
+  Verdict sweep() {
+    if (pending() > 0) return Verdict::kDropped;  // expect-chain: taint-addr-order: src:unordered-iteration(table_) -> kernel::FlowCache::pending -> kernel::FlowCache::sweep -> sink:Verdict
+    return Verdict::kStored;  // expect-chain: taint-addr-order: src:unordered-iteration(table_) -> kernel::FlowCache::pending -> kernel::FlowCache::sweep -> sink:Verdict
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+
+}  // namespace scap::kernel

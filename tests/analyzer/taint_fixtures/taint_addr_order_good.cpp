@@ -1,0 +1,22 @@
+// Good twin for taint-addr-order: the one pointer cast is excused by a
+// reasoned source waiver (synthetic, reproducible addresses), which cuts
+// propagation before it can reach the Verdict sink.
+typedef unsigned long uint64_t;
+
+namespace scap::kernel {
+
+enum class Verdict { kStored, kDropped };
+
+class FlowCache {
+ public:
+  uint64_t key_of(const void* p) {
+    // scap-lint: allow(taint-addr-order) keys are slot indices off a bump-allocator base; identical runs place slots identically
+    return reinterpret_cast<uint64_t>(p);
+  }
+  Verdict classify(const void* p) {
+    if (key_of(p) & 1) return Verdict::kDropped;
+    return Verdict::kStored;
+  }
+};
+
+}  // namespace scap::kernel

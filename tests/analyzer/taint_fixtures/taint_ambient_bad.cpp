@@ -1,0 +1,19 @@
+// Bad twin for taint-ambient: getenv-derived config reaching a trace
+// event. The macro stands in for the real SCAP_TRACE_EVENT; the taint
+// arrives through an ordinary call so both frontends see the same edge.
+#define SCAP_TRACE_EVENT(...) (void)0
+
+extern "C" char* getenv(const char*);
+
+namespace scap::trace {
+
+inline int cfg_level() {
+  return getenv("SCAP_LEVEL") != nullptr ? 2 : 1;
+}
+
+inline void tick(long now) {
+  const int level = cfg_level();
+  SCAP_TRACE_EVENT(level, now);  // expect-chain: taint-ambient: src:getenv() -> trace::cfg_level -> trace::tick -> sink:SCAP_TRACE_EVENT
+}
+
+}  // namespace scap::trace

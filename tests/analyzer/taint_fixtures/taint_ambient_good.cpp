@@ -1,0 +1,12 @@
+// Good twin for taint-ambient: configuration is parsed once by the
+// harness and passed in as plain data — the datapath never consults
+// ambient process state itself.
+#define SCAP_TRACE_EVENT(...) (void)0
+
+namespace scap::trace {
+
+inline void tick(long now, int level) {
+  SCAP_TRACE_EVENT(level, now);
+}
+
+}  // namespace scap::trace

@@ -1,0 +1,23 @@
+// Bad twin for the exporter sink: tainted data handed to an exporter
+// entry point (the `exporter` namespace stands in for
+// src/trace/export.cpp / src/export/ipfix.cpp in fixture mode). The
+// finding lands on the call edge into the exporter.
+extern "C" long time(long*);
+
+namespace scap::trace {
+
+namespace exporter {
+inline void write_record(long stamp) {
+  (void)stamp;
+}
+}  // namespace exporter
+
+inline long stamp_now() {
+  return time(nullptr);
+}
+
+inline void flush() {
+  exporter::write_record(stamp_now());  // expect-chain: taint-wallclock: src:time() -> trace::stamp_now -> trace::flush -> sink:exporter-call(write_record)
+}
+
+}  // namespace scap::trace

@@ -1,0 +1,21 @@
+// Bad twin for taint-rng: C-library rand() feeding a KernelStats counter
+// through an intermediate helper.
+typedef unsigned long uint64_t;
+
+extern "C" int rand();
+
+namespace scap::kernel {
+
+struct KernelStats {
+  uint64_t pkts_dup = 0;
+};
+
+inline int jitter() {
+  return rand();
+}
+
+inline void publish(KernelStats& k) {
+  k.pkts_dup += static_cast<uint64_t>(jitter() & 1);  // expect-chain: taint-rng: src:rand() -> kernel::jitter -> kernel::publish -> sink:KernelStats.pkts_dup
+}
+
+}  // namespace scap::kernel

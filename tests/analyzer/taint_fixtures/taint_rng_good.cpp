@@ -1,0 +1,30 @@
+// Good twin for taint-rng: a seeded xorshift generator (the base::Rng
+// pattern) is deterministic — same seed, same sequence — so nothing here
+// is a source.
+typedef unsigned long uint64_t;
+
+namespace scap::kernel {
+
+struct KernelStats {
+  uint64_t pkts_dup = 0;
+};
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : s_(seed) {}
+  uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+
+ private:
+  uint64_t s_;
+};
+
+inline void publish(KernelStats& k, Rng& rng) {
+  k.pkts_dup += rng.next() & 1;
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,72 @@
+// Bad twin for taint-sched: both pinned channel shapes — the SPSC
+// occupancy probe size_from_producer() and the producer-observed
+// occupancy_peak atomic — reaching a stats write and a metric sample.
+typedef unsigned long uint64_t;
+
+namespace scap::kernel {
+
+struct KernelStats {
+  uint64_t pkts_seen = 0;
+};
+
+struct Log2Histogram {
+  void add(uint64_t) {}
+};
+
+struct MetricsRegistry {
+  Log2Histogram queue_depth;
+};
+
+inline MetricsRegistry& metrics() {
+  static MetricsRegistry m;
+  return m;
+}
+
+struct Cell {
+  uint64_t v = 0;
+  uint64_t load() const {
+    return v;
+  }
+};
+
+class Ring {
+ public:
+  uint64_t size_from_producer() {
+    return head_ - tail_;
+  }
+
+ private:
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+};
+
+class Shard {
+ public:
+  bool push() {
+    return ring_.size_from_producer() < 8;
+  }
+  uint64_t peak() {
+    return occupancy_peak.load();
+  }
+
+ private:
+  Ring ring_;
+  Cell occupancy_peak;
+};
+
+class Pipeline {
+ public:
+  void admit(KernelStats& k) {
+    if (shard_.push()) k.pkts_seen += 1;  // expect-chain: taint-sched: src:size_from_producer() -> kernel::Shard::push -> kernel::Pipeline::admit -> sink:KernelStats.pkts_seen
+  }
+  void snapshot(KernelStats& k) {
+    const uint64_t p = shard_.peak();
+    k.pkts_seen += p;  // expect-chain: taint-sched: src:occupancy_peak.load() -> kernel::Shard::peak -> kernel::Pipeline::snapshot -> sink:KernelStats.pkts_seen
+    metrics().queue_depth.add(p);  // expect-chain: taint-sched: src:occupancy_peak.load() -> kernel::Shard::peak -> kernel::Pipeline::snapshot -> sink:metric(queue_depth)
+  }
+
+ private:
+  Shard shard_;
+};
+
+}  // namespace scap::kernel

@@ -1,0 +1,54 @@
+// Good twin for taint-sched — the discharge pattern from the real fold
+// path. fold_peak drains occupancy taint entirely into a field the
+// sibling registry (.inc) classifies kSchedulingDependent: the write is
+// the *witness* for that classification, not a finding, and the reasoned
+// waiver on the call edge stops the taint from leaking into the caller's
+// deterministic writes. The scheduling-dependent histogram sample is
+// likewise permitted by its registry class.
+typedef unsigned long uint64_t;
+
+namespace scap::kernel {
+
+struct KernelStats {
+  uint64_t pkts_seen = 0;
+  uint64_t peak_depth = 0;
+};
+
+struct Log2Histogram {
+  void add(uint64_t) {}
+};
+
+struct MetricsRegistry {
+  Log2Histogram depth_hist;
+};
+
+inline MetricsRegistry& metrics() {
+  static MetricsRegistry m;
+  return m;
+}
+
+struct Cell {
+  uint64_t v = 0;
+  uint64_t load() const {
+    return v;
+  }
+};
+
+class Shard {
+ public:
+  void fold_peak(KernelStats& k) {
+    const uint64_t d = occupancy_peak.load();
+    if (d > k.peak_depth) k.peak_depth = d;
+    metrics().depth_hist.add(d);
+  }
+  void fold(KernelStats& k) {
+    k.pkts_seen += 1;
+    // scap-lint: allow(taint-sched) discharged: fold_peak drains only into peak_depth, registry-classified kSchedulingDependent
+    fold_peak(k);
+  }
+
+ private:
+  Cell occupancy_peak;
+};
+
+}  // namespace scap::kernel

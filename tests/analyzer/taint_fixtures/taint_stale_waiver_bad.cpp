@@ -1,0 +1,19 @@
+// Bad twin for waiver hygiene on taint rules: a waiver whose finding is
+// long gone must be reported stale, and a waiver that does suppress a
+// source but gives no reason is itself a finding.
+extern "C" int rand();
+
+namespace scap {
+
+inline int fixed_seed() {
+  // scap-lint: allow(taint-rng) retired: the rand() call this excused is gone  // expect-chain: stale-waiver: -
+  return 7;
+}
+
+inline int noisy() {
+  // expect-chain-next-line: waiver: -
+  // scap-lint: allow(taint-rng)
+  return rand();
+}
+
+}  // namespace scap

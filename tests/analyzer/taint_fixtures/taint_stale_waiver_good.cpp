@@ -1,0 +1,13 @@
+// Good twin for waiver hygiene: a reasoned waiver that actually
+// suppresses a live source is used, so it is neither stale nor
+// reasonless.
+extern "C" int rand();
+
+namespace scap {
+
+inline int jitter() {
+  // scap-lint: allow(taint-rng) load-generator jitter: shapes synthetic traffic timing, never kernel output
+  return rand();
+}
+
+}  // namespace scap

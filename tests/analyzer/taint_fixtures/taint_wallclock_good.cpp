@@ -1,0 +1,24 @@
+// Good twin for taint-wallclock: the datapath consumes *virtual* time
+// passed in by the caller, and the one real clock read is a bench-only
+// anchor excused by a reasoned source waiver (which cuts propagation and
+// must therefore not be reported stale).
+typedef unsigned long uint64_t;
+
+extern "C" long time(long*);
+
+namespace scap::kernel {
+
+struct KernelStats {
+  uint64_t pkts_seen = 0;
+};
+
+inline void publish(KernelStats& k, long virtual_now) {
+  k.pkts_seen += static_cast<uint64_t>(virtual_now);
+}
+
+inline long bench_anchor() {
+  // scap-lint: allow(taint-wallclock) bench-only anchor: printed by the harness banner, never folded into kernel output
+  return time(nullptr);
+}
+
+}  // namespace scap::kernel

@@ -1,0 +1,189 @@
+// Thread-schedule perturbation determinism (DESIGN.md §15).
+//
+// The static taint gate (tools/scap_taint.py) proves no scheduling-
+// dependent value reaches an observable output; this is its dynamic twin.
+// A seeded adversarial workload replays through the 4-worker sharded
+// datapath twice: once undisturbed, once with FaultPoint::kWorkerDelay
+// napping workers *after* they pop a batch — which shifts producer-side
+// ring occupancy, wakeup timing and every batch boundary. Everything the
+// replay/repro suite compares must not move:
+//
+//   - the normalized shard-aggregate KernelStats at every maintenance
+//     tick (normalization zeroes exactly the fields the determinism
+//     registry classifies kShardGeometry / kSchedulingDependent — the
+//     same derivation shard_conservation_test uses), and
+//   - the per-shard golden trace timelines, byte for byte (event content
+//     is virtual-time driven; only the scheduling-dependent histogram
+//     block is excluded, per its registry class).
+//
+// The config keeps rings ample and watermarks off so no shed/stall events
+// exist to begin with — their keyed reproducibility under pressure is
+// chaos_smoke_mc's job; this test pins the stronger bit-identical claim
+// on the undisturbed-admission path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/mutex.hpp"
+#include "faultinject/adversary.hpp"
+#include "faultinject/faultinject.hpp"
+#include "kernel/shard.hpp"
+#include "kernel/stats_determinism.hpp"
+#include "trace/export.hpp"
+
+namespace scap {
+namespace {
+
+/// Zero every field the determinism registry classifies as shard-geometry
+/// or scheduling-dependent (stats_determinism.inc, DESIGN.md §15).
+kernel::KernelStats normalized(kernel::KernelStats s) {
+  using kernel::StatDeterminism;
+#define SCAP_STATS_FIELD(field, determinism)          \
+  if constexpr (StatDeterminism::determinism !=       \
+                StatDeterminism::kDeterministic) {    \
+    s.field = 0;                                      \
+  }
+#define SCAP_STATS_ARRAY(field, determinism)            \
+  if constexpr (StatDeterminism::determinism !=         \
+                StatDeterminism::kDeterministic) {      \
+    std::fill(std::begin(s.field), std::end(s.field), 0); \
+  }
+#include "kernel/stats_determinism.inc"
+  return s;
+}
+
+struct Replay {
+  std::vector<kernel::KernelStats> snaps;  // normalized, one per tick + final
+  std::vector<std::string> traces;         // per-shard golden text timelines
+};
+
+constexpr int kWorkers = 4;
+
+/// Replay the workload through a traced 4-worker KernelShards with the
+/// same in-band maintenance-tick discipline shard_conservation_test uses,
+/// snapshotting the normalized aggregate at every tick and serializing
+/// each shard's trace timeline after stop().
+Replay replay(const std::vector<Packet>& pkts,
+              const kernel::KernelConfig& cfg) {
+  kernel::KernelShards::Options opts;
+  // Ample ring so a napping worker backs occupancy up instead of ever
+  // shedding; perturbation must change *pressure*, not admission verdicts.
+  opts.ring_capacity = 1 << 15;
+  opts.trace = trace::TraceConfig{/*ring_capacity=*/1 << 16, /*cores=*/1};
+  kernel::KernelShards shards(cfg, kWorkers, opts);
+  base::SerialGuard prod(shards.producer());
+  shards.start({});
+
+  Replay out;
+  const Duration tick = cfg.expiry_interval;
+  bool anchored = false;
+  Timestamp next{};
+  Timestamp last{};
+  for (const Packet& p : pkts) {
+    if (!anchored) {
+      next = p.timestamp() + tick;
+      anchored = true;
+    }
+    while (p.timestamp() >= next) {
+      shards.tick_all(next);
+      shards.flush();
+      out.snaps.push_back(normalized(shards.stats()));
+      next = next + tick;
+    }
+    shards.submit(p);
+    last = p.timestamp();
+  }
+  shards.flush();
+  out.snaps.push_back(normalized(shards.stats()));
+  shards.stop(last);
+  out.snaps.push_back(normalized(shards.stats()));
+
+  // Quiescent after stop(): serialize each shard's timeline. The
+  // histogram block is deliberately not serialized — queue_occupancy is
+  // registry-classified kSchedulingDependent.
+  for (int i = 0; i < shards.num_shards(); ++i) {
+    const trace::Tracer* t = shards.tracer(i);
+    EXPECT_NE(t, nullptr);
+    if (t == nullptr) continue;
+    EXPECT_EQ(t->dropped(), 0u) << "trace ring wrapped; grow the capacity";
+    std::ostringstream os;
+    trace::write_text(*t, trace::kernel_schema(), os);
+    out.traces.push_back(os.str());
+  }
+  // No admission pressure, no watchdog: the producer-side tracer must
+  // stay silent, or the "no shed/stall events exist" premise is broken.
+  if (shards.producer_tracer() != nullptr) {
+    EXPECT_EQ(shards.producer_tracer()->recorded(), 0u);
+  }
+  return out;
+}
+
+void expect_identical(const Replay& ref, const Replay& got,
+                      const char* what) {
+  ASSERT_EQ(got.snaps.size(), ref.snaps.size()) << what;
+  for (std::size_t i = 0; i < ref.snaps.size(); ++i) {
+    EXPECT_TRUE(got.snaps[i] == ref.snaps[i])
+        << what << ": normalized aggregate diverged at snapshot " << i << "/"
+        << ref.snaps.size() << " (pkts_seen " << got.snaps[i].pkts_seen
+        << " vs " << ref.snaps[i].pkts_seen << ")";
+  }
+  ASSERT_EQ(got.traces.size(), ref.traces.size()) << what;
+  for (std::size_t i = 0; i < ref.traces.size(); ++i) {
+    EXPECT_EQ(got.traces[i], ref.traces[i])
+        << what << ": shard " << i << " golden trace timeline diverged";
+  }
+}
+
+TEST(SchedulePerturbation, DelayedWorkersChangeNothingObservable) {
+  faultinject::AdversaryConfig acfg;
+  acfg.seed = 42;
+  acfg.packets = 6000;
+  const std::vector<Packet> pkts =
+      faultinject::AdversaryGen(acfg).generate();
+
+  kernel::KernelConfig cfg;
+  cfg.memory_size = 256ull << 20;
+  cfg.max_streams = 0;
+  cfg.defaults.cutoff_bytes = 4096;
+  cfg.expiry_interval = Duration::from_msec(2);
+  cfg.defaults.inactivity_timeout = Duration::from_msec(4);
+
+  const Replay ref = replay(pkts, cfg);
+  ASSERT_GE(ref.snaps.size(), 4u) << "tick grid produced too few snapshots";
+  EXPECT_GT(ref.snaps.back().pkts_seen, 0u);
+
+  // Two distinct perturbation schedules: a periodic nap on every shard,
+  // and a denser hashed nap victimizing a single shard (worst skew).
+  {
+    faultinject::InjectionPlan plan;
+    plan.seed = 7;
+    plan.at(faultinject::FaultPoint::kWorkerDelay).every_n = 3;
+    faultinject::FaultInjector inj(plan);
+    faultinject::FaultScope scope(inj);
+    const Replay got = replay(pkts, cfg);
+    EXPECT_GT(inj.injected(faultinject::FaultPoint::kWorkerDelay), 0u)
+        << "perturbation never fired; the test is vacuous";
+    expect_identical(ref, got, "every-3rd-batch nap");
+  }
+  {
+    faultinject::InjectionPlan plan;
+    plan.seed = 9;
+    plan.at(faultinject::FaultPoint::kWorkerDelay).probability = 0.5;
+    plan.at(faultinject::FaultPoint::kWorkerDelay).only_key = 1;
+    faultinject::FaultInjector inj(plan);
+    faultinject::FaultScope scope(inj);
+    const Replay got = replay(pkts, cfg);
+    EXPECT_GT(inj.injected(faultinject::FaultPoint::kWorkerDelay), 0u)
+        << "perturbation never fired; the test is vacuous";
+    expect_identical(ref, got, "skewed single-shard nap");
+  }
+}
+
+}  // namespace
+}  // namespace scap

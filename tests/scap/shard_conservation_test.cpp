@@ -15,7 +15,9 @@
 // the property chaos_run --check-invariants relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,22 +25,31 @@
 #include "base/mutex.hpp"
 #include "faultinject/adversary.hpp"
 #include "kernel/shard.hpp"
+#include "kernel/stats_determinism.hpp"
 #include "nic/nic.hpp"
 
 namespace scap {
 namespace {
 
-/// Zero the slab-geometry fields: how many records each shard's pool grew
-/// is a private allocation detail, not part of the aggregate contract.
-/// Ring occupancy peak is likewise monitoring-only: it measures how far the
-/// consumer lagged the producer, which depends on worker scheduling, not on
-/// the input trace.
+/// Zero every field the determinism registry (stats_determinism.inc,
+/// DESIGN.md §15) classifies as shard-geometry (slab growth is an
+/// allocation pattern, not part of the aggregate contract) or
+/// scheduling-dependent (occupancy peaks measure consumer lag). Deriving
+/// the set from the registry means a new counter must be classified there
+/// before this suite will accept it.
 kernel::KernelStats normalized(kernel::KernelStats s) {
-  s.pool_capacity = 0;
-  s.pool_free = 0;
-  s.pool_slabs = 0;
-  s.pool_recycled = 0;
-  s.ring_occupancy_peak = 0;
+  using kernel::StatDeterminism;
+#define SCAP_STATS_FIELD(field, determinism)          \
+  if constexpr (StatDeterminism::determinism !=       \
+                StatDeterminism::kDeterministic) {    \
+    s.field = 0;                                      \
+  }
+#define SCAP_STATS_ARRAY(field, determinism)            \
+  if constexpr (StatDeterminism::determinism !=         \
+                StatDeterminism::kDeterministic) {      \
+    std::fill(std::begin(s.field), std::end(s.field), 0); \
+  }
+#include "kernel/stats_determinism.inc"
   return s;
 }
 

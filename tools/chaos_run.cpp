@@ -48,6 +48,7 @@
 
 #include "faultinject/adversary.hpp"
 #include "faultinject/faultinject.hpp"
+#include "kernel/stats_determinism.hpp"
 #include "packet/headers.hpp"
 #include "scap/capture.hpp"
 #include "trace/export.hpp"
@@ -214,58 +215,67 @@ std::string run_once(const Options& opt, bool& ok) {
   append(report, "seed", opt.seed);
   append(report, "packets", opt.packets);
 
-  // Every KernelStats counter is dumped (scap_lint enforces it): a counter
-  // missing from this report is invisible to the reproducibility gate.
-  append(report, "pkts_seen", k.pkts_seen);
-  append(report, "bytes_seen", k.bytes_seen);
-  append(report, "pkts_stored", k.pkts_stored);
-  append(report, "bytes_stored", k.bytes_stored);
-  append(report, "pkts_control", k.pkts_control);
-  append(report, "pkts_filtered", k.pkts_filtered);
-  append(report, "pkts_ignored", k.pkts_ignored);
-  append(report, "pkts_frag_held", k.pkts_frag_held);
-  append(report, "pkts_buffered", k.pkts_buffered);
-  append(report, "pkts_invalid", k.pkts_invalid);
-  append(report, "pkts_cutoff", k.pkts_cutoff);
-  append(report, "bytes_cutoff", k.bytes_cutoff);
-  append(report, "pkts_dup", k.pkts_dup);
-  append(report, "bytes_dup", k.bytes_dup);
-  append(report, "pkts_ppl_dropped", k.pkts_ppl_dropped);
-  append(report, "bytes_ppl_dropped", k.bytes_ppl_dropped);
-  append(report, "pkts_nomem_dropped", k.pkts_nomem_dropped);
-  append(report, "bytes_nomem_dropped", k.bytes_nomem_dropped);
-  append(report, "pkts_norec_dropped", k.pkts_norec_dropped);
-  append(report, "pkts_bad_checksum", k.pkts_bad_checksum);
-  append(report, "reasm_alloc_failures", k.reasm_alloc_failures);
-  append(report, "fdir_install_failures", k.fdir_install_failures);
-  append(report, "fdir_installs", k.fdir_installs);
-  append(report, "fdir_reinstalls", k.fdir_reinstalls);
-  append(report, "fdir_removals", k.fdir_removals);
-  append(report, "streams_created", k.streams_created);
-  append(report, "streams_terminated", k.streams_terminated);
-  append(report, "streams_evicted", k.streams_evicted);
-  append(report, "streams_rebalanced", k.streams_rebalanced);
+  // Every KernelStats counter is dumped: a counter missing from this
+  // report is invisible to the reproducibility gate. Which counters are
+  // excluded under --check-reproducible is not decided here: append_stat
+  // consults the determinism registry (kernel/stats_determinism.inc), so
+  // reclassifying a field there is the one and only switch.
+  const auto append_stat = [&](const char* name, std::uint64_t v) {
+    if (opt.check_reproducible &&
+        scap::kernel::stats_field_class(name) ==
+            scap::kernel::StatDeterminism::kSchedulingDependent) {
+      return;
+    }
+    append(report, name, v);
+  };
+  append_stat("pkts_seen", k.pkts_seen);
+  append_stat("bytes_seen", k.bytes_seen);
+  append_stat("pkts_stored", k.pkts_stored);
+  append_stat("bytes_stored", k.bytes_stored);
+  append_stat("pkts_control", k.pkts_control);
+  append_stat("pkts_filtered", k.pkts_filtered);
+  append_stat("pkts_ignored", k.pkts_ignored);
+  append_stat("pkts_frag_held", k.pkts_frag_held);
+  append_stat("pkts_buffered", k.pkts_buffered);
+  append_stat("pkts_invalid", k.pkts_invalid);
+  append_stat("pkts_cutoff", k.pkts_cutoff);
+  append_stat("bytes_cutoff", k.bytes_cutoff);
+  append_stat("pkts_dup", k.pkts_dup);
+  append_stat("bytes_dup", k.bytes_dup);
+  append_stat("pkts_ppl_dropped", k.pkts_ppl_dropped);
+  append_stat("bytes_ppl_dropped", k.bytes_ppl_dropped);
+  append_stat("pkts_nomem_dropped", k.pkts_nomem_dropped);
+  append_stat("bytes_nomem_dropped", k.bytes_nomem_dropped);
+  append_stat("pkts_norec_dropped", k.pkts_norec_dropped);
+  append_stat("pkts_bad_checksum", k.pkts_bad_checksum);
+  append_stat("reasm_alloc_failures", k.reasm_alloc_failures);
+  append_stat("fdir_install_failures", k.fdir_install_failures);
+  append_stat("fdir_installs", k.fdir_installs);
+  append_stat("fdir_reinstalls", k.fdir_reinstalls);
+  append_stat("fdir_removals", k.fdir_removals);
+  append_stat("streams_created", k.streams_created);
+  append_stat("streams_terminated", k.streams_terminated);
+  append_stat("streams_evicted", k.streams_evicted);
+  append_stat("streams_rebalanced", k.streams_rebalanced);
   // Sharded-datapath robustness counters (all zero inline). The occupancy
-  // peak measures how far the consumers lagged — a scheduling artifact, so
-  // it is reported only outside the bit-reproducibility comparison.
-  append(report, "ring_shed_pkts", k.ring_shed_pkts);
-  append(report, "ring_shed_bytes", k.ring_shed_bytes);
-  append(report, "ring_stall_shed_pkts", k.ring_stall_shed_pkts);
-  append(report, "ring_stall_shed_bytes", k.ring_stall_shed_bytes);
-  append(report, "worker_stalls", k.worker_stalls);
-  if (!opt.check_reproducible) {
-    append(report, "ring_occupancy_peak", k.ring_occupancy_peak);
-  }
-  append(report, "streams_active", k.streams_active);
-  append(report, "events_emitted", k.events_emitted);
-  append(report, "chunks_delivered", k.chunks_delivered);
+  // peak is registry-classified scheduling-dependent, so append_stat keeps
+  // it out of the bit-reproducibility comparison.
+  append_stat("ring_shed_pkts", k.ring_shed_pkts);
+  append_stat("ring_shed_bytes", k.ring_shed_bytes);
+  append_stat("ring_stall_shed_pkts", k.ring_stall_shed_pkts);
+  append_stat("ring_stall_shed_bytes", k.ring_stall_shed_bytes);
+  append_stat("worker_stalls", k.worker_stalls);
+  append_stat("ring_occupancy_peak", k.ring_occupancy_peak);
+  append_stat("streams_active", k.streams_active);
+  append_stat("events_emitted", k.events_emitted);
+  append_stat("chunks_delivered", k.chunks_delivered);
   append(report, "nic_dropped_by_filter", stats.nic_dropped_by_filter);
 
   // Record pool occupancy.
-  append(report, "pool_capacity", k.pool_capacity);
-  append(report, "pool_free", k.pool_free);
-  append(report, "pool_slabs", k.pool_slabs);
-  append(report, "pool_recycled", k.pool_recycled);
+  append_stat("pool_capacity", k.pool_capacity);
+  append_stat("pool_free", k.pool_free);
+  append_stat("pool_slabs", k.pool_slabs);
+  append_stat("pool_recycled", k.pool_recycled);
 
   // Final-verdict histogram (sums to pkts_seen — conservation law 1).
   for (std::size_t i = 0; i < scap::kernel::kNumVerdicts; ++i) {
@@ -286,15 +296,15 @@ std::string run_once(const Options& opt, bool& ok) {
   }
 
   // Adaptive overload controller.
-  append(report, "ppl_effective_cutoff",
-         static_cast<std::uint64_t>(k.ppl_effective_cutoff < 0
-                                        ? 0
-                                        : k.ppl_effective_cutoff));
-  append(report, "ppl_overload_active", k.ppl_overload_active);
-  append(report, "ppl_overload_entries", k.ppl_overload_entries);
-  append(report, "ppl_overload_exits", k.ppl_overload_exits);
-  append(report, "ppl_tightenings", k.ppl_tightenings);
-  append(report, "ppl_relaxations", k.ppl_relaxations);
+  append_stat("ppl_effective_cutoff",
+              static_cast<std::uint64_t>(k.ppl_effective_cutoff < 0
+                                             ? 0
+                                             : k.ppl_effective_cutoff));
+  append_stat("ppl_overload_active", k.ppl_overload_active);
+  append_stat("ppl_overload_entries", k.ppl_overload_entries);
+  append_stat("ppl_overload_exits", k.ppl_overload_exits);
+  append_stat("ppl_tightenings", k.ppl_tightenings);
+  append_stat("ppl_relaxations", k.ppl_relaxations);
 
   // Fault injector: calls seen and failures injected per point.
   for (std::size_t i = 0; i < kNumFaultPoints; ++i) {
@@ -346,13 +356,13 @@ std::string run_once(const Options& opt, bool& ok) {
   for (const auto& h : hists) {
     const std::string key = std::string("hist.") + h.name;
     append(report, (key + ".total").c_str(), h.hist->total());
-    // Sharded mode: the queue-occupancy samples measure how many events
-    // piled up since the worker's last batch drain, i.e. consumer lag —
-    // a scheduling artifact like ring_occupancy_peak. The sample *count*
-    // stays deterministic (one per queue per tick), so only the bucket
-    // distribution is kept out of the bit-reproducibility comparison.
+    // Sharded mode: registry-classified scheduling-dependent histograms
+    // (queue occupancy measures consumer lag at each tick) keep their
+    // deterministic sample *count* in the comparison but not the bucket
+    // distribution.
     if (opt.workers > 0 && opt.check_reproducible &&
-        std::strcmp(h.name, "queue_occupancy") == 0) {
+        scap::kernel::metric_hist_class(h.name) ==
+            scap::kernel::StatDeterminism::kSchedulingDependent) {
       continue;
     }
     for (std::size_t b = 0; b < scap::trace::Log2Histogram::kBuckets; ++b) {

@@ -20,13 +20,6 @@ switch-exhaustive
     enumerators added later, defeating -Wswitch. (Sentinels like
     DecodeError::kCount are enumerators too and must appear.)
 
-nondeterminism
-    No rand()/srand(), std::random_device, std <random> engines, wall-clock
-    reads (chrono system/steady/high_resolution clocks, time(),
-    gettimeofday(), clock_gettime()) anywhere in src/ outside the seeded
-    scap::Rng (src/base/rng.hpp). Checked on the AST: calls resolved
-    through using-declarations or aliases are still found.
-
 counter-mirror
     Every field of kernel::KernelStats (AST field decls, not regex) must be
     (a) referenced by kernel code, (b) mirrored in src/scap/capi.cpp
@@ -137,13 +130,7 @@ SPSC_EVIDENCE_RE = re.compile(
     r"\bSCAP_REQUIRES\b|\bSCAP_ASSERT_CAPABILITY\b"
     r"|\brequires_capability\b|\bassert_capability\b")
 
-# Functions whose very mention is nondeterminism (global/C scope only).
-NONDET_FUNCS = {"rand", "srand", "gettimeofday", "clock_gettime", "time"}
-
 # Type spellings (canonical, so typedefs/auto are seen through).
-NONDET_TYPE_RE = re.compile(
-    r"\bstd::(random_device|mt19937(_64)?|default_random_engine)\b"
-    r"|\bstd::chrono::(system_clock|steady_clock|high_resolution_clock)\b")
 MUTEX_TYPE_RE = re.compile(
     r"\bstd::(recursive_|timed_|shared_)?mutex\b"
     r"|\bstd::condition_variable(_any)?\b"
@@ -308,32 +295,6 @@ class Analyzer:
                                            self.ck.UNEXPOSED_DECL):
             p = p.semantic_parent
         return p is None or p.kind == self.ck.TRANSLATION_UNIT
-
-    def check_nondet(self, cursor, abspath):
-        if not self.fixture_mode and \
-                self.rel(abspath) in scap_lint.NONDET_EXEMPT:
-            return
-        line = cursor.location.line
-        if cursor.kind in (self.ck.DECL_REF_EXPR, self.ck.CALL_EXPR):
-            ref = cursor.referenced
-            if ref is not None:
-                if ref.spelling in NONDET_FUNCS and self.is_global(ref):
-                    self.add(abspath, line, "nondeterminism",
-                             f"call to {ref.spelling}() — all time comes "
-                             "from scap::Timestamp, all randomness from the "
-                             "seeded scap::Rng")
-                    return
-                qual = self.qualified_name(ref)
-                if NONDET_TYPE_RE.search(qual):
-                    self.add(abspath, line, "nondeterminism",
-                             f"use of {qual} — nondeterministic source")
-                    return
-        if cursor.kind in (self.ck.VAR_DECL, self.ck.FIELD_DECL,
-                           self.ck.TYPE_REF):
-            canon = cursor.type.get_canonical().spelling
-            if NONDET_TYPE_RE.search(canon):
-                self.add(abspath, line, "nondeterminism",
-                         f"declaration of nondeterministic type `{canon}`")
 
     def check_mutex(self, cursor, abspath):
         if not self.fixture_mode and \
@@ -514,7 +475,6 @@ class Analyzer:
         abspath = self.in_scope(cursor)
         if abspath is not None:
             self.check_alloc(cursor, abspath)
-            self.check_nondet(cursor, abspath)
             self.check_mutex(cursor, abspath)
             if cursor.kind == self.ck.SWITCH_STMT:
                 self.check_switch(cursor, abspath)

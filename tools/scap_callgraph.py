@@ -294,8 +294,18 @@ def strip_code(text):
                 state = STR
                 out.append(" ")
             elif c == "'":
-                state = CHR
-                out.append(" ")
+                # C++14 digit separator (0x5ca9'f10a, 1'000'000): an
+                # apostrophe sandwiched between alphanumerics is part of a
+                # numeric literal, not a char-literal delimiter — treating
+                # it as one desynchronizes the stripper for the rest of
+                # the file.
+                if (0 < i < n - 1 and text[i - 1].isalnum()
+                        and text[i + 1].isalnum()):
+                    out.append(c)
+                    line_has_code = True
+                else:
+                    state = CHR
+                    out.append(" ")
             else:
                 out.append(c)
                 if not c.isspace():

@@ -19,13 +19,15 @@ Waivers: append `// scap-lint: allow(<rule>) <reason>` to the offending
 line (or the line directly above it). Waivers without a reason are
 themselves findings.
 
-The former regex rules heap-hot-path, nondeterminism and
-counter-conservation were promoted to tools/scap_analyzer.py, which checks
-the same invariants on the clang AST (rules hot-path-alloc, nondeterminism,
-counter-mirror) and therefore sees through typedefs, `auto` and macros that
-regex cannot. This file keeps only the rules where line-oriented text is
-the natural representation, plus the helpers and waiver syntax both tools
-share.
+The former regex rules heap-hot-path and counter-conservation were
+promoted to tools/scap_analyzer.py, which checks the same invariants on
+the clang AST (rules hot-path-alloc, counter-mirror) and therefore sees
+through typedefs, `auto` and macros that regex cannot; the per-function
+nondeterminism rule retired in turn into tools/scap_taint.py's transitive
+taint rules (taint-wallclock/-rng/-ambient/…), which flag a
+nondeterministic value only where it can reach observable output. This
+file keeps only the rules where line-oriented text is the natural
+representation, plus the helpers and waiver syntax the tools share.
 
 Usage: scap_lint.py [--root DIR] [--list-rules]
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
@@ -38,7 +40,7 @@ import sys
 
 # Kernel hot-path files: everything a packet touches between handle_packet
 # and event emission. Cold-path kernel files (defrag holds fragments across
-# packets, events are queue plumbing) still obey nondeterminism rules but
+# packets, events are queue plumbing) still obey the determinism rules but
 # may use standard containers. Consumed by tools/scap_analyzer.py
 # (hot-path-alloc), which owns the allocation rule since it moved to the AST.
 HOT_PATH_FILES = [
@@ -59,10 +61,6 @@ HOT_PATH_FILES = [
     "src/kernel/stream.hpp",
 ]
 
-# Files allowed to talk about randomness sources (the seeded generator and
-# its documentation live here). Consumed by tools/scap_analyzer.py
-# (nondeterminism), which owns the rule since it moved to the AST.
-NONDET_EXEMPT = ["src/base/rng.hpp"]
 
 WAIVER_RE = re.compile(r"//\s*scap-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
 
@@ -279,9 +277,9 @@ def main():
         return 2
 
     findings = []
-    # heap-hot-path, nondeterminism and counter-conservation moved to
-    # tools/scap_analyzer.py (AST rules hot-path-alloc / nondeterminism /
-    # counter-mirror) so each violation is reported by exactly one tool.
+    # heap-hot-path and counter-conservation moved to tools/scap_analyzer.py
+    # (AST rules hot-path-alloc / counter-mirror), and nondeterminism to
+    # tools/scap_taint.py, so each violation is reported by exactly one tool.
     check_api_stats_mirror(root, findings)
     check_trace_coverage(root, findings)
 

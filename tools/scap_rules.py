@@ -15,6 +15,7 @@ Tools
 lint       tools/scap_lint.py        line-oriented text rules
 analyzer   tools/scap_analyzer.py    per-function libclang AST rules
 callgraph  tools/scap_callgraph.py   whole-program hot-path purity rules
+taint      tools/scap_taint.py       whole-program determinism taint rules
 
 The pseudo-rules `waiver` (a waiver comment without a reason) and
 `stale-waiver` (a waiver that no longer suppresses anything) are emitted
@@ -38,8 +39,6 @@ RULES = [
          "no operator new / C heap / unordered_map in hot-path files"),
     Rule("switch-exhaustive", "analyzer",
          "switches over watched enums cover every enumerator, no default"),
-    Rule("nondeterminism", "analyzer",
-         "no rand()/wall-clock/random_device outside the seeded Rng"),
     Rule("counter-mirror", "analyzer",
          "every KernelStats field is referenced, mirrored and dumped"),
     Rule("mutex-discipline", "analyzer",
@@ -62,6 +61,26 @@ RULES = [
          "no direct or mutual recursion inside the hot closure"),
     Rule("hot-cold-call", "callgraph",
          "no call from the hot closure into a SCAP_COLD function"),
+
+    # --- tools/scap_taint.py (whole-program determinism, DESIGN.md §15) -----
+    # The per-function `nondeterminism` analyzer rule retired into these:
+    # taint tracking flags the *transitive* reach of a nondeterministic
+    # value into observable output, not just its lexical occurrence.
+    Rule("taint-wallclock", "taint",
+         "no wall-clock read (outside base/clock) reaching an output"),
+    Rule("taint-rng", "taint",
+         "no unseeded randomness (outside base::Rng) reaching an output"),
+    Rule("taint-ambient", "taint",
+         "no getenv/thread-id/process-id value reaching an output"),
+    Rule("taint-addr-order", "taint",
+         "no pointer-address-derived value or unordered-container "
+         "iteration order reaching an output"),
+    Rule("taint-sched", "taint",
+         "no scheduling-dependent channel read reaching a deterministic "
+         "output"),
+    Rule("stats-registry", "taint",
+         "every KernelStats field / metrics histogram classified exactly "
+         "once in stats_determinism.inc, SCHED rows witness-backed"),
 ]
 
 # Pseudo-rules every tool may emit about waivers of its own rules.
